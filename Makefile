@@ -1,0 +1,35 @@
+# Convenience targets for the RMGP reproduction.
+
+PYTHON ?= python3
+
+.PHONY: install test bench bench-full examples figures clean
+
+install:
+	pip install -e '.[dev]'
+
+test:
+	$(PYTHON) -m pytest tests/
+
+test-output:
+	$(PYTHON) -m pytest tests/ 2>&1 | tee test_output.txt
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+bench-full:
+	REPRO_BENCH_FULL=1 $(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+bench-output:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt
+
+examples:
+	for script in examples/*.py; do echo "== $$script"; $(PYTHON) $$script; done
+
+figures:
+	for fig in table1 fig7 fig8 fig9 fig10 fig11 fig12a fig12b fig12c fig13 fig14; do \
+		$(PYTHON) -m repro figure $$fig; \
+	done
+
+clean:
+	rm -rf benchmarks/results .pytest_cache .hypothesis
+	find . -name __pycache__ -type d -exec rm -rf {} +

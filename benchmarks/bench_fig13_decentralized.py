@@ -1,0 +1,52 @@
+"""Figure 13: DG versus FaE on the Foursquare-like dataset."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import foursquare_dataset, run_fig13
+from repro.datasets.registry import with_event_count
+from repro.distributed import DGQuery, build_cluster, hash_partition, run_fae
+
+
+@pytest.fixture(scope="module")
+def fig13_setup():
+    dataset = foursquare_dataset(seed=0)
+    sliced = with_event_count(dataset, 64, seed=0)
+    query = DGQuery(events=sliced.events, alpha=0.5, seed=0)
+    shards = hash_partition(dataset.graph.nodes(), 2)
+    return dataset, query, shards
+
+
+def test_fig13_dg_speed(benchmark, fig13_setup):
+    dataset, query, shards = fig13_setup
+    def run():
+        cluster = build_cluster(
+            dataset, num_slaves=2, shards=shards, use_distributed_coloring=False
+        )
+        return cluster.game.run(query)
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result.converged
+
+
+def test_fig13_fae_speed(benchmark, fig13_setup):
+    dataset, query, shards = fig13_setup
+    result = benchmark.pedantic(
+        lambda: run_fae(dataset.graph, dataset.checkins, shards, query, seed=0),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.partition.converged
+
+
+def test_fig13_table(benchmark, emit):
+    table = benchmark.pedantic(lambda: run_fig13(seed=0), rounds=1, iterations=1)
+    emit(table)
+    transfers = table.column("fae_transfer_s")
+    # FaE's bulk transfer is query-independent: identical across k.
+    assert max(transfers) - min(transfers) < 1e-9
+    # Execution grows with k (initialization distance computations).
+    fae_exec = table.column("fae_execution_s")
+    assert fae_exec[-1] > fae_exec[0]
+    dg_total = table.column("dg_total_s")
+    assert dg_total[-1] > dg_total[0]

@@ -1,0 +1,29 @@
+"""Figure 14: DG per-round processing time and data volume (k = 256)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import run_fig14
+from repro.bench.harness import full_scale
+
+NUM_EVENTS = 256 if full_scale() else 64
+
+
+def test_fig14_table(benchmark, emit):
+    table = benchmark.pedantic(
+        lambda: run_fig14(num_events=NUM_EVENTS, seed=0), rounds=1, iterations=1
+    )
+    emit(table)
+    rows = table.rows
+    assert rows, "no rounds recorded"
+    # Round 0 moves the most data (full GSV broadcast).
+    bytes_per_round = [row["bytes"] for row in rows]
+    assert bytes_per_round[0] == max(bytes_per_round)
+    # Deviations decay towards convergence; the final round has none.
+    deviations = [row["deviations"] for row in rows]
+    assert deviations[-1] == 0
+    assert max(deviations[1:], default=0) == deviations[1] or len(deviations) <= 2
+    # Data transferred diminishes along with the deviations.
+    if len(bytes_per_round) > 3:
+        assert bytes_per_round[-1] <= bytes_per_round[1]

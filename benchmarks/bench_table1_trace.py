@@ -1,0 +1,31 @@
+"""Table 1: the running-example execution trace (and micro-benchmarks of
+the per-player best response, the hot inner loop of every solver)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bench import run_table1
+from repro.core import player_strategy_costs
+from repro.datasets import paper_example_instance
+
+
+def test_table1_trace(benchmark, emit):
+    table = benchmark.pedantic(run_table1, rounds=1, iterations=1)
+    emit(table)
+    # The trace ends in an equilibrium round with no deviations.
+    last_round = max(row["round"] for row in table.rows)
+    final = [row for row in table.rows if row["round"] == last_round]
+    assert all(row["deviated"] == "" for row in final)
+    # v4 is dragged away from his closest event by his friends.
+    deviated = [row for row in table.rows if row["deviated"] == "*"]
+    assert any(row["player"] == "v4" for row in deviated)
+
+
+def test_best_response_microbenchmark(benchmark):
+    """Latency of one player's strategy-cost evaluation (Figure 3 core)."""
+    instance = paper_example_instance()
+    assignment = np.zeros(instance.n, dtype=np.int64)
+    costs = benchmark(lambda: player_strategy_costs(instance, assignment, 3))
+    assert costs.shape == (instance.k,)

@@ -1,0 +1,44 @@
+"""Shared helpers for the figure-reproduction benchmarks.
+
+Each ``bench_fig*.py`` module regenerates one figure/table of the paper:
+it benchmarks the headline operation with pytest-benchmark and emits the
+full paper-style series both to stdout and to ``benchmarks/results/``.
+
+Run quick (CI-sized) benchmarks:
+
+    pytest benchmarks/ --benchmark-only
+
+Run paper-scale workloads:
+
+    REPRO_BENCH_FULL=1 pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+@pytest.fixture
+def emit(request):
+    """Print a results table and persist it under benchmarks/results/."""
+
+    def _emit(table) -> None:
+        text = table.render()
+        print()
+        print(text)
+        os.makedirs(RESULTS_DIR, exist_ok=True)
+        module = request.node.module.__name__
+        filename = os.path.join(RESULTS_DIR, f"{module}.txt")
+        with open(filename, "a", encoding="utf-8") as handle:
+            handle.write(text + "\n\n")
+        # Machine-readable sibling for plotting pipelines.
+        slug = "".join(
+            ch if ch.isalnum() else "_" for ch in table.title.lower()
+        )[:60]
+        table.to_csv(os.path.join(RESULTS_DIR, "csv", f"{module}.{slug}.csv"))
+
+    return _emit

@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Capacity-constrained event recommendation.
+
+The paper's related work (Section 2.1) points at LAGP variants where
+events carry participation constraints; this example runs the
+capacity-constrained extension (``repro.core.capacitated``): each event
+has a limited number of seats, players may only deviate to events with
+spare capacity, and the dynamics converge to a *capacitated equilibrium*.
+
+Run:  python examples/capacitated_events.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import (
+    RMGPInstance,
+    is_capacitated_equilibrium,
+    solve_all,
+    solve_capacitated,
+)
+from repro.core.normalization import normalize
+from repro.datasets import gowalla_like
+
+
+def main() -> None:
+    data = gowalla_like(num_users=1_500, num_events=16, seed=81)
+    print("dataset:", data.stats())
+    instance, estimate = normalize(
+        RMGPInstance(data.graph, data.event_ids, data.cost_matrix(), 0.5),
+        "pessimistic",
+    )
+    print(f"normalized with {estimate}")
+
+    # ---- Unconstrained: popular events overflow ----------------------
+    unconstrained = solve_all(instance, seed=0)
+    loads = np.bincount(unconstrained.assignment, minlength=instance.k)
+    print("\nunconstrained attendance per event:")
+    print(" ", sorted(loads.tolist(), reverse=True))
+    print(f"  largest event: {loads.max()} users "
+          f"(fair share would be {instance.n // instance.k})")
+
+    # ---- Constrained: every event seats at most 1.2x the fair share --
+    fair = instance.n // instance.k
+    capacity = int(1.2 * fair) + 1
+    capacities = [capacity] * instance.k
+    constrained = solve_capacitated(instance, capacities, seed=0)
+    capped_loads = np.bincount(constrained.assignment, minlength=instance.k)
+    print(f"\ncapacitated (max {capacity} seats per event):")
+    print(" ", sorted(capped_loads.tolist(), reverse=True))
+    assert capped_loads.max() <= capacity
+    print(
+        "  capacitated equilibrium verified:",
+        is_capacitated_equilibrium(
+            instance, constrained.assignment, capacities
+        ),
+    )
+
+    # ---- The price of the constraint ----------------------------------
+    print("\nobjective (Equation 1):")
+    print(f"  unconstrained: {unconstrained.value.total:10.1f}")
+    print(f"  capacitated:   {constrained.value.total:10.1f}")
+    overflow = loads.max() - capacity
+    print(
+        f"\nthe cap displaced ~{max(overflow, 0)} users from the most "
+        "popular event; the objective rises accordingly — the price of "
+        "balancing attendance."
+    )
+
+    # ---- Minimum participation: tiny events get canceled -------------
+    from repro.core import solve_with_minimums
+
+    minimum = max(5, fair // 3)
+    with_min = solve_with_minimums(instance, min_participants=minimum, seed=0)
+    min_loads = np.bincount(with_min.assignment, minlength=instance.k)
+    survivors = sorted(int(x) for x in min_loads if x > 0)
+    print(
+        f"\nminimum participation of {minimum}: "
+        f"{len(with_min.extra['canceled'])} events canceled "
+        f"{with_min.extra['canceled']}; surviving audiences {survivors}"
+    )
+
+
+if __name__ == "__main__":
+    main()

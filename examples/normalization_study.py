@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Why normalization matters (Section 3.3 / Figure 9), hands on.
+
+Solves the same LAGP query three ways — raw, optimistic RMGP_N and
+pessimistic RMGP_N — and shows how the balance between the assignment
+and social components (and the number of users actually moved away from
+their closest event) changes.
+
+Run:  python examples/normalization_study.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import (
+    RMGPInstance,
+    estimate_cn,
+    exact_cn,
+    normalize,
+    solve_baseline,
+)
+from repro.datasets import gowalla_like
+
+
+def main() -> None:
+    data = gowalla_like(num_users=3_000, num_events=16, seed=13)
+    print("dataset:", data.stats())
+    base = RMGPInstance(data.graph, data.event_ids, data.cost_matrix(), 0.5)
+
+    closest = np.array(
+        [int(base.cost.row(v).argmin()) for v in range(base.n)]
+    )
+
+    print(f"\n{'variant':12s} {'C_N':>10s} {'alpha*AC':>12s} "
+          f"{'(1-a)*SC':>12s} {'ratio':>8s} {'moved':>6s}")
+    for variant in ("raw", "optimistic", "pessimistic"):
+        if variant == "raw":
+            instance, cn = base, 1.0
+        else:
+            instance, est = normalize(base, variant)
+            cn = est.cn
+        result = solve_baseline(instance, init="closest", order="given")
+        value = result.value
+        assignment_part = 0.5 * value.assignment_cost
+        social_part = 0.5 * value.social_cost
+        moved = int((result.assignment != closest).sum())
+        ratio = assignment_part / social_part if social_part else float("inf")
+        print(
+            f"{variant:12s} {cn:10.4g} {assignment_part:12.1f} "
+            f"{social_part:12.1f} {ratio:8.2f} {moved:6d}"
+        )
+
+    print(
+        "\nraw distances are ~100 km while edge weights are 1, so the raw "
+        "objective is dominated by the assignment term: almost everyone "
+        "stays at the closest event and the social dimension is wasted."
+    )
+
+    # Compare the heuristic estimates against the a-posteriori truth.
+    normalized, est = normalize(base, "pessimistic")
+    result = solve_baseline(normalized, init="closest", order="degree")
+    print(
+        f"\npessimistic estimate C_N={est.cn:.4g}; "
+        f"a-posteriori C_N of the solved game={exact_cn(base, result.assignment):.4g}"
+    )
+    print(
+        "optimistic estimate:",
+        f"C_N={estimate_cn(base, 'optimistic').cn:.4g}",
+        "(assumes everyone at the closest event and 1/sqrt(k) of friends away)",
+    )
+
+
+if __name__ == "__main__":
+    main()

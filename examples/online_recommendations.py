@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Online recommendations: the hourly-advertisement loop, incrementally.
+
+The paper's closing remark in Section 3.1 — reuse the previous solution
+as the seed of the next execution — becomes a running service here: a
+:class:`~repro.apps.streaming.StreamingRecommender` ingests a stream of
+check-ins and, every epoch ("hour"), re-converges *incrementally*: only
+the neighborhoods of moved users are touched.  The script compares that
+against re-solving each epoch from scratch.
+
+Run:  python examples/online_recommendations.py
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.apps import StreamingRecommender, simulate_stream
+from repro.core import RMGPInstance, solve_all
+from repro.core.normalization import normalize
+from repro.datasets import gowalla_like
+
+
+def main() -> None:
+    data = gowalla_like(num_users=2_000, num_events=32, seed=71)
+    print("dataset:", data.stats())
+
+    recommender = StreamingRecommender(
+        data.graph, data.checkins, data.events, seed=0
+    )
+    print(f"initial solve done (C_N={recommender.cn:.4g})")
+
+    start = time.perf_counter()
+    history = simulate_stream(
+        recommender, epochs=6, checkins_per_epoch=40, movement_km=30.0, seed=3
+    )
+    incremental_seconds = time.perf_counter() - start
+
+    print("\nepoch  checkins  deviations  rounds  reassigned  objective")
+    for stats in history:
+        print(
+            f"{stats.epoch:5d}  {stats.checkins_ingested:8d}  "
+            f"{stats.deviations:10d}  {stats.rounds:6d}  "
+            f"{stats.users_reassigned:10d}  {stats.objective_total:9.1f}"
+        )
+
+    # The cold alternative: re-solve the final state from scratch.
+    instance = RMGPInstance(
+        data.graph,
+        data.event_ids,
+        # Rebuild distances from the *current* (moved) check-ins.
+        _distance_matrix(recommender, data),
+        alpha=0.5,
+    )
+    instance, _ = normalize(instance, "pessimistic")
+    start = time.perf_counter()
+    cold = solve_all(instance, seed=0)
+    cold_seconds = time.perf_counter() - start
+
+    print(
+        f"\n6 incremental epochs: {incremental_seconds:.3f}s total "
+        f"({incremental_seconds / 6:.3f}s per epoch)"
+    )
+    print(f"one cold re-solve:    {cold_seconds:.3f}s ({cold.num_rounds} rounds)")
+    print(
+        "incremental epochs touch only the moved users' neighborhoods — "
+        "the per-epoch cost tracks the update rate, not the graph size."
+    )
+
+
+def _distance_matrix(recommender: StreamingRecommender, data):
+    import math
+
+    import numpy as np
+
+    users = data.graph.nodes()
+    matrix = np.empty((len(users), len(data.events)))
+    for i, user in enumerate(users):
+        ux, uy = recommender.checkins[user]
+        for j, event in enumerate(data.events):
+            ex, ey = event.location
+            matrix[i, j] = math.hypot(ux - ex, uy - ey)
+    return matrix
+
+
+if __name__ == "__main__":
+    main()

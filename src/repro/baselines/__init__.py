@@ -1,0 +1,34 @@
+"""The paper's comparison systems, implemented from scratch.
+
+* :func:`solve_metis_hungarian` — MH: multilevel k-way min-cut (METIS
+  stand-in) + Hungarian class mapping.
+* :func:`solve_uml_lp` — Kleinberg–Tardos LP relaxation (2-approx).
+* :func:`solve_uml_greedy` — per-class min-cut greedy (Bracht-style).
+* :func:`solve_exact` — branch-and-bound optimum for tiny instances.
+* :func:`solve_alpha_expansion` — Boykov–Veksler–Zabih move-making
+  (extra comparator beyond the paper's three).
+"""
+
+from repro.baselines.alpha_expansion import solve_alpha_expansion
+from repro.baselines.hungarian import assignment_cost_of, hungarian
+from repro.baselines.ilp import optimal_value, solve_exact
+from repro.baselines.kway import KWayResult, kway_partition
+from repro.baselines.maxflow import FlowNetwork
+from repro.baselines.metis_hungarian import solve_metis_hungarian
+from repro.baselines.uml_greedy import solve_uml_greedy
+from repro.baselines.uml_lp import lp_lower_bound, solve_uml_lp
+
+__all__ = [
+    "FlowNetwork",
+    "KWayResult",
+    "assignment_cost_of",
+    "hungarian",
+    "kway_partition",
+    "lp_lower_bound",
+    "optimal_value",
+    "solve_alpha_expansion",
+    "solve_exact",
+    "solve_metis_hungarian",
+    "solve_uml_greedy",
+    "solve_uml_lp",
+]

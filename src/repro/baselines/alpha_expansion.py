@@ -1,0 +1,150 @@
+"""α-expansion for uniform metric labeling (Boykov–Veksler–Zabih).
+
+The strongest classical move-making algorithm for the Potts model and a
+natural extra comparator for RMGP: each *expansion move* fixes one label
+``a`` and solves a binary min-cut deciding, for every node
+simultaneously, whether to switch to ``a`` or keep its current label.
+Sweeping all labels until no move improves the objective yields a local
+minimum that is within a factor 2 of the optimum for uniform metrics —
+the same guarantee class as the LP, typically with better constants than
+one-shot greedies, at the price of many max-flow solves.
+
+Construction per expansion (source side = "take ``a``"):
+
+* ``s → v`` with capacity ``α·c(v, l_v)`` — the price of *rejecting* the
+  expansion (``∞`` conceptually when ``l_v = a``; then both t-links are
+  equal and the node is indifferent),
+* ``v → t`` with capacity ``α·c(v, a)`` — the price of accepting it,
+* edge ``(u, v)`` with ``l_u = l_v``: undirected capacity ``(1−α)·w`` —
+  cut only when the move separates them,
+* edge ``(u, v)`` with ``l_u ≠ l_v`` (already cut): the pairwise table is
+  ``E(take,take)=0`` and ``(1−α)·w`` otherwise; by the Kolmogorov–Zabih
+  decomposition this is ``s→u`` plus a *directed* ``u→v`` arc, both with
+  capacity ``(1−α)·w`` (cut exactly unless both endpoints join ``a``).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.baselines.maxflow import FlowNetwork
+from repro.core import dynamics
+from repro.core.instance import RMGPInstance
+from repro.core.objective import objective
+from repro.core.result import PartitionResult, RoundStats, make_result
+
+
+def solve_alpha_expansion(
+    instance: RMGPInstance,
+    init: str = "closest",
+    seed: Optional[int] = None,
+    max_sweeps: int = 50,
+) -> PartitionResult:
+    """Run α-expansion to a move-optimal labeling.
+
+    ``init`` seeds the labeling (``"closest"`` or ``"random"``); each
+    sweep tries an expansion for every class and applies it when it
+    strictly lowers the Equation 1 objective.  Stops after a sweep with
+    no improving move (or ``max_sweeps``).
+    """
+    import random
+
+    rng = random.Random(seed)
+    clock = dynamics.RoundClock()
+    assignment = dynamics.initial_assignment(instance, init, rng)
+    current_value = objective(instance, assignment).total
+    rounds: List[RoundStats] = [RoundStats(0, 0, clock.lap())]
+
+    converged = False
+    sweeps = 0
+    cuts_solved = 0
+    while not converged and sweeps < max_sweeps:
+        sweeps += 1
+        moves = 0
+        for klass in range(instance.k):
+            candidate = _expansion_move(instance, assignment, klass)
+            cuts_solved += 1
+            candidate_value = objective(instance, candidate).total
+            if candidate_value < current_value - 1e-12:
+                assignment = candidate
+                current_value = candidate_value
+                moves += 1
+        rounds.append(
+            RoundStats(
+                round_index=sweeps,
+                deviations=moves,
+                seconds=clock.lap(),
+                players_examined=instance.n * instance.k,
+            )
+        )
+        converged = moves == 0
+
+    return make_result(
+        solver="AlphaExp",
+        instance=instance,
+        assignment=assignment,
+        rounds=rounds,
+        converged=converged,
+        wall_seconds=clock.total(),
+        extra={
+            "sweeps": sweeps,
+            "cuts_solved": cuts_solved,
+            "approximation_ratio_bound": 2.0,
+        },
+    )
+
+
+def _expansion_move(
+    instance: RMGPInstance, assignment: np.ndarray, klass: int
+) -> np.ndarray:
+    """Best single expansion of ``klass``: the BVZ binary min-cut."""
+    alpha = instance.alpha
+    beta = 1.0 - alpha
+    n = instance.n
+
+    # Count auxiliary nodes (one per currently-cut edge).
+    edges = []
+    for player in range(n):
+        idx = instance.neighbor_indices[player]
+        wts = instance.neighbor_weights[player]
+        for neighbor, weight in zip(idx, wts):
+            if int(neighbor) > player:
+                edges.append((player, int(neighbor), float(weight)))
+    mixed = [
+        (u, v, w) for u, v, w in edges if assignment[u] != assignment[v]
+    ]
+    same = [
+        (u, v, w) for u, v, w in edges if assignment[u] == assignment[v]
+    ]
+
+    source = n
+    sink = n + 1
+    network = FlowNetwork(n + 2)
+
+    big = 1e15
+    for player in range(n):
+        keep_cost = alpha * instance.cost.cost(player, int(assignment[player]))
+        take_cost = alpha * instance.cost.cost(player, klass)
+        if int(assignment[player]) == klass:
+            # Already labeled a: keeping == taking; forbid "rejecting".
+            network.add_edge(source, player, big)
+        else:
+            network.add_edge(source, player, keep_cost)
+        network.add_edge(player, sink, take_cost)
+
+    for u, v, w in same:
+        network.add_undirected_edge(u, v, beta * w)
+    for u, v, w in mixed:
+        # Pay (1-alpha)*w unless BOTH endpoints take a:
+        # E = w*[u keeps] + w*[u takes][v keeps]  (Kolmogorov-Zabih).
+        network.add_edge(source, u, beta * w)
+        network.add_edge(u, v, beta * w)
+
+    _, source_side = network.min_cut_source_side(source, sink)
+    candidate = assignment.copy()
+    for player in range(n):
+        if player in source_side:
+            candidate[player] = klass
+    return candidate

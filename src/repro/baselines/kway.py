@@ -1,0 +1,278 @@
+"""Multilevel k-way graph partitioner (METIS stand-in).
+
+The MH benchmark of Section 6.1 "initially computes the minimum
+unbalanced k-way social cut using METIS".  METIS is a closed C library,
+so this module re-implements its classic multilevel recipe from scratch:
+
+1. **Coarsening** — repeated heavy-edge matching collapses matched pairs
+   into super-nodes until the graph is small.
+2. **Initial partitioning** — greedy region growing seeds ``k`` balanced
+   parts on the coarsest graph.
+3. **Uncoarsening + refinement** — partitions are projected back level by
+   level and improved by boundary Kernighan–Lin/Fiduccia–Mattheyses style
+   gain moves under a balance constraint.
+
+The output minimizes the weighted edge cut using connectivity only — by
+design it ignores assignment costs, which is exactly why MH "yields high
+assignment costs" in Figure 7(b).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.graph.metrics import cut_weight
+from repro.graph.social_graph import NodeId, SocialGraph
+
+
+@dataclass
+class KWayResult:
+    """A k-way partition: part index per node plus its cut weight."""
+
+    parts: Dict[NodeId, int]
+    num_parts: int
+    cut: float
+
+    def members(self) -> List[List[NodeId]]:
+        """Nodes of each part, indexed by part id."""
+        groups: List[List[NodeId]] = [[] for _ in range(self.num_parts)]
+        for node, part in self.parts.items():
+            groups[part].append(node)
+        return groups
+
+
+# Internal coarse-graph representation: dense ids, adjacency dicts,
+# node weights = number of original vertices collapsed into the node.
+_CoarseGraph = Tuple[List[Dict[int, float]], List[int]]
+
+
+def kway_partition(
+    graph: SocialGraph,
+    num_parts: int,
+    seed: Optional[int] = None,
+    imbalance: float = 0.10,
+    coarsen_until: int = 0,
+    refinement_passes: int = 8,
+) -> KWayResult:
+    """Partition ``graph`` into ``num_parts`` parts of low cut weight.
+
+    Parameters
+    ----------
+    imbalance:
+        Allowed overload per part: each part's vertex count may reach
+        ``(1 + imbalance) * n / k`` (METIS's default ballpark).
+    coarsen_until:
+        Stop coarsening below this many super-nodes (default
+        ``max(30 * k, 200)``).
+    """
+    if num_parts <= 0:
+        raise ConfigurationError("num_parts must be positive")
+    n = graph.num_nodes
+    if n == 0:
+        return KWayResult({}, num_parts, 0.0)
+    if num_parts > n:
+        raise ConfigurationError(
+            f"num_parts={num_parts} exceeds node count {n}"
+        )
+    rng = random.Random(seed)
+    if coarsen_until <= 0:
+        coarsen_until = max(30 * num_parts, 200)
+
+    # Dense relabeling for list-indexed adjacency.
+    nodes = graph.nodes()
+    index_of = {node: i for i, node in enumerate(nodes)}
+    adjacency: List[Dict[int, float]] = [
+        {index_of[f]: w for f, w in graph.neighbors(node).items()}
+        for node in nodes
+    ]
+    weights = [1] * n
+
+    # --- Phase 1: coarsening ------------------------------------------
+    levels: List[List[int]] = []  # mapping fine node -> coarse node
+    current: _CoarseGraph = (adjacency, weights)
+    while len(current[0]) > coarsen_until:
+        mapping, coarser = _heavy_edge_matching(current, rng)
+        if len(coarser[0]) >= len(current[0]):
+            break  # matching stalled (e.g. star graphs); stop coarsening
+        levels.append(mapping)
+        current = coarser
+
+    # --- Phase 2: initial partitioning --------------------------------
+    parts = _region_growing(current, num_parts, imbalance, rng)
+
+    # --- Phase 3: uncoarsen + refine ----------------------------------
+    graphs: List[_CoarseGraph] = [(adjacency, weights)]
+    replay: _CoarseGraph = (adjacency, weights)
+    for mapping in levels:
+        replay = _apply_mapping(replay, mapping)
+        graphs.append(replay)
+    # graphs[i] is the graph at level i (0 = finest); levels[i] maps i -> i+1.
+    parts = _refine(graphs[-1], parts, num_parts, imbalance, refinement_passes, rng)
+    for level in range(len(levels) - 1, -1, -1):
+        mapping = levels[level]
+        parts = [parts[mapping[v]] for v in range(len(graphs[level][0]))]
+        parts = _refine(
+            graphs[level], parts, num_parts, imbalance, refinement_passes, rng
+        )
+
+    labeled = {nodes[i]: parts[i] for i in range(n)}
+    return KWayResult(
+        parts=labeled, num_parts=num_parts, cut=cut_weight(graph, labeled)
+    )
+
+
+def _heavy_edge_matching(
+    graph: _CoarseGraph, rng: random.Random
+) -> Tuple[List[int], _CoarseGraph]:
+    """Match each node with its heaviest unmatched neighbor and collapse."""
+    adjacency, weights = graph
+    n = len(adjacency)
+    order = list(range(n))
+    rng.shuffle(order)
+    match = [-1] * n
+    for node in order:
+        if match[node] >= 0:
+            continue
+        best, best_weight = -1, -1.0
+        for neighbor, weight in adjacency[node].items():
+            if match[neighbor] < 0 and weight > best_weight:
+                best, best_weight = neighbor, weight
+        if best >= 0:
+            match[node] = best
+            match[best] = node
+    mapping = [-1] * n
+    next_id = 0
+    for node in range(n):
+        if mapping[node] >= 0:
+            continue
+        mapping[node] = next_id
+        if match[node] >= 0:
+            mapping[match[node]] = next_id
+        next_id += 1
+    return mapping, _apply_mapping(graph, mapping)
+
+
+def _apply_mapping(graph: _CoarseGraph, mapping: List[int]) -> _CoarseGraph:
+    """Collapse nodes according to ``mapping`` (fine id -> coarse id)."""
+    adjacency, weights = graph
+    size = max(mapping) + 1 if mapping else 0
+    coarse_adj: List[Dict[int, float]] = [{} for _ in range(size)]
+    coarse_weights = [0] * size
+    for node, coarse in enumerate(mapping):
+        coarse_weights[coarse] += weights[node]
+        for neighbor, weight in adjacency[node].items():
+            target = mapping[neighbor]
+            if target == coarse:
+                continue
+            coarse_adj[coarse][target] = coarse_adj[coarse].get(target, 0.0) + weight
+    # Symmetry holds by construction: the fine edge (u, v) contributes to
+    # coarse_adj[c(u)][c(v)] from u's side and to coarse_adj[c(v)][c(u)]
+    # from v's side, once each.
+    return coarse_adj, coarse_weights
+
+
+def _region_growing(
+    graph: _CoarseGraph, num_parts: int, imbalance: float, rng: random.Random
+) -> List[int]:
+    """Greedy BFS region growing for the coarsest-level partition."""
+    adjacency, weights = graph
+    n = len(adjacency)
+    total = sum(weights)
+    capacity = (1.0 + imbalance) * total / num_parts
+    parts = [-1] * n
+    loads = [0.0] * num_parts
+    order = sorted(range(n), key=lambda v: -weights[v])
+    frontier_of: List[List[int]] = [[] for _ in range(num_parts)]
+
+    # Seed each part with the heaviest unassigned nodes.
+    seeds = iter(order)
+    for part in range(num_parts):
+        for seed in seeds:
+            if parts[seed] < 0:
+                parts[seed] = part
+                loads[part] += weights[seed]
+                frontier_of[part].append(seed)
+                break
+
+    # Round-robin growth: the lightest part claims an adjacent node.
+    unassigned = sum(1 for p in parts if p < 0)
+    while unassigned:
+        part = min(range(num_parts), key=loads.__getitem__)
+        claimed = -1
+        while frontier_of[part]:
+            node = frontier_of[part][-1]
+            for neighbor in adjacency[node]:
+                if parts[neighbor] < 0:
+                    claimed = neighbor
+                    break
+            if claimed >= 0:
+                break
+            frontier_of[part].pop()
+        if claimed < 0:
+            # Disconnected remainder: grab any unassigned node.
+            claimed = next(v for v in range(n) if parts[v] < 0)
+        parts[claimed] = part
+        loads[part] += weights[claimed]
+        frontier_of[part].append(claimed)
+        unassigned -= 1
+        if loads[part] > capacity:
+            # Freeze an overloaded part by emptying its frontier.
+            frontier_of[part] = []
+            # Keep at least one growable part to avoid livelock.
+            if all(not f for f in frontier_of) and unassigned:
+                lightest = min(range(num_parts), key=loads.__getitem__)
+                frontier_of[lightest] = [
+                    v for v in range(n) if parts[v] == lightest
+                ]
+    return parts
+
+
+def _refine(
+    graph: _CoarseGraph,
+    parts: List[int],
+    num_parts: int,
+    imbalance: float,
+    passes: int,
+    rng: random.Random,
+) -> List[int]:
+    """Boundary gain moves (FM-style) under the balance constraint."""
+    adjacency, weights = graph
+    n = len(adjacency)
+    total = sum(weights)
+    capacity = (1.0 + imbalance) * total / num_parts
+    loads = [0.0] * num_parts
+    for node in range(n):
+        loads[parts[node]] += weights[node]
+
+    for _ in range(passes):
+        moved = 0
+        order = list(range(n))
+        rng.shuffle(order)
+        for node in order:
+            here = parts[node]
+            # Connectivity to each part among the node's neighbors.
+            link: Dict[int, float] = {}
+            for neighbor, weight in adjacency[node].items():
+                part = parts[neighbor]
+                link[part] = link.get(part, 0.0) + weight
+            internal = link.get(here, 0.0)
+            best_part, best_gain = here, 0.0
+            for part, weight in link.items():
+                if part == here:
+                    continue
+                if loads[part] + weights[node] > capacity:
+                    continue
+                gain = weight - internal
+                if gain > best_gain + 1e-12:
+                    best_part, best_gain = part, gain
+            if best_part != here:
+                parts[node] = best_part
+                loads[here] -= weights[node]
+                loads[best_part] += weights[node]
+                moved += 1
+        if moved == 0:
+            break
+    return parts

@@ -1,0 +1,132 @@
+"""Dinic's maximum-flow / minimum-cut solver.
+
+Substrate for the greedy UML baseline (Section 2.1, [Bracht et al.]),
+whose per-class graph transformations reduce to s-t minimum cuts.  The
+implementation is the standard level-graph + blocking-flow Dinic in
+``O(V²·E)``, with a helper returning the source-side of a minimum cut.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import List, Set, Tuple
+
+from repro.errors import SolverError
+
+
+class FlowNetwork:
+    """Directed flow network with residual bookkeeping.
+
+    Nodes are dense integers ``0..n-1``.  Each :meth:`add_edge` creates a
+    forward arc with the given capacity and a residual arc of capacity 0;
+    undirected capacity is modeled by two forward arcs
+    (:meth:`add_undirected_edge`).
+    """
+
+    def __init__(self, num_nodes: int) -> None:
+        if num_nodes <= 0:
+            raise SolverError("flow network needs at least one node")
+        self.num_nodes = num_nodes
+        # Arc arrays: to[a], cap[a]; arcs of node v in graph[v].
+        self._to: List[int] = []
+        self._cap: List[float] = []
+        self._adj: List[List[int]] = [[] for _ in range(num_nodes)]
+
+    def add_edge(self, u: int, v: int, capacity: float) -> None:
+        """Add arc ``u -> v`` with ``capacity`` (and its residual)."""
+        self._check_node(u)
+        self._check_node(v)
+        if capacity < 0:
+            raise SolverError(f"negative capacity {capacity} on ({u}, {v})")
+        self._adj[u].append(len(self._to))
+        self._to.append(v)
+        self._cap.append(float(capacity))
+        self._adj[v].append(len(self._to))
+        self._to.append(u)
+        self._cap.append(0.0)
+
+    def add_undirected_edge(self, u: int, v: int, capacity: float) -> None:
+        """Add capacity in both directions (for symmetric social edges)."""
+        self._check_node(u)
+        self._check_node(v)
+        if capacity < 0:
+            raise SolverError(f"negative capacity {capacity} on ({u}, {v})")
+        self._adj[u].append(len(self._to))
+        self._to.append(v)
+        self._cap.append(float(capacity))
+        self._adj[v].append(len(self._to))
+        self._to.append(u)
+        self._cap.append(float(capacity))
+
+    def max_flow(self, source: int, sink: int) -> float:
+        """Maximum flow from ``source`` to ``sink`` (mutates capacities)."""
+        self._check_node(source)
+        self._check_node(sink)
+        if source == sink:
+            raise SolverError("source and sink must differ")
+        total = 0.0
+        while True:
+            level = self._bfs_levels(source, sink)
+            if level[sink] < 0:
+                return total
+            iters = [0] * self.num_nodes
+            while True:
+                pushed = self._dfs_push(source, sink, float("inf"), level, iters)
+                if pushed <= 0:
+                    break
+                total += pushed
+
+    def min_cut_source_side(self, source: int, sink: int) -> Tuple[float, Set[int]]:
+        """Run max-flow, then return ``(cut value, source-side nodes)``."""
+        value = self.max_flow(source, sink)
+        side: Set[int] = set()
+        queue = deque([source])
+        side.add(source)
+        while queue:
+            node = queue.popleft()
+            for arc in self._adj[node]:
+                if self._cap[arc] > 1e-12 and self._to[arc] not in side:
+                    side.add(self._to[arc])
+                    queue.append(self._to[arc])
+        return value, side
+
+    # ------------------------------------------------------------------
+    def _bfs_levels(self, source: int, sink: int) -> List[int]:
+        level = [-1] * self.num_nodes
+        level[source] = 0
+        queue = deque([source])
+        while queue:
+            node = queue.popleft()
+            for arc in self._adj[node]:
+                if self._cap[arc] > 1e-12 and level[self._to[arc]] < 0:
+                    level[self._to[arc]] = level[node] + 1
+                    queue.append(self._to[arc])
+        return level
+
+    def _dfs_push(
+        self,
+        node: int,
+        sink: int,
+        limit: float,
+        level: List[int],
+        iters: List[int],
+    ) -> float:
+        if node == sink:
+            return limit
+        while iters[node] < len(self._adj[node]):
+            arc = self._adj[node][iters[node]]
+            nxt = self._to[arc]
+            if self._cap[arc] > 1e-12 and level[nxt] == level[node] + 1:
+                pushed = self._dfs_push(
+                    nxt, sink, min(limit, self._cap[arc]), level, iters
+                )
+                if pushed > 0:
+                    self._cap[arc] -= pushed
+                    self._cap[arc ^ 1] += pushed
+                    return pushed
+            iters[node] += 1
+        return 0.0
+
+    def _check_node(self, node: int) -> None:
+        if not 0 <= node < self.num_nodes:
+            raise SolverError(f"node {node} out of range [0, {self.num_nodes})")

@@ -1,0 +1,45 @@
+"""Benchmark harness: workloads, measurement, and one runner per figure."""
+
+from repro.bench.fig_centralized import (
+    run_fig10,
+    run_fig11,
+    run_fig12_per_round,
+    run_fig12_vs_alpha,
+    run_fig12_vs_k,
+)
+from repro.bench.fig_comparison import run_fig7, run_fig8
+from repro.bench.fig_decentralized import run_fig13, run_fig14
+from repro.bench.fig_normalization import run_fig9, run_fig9_cn_values
+from repro.bench.fig_table1 import run_table1
+from repro.bench.harness import Measurement, Table, full_scale, time_call
+from repro.bench.workloads import (
+    event_sweep,
+    foursquare_dataset,
+    gowalla_dataset,
+    instance_for,
+    small_uml_dataset,
+)
+
+__all__ = [
+    "Measurement",
+    "Table",
+    "event_sweep",
+    "foursquare_dataset",
+    "full_scale",
+    "gowalla_dataset",
+    "instance_for",
+    "run_fig10",
+    "run_fig11",
+    "run_fig12_per_round",
+    "run_fig12_vs_alpha",
+    "run_fig12_vs_k",
+    "run_fig13",
+    "run_fig14",
+    "run_fig7",
+    "run_fig8",
+    "run_fig9",
+    "run_fig9_cn_values",
+    "run_table1",
+    "small_uml_dataset",
+    "time_call",
+]

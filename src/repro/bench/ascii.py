@@ -1,0 +1,90 @@
+"""Terminal bar charts for benchmark tables.
+
+The figure runners produce :class:`~repro.bench.harness.Table` objects;
+these helpers render one numeric column as a horizontal bar chart so the
+paper's figures can be eyeballed straight from the CLI
+(``python -m repro figure fig12c --chart RMGP_gt_ms``).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.bench.harness import Table
+from repro.errors import ConfigurationError
+
+DEFAULT_WIDTH = 48
+BAR_CHARACTER = "#"
+
+
+def bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = DEFAULT_WIDTH,
+    title: str = "",
+) -> str:
+    """Render a labeled horizontal bar chart.
+
+    Bars scale linearly with the maximum value; negative values are
+    rejected (nothing in this package produces them).
+    """
+    if len(labels) != len(values):
+        raise ConfigurationError("labels and values must align")
+    if width < 4:
+        raise ConfigurationError("width must be at least 4")
+    if any(v < 0 for v in values):
+        raise ConfigurationError("bar charts require non-negative values")
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    if not values:
+        lines.append("(no data)")
+        return "\n".join(lines)
+
+    peak = max(values) or 1.0
+    label_width = max(len(str(l)) for l in labels)
+    for label, value in zip(labels, values):
+        bar = BAR_CHARACTER * max(
+            1 if value > 0 else 0, round(width * value / peak)
+        )
+        lines.append(
+            f"{str(label).rjust(label_width)} | {bar} {_format(value)}"
+        )
+    return "\n".join(lines)
+
+
+def table_chart(
+    table: Table,
+    value_column: str,
+    label_column: Optional[str] = None,
+    width: int = DEFAULT_WIDTH,
+) -> str:
+    """Chart one numeric column of a results table.
+
+    ``label_column`` defaults to the table's first column.
+    """
+    if value_column not in table.columns:
+        raise ConfigurationError(
+            f"unknown column {value_column!r}; table has {table.columns}"
+        )
+    label_column = label_column or table.columns[0]
+    rows = [
+        row
+        for row in table.rows
+        if isinstance(row.get(value_column), (int, float))
+    ]
+    labels = [str(row.get(label_column, "?")) for row in rows]
+    values = [float(row[value_column]) for row in rows]
+    return bar_chart(
+        labels, values, width=width,
+        title=f"{table.title} — {value_column}",
+    )
+
+
+def _format(value: float) -> str:
+    if value == int(value) and abs(value) < 1e9:
+        return str(int(value))
+    if abs(value) >= 1000 or (0 < abs(value) < 0.01):
+        return f"{value:.3g}"
+    return f"{value:.2f}"

@@ -1,0 +1,128 @@
+"""Measurement utilities for the figure-reproduction benchmarks."""
+
+from __future__ import annotations
+
+import os
+import statistics
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List
+
+from repro.errors import ConfigurationError
+
+#: Environment switch: set REPRO_BENCH_FULL=1 to run paper-scale
+#: workloads instead of the quick CI-sized defaults.
+FULL_SCALE_ENV = "REPRO_BENCH_FULL"
+
+
+def full_scale() -> bool:
+    """True when paper-scale benchmark workloads were requested."""
+    return os.environ.get(FULL_SCALE_ENV, "").strip() in ("1", "true", "yes")
+
+
+@dataclass
+class Measurement:
+    """Repeated timing of one callable."""
+
+    label: str
+    seconds: List[float]
+    result: Any = None
+
+    @property
+    def median(self) -> float:
+        return statistics.median(self.seconds)
+
+    @property
+    def best(self) -> float:
+        return min(self.seconds)
+
+    @property
+    def mean(self) -> float:
+        return statistics.fmean(self.seconds)
+
+
+def time_call(
+    fn: Callable[[], Any],
+    repeats: int = 3,
+    label: str = "",
+) -> Measurement:
+    """Call ``fn`` ``repeats`` times, keeping the last return value."""
+    if repeats <= 0:
+        raise ConfigurationError("repeats must be positive")
+    seconds: List[float] = []
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        seconds.append(time.perf_counter() - start)
+    return Measurement(label=label, seconds=seconds, result=result)
+
+
+@dataclass
+class Table:
+    """A paper-style results table: named columns, printable rows."""
+
+    title: str
+    columns: List[str]
+    rows: List[Dict[str, Any]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add_row(self, **values: Any) -> None:
+        """Append a row; unknown columns are rejected to catch typos."""
+        unknown = set(values) - set(self.columns)
+        if unknown:
+            raise ConfigurationError(f"unknown columns: {sorted(unknown)}")
+        self.rows.append(values)
+
+    def column(self, name: str) -> List[Any]:
+        """All values of one column, in row order."""
+        if name not in self.columns:
+            raise ConfigurationError(f"unknown column {name!r}")
+        return [row.get(name) for row in self.rows]
+
+    def render(self) -> str:
+        """Fixed-width text rendering (the benchmark stdout format)."""
+        cells: List[List[str]] = [[str(c) for c in self.columns]]
+        for row in self.rows:
+            cells.append([_fmt(row.get(c)) for c in self.columns])
+        widths = [
+            max(len(line[i]) for line in cells) for i in range(len(self.columns))
+        ]
+        lines = [f"== {self.title} =="]
+        for index, line in enumerate(cells):
+            lines.append(
+                "  ".join(value.rjust(widths[i]) for i, value in enumerate(line))
+            )
+            if index == 0:
+                lines.append("  ".join("-" * w for w in widths))
+        for note in self.notes:
+            lines.append(f"  note: {note}")
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()
+
+    def to_csv(self, path: str) -> None:
+        """Write the table as CSV (header row + one line per row)."""
+        import csv
+        import os
+
+        directory = os.path.dirname(os.path.abspath(path))
+        os.makedirs(directory, exist_ok=True)
+        with open(path, "w", encoding="utf-8", newline="") as handle:
+            writer = csv.DictWriter(handle, fieldnames=self.columns)
+            writer.writeheader()
+            for row in self.rows:
+                writer.writerow({c: row.get(c, "") for c in self.columns})
+
+
+def _fmt(value: Any) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.001:
+            return f"{value:.3g}"
+        return f"{value:.4g}"
+    return str(value)

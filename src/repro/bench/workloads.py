@@ -1,0 +1,83 @@
+"""Workload builders shared by the figure benchmarks.
+
+Each figure of Section 6 runs over a specific dataset slice; these
+helpers build them once (cached through the dataset registry) at either
+quick (default) or paper scale (``REPRO_BENCH_FULL=1``).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from repro.bench.harness import full_scale
+from repro.core.instance import RMGPInstance
+from repro.datasets.base import GeoSocialDataset
+from repro.datasets.registry import load_dataset, with_event_count
+from repro.graph.sampling import forest_fire_sample
+
+
+def gowalla_dataset(num_events: int = 128, seed: int = 0) -> GeoSocialDataset:
+    """The Gowalla-like dataset at benchmark scale.
+
+    Quick mode uses 2,500 users; full mode the paper's 12,748.
+    """
+    num_users = 12_748 if full_scale() else 2_500
+    return load_dataset(
+        "gowalla", num_users=num_users, num_events=num_events, seed=seed
+    )
+
+
+def foursquare_dataset(num_events: int = 1024, seed: int = 0) -> GeoSocialDataset:
+    """The Foursquare-like dataset at benchmark scale.
+
+    Quick mode uses 3,000 users; full mode 30,000 (the largest size that
+    keeps the full decentralized sweep in single-digit minutes in pure
+    Python; the paper's 2.15M-user snapshot parameters are documented in
+    :mod:`repro.datasets.foursquare`).
+    """
+    num_users = 30_000 if full_scale() else 3_000
+    return load_dataset(
+        "foursquare", num_users=num_users, num_events=num_events, seed=seed
+    )
+
+
+def small_uml_dataset(
+    num_users: int, num_events: int, seed: int = 0
+) -> GeoSocialDataset:
+    """Forest-Fire-downsized Gowalla slice for the UML comparisons.
+
+    Mirrors Section 6.1: "Since UML methods aim at small datasets, we
+    reduce the size of Gowalla through Forest Fire."
+    """
+    base = gowalla_dataset(num_events=128, seed=seed)
+    rng = random.Random(seed)
+    sampled = forest_fire_sample(base.graph, num_users, rng=rng)
+    dataset = GeoSocialDataset(
+        name=f"gowalla_ff(n={num_users}, seed={seed})",
+        graph=sampled,
+        checkins={u: base.checkins[u] for u in sampled.nodes()},
+        events=base.events,
+    )
+    return with_event_count(dataset, num_events, seed=seed)
+
+
+def instance_for(
+    dataset: GeoSocialDataset,
+    num_events: Optional[int] = None,
+    alpha: float = 0.5,
+    seed: int = 0,
+) -> RMGPInstance:
+    """RMGP instance over ``dataset`` with an optional event subset."""
+    if num_events is not None:
+        dataset = with_event_count(dataset, num_events, seed=seed)
+    return RMGPInstance(
+        dataset.graph, dataset.event_ids, dataset.cost_matrix(), alpha=alpha
+    )
+
+
+def event_sweep(full: Optional[List[int]] = None, quick: Optional[List[int]] = None) -> List[int]:
+    """The k-axis of a figure: paper values or a reduced quick sweep."""
+    full = full or [8, 16, 32, 64, 128]
+    quick = quick or [8, 16, 32]
+    return full if full_scale() else quick

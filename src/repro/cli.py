@@ -1,0 +1,257 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``solve``
+    Generate a dataset, run one RMGP query and print the outcome.
+``trace``
+    Print the paper's Table 1 best-response trace.
+``figure``
+    Regenerate one of the paper's evaluation figures as a text table.
+``dataset``
+    Generate a synthetic dataset, print its statistics, and optionally
+    write the edge list / check-ins to disk.
+``distributed``
+    Run the decentralized game against fetch-and-execute once.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro import __version__
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The full argparse tree (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="RMGP: real-time multi-criteria social graph partitioning",
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    solve = commands.add_parser("solve", help="run one RMGP query")
+    _add_dataset_arguments(solve)
+    solve.add_argument(
+        "--method",
+        default="all",
+        choices=["baseline", "se", "is", "gt", "all"],
+        help="algorithm variant (default: all)",
+    )
+    solve.add_argument("--alpha", type=float, default=0.5)
+    solve.add_argument(
+        "--normalize",
+        default="pessimistic",
+        choices=["none", "optimistic", "pessimistic"],
+    )
+    solve.add_argument("--top", type=int, default=5,
+                       help="show the N most popular classes")
+
+    trace = commands.add_parser("trace", help="print the Table 1 trace")
+    trace.add_argument("--init", default="closest", choices=["closest", "random"])
+
+    figure = commands.add_parser("figure", help="regenerate a paper figure")
+    figure.add_argument(
+        "name",
+        choices=[
+            "table1", "fig7", "fig8", "fig9", "fig10", "fig11",
+            "fig12a", "fig12b", "fig12c", "fig13", "fig14",
+        ],
+    )
+    figure.add_argument("--seed", type=int, default=0)
+    figure.add_argument(
+        "--chart",
+        metavar="COLUMN",
+        help="also render COLUMN as an ASCII bar chart",
+    )
+
+    dataset = commands.add_parser("dataset", help="generate a dataset")
+    _add_dataset_arguments(dataset)
+    dataset.add_argument("--edges-out", help="write the edge list here")
+    dataset.add_argument("--checkins-out", help="write the check-ins here")
+
+    distributed = commands.add_parser(
+        "distributed", help="run DG vs FaE on a simulated cluster"
+    )
+    _add_dataset_arguments(distributed)
+    distributed.add_argument("--slaves", type=int, default=2)
+    distributed.add_argument(
+        "--protocol", default="relayed", choices=["relayed", "peer"]
+    )
+
+    stream = commands.add_parser(
+        "stream", help="simulate the online (hourly) recommendation loop"
+    )
+    _add_dataset_arguments(stream)
+    stream.add_argument("--epochs", type=int, default=5)
+    stream.add_argument("--checkins-per-epoch", type=int, default=25)
+    stream.add_argument("--movement-km", type=float, default=25.0)
+    return parser
+
+
+def _add_dataset_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--dataset", default="gowalla", choices=["gowalla", "foursquare"]
+    )
+    parser.add_argument("--users", type=int, default=1000)
+    parser.add_argument("--events", type=int, default=32)
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    arguments = build_parser().parse_args(argv)
+    handler = {
+        "solve": _run_solve,
+        "trace": _run_trace,
+        "figure": _run_figure,
+        "dataset": _run_dataset,
+        "distributed": _run_distributed,
+        "stream": _run_stream,
+    }[arguments.command]
+    return handler(arguments)
+
+
+# ----------------------------------------------------------------------
+def _load(arguments):
+    from repro.datasets import load_dataset
+
+    return load_dataset(
+        arguments.dataset,
+        num_users=arguments.users,
+        num_events=arguments.events,
+        seed=arguments.seed,
+    )
+
+
+def _run_solve(arguments) -> int:
+    from repro.core import RMGPGame
+
+    data = _load(arguments)
+    print(f"dataset: {data.stats()}")
+    game = RMGPGame(
+        data.graph, data.event_ids, data.cost_matrix(), alpha=arguments.alpha
+    )
+    normalize = None if arguments.normalize == "none" else arguments.normalize
+    result = game.solve(
+        method=arguments.method, normalize_method=normalize, seed=arguments.seed
+    )
+    print(result.summary())
+    if game.normalization is not None:
+        print(f"normalization: {game.normalization}")
+    print(f"equilibrium: {game.verify(result)}")
+    popularity: dict = {}
+    for label in result.labels.values():
+        popularity[label] = popularity.get(label, 0) + 1
+    top = sorted(popularity.items(), key=lambda kv: -kv[1])[: arguments.top]
+    print("most popular classes:")
+    for label, count in top:
+        print(f"  class {label}: {count} users")
+    return 0
+
+
+def _run_trace(arguments) -> int:
+    from repro.bench.fig_table1 import run_table1
+
+    print(run_table1(init=arguments.init))
+    return 0
+
+
+def _run_figure(arguments) -> int:
+    from repro import bench
+
+    runners = {
+        "table1": bench.run_table1,
+        "fig7": bench.run_fig7,
+        "fig8": bench.run_fig8,
+        "fig9": bench.run_fig9,
+        "fig10": bench.run_fig10,
+        "fig11": bench.run_fig11,
+        "fig12a": bench.run_fig12_vs_k,
+        "fig12b": bench.run_fig12_vs_alpha,
+        "fig12c": bench.run_fig12_per_round,
+        "fig13": bench.run_fig13,
+        "fig14": bench.run_fig14,
+    }
+    runner = runners[arguments.name]
+    table = runner() if arguments.name == "table1" else runner(seed=arguments.seed)
+    print(table)
+    if getattr(arguments, "chart", None):
+        from repro.bench.ascii import table_chart
+
+        print()
+        print(table_chart(table, arguments.chart))
+    return 0
+
+
+def _run_dataset(arguments) -> int:
+    from repro.graph import write_checkins, write_edge_list
+
+    data = _load(arguments)
+    print(f"{data.name}: {data.stats()}")
+    print(f"events: {len(data.events)}")
+    if arguments.edges_out:
+        write_edge_list(data.graph, arguments.edges_out)
+        print(f"edge list written to {arguments.edges_out}")
+    if arguments.checkins_out:
+        write_checkins(data.checkins, arguments.checkins_out)
+        print(f"check-ins written to {arguments.checkins_out}")
+    return 0
+
+
+def _run_distributed(arguments) -> int:
+    from repro.distributed import DGQuery, build_cluster, hash_partition, run_fae
+
+    data = _load(arguments)
+    print(f"dataset: {data.stats()}")
+    shards = hash_partition(data.graph.nodes(), arguments.slaves)
+    query = DGQuery(events=data.events, alpha=0.5, seed=arguments.seed)
+    cluster = build_cluster(
+        data, num_slaves=arguments.slaves, shards=shards,
+        protocol=arguments.protocol,
+    )
+    dg = cluster.game.run(query)
+    print(
+        f"DG[{arguments.protocol}]: rounds={dg.num_rounds} "
+        f"time={dg.total_seconds:.3f}s bytes={dg.total_bytes:,} "
+        f"messages={dg.total_messages}"
+    )
+    fae = run_fae(data.graph, data.checkins, shards, query, seed=arguments.seed)
+    print(
+        f"FaE: transfer={fae.transfer_seconds:.3f}s "
+        f"({fae.transfer_bytes:,} bytes) "
+        f"execution={fae.execution_seconds:.3f}s total={fae.total_seconds:.3f}s"
+    )
+    return 0
+
+
+def _run_stream(arguments) -> int:
+    from repro.apps import StreamingRecommender, simulate_stream
+
+    data = _load(arguments)
+    print(f"dataset: {data.stats()}")
+    recommender = StreamingRecommender(
+        data.graph, data.checkins, data.events, seed=arguments.seed
+    )
+    history = simulate_stream(
+        recommender,
+        epochs=arguments.epochs,
+        checkins_per_epoch=arguments.checkins_per_epoch,
+        movement_km=arguments.movement_km,
+        seed=arguments.seed,
+    )
+    print("epoch  checkins  deviations  rounds  reassigned  objective")
+    for stats in history:
+        print(
+            f"{stats.epoch:5d}  {stats.checkins_ingested:8d}  "
+            f"{stats.deviations:10d}  {stats.rounds:6d}  "
+            f"{stats.users_reassigned:10d}  {stats.objective_total:9.1f}"
+        )
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

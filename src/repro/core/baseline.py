@@ -1,0 +1,139 @@
+"""RMGP_b — the baseline best-response algorithm (Figure 3).
+
+Each round sweeps every player and replaces his strategy with the class
+minimizing his Equation 3 cost against the *current* strategies of all
+other players; the algorithm stops at the first round with no deviation,
+which by Theorem 1 is a pure Nash equilibrium.
+
+The two heuristics evaluated in Section 6.3 are exposed as parameters:
+``init="closest"`` is the ``+i`` variant and ``order="degree"`` adds the
+``+o`` variant.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core import dynamics
+from repro.core.instance import RMGPInstance
+from repro.core.objective import player_strategy_costs, potential
+from repro.core.result import PartitionResult, RoundStats, make_result
+
+
+def solve_baseline(
+    instance: RMGPInstance,
+    init: str = "random",
+    order: str = "random",
+    seed: Optional[int] = None,
+    warm_start: Optional[np.ndarray] = None,
+    max_rounds: int = dynamics.DEFAULT_MAX_ROUNDS,
+    reshuffle_each_round: bool = False,
+    track_potential: bool = False,
+    solver_name: Optional[str] = None,
+) -> PartitionResult:
+    """Run RMGP_b on ``instance``.
+
+    Parameters
+    ----------
+    init:
+        ``"random"`` (Figure 3 line 2) or ``"closest"`` (minimum
+        assignment cost, the ``+i`` heuristic).
+    order:
+        Player sweep order per round: ``"random"``, ``"given"`` or
+        ``"degree"`` (the ``+o`` heuristic).
+    seed:
+        Seeds both initialization and ordering randomness.
+    warm_start:
+        Previous solution used as the seed assignment (overrides
+        ``init``), supporting the paper's repeated-execution scenario.
+    reshuffle_each_round:
+        When ``order="random"``, draw a fresh permutation every round
+        instead of reusing the first one.
+    track_potential:
+        Record ``Φ(S)`` after every round (used by analysis and tests;
+        costs one extra objective evaluation per round).
+
+    Returns
+    -------
+    PartitionResult
+        With one :class:`RoundStats` for initialization (round 0) and one
+        per best-response round.
+    """
+    rng = random.Random(seed)
+    clock = dynamics.RoundClock()
+
+    assignment = dynamics.initial_assignment(instance, init, rng, warm_start)
+    sweep = dynamics.player_order(instance, order, rng)
+    rounds: List[RoundStats] = [
+        RoundStats(
+            round_index=0,
+            deviations=0,
+            seconds=clock.lap(),
+            potential=potential(instance, assignment) if track_potential else None,
+        )
+    ]
+
+    name = solver_name or _variant_name(init, order)
+    converged = False
+    round_index = 0
+    while not converged:
+        round_index += 1
+        dynamics.check_round_budget(round_index, max_rounds, name)
+        if reshuffle_each_round and order == "random":
+            sweep = dynamics.player_order(instance, order, rng)
+        deviations = _best_response_round(instance, assignment, sweep)
+        rounds.append(
+            RoundStats(
+                round_index=round_index,
+                deviations=deviations,
+                seconds=clock.lap(),
+                potential=(
+                    potential(instance, assignment) if track_potential else None
+                ),
+                players_examined=instance.n,
+            )
+        )
+        converged = deviations == 0
+
+    return make_result(
+        solver=name,
+        instance=instance,
+        assignment=assignment,
+        rounds=rounds,
+        converged=True,
+        wall_seconds=clock.total(),
+        extra={"init": init, "order": order},
+    )
+
+
+def _best_response_round(
+    instance: RMGPInstance, assignment: np.ndarray, sweep: List[int]
+) -> int:
+    """One full round of Figure 3 lines 5-13; returns deviation count.
+
+    Mutates ``assignment`` in place so later players in the sweep see the
+    up-to-date strategies of earlier ones (sequential best response).
+    """
+    deviations = 0
+    tol = dynamics.DEVIATION_TOLERANCE
+    for player in sweep:
+        costs = player_strategy_costs(instance, assignment, player)
+        current = int(assignment[player])
+        best = int(costs.argmin())
+        if best != current and costs[best] < costs[current] - tol:
+            assignment[player] = best
+            deviations += 1
+    return deviations
+
+
+def _variant_name(init: str, order: str) -> str:
+    """Paper-style variant name: RMGP_b, RMGP_b+i, RMGP_b+i+o."""
+    name = "RMGP_b"
+    if init == "closest":
+        name += "+i"
+    if order == "degree":
+        name += "+o"
+    return name

@@ -1,0 +1,248 @@
+"""Capacity-constrained RMGP — events with limited seats.
+
+The paper's related work points at LAGP "assuming that events have
+minimum and maximum participation constraints" (Section 2.1, [16]) and
+leaves the combination with the game-theoretic framework open.  This
+module adds both sides: *maximum* capacities inside the dynamics
+(:func:`solve_capacitated`) and *minimum* participation via the
+cancel-and-resolve loop of :func:`solve_with_minimums`.  The maximum
+side works as follows:
+
+* A class ``p`` with capacity ``cap_p`` can hold at most that many
+  players; a player may deviate to ``p`` only while it has a free seat
+  (or by improving within his current class).
+* Every permitted deviation still strictly decreases the exact potential
+  ``Φ`` — capacities only *restrict* the move set, they never create new
+  moves — so best-response dynamics still terminate, now at a
+  *capacitated equilibrium*: no player can improve by moving to a class
+  with spare capacity.
+
+Note the solution concept is weaker than an unconstrained Nash
+equilibrium: profitable *swaps* between two players in full classes are
+not explored (doing so is a different game).  :func:`capacity_violations`
+and the equilibrium check below make the guarantee testable.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core import dynamics
+from repro.core.instance import RMGPInstance
+from repro.core.objective import player_strategy_costs
+from repro.core.result import PartitionResult, RoundStats, make_result
+from repro.errors import ConfigurationError
+
+
+def validate_capacities(
+    instance: RMGPInstance, capacities: Sequence[int]
+) -> np.ndarray:
+    """Check shape and total feasibility; returns an int array."""
+    caps = np.asarray(list(capacities), dtype=np.int64)
+    if caps.shape != (instance.k,):
+        raise ConfigurationError(
+            f"need one capacity per class ({instance.k}), got {caps.shape}"
+        )
+    if (caps < 0).any():
+        raise ConfigurationError("capacities must be non-negative")
+    if caps.sum() < instance.n:
+        raise ConfigurationError(
+            f"total capacity {int(caps.sum())} cannot seat {instance.n} players"
+        )
+    return caps
+
+
+def feasible_initial_assignment(
+    instance: RMGPInstance,
+    capacities: np.ndarray,
+    rng: random.Random,
+    init: str = "closest",
+) -> np.ndarray:
+    """Feasible start: players claim cheap seats greedily.
+
+    With ``init="closest"`` players are processed in random order and
+    take the cheapest class with a free seat; ``init="random"`` takes a
+    random free class.
+    """
+    assignment = np.full(instance.n, -1, dtype=np.int64)
+    load = np.zeros(instance.k, dtype=np.int64)
+    order = list(range(instance.n))
+    rng.shuffle(order)
+    for player in order:
+        if init == "closest":
+            row = instance.cost.row(player)
+            for klass in np.argsort(row, kind="stable"):
+                if load[klass] < capacities[klass]:
+                    assignment[player] = int(klass)
+                    load[klass] += 1
+                    break
+        else:
+            free = np.flatnonzero(load < capacities)
+            klass = int(free[rng.randrange(len(free))])
+            assignment[player] = klass
+            load[klass] += 1
+    return assignment
+
+
+def solve_capacitated(
+    instance: RMGPInstance,
+    capacities: Sequence[int],
+    init: str = "closest",
+    order: str = "degree",
+    seed: Optional[int] = None,
+    max_rounds: int = dynamics.DEFAULT_MAX_ROUNDS,
+) -> PartitionResult:
+    """Best-response dynamics under per-class maximum capacities."""
+    caps = validate_capacities(instance, capacities)
+    rng = random.Random(seed)
+    clock = dynamics.RoundClock()
+
+    assignment = feasible_initial_assignment(instance, caps, rng, init)
+    load = np.bincount(assignment, minlength=instance.k)
+    sweep = dynamics.player_order(instance, order, rng)
+    rounds: List[RoundStats] = [RoundStats(0, 0, clock.lap())]
+
+    tol = dynamics.DEVIATION_TOLERANCE
+    converged = False
+    round_index = 0
+    while not converged:
+        round_index += 1
+        dynamics.check_round_budget(round_index, max_rounds, "RMGP_cap")
+        deviations = 0
+        for player in sweep:
+            costs = player_strategy_costs(instance, assignment, player)
+            current = int(assignment[player])
+            # Only classes with a free seat (or the current one) are open.
+            open_classes = (load < caps) | (
+                np.arange(instance.k) == current
+            )
+            costs[~open_classes] = np.inf
+            best = int(costs.argmin())
+            if best != current and costs[best] < costs[current] - tol:
+                assignment[player] = best
+                load[current] -= 1
+                load[best] += 1
+                deviations += 1
+        rounds.append(
+            RoundStats(
+                round_index=round_index,
+                deviations=deviations,
+                seconds=clock.lap(),
+                players_examined=instance.n,
+            )
+        )
+        converged = deviations == 0
+
+    return make_result(
+        solver="RMGP_cap",
+        instance=instance,
+        assignment=assignment,
+        rounds=rounds,
+        converged=True,
+        wall_seconds=clock.total(),
+        extra={
+            "capacities": caps.tolist(),
+            "loads": np.bincount(assignment, minlength=instance.k).tolist(),
+        },
+    )
+
+
+def solve_with_minimums(
+    instance: RMGPInstance,
+    min_participants: int,
+    capacities: Optional[Sequence[int]] = None,
+    init: str = "closest",
+    order: str = "degree",
+    seed: Optional[int] = None,
+) -> PartitionResult:
+    """RMGP with *minimum* participation: undersubscribed events cancel.
+
+    The related work the paper cites ([16], Section 2.1) studies LAGP
+    where "events that cannot reach the minimum number of participants
+    are canceled".  This solver composes that semantics with the game:
+
+    1. solve (optionally under maximum ``capacities``),
+    2. cancel the non-empty class with the fewest attendees if it has
+       fewer than ``min_participants``,
+    3. re-solve over the surviving classes, and repeat.
+
+    Terminates after at most ``k − 1`` cancellations.  The result's
+    assignment is over the *original* class indices; canceled classes end
+    up empty, and ``extra["canceled"]`` lists them in cancellation order.
+    """
+    if min_participants < 0:
+        raise ConfigurationError("min_participants must be non-negative")
+    if capacities is not None:
+        caps = validate_capacities(instance, capacities)
+    else:
+        caps = np.full(instance.k, instance.n, dtype=np.int64)
+
+    active = np.ones(instance.k, dtype=bool)
+    canceled: List[int] = []
+    rounds_total = 0
+    clock_rng_seed = seed
+    while True:
+        effective = caps.copy()
+        effective[~active] = 0
+        if int(effective.sum()) < instance.n:
+            raise ConfigurationError(
+                "cancellations left too few seats for the players; "
+                "lower min_participants or raise capacities"
+            )
+        result = solve_capacitated(
+            instance, effective, init=init, order=order, seed=clock_rng_seed
+        )
+        rounds_total += result.num_rounds
+        loads = np.bincount(result.assignment, minlength=instance.k)
+        under = [
+            klass
+            for klass in range(instance.k)
+            if active[klass] and 0 < loads[klass] < min_participants
+        ]
+        if not under:
+            result.extra["canceled"] = canceled
+            result.extra["rounds_total"] = rounds_total
+            result.solver = "RMGP_minpart"
+            return result
+        # Cancel the weakest event first, as organizers would.
+        weakest = min(under, key=lambda klass: loads[klass])
+        active[weakest] = False
+        canceled.append(weakest)
+
+
+def capacity_violations(
+    assignment: np.ndarray, capacities: Sequence[int]
+) -> Dict[int, int]:
+    """Overloaded classes: class index -> players above capacity."""
+    caps = np.asarray(list(capacities), dtype=np.int64)
+    load = np.bincount(np.asarray(assignment), minlength=len(caps))
+    return {
+        int(klass): int(load[klass] - caps[klass])
+        for klass in range(len(caps))
+        if load[klass] > caps[klass]
+    }
+
+
+def is_capacitated_equilibrium(
+    instance: RMGPInstance,
+    assignment: np.ndarray,
+    capacities: Sequence[int],
+    tolerance: float = 1e-9,
+) -> bool:
+    """No player can improve by moving to a class with a free seat."""
+    caps = validate_capacities(instance, capacities)
+    assignment = np.asarray(assignment)
+    load = np.bincount(assignment, minlength=instance.k)
+    if capacity_violations(assignment, caps):
+        return False
+    for player in range(instance.n):
+        costs = player_strategy_costs(instance, assignment, player)
+        current = int(assignment[player])
+        open_classes = (load < caps) | (np.arange(instance.k) == current)
+        costs[~open_classes] = np.inf
+        if costs.min() < costs[current] - tolerance:
+            return False
+    return True

@@ -1,0 +1,120 @@
+"""Shared machinery for best-response dynamics (Figure 2).
+
+Every RMGP variant follows the same skeleton: pick an initial strategy
+profile, then sweep the players in rounds, replacing each player's
+strategy by his best response, until a full round produces no deviation.
+This module centralizes the two knobs the paper evaluates in Section 6.3:
+
+* **Initialization** (Figure 3 line 2): ``"random"`` or ``"closest"``
+  (minimum assignment cost — "the closest event"), or warm-starting from
+  a previous solution ("the solution of the last execution can be used as
+  the seed of the next one", Section 3.1).
+* **Player ordering** (Figure 3 line 5): ``"random"``, ``"given"``
+  (insertion order), or ``"degree"`` — decreasing degree, so "strategy
+  changes of highly connected users (community leaders) will propagate
+  fast" (Section 3.1).
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.instance import RMGPInstance
+from repro.errors import ConfigurationError, ConvergenceError
+
+#: Safety valve for the round loop.  Lemma 2 bounds rounds by
+#: ``max{C*, W*}``, which is finite but instance-dependent; this default is
+#: far above anything observed in practice (the paper reports 5-17 rounds).
+DEFAULT_MAX_ROUNDS = 10_000
+
+#: Minimum strict improvement for a deviation; guards against
+#: floating-point jitter breaking termination.
+DEVIATION_TOLERANCE = 1e-12
+
+INIT_METHODS = ("random", "closest")
+ORDER_METHODS = ("random", "given", "degree")
+
+
+def initial_assignment(
+    instance: RMGPInstance,
+    method: str = "random",
+    rng: Optional[random.Random] = None,
+    warm_start: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Build the initial strategy vector.
+
+    ``warm_start`` (a previous solve's assignment) overrides ``method``.
+    """
+    if warm_start is not None:
+        instance.validate_assignment(warm_start)
+        return np.asarray(warm_start, dtype=np.int64).copy()
+    if method == "random":
+        rng = rng or random.Random()
+        return np.fromiter(
+            (rng.randrange(instance.k) for _ in range(instance.n)),
+            dtype=np.int64,
+            count=instance.n,
+        )
+    if method == "closest":
+        assignment = np.empty(instance.n, dtype=np.int64)
+        for player in range(instance.n):
+            assignment[player] = int(instance.cost.row(player).argmin())
+        return assignment
+    raise ConfigurationError(
+        f"unknown init method {method!r}; expected one of {INIT_METHODS}"
+    )
+
+
+def player_order(
+    instance: RMGPInstance,
+    method: str = "random",
+    rng: Optional[random.Random] = None,
+) -> List[int]:
+    """Order in which a round examines players."""
+    players = list(range(instance.n))
+    if method == "given":
+        return players
+    if method == "random":
+        rng = rng or random.Random()
+        rng.shuffle(players)
+        return players
+    if method == "degree":
+        degrees = instance.degrees()
+        players.sort(key=lambda v: (-degrees[v], v))
+        return players
+    raise ConfigurationError(
+        f"unknown order method {method!r}; expected one of {ORDER_METHODS}"
+    )
+
+
+class RoundClock:
+    """Tiny helper timing each round with ``time.perf_counter``."""
+
+    def __init__(self) -> None:
+        self._start = time.perf_counter()
+        self._last = self._start
+
+    def lap(self) -> float:
+        """Seconds since the previous lap (or construction)."""
+        now = time.perf_counter()
+        elapsed = now - self._last
+        self._last = now
+        return elapsed
+
+    def total(self) -> float:
+        """Seconds since construction."""
+        return time.perf_counter() - self._start
+
+
+def check_round_budget(round_index: int, max_rounds: int, solver: str) -> None:
+    """Raise :class:`ConvergenceError` when the budget is exhausted."""
+    if round_index > max_rounds:
+        raise ConvergenceError(
+            f"{solver} exceeded {max_rounds} rounds without reaching an "
+            "equilibrium; this should be impossible for a correct exact "
+            "potential game — check that costs are static across rounds"
+        )

@@ -1,0 +1,124 @@
+"""RMGP_gt — scheduling with a global table (Section 4.3, Figure 5).
+
+A ``|V| x k`` table holds, for every player, the current total cost of
+every strategy.  A boolean *happiness* flag marks players whose current
+strategy is already their best response; rounds only examine unhappy
+players.  When a player deviates he notifies his friends: exactly two of
+each friend's table entries change (the old and new class), after which
+the friend's happiness is re-evaluated.  The per-round cost therefore
+shrinks as the game approaches equilibrium (Figure 12(c)).
+
+The trade-off is O(|V|·k) memory; combined with strategy elimination the
+table can be restricted to each player's reduced strategy space, which is
+what :mod:`repro.core.combined` does.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core import dynamics
+from repro.core.instance import RMGPInstance
+from repro.core.result import PartitionResult, RoundStats, make_result
+
+
+def build_global_table(
+    instance: RMGPInstance, assignment: np.ndarray
+) -> np.ndarray:
+    """The ``|V| x k`` table ``GT[v][p] = C_v(p, π_v)`` (Figure 5 lines 3-5)."""
+    table = np.empty((instance.n, instance.k), dtype=np.float64)
+    alpha = instance.alpha
+    for player in range(instance.n):
+        row = alpha * instance.cost.row(player)
+        row += instance.max_social_cost[player]
+        idx = instance.neighbor_indices[player]
+        if idx.size:
+            refund = (1.0 - alpha) * 0.5 * instance.neighbor_weights[player]
+            np.subtract.at(row, assignment[idx], refund)
+        table[player] = row
+    return table
+
+
+def happiness(table: np.ndarray, assignment: np.ndarray) -> np.ndarray:
+    """Boolean flags: player's current strategy is within tolerance of best."""
+    n = table.shape[0]
+    current = table[np.arange(n), assignment]
+    return current <= table.min(axis=1) + dynamics.DEVIATION_TOLERANCE
+
+
+def solve_global_table(
+    instance: RMGPInstance,
+    init: str = "closest",
+    order: str = "degree",
+    seed: Optional[int] = None,
+    warm_start: Optional[np.ndarray] = None,
+    max_rounds: int = dynamics.DEFAULT_MAX_ROUNDS,
+) -> PartitionResult:
+    """Run RMGP_gt on ``instance`` (Figure 5)."""
+    rng = random.Random(seed)
+    clock = dynamics.RoundClock()
+
+    assignment = dynamics.initial_assignment(instance, init, rng, warm_start)
+    sweep = dynamics.player_order(instance, order, rng)
+    table = build_global_table(instance, assignment)
+    happy = happiness(table, assignment)
+
+    rounds: List[RoundStats] = [
+        RoundStats(round_index=0, deviations=0, seconds=clock.lap())
+    ]
+
+    half = (1.0 - instance.alpha) * 0.5
+    tol = dynamics.DEVIATION_TOLERANCE
+    converged = False
+    round_index = 0
+    while not converged:
+        round_index += 1
+        dynamics.check_round_budget(round_index, max_rounds, "RMGP_gt")
+        deviations = 0
+        examined = 0
+        for player in sweep:
+            if happy[player]:
+                continue
+            examined += 1
+            current = int(assignment[player])
+            best = int(table[player].argmin())
+            if table[player, best] >= table[player, current] - tol:
+                happy[player] = True
+                continue
+            # Deviate and notify friends (Figure 5 lines 10-15).
+            assignment[player] = best
+            happy[player] = True
+            deviations += 1
+            idx = instance.neighbor_indices[player]
+            wts = instance.neighbor_weights[player]
+            for friend, weight in zip(idx, wts):
+                delta = half * weight
+                table[friend, best] -= delta
+                table[friend, current] += delta
+                friend_class = int(assignment[friend])
+                happy[friend] = (
+                    table[friend, friend_class]
+                    <= table[friend].min() + tol
+                )
+        rounds.append(
+            RoundStats(
+                round_index=round_index,
+                deviations=deviations,
+                seconds=clock.lap(),
+                players_examined=examined,
+            )
+        )
+        converged = deviations == 0
+
+    return make_result(
+        solver="RMGP_gt",
+        instance=instance,
+        assignment=assignment,
+        rounds=rounds,
+        converged=True,
+        wall_seconds=clock.total(),
+        extra={"table_bytes": table.nbytes},
+    )

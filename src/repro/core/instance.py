@@ -1,0 +1,179 @@
+"""RMGP problem instances: graph + classes + costs + preference parameter.
+
+An :class:`RMGPInstance` freezes one query — the induced social graph, the
+query-time class set ``P``, the assignment-cost provider, and ``α`` — into
+index space: players are ``0..n-1`` and classes ``0..k-1``, with
+numpy-backed adjacency so that every solver round runs in
+``O(k·|V| + |E|)`` vectorized work (Lemma 1).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Hashable, List, Sequence
+
+import numpy as np
+
+from repro.core.costs import CostProvider, as_cost_provider
+from repro.errors import ConfigurationError
+from repro.graph.social_graph import NodeId, SocialGraph
+
+
+class RMGPInstance:
+    """One RMGP query over a social graph.
+
+    Parameters
+    ----------
+    graph:
+        The (already query-restricted) social graph.  For area-of-interest
+        queries pass ``graph.subgraph(relevant_users)``.
+    classes:
+        The query-time class labels ``P`` (events, advertisements, ...).
+    cost:
+        Assignment costs: an ``n x k`` matrix aligned with
+        ``graph.nodes()`` order, a :class:`~repro.core.costs.CostProvider`,
+        or a callable ``row(player_index) -> length-k sequence``.
+    alpha:
+        Preference parameter ``α ∈ (0, 1)`` weighting assignment versus
+        social cost (Equation 1).
+
+    Attributes
+    ----------
+    node_ids:
+        Player index -> original user id.
+    neighbor_indices / neighbor_weights:
+        Per player, numpy arrays of friend indices and edge weights —
+        the index-space ``adj(v)``.
+    """
+
+    def __init__(
+        self,
+        graph: SocialGraph,
+        classes: Sequence[Hashable],
+        cost: "np.ndarray | CostProvider | Callable[[int], Sequence[float]]",
+        alpha: float = 0.5,
+    ) -> None:
+        if not 0.0 < alpha < 1.0:
+            raise ConfigurationError(f"alpha must be in (0, 1), got {alpha}")
+        classes = list(classes)
+        if not classes:
+            raise ConfigurationError("the class set P must be non-empty")
+        if len(set(map(repr, classes))) != len(classes):
+            raise ConfigurationError("class labels must be distinct")
+
+        self.graph = graph
+        self.classes = classes
+        self.alpha = float(alpha)
+        self.node_ids: List[NodeId] = graph.nodes()
+        self.index_of: Dict[NodeId, int] = {
+            node: i for i, node in enumerate(self.node_ids)
+        }
+
+        self.cost = as_cost_provider(
+            cost, num_players=len(self.node_ids), num_classes=len(classes)
+        )
+        if self.cost.num_players != len(self.node_ids):
+            raise ConfigurationError(
+                f"cost has {self.cost.num_players} players, graph has {len(self.node_ids)}"
+            )
+        if self.cost.num_classes != len(classes):
+            raise ConfigurationError(
+                f"cost has {self.cost.num_classes} classes, P has {len(classes)}"
+            )
+
+        self.neighbor_indices: List[np.ndarray] = []
+        self.neighbor_weights: List[np.ndarray] = []
+        for node in self.node_ids:
+            neighbors = graph.neighbors(node)
+            idx = np.fromiter(
+                (self.index_of[f] for f in neighbors), dtype=np.int64,
+                count=len(neighbors),
+            )
+            wts = np.fromiter(
+                neighbors.values(), dtype=np.float64, count=len(neighbors)
+            )
+            self.neighbor_indices.append(idx)
+            self.neighbor_weights.append(wts)
+
+        # max social cost per player: (1 - α) · Σ_f ½·w(v, f), the
+        # "all friends elsewhere" ceiling of Figure 3 line 3.
+        self._half_strength = np.array(
+            [0.5 * wts.sum() for wts in self.neighbor_weights], dtype=np.float64
+        )
+        self.max_social_cost = (1.0 - self.alpha) * self._half_strength
+
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        """Number of players, |V|."""
+        return len(self.node_ids)
+
+    @property
+    def k(self) -> int:
+        """Number of classes, |P|."""
+        return len(self.classes)
+
+    @property
+    def half_strength(self) -> np.ndarray:
+        """``W_v = Σ_f ½·w(v, f)`` per player (Section 4.1)."""
+        return self._half_strength
+
+    def degrees(self) -> np.ndarray:
+        """Degree of each player, index-aligned."""
+        return np.array([len(idx) for idx in self.neighbor_indices], dtype=np.int64)
+
+    def with_cost(self, cost: CostProvider) -> "RMGPInstance":
+        """Clone this instance with a different cost provider.
+
+        Used by normalization, which rescales assignment costs while the
+        graph, classes and ``α`` stay fixed.
+        """
+        return RMGPInstance(self.graph, self.classes, cost, self.alpha)
+
+    def with_alpha(self, alpha: float) -> "RMGPInstance":
+        """Clone this instance with a different preference parameter."""
+        return RMGPInstance(self.graph, self.classes, self.cost, alpha)
+
+    # ------------------------------------------------------------------
+    def assignment_to_labels(
+        self, assignment: np.ndarray
+    ) -> Dict[NodeId, Hashable]:
+        """Convert an index-space assignment to ``user id -> class label``."""
+        self.validate_assignment(assignment)
+        return {
+            self.node_ids[i]: self.classes[assignment[i]] for i in range(self.n)
+        }
+
+    def labels_to_assignment(
+        self, labels: Dict[NodeId, Hashable]
+    ) -> np.ndarray:
+        """Convert ``user id -> class label`` to an index-space vector."""
+        class_index = {repr(c): j for j, c in enumerate(self.classes)}
+        assignment = np.empty(self.n, dtype=np.int64)
+        for node, label in labels.items():
+            if node not in self.index_of:
+                raise ConfigurationError(f"unknown user {node!r}")
+            key = repr(label)
+            if key not in class_index:
+                raise ConfigurationError(f"unknown class {label!r}")
+            assignment[self.index_of[node]] = class_index[key]
+        if len(labels) != self.n:
+            raise ConfigurationError(
+                f"labels cover {len(labels)} of {self.n} players"
+            )
+        return assignment
+
+    def validate_assignment(self, assignment: np.ndarray) -> None:
+        """Raise unless ``assignment`` is a complete, in-range strategy vector."""
+        assignment = np.asarray(assignment)
+        if assignment.shape != (self.n,):
+            raise ConfigurationError(
+                f"assignment has shape {assignment.shape}, expected ({self.n},)"
+            )
+        if self.n and (assignment.min() < 0 or assignment.max() >= self.k):
+            raise ConfigurationError("assignment contains out-of-range classes")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"RMGPInstance(n={self.n}, k={self.k}, alpha={self.alpha}, "
+            f"|E|={self.graph.num_edges})"
+        )

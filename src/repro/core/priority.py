@@ -1,0 +1,122 @@
+"""RMGP_mg — max-gain (best-improvement) best-response dynamics.
+
+The round-robin schedule of Figure 3 is one point in a design space;
+another classic is *best-improvement* dynamics: always let the player
+with the **largest available cost reduction** move next.  For exact
+potential games this converges for the same reason (every move decreases
+``Φ`` by the mover's gain), and each move takes the largest step
+available, which often reduces the number of *moves* at the price of
+maintaining a priority structure.
+
+The implementation keeps the global table of RMGP_gt plus a max-heap of
+per-player gains with lazy invalidation; it is included as an ablation
+point (moves vs. wall time against the paper's schedules), not as a
+replacement for them.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core import dynamics
+from repro.core.global_table import build_global_table
+from repro.core.instance import RMGPInstance
+from repro.core.result import PartitionResult, RoundStats, make_result
+from repro.errors import ConvergenceError
+
+
+def solve_max_gain(
+    instance: RMGPInstance,
+    init: str = "closest",
+    seed: Optional[int] = None,
+    warm_start: Optional[np.ndarray] = None,
+    max_moves: Optional[int] = None,
+) -> PartitionResult:
+    """Run max-gain dynamics to a pure Nash equilibrium.
+
+    ``max_moves`` bounds the total number of deviations (default
+    ``n * k * 1000``, a generous multiple of anything observed); the
+    result records every move in one round entry per *batch* of 1000
+    moves so the usual round accounting stays meaningful.
+    """
+    rng = random.Random(seed)
+    clock = dynamics.RoundClock()
+
+    assignment = dynamics.initial_assignment(instance, init, rng, warm_start)
+    table = build_global_table(instance, assignment)
+    if max_moves is None:
+        max_moves = max(1000, instance.n * instance.k * 1000)
+
+    tol = dynamics.DEVIATION_TOLERANCE
+    half = (1.0 - instance.alpha) * 0.5
+
+    def gain_of(player: int) -> float:
+        row = table[player]
+        return float(row[assignment[player]] - row.min())
+
+    # Max-heap entries: (-gain, player).  Lazy invalidation: an entry is
+    # acted on only if its gain still matches the player's current gain.
+    heap: List[tuple] = []
+    for player in range(instance.n):
+        gain = gain_of(player)
+        if gain > tol:
+            heapq.heappush(heap, (-gain, player))
+
+    rounds: List[RoundStats] = [RoundStats(0, 0, clock.lap())]
+    moves = 0
+    batch_moves = 0
+    while heap:
+        negative_gain, player = heapq.heappop(heap)
+        current_gain = gain_of(player)
+        if current_gain <= tol:
+            continue
+        if abs(-negative_gain - current_gain) > 1e-12:
+            heapq.heappush(heap, (-current_gain, player))
+            continue
+        current = int(assignment[player])
+        best = int(table[player].argmin())
+        assignment[player] = best
+        moves += 1
+        batch_moves += 1
+        if moves > max_moves:
+            raise ConvergenceError(f"RMGP_mg exceeded {max_moves} moves")
+        idx = instance.neighbor_indices[player]
+        wts = instance.neighbor_weights[player]
+        for friend, weight in zip(idx, wts):
+            delta = half * weight
+            table[friend, best] -= delta
+            table[friend, current] += delta
+            friend_gain = gain_of(int(friend))
+            if friend_gain > tol:
+                heapq.heappush(heap, (-friend_gain, int(friend)))
+        if batch_moves >= 1000:
+            rounds.append(
+                RoundStats(
+                    round_index=len(rounds),
+                    deviations=batch_moves,
+                    seconds=clock.lap(),
+                )
+            )
+            batch_moves = 0
+    if batch_moves or len(rounds) == 1:
+        rounds.append(
+            RoundStats(
+                round_index=len(rounds),
+                deviations=batch_moves,
+                seconds=clock.lap(),
+            )
+        )
+
+    return make_result(
+        solver="RMGP_mg",
+        instance=instance,
+        assignment=assignment,
+        rounds=rounds,
+        converged=True,
+        wall_seconds=clock.total(),
+        extra={"total_moves": moves},
+    )

@@ -1,0 +1,116 @@
+"""Solver results: round traces, objective breakdowns, equilibrium data."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Hashable, List, Optional
+
+import numpy as np
+
+from repro.core.instance import RMGPInstance
+from repro.core.objective import ObjectiveValue, objective
+from repro.graph.social_graph import NodeId
+
+
+@dataclass(frozen=True)
+class RoundStats:
+    """Per-round measurements (the raw material of Figures 12(c) and 14).
+
+    ``round_index`` 0 is the initialization step — the paper's "Round 0",
+    which covers sorting/initial assignment plus, depending on the
+    variant, valid-region or global-table construction.
+    """
+
+    round_index: int
+    deviations: int
+    seconds: float
+    potential: Optional[float] = None
+    players_examined: int = 0
+
+    def __str__(self) -> str:
+        parts = [
+            f"round {self.round_index}: {self.deviations} deviations",
+            f"{self.seconds * 1e3:.2f} ms",
+        ]
+        if self.potential is not None:
+            parts.append(f"phi={self.potential:.6g}")
+        return ", ".join(parts)
+
+
+@dataclass
+class PartitionResult:
+    """Outcome of one RMGP solve.
+
+    Attributes
+    ----------
+    solver:
+        Name of the algorithm variant (``"RMGP_b"``, ``"RMGP_gt"``, ...).
+    assignment:
+        Index-space strategy vector (player index -> class index).
+    labels:
+        The same assignment as ``user id -> class label``.
+    value:
+        Equation 1 breakdown at termination.
+    rounds:
+        Round trace, including round 0 (initialization).
+    converged:
+        True when the solver reached a round without deviations (a Nash
+        equilibrium); False only if ``max_rounds`` was exhausted.
+    extra:
+        Solver-specific diagnostics (players eliminated, colors used,
+        bytes transferred, ...).
+    """
+
+    solver: str
+    assignment: np.ndarray
+    labels: Dict[NodeId, Hashable]
+    value: ObjectiveValue
+    rounds: List[RoundStats]
+    converged: bool
+    wall_seconds: float
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def num_rounds(self) -> int:
+        """Number of best-response rounds (round 0 excluded)."""
+        return sum(1 for r in self.rounds if r.round_index > 0)
+
+    @property
+    def total_deviations(self) -> int:
+        """Total strategy changes across all rounds."""
+        return sum(r.deviations for r in self.rounds)
+
+    def round_seconds(self) -> List[float]:
+        """Wall seconds per round, round 0 first (Figure 12(c) series)."""
+        return [r.seconds for r in self.rounds]
+
+    def summary(self) -> str:
+        """One-line human-readable description."""
+        status = "converged" if self.converged else "NOT converged"
+        return (
+            f"{self.solver}: {status} in {self.num_rounds} rounds, "
+            f"{self.value}, {self.wall_seconds * 1e3:.1f} ms"
+        )
+
+
+def make_result(
+    solver: str,
+    instance: RMGPInstance,
+    assignment: np.ndarray,
+    rounds: List[RoundStats],
+    converged: bool,
+    wall_seconds: float,
+    extra: Optional[Dict[str, Any]] = None,
+) -> PartitionResult:
+    """Assemble a :class:`PartitionResult`, evaluating Equation 1 once."""
+    instance.validate_assignment(assignment)
+    return PartitionResult(
+        solver=solver,
+        assignment=np.asarray(assignment, dtype=np.int64).copy(),
+        labels=instance.assignment_to_labels(assignment),
+        value=objective(instance, assignment),
+        rounds=list(rounds),
+        converged=converged,
+        wall_seconds=wall_seconds,
+        extra=dict(extra or {}),
+    )

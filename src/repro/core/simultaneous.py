@@ -1,0 +1,124 @@
+"""Simultaneous (synchronous) best-response dynamics — a cautionary ablation.
+
+Section 4.2 warns that sequential updates are "a fundamental requirement
+in best response dynamics: if multiple players change strategies
+simultaneously their decisions may be based on 'outdated' information and
+there is the chance that the overall potential function increases."
+RMGP_is sidesteps this with independent sets; this module implements the
+naive synchronous dynamics the warning is about, so the effect can be
+measured (see ``benchmarks/bench_ablations.py``):
+
+* :func:`solve_simultaneous` — every player moves at once.  May
+  oscillate (e.g. two friends swapping classes forever); terminates on a
+  fixed point, a detected cycle, or the round budget, and reports whether
+  the potential ever increased.
+* ``damping`` — each deviating player actually moves only with
+  probability ``damping``; for ``damping < 1`` oscillations break with
+  probability 1 and the dynamics converge in practice.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core import dynamics
+from repro.core.instance import RMGPInstance
+from repro.core.objective import player_strategy_costs, potential
+from repro.core.result import PartitionResult, RoundStats, make_result
+
+
+def solve_simultaneous(
+    instance: RMGPInstance,
+    init: str = "closest",
+    seed: Optional[int] = None,
+    warm_start: Optional[np.ndarray] = None,
+    max_rounds: int = 200,
+    damping: float = 1.0,
+) -> PartitionResult:
+    """Synchronous best-response dynamics.
+
+    Unlike every other solver in this package, **convergence is not
+    guaranteed** for ``damping=1.0``; the result's ``converged`` flag and
+    ``extra`` diagnostics (``potential_increases``, ``cycle_detected``)
+    tell what happened.  This exists to validate the paper's argument
+    for sequential/independent-set updates, not for production use.
+    """
+    if not 0.0 < damping <= 1.0:
+        from repro.errors import ConfigurationError
+
+        raise ConfigurationError(f"damping must be in (0, 1], got {damping}")
+    rng = random.Random(seed)
+    clock = dynamics.RoundClock()
+
+    assignment = dynamics.initial_assignment(instance, init, rng, warm_start)
+    rounds: List[RoundStats] = [
+        RoundStats(0, 0, clock.lap(), potential=potential(instance, assignment))
+    ]
+
+    seen_states = {assignment.tobytes()}
+    potential_increases = 0
+    cycle_detected = False
+    converged = False
+    last_potential = rounds[0].potential or 0.0
+
+    for round_index in range(1, max_rounds + 1):
+        # Everyone computes a best response against the same snapshot.
+        # "deviations" counts players who *want* to move; damping only
+        # suppresses the execution, never the convergence test —
+        # otherwise an unlucky round of coin flips would end the game at
+        # a non-equilibrium.
+        proposals = assignment.copy()
+        deviations = 0
+        for player in range(instance.n):
+            costs = player_strategy_costs(instance, assignment, player)
+            current = int(assignment[player])
+            best = int(costs.argmin())
+            if (
+                best != current
+                and costs[best] < costs[current] - dynamics.DEVIATION_TOLERANCE
+            ):
+                deviations += 1
+                if rng.random() < damping:
+                    proposals[player] = best
+        assignment = proposals
+        phi = potential(instance, assignment)
+        if phi > last_potential + 1e-12:
+            potential_increases += 1
+        last_potential = phi
+        rounds.append(
+            RoundStats(
+                round_index=round_index,
+                deviations=deviations,
+                seconds=clock.lap(),
+                potential=phi,
+                players_examined=instance.n,
+            )
+        )
+        if deviations == 0:
+            converged = True
+            break
+        # Cycle detection only makes sense for deterministic (undamped)
+        # dynamics; a damped walk may legitimately revisit states.
+        if damping >= 1.0:
+            state = assignment.tobytes()
+            if state in seen_states:
+                cycle_detected = True
+                break
+            seen_states.add(state)
+
+    return make_result(
+        solver="RMGP_sync",
+        instance=instance,
+        assignment=assignment,
+        rounds=rounds,
+        converged=converged,
+        wall_seconds=clock.total(),
+        extra={
+            "potential_increases": potential_increases,
+            "cycle_detected": cycle_detected,
+            "damping": damping,
+        },
+    )

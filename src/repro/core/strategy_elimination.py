@@ -1,0 +1,168 @@
+"""RMGP_se — pruning by strategy elimination (Section 4.1).
+
+For each player ``v`` the *valid region* bounds the assignment cost of
+any strategy he could ever follow:
+
+    VR_v = c(v, s_min) + ((1 − α)/α) · W_v
+
+where ``s_min`` is his cheapest class and ``W_v = Σ_f ½·w(v, f)``.  Any
+class whose assignment cost exceeds ``VR_v`` can never beat ``s_min``
+even if *all* friends joined it, so it is pruned from ``S_v``.  A player
+left with a single valid strategy is assigned directly and removed from
+the game.  Best responses are never pruned, so convergence and quality
+guarantees carry over unchanged.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core import dynamics
+from repro.core.instance import RMGPInstance
+from repro.core.result import PartitionResult, RoundStats, make_result
+
+
+@dataclass
+class EliminationPlan:
+    """Pre-computed reduced strategy spaces for one instance.
+
+    Attributes
+    ----------
+    valid_classes:
+        Per player, a sorted int array of the classes in ``S'_v``.
+    fixed_class:
+        Per player, the forced class when ``|S'_v| == 1``, else ``-1``.
+    valid_regions:
+        The ``VR_v`` bound per player.
+    """
+
+    valid_classes: List[np.ndarray]
+    fixed_class: np.ndarray
+    valid_regions: np.ndarray
+
+    @property
+    def num_fixed(self) -> int:
+        """Players removed from the game entirely."""
+        return int((self.fixed_class >= 0).sum())
+
+    def strategies_remaining(self) -> int:
+        """Total size of all reduced strategy spaces."""
+        return int(sum(len(v) for v in self.valid_classes))
+
+
+def build_elimination_plan(instance: RMGPInstance) -> EliminationPlan:
+    """Compute ``VR_v`` and ``S'_v`` for every player (initialization step)."""
+    alpha = instance.alpha
+    ratio = (1.0 - alpha) / alpha
+    valid_classes: List[np.ndarray] = []
+    fixed = np.full(instance.n, -1, dtype=np.int64)
+    regions = np.empty(instance.n, dtype=np.float64)
+    for player in range(instance.n):
+        row = instance.cost.row(player)
+        bound = row.min() + ratio * instance.half_strength[player]
+        regions[player] = bound
+        # Keep classes whose best case (all friends co-located) can still
+        # match the worst case of the cheapest class.
+        valid = np.flatnonzero(row <= bound + dynamics.DEVIATION_TOLERANCE)
+        valid_classes.append(valid)
+        if len(valid) == 1:
+            fixed[player] = int(valid[0])
+    return EliminationPlan(valid_classes, fixed, regions)
+
+
+def solve_strategy_elimination(
+    instance: RMGPInstance,
+    init: str = "closest",
+    order: str = "degree",
+    seed: Optional[int] = None,
+    warm_start: Optional[np.ndarray] = None,
+    max_rounds: int = dynamics.DEFAULT_MAX_ROUNDS,
+    plan: Optional[EliminationPlan] = None,
+) -> PartitionResult:
+    """Run RMGP_se: Figure 3 dynamics over reduced strategy spaces.
+
+    ``plan`` may be supplied to reuse a pre-computed
+    :class:`EliminationPlan` across repeated queries on the same
+    instance; by default it is built during round 0 (and its time is
+    charged there, as in Figure 12(c)).
+    """
+    rng = random.Random(seed)
+    clock = dynamics.RoundClock()
+
+    if plan is None:
+        plan = build_elimination_plan(instance)
+    assignment = dynamics.initial_assignment(instance, init, rng, warm_start)
+    # Fixed players are assigned immediately and leave the game.
+    fixed_mask = plan.fixed_class >= 0
+    assignment[fixed_mask] = plan.fixed_class[fixed_mask]
+    free_players = [p for p in range(instance.n) if not fixed_mask[p]]
+    sweep = [p for p in dynamics.player_order(instance, order, rng) if not fixed_mask[p]]
+
+    rounds: List[RoundStats] = [
+        RoundStats(round_index=0, deviations=0, seconds=clock.lap())
+    ]
+
+    converged = False
+    round_index = 0
+    while not converged:
+        round_index += 1
+        dynamics.check_round_budget(round_index, max_rounds, "RMGP_se")
+        deviations = _reduced_round(instance, assignment, sweep, plan)
+        rounds.append(
+            RoundStats(
+                round_index=round_index,
+                deviations=deviations,
+                seconds=clock.lap(),
+                players_examined=len(free_players),
+            )
+        )
+        converged = deviations == 0
+
+    return make_result(
+        solver="RMGP_se",
+        instance=instance,
+        assignment=assignment,
+        rounds=rounds,
+        converged=True,
+        wall_seconds=clock.total(),
+        extra={
+            "num_fixed": plan.num_fixed,
+            "strategies_remaining": plan.strategies_remaining(),
+            "strategies_total": instance.n * instance.k,
+        },
+    )
+
+
+def _reduced_round(
+    instance: RMGPInstance,
+    assignment: np.ndarray,
+    sweep: List[int],
+    plan: EliminationPlan,
+) -> int:
+    """One best-response round restricted to each player's ``S'_v``."""
+    deviations = 0
+    alpha = instance.alpha
+    tol = dynamics.DEVIATION_TOLERANCE
+    scratch = np.empty(instance.k, dtype=np.float64)
+    for player in sweep:
+        valid = plan.valid_classes[player]
+        scratch.fill(np.inf)
+        scratch[valid] = (
+            alpha * instance.cost.row(player)[valid]
+            + instance.max_social_cost[player]
+        )
+        idx = instance.neighbor_indices[player]
+        if idx.size:
+            refund = (1.0 - alpha) * 0.5 * instance.neighbor_weights[player]
+            # Refunds on pruned classes land on +inf and stay invalid.
+            np.subtract.at(scratch, assignment[idx], refund)
+        current = int(assignment[player])
+        best = int(scratch.argmin())
+        if best != current and scratch[best] < scratch[current] - tol:
+            assignment[player] = best
+            deviations += 1
+    return deviations

@@ -1,0 +1,152 @@
+"""RMGP_vec — numpy-vectorized best responses over color groups.
+
+Semantically this is RMGP_is (Section 4.2): players of one color group
+are pairwise non-adjacent, so their best responses against the current
+profile are independent and may be computed *simultaneously*.  Instead of
+threads (which CPython's GIL starves), the whole group is evaluated as
+one batched numpy computation:
+
+* ``costs = α · C[group] + maxSC[group, None]`` — a dense slice,
+* one ``np.add.at`` scatter accumulates every member's friend refunds
+  into a ``|group| x k`` matrix using pre-flattened edge arrays,
+* a row-wise argmin with the keep-current-on-ties rule commits the whole
+  group at once.
+
+Convergence and quality guarantees are exactly RMGP_is's (same game,
+same schedule); only the constant factor changes — this is the fastest
+pure-Python variant for large ``n``, and the benchmark suite compares it
+against the scalar solvers.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core import dynamics
+from repro.core.independent_sets import groups_from_coloring
+from repro.core.instance import RMGPInstance
+from repro.core.result import PartitionResult, RoundStats, make_result
+
+
+@dataclass
+class _GroupBatch:
+    """Pre-flattened per-group arrays for the scatter step.
+
+    ``row_positions[i]``/``neighbor_ids[i]``/``refunds[i]`` describe one
+    (member, friend) incidence: the member's row inside the group batch,
+    the friend's global player index, and the refund
+    ``(1 − α) · ½ · w`` his strategy subtracts from that row.
+    """
+
+    members: np.ndarray
+    row_positions: np.ndarray
+    neighbor_ids: np.ndarray
+    refunds: np.ndarray
+    base_costs: np.ndarray  # alpha * C[group] + maxSC[group, None]
+
+
+def _build_batches(
+    instance: RMGPInstance, groups: List[List[int]]
+) -> List[_GroupBatch]:
+    alpha = instance.alpha
+    half = (1.0 - alpha) * 0.5
+    batches = []
+    for group in groups:
+        members = np.asarray(group, dtype=np.int64)
+        rows: List[int] = []
+        neighbors: List[int] = []
+        refunds: List[float] = []
+        for position, player in enumerate(group):
+            idx = instance.neighbor_indices[player]
+            wts = instance.neighbor_weights[player]
+            rows.extend([position] * len(idx))
+            neighbors.extend(idx.tolist())
+            refunds.extend((half * wts).tolist())
+        base = np.vstack([
+            alpha * instance.cost.row(p) for p in group
+        ])
+        base += instance.max_social_cost[members][:, None]
+        batches.append(
+            _GroupBatch(
+                members=members,
+                row_positions=np.asarray(rows, dtype=np.int64),
+                neighbor_ids=np.asarray(neighbors, dtype=np.int64),
+                refunds=np.asarray(refunds, dtype=np.float64),
+                base_costs=base,
+            )
+        )
+    return batches
+
+
+def solve_vectorized(
+    instance: RMGPInstance,
+    init: str = "closest",
+    seed: Optional[int] = None,
+    warm_start: Optional[np.ndarray] = None,
+    max_rounds: int = dynamics.DEFAULT_MAX_ROUNDS,
+    coloring: Optional[Dict] = None,
+) -> PartitionResult:
+    """Run the vectorized group-batched dynamics.
+
+    Parameters mirror :func:`repro.core.independent_sets.solve_independent_sets`;
+    player ordering inside a group is irrelevant (the batch is committed
+    atomically), so there is no ``order`` knob.
+    """
+    rng = random.Random(seed)
+    clock = dynamics.RoundClock()
+
+    groups = groups_from_coloring(instance, coloring)
+    assignment = dynamics.initial_assignment(instance, init, rng, warm_start)
+    batches = _build_batches(instance, groups)
+    rounds: List[RoundStats] = [RoundStats(0, 0, clock.lap())]
+
+    tol = dynamics.DEVIATION_TOLERANCE
+    converged = False
+    round_index = 0
+    while not converged:
+        round_index += 1
+        dynamics.check_round_budget(round_index, max_rounds, "RMGP_vec")
+        deviations = 0
+        for batch in batches:
+            if batch.members.size == 0:
+                continue
+            costs = batch.base_costs.copy()
+            if batch.neighbor_ids.size:
+                np.subtract.at(
+                    costs,
+                    (batch.row_positions, assignment[batch.neighbor_ids]),
+                    batch.refunds,
+                )
+            current = assignment[batch.members]
+            best = costs.argmin(axis=1)
+            rows = np.arange(len(batch.members))
+            improves = (
+                costs[rows, best] < costs[rows, current] - tol
+            ) & (best != current)
+            moved = int(improves.sum())
+            if moved:
+                assignment[batch.members[improves]] = best[improves]
+                deviations += moved
+        rounds.append(
+            RoundStats(
+                round_index=round_index,
+                deviations=deviations,
+                seconds=clock.lap(),
+                players_examined=instance.n,
+            )
+        )
+        converged = deviations == 0
+
+    return make_result(
+        solver="RMGP_vec",
+        instance=instance,
+        assignment=assignment,
+        rounds=rounds,
+        converged=True,
+        wall_seconds=clock.total(),
+        extra={"num_groups": len(groups)},
+    )

@@ -1,0 +1,56 @@
+"""Dataset substrates: Gowalla-like, Foursquare-like, the paper example."""
+
+from repro.datasets.base import GeoSocialDataset
+from repro.datasets.events import sample_events, subsample_events
+from repro.datasets.forum import DEFAULT_TOPICS, ForumDataset, forum_like
+from repro.datasets.foursquare import foursquare_like
+from repro.datasets.geo import (
+    homophilous_friendships,
+    jittered_checkins,
+    metro_positions,
+)
+from repro.datasets.gowalla import gowalla_like
+from repro.datasets.paper_example import (
+    ALPHA,
+    COSTS,
+    EDGES,
+    EVENTS,
+    USERS,
+    paper_example_cost_matrix,
+    paper_example_graph,
+    paper_example_instance,
+)
+from repro.datasets.registry import (
+    clear_cache,
+    dataset_names,
+    load_dataset,
+    register_dataset,
+    with_event_count,
+)
+
+__all__ = [
+    "ALPHA",
+    "COSTS",
+    "EDGES",
+    "EVENTS",
+    "DEFAULT_TOPICS",
+    "ForumDataset",
+    "GeoSocialDataset",
+    "USERS",
+    "clear_cache",
+    "dataset_names",
+    "forum_like",
+    "foursquare_like",
+    "gowalla_like",
+    "homophilous_friendships",
+    "jittered_checkins",
+    "load_dataset",
+    "metro_positions",
+    "paper_example_cost_matrix",
+    "paper_example_graph",
+    "paper_example_instance",
+    "register_dataset",
+    "sample_events",
+    "subsample_events",
+    "with_event_count",
+]

@@ -1,0 +1,66 @@
+"""Common container for geo-social datasets."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, List
+
+import numpy as np
+
+from repro.apps.lagp import Event, LAGPTask
+from repro.apps.spatial import Point, distance_matrix
+from repro.graph.metrics import GraphStats, graph_stats
+from repro.graph.social_graph import NodeId, SocialGraph
+
+
+@dataclass
+class GeoSocialDataset:
+    """A social graph with user check-ins and an event catalog.
+
+    The shape every LAGP experiment consumes: ``graph`` (friendships),
+    ``checkins`` (last known location per user) and ``events`` (the
+    query-time classes).
+    """
+
+    name: str
+    graph: SocialGraph
+    checkins: Dict[NodeId, Point]
+    events: List[Event]
+
+    @property
+    def event_ids(self) -> List[Hashable]:
+        """Class labels for an RMGP instance."""
+        return [e.event_id for e in self.events]
+
+    @property
+    def event_locations(self) -> List[Point]:
+        """Event coordinates, in catalog order."""
+        return [e.location for e in self.events]
+
+    def cost_matrix(self, metric: str = "euclidean") -> np.ndarray:
+        """User-to-event distances aligned with ``graph.nodes()`` order."""
+        user_points = [self.checkins[u] for u in self.graph.nodes()]
+        return distance_matrix(user_points, self.event_locations, metric)
+
+    def lagp_task(self, metric: str = "euclidean") -> LAGPTask:
+        """Wrap this dataset as a ready-to-query :class:`LAGPTask`."""
+        return LAGPTask(self.graph, self.checkins, self.events, metric=metric)
+
+    def with_events(self, events: List[Event]) -> "GeoSocialDataset":
+        """Same users/graph with a different event catalog."""
+        return GeoSocialDataset(
+            name=self.name,
+            graph=self.graph,
+            checkins=self.checkins,
+            events=list(events),
+        )
+
+    def stats(self) -> GraphStats:
+        """Graph statistics (for matching against the paper's numbers)."""
+        return graph_stats(self.graph)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"GeoSocialDataset({self.name!r}, |V|={self.graph.num_nodes}, "
+            f"|E|={self.graph.num_edges}, events={len(self.events)})"
+        )

@@ -1,0 +1,75 @@
+"""Event catalogs — the Eventbrite stand-in.
+
+The paper sources "128 different social events that took place during the
+same weekend in Dallas and Austin ... from Eventbrite".  Offline, we
+sample events near where users actually are (events happen in populated
+places), with a small uniform background so that some events are far from
+everyone.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence
+
+from repro.apps.lagp import Event
+from repro.apps.spatial import Point
+from repro.errors import DataError
+
+
+def sample_events(
+    user_positions: Sequence[Point],
+    num_events: int,
+    rng: random.Random,
+    near_user_fraction: float = 0.85,
+    jitter_km: float = 5.0,
+    name_prefix: str = "event",
+) -> List[Event]:
+    """Sample ``num_events`` events around the user population.
+
+    A fraction ``near_user_fraction`` of events is placed next to a
+    random user (Gaussian jitter of ``jitter_km``); the rest fall
+    uniformly inside the population's bounding box.
+    """
+    if num_events <= 0:
+        raise DataError("num_events must be positive")
+    if not user_positions:
+        raise DataError("need user positions to place events")
+    if not 0.0 <= near_user_fraction <= 1.0:
+        raise DataError("near_user_fraction must be in [0, 1]")
+
+    xs = [p[0] for p in user_positions]
+    ys = [p[1] for p in user_positions]
+    x_min, x_max = min(xs), max(xs)
+    y_min, y_max = min(ys), max(ys)
+
+    events: List[Event] = []
+    for event_index in range(num_events):
+        if rng.random() < near_user_fraction:
+            ux, uy = user_positions[rng.randrange(len(user_positions))]
+            location: Point = (rng.gauss(ux, jitter_km), rng.gauss(uy, jitter_km))
+        else:
+            location = (rng.uniform(x_min, x_max), rng.uniform(y_min, y_max))
+        events.append(
+            Event(
+                event_id=event_index,
+                location=location,
+                name=f"{name_prefix}-{event_index}",
+            )
+        )
+    return events
+
+
+def subsample_events(
+    events: Sequence[Event], num_events: int, rng: random.Random
+) -> List[Event]:
+    """Uniformly choose ``num_events`` events (the paper's procedure for
+    "decreasing the event cardinality, we randomly select the required
+    number of events", Section 6)."""
+    if num_events <= 0:
+        raise DataError("num_events must be positive")
+    if num_events > len(events):
+        raise DataError(
+            f"requested {num_events} events, catalog has {len(events)}"
+        )
+    return rng.sample(list(events), num_events)

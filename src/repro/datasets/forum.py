@@ -1,0 +1,116 @@
+"""Synthetic discussion-forum dataset — the TAGP substrate.
+
+Example 2 needs an on-line forum: threads with topic text, participants,
+and a co-participation social structure.  No public forum dump ships with
+this repository, so :func:`forum_like` synthesizes one with the features
+TAGP exercises: topic-aligned user communities (users mostly join threads
+of their home topic), occasional cross-topic visitors (the weak ties
+advertisements propagate over), and vocabulary drawn per topic so tf-idf
+actually separates the communities.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.apps.tagp import Advertisement, DiscussionThread, TAGPTask
+from repro.errors import DataError
+
+#: Default topic vocabularies (verbs/nouns that tf-idf can separate).
+DEFAULT_TOPICS: Dict[str, str] = {
+    "gaming": "game console controller rpg strategy esports speedrun quest",
+    "cooking": "recipe oven pasta sauce bake garlic dinner kitchen flavor",
+    "cycling": "bike gear ride trail carbon wheel climb race helmet",
+    "ml": "model training dataset neural network gradient inference gpu",
+    "travel": "flight hostel itinerary passport beach museum hiking visa",
+}
+
+
+@dataclass
+class ForumDataset:
+    """A synthesized forum with known ground-truth topics."""
+
+    threads: List[DiscussionThread]
+    home_topic: Dict[int, str]
+    topics: Dict[str, str]
+
+    def task(self) -> TAGPTask:
+        """Wrap the threads as a ready-to-query :class:`TAGPTask`."""
+        return TAGPTask(self.threads)
+
+    def default_advertisements(self) -> List[Advertisement]:
+        """One advertisement per topic, phrased in that topic's words."""
+        ads = []
+        for topic, vocabulary in self.topics.items():
+            words = vocabulary.split()[:5]
+            ads.append(
+                Advertisement(f"ad-{topic}", " ".join(words) + " sale deal")
+            )
+        return ads
+
+
+def forum_like(
+    num_users: int = 400,
+    threads_per_topic: int = 60,
+    topics: Optional[Dict[str, str]] = None,
+    participants_range: "tuple[int, int]" = (3, 8),
+    crossover_rate: float = 0.15,
+    words_per_thread: int = 25,
+    seed: Optional[int] = None,
+) -> ForumDataset:
+    """Synthesize a forum.
+
+    Parameters
+    ----------
+    crossover_rate:
+        Probability that a thread attracts one random off-topic visitor,
+        creating the cross-community ties word-of-mouth spreads over.
+    """
+    if num_users < 2:
+        raise DataError("num_users must be at least 2")
+    if threads_per_topic <= 0:
+        raise DataError("threads_per_topic must be positive")
+    low, high = participants_range
+    if not 1 <= low <= high:
+        raise DataError("participants_range must satisfy 1 <= low <= high")
+    if not 0.0 <= crossover_rate <= 1.0:
+        raise DataError("crossover_rate must be in [0, 1]")
+
+    topics = dict(DEFAULT_TOPICS) if topics is None else dict(topics)
+    if not topics:
+        raise DataError("need at least one topic")
+    rng = random.Random(seed)
+    names = list(topics)
+    home_topic = {user: rng.choice(names) for user in range(num_users)}
+    members: Dict[str, List[int]] = {name: [] for name in names}
+    for user, topic in home_topic.items():
+        members[topic].append(user)
+    # Guarantee every topic has at least one member.
+    for name in names:
+        if not members[name]:
+            user = rng.randrange(num_users)
+            members[home_topic[user]].remove(user)
+            home_topic[user] = name
+            members[name].append(user)
+
+    threads: List[DiscussionThread] = []
+    thread_id = 0
+    for name in names:
+        vocabulary = topics[name].split()
+        for _ in range(threads_per_topic):
+            pool = members[name]
+            count = min(len(pool), rng.randint(low, high))
+            participants = rng.sample(pool, count)
+            if rng.random() < crossover_rate:
+                participants.append(rng.randrange(num_users))
+            threads.append(
+                DiscussionThread(
+                    thread_id=thread_id,
+                    text=" ".join(rng.choices(vocabulary, k=words_per_thread)),
+                    participants=participants,
+                )
+            )
+            thread_id += 1
+    return ForumDataset(threads=threads, home_topic=home_topic, topics=topics)

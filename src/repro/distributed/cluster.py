@@ -1,0 +1,97 @@
+"""Convenience wiring: dataset -> shards -> slaves -> master.
+
+The paper's testbed distributes Foursquare over two slave servers with a
+third acting as master; :func:`build_cluster` reproduces that topology
+(with any slave count) from a :class:`~repro.datasets.base.GeoSocialDataset`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.datasets.base import GeoSocialDataset
+from repro.distributed.coloring import distributed_coloring
+from repro.distributed.master import DecentralizedGame
+from repro.distributed.network import SimulatedNetwork
+from repro.distributed.peer import PeerToPeerGame
+from repro.distributed.partitioner import hash_partition
+from repro.distributed.slave import SlaveNode
+from repro.errors import ConfigurationError
+from repro.graph.coloring import greedy_coloring
+from repro.graph.social_graph import NodeId
+
+
+@dataclass
+class Cluster:
+    """A simulated deployment: master, slaves, network and sharding."""
+
+    game: "DecentralizedGame | PeerToPeerGame"
+    slaves: List[SlaveNode]
+    shards: List[List[NodeId]]
+    coloring: Dict[NodeId, int]
+    network: SimulatedNetwork
+
+
+def build_cluster(
+    dataset: GeoSocialDataset,
+    num_slaves: int = 2,
+    network: Optional[SimulatedNetwork] = None,
+    shards: Optional[Sequence[Sequence[NodeId]]] = None,
+    use_distributed_coloring: bool = True,
+    protocol: str = "relayed",
+) -> Cluster:
+    """Assemble a simulated cluster over ``dataset``.
+
+    ``shards`` overrides the default hash partitioning.  The coloring is
+    computed off-line — via the distributed algorithm by default (as the
+    paper requires), or centrally with ``use_distributed_coloring=False``.
+    ``protocol`` selects the coordinator: ``"relayed"`` (Figure 6,
+    everything flows through M) or ``"peer"`` (direct slave-to-slave
+    change broadcast, Section 5's suggested extension).
+    """
+    if num_slaves <= 0:
+        raise ConfigurationError("num_slaves must be positive")
+    if protocol not in ("relayed", "peer"):
+        raise ConfigurationError(f"unknown protocol {protocol!r}")
+    users = dataset.graph.nodes()
+    if shards is None:
+        shards = hash_partition(users, num_slaves)
+    else:
+        shards = [list(s) for s in shards]
+        covered = set()
+        for shard in shards:
+            covered.update(shard)
+        if covered != set(users):
+            raise ConfigurationError("shards must cover every user exactly")
+
+    if use_distributed_coloring:
+        coloring, _stats = distributed_coloring(dataset.graph, shards)
+    else:
+        coloring = greedy_coloring(dataset.graph)
+
+    network = network or SimulatedNetwork()
+    slaves = [
+        SlaveNode(
+            slave_id=f"slave-{index}",
+            graph=dataset.graph,
+            local_users=shard,
+            checkins=dataset.checkins,
+            coloring=coloring,
+        )
+        for index, shard in enumerate(shards)
+    ]
+    coordinator_class = DecentralizedGame if protocol == "relayed" else PeerToPeerGame
+    game = coordinator_class(
+        slaves,
+        network=network,
+        deg_avg=dataset.graph.average_degree(),
+        w_avg=dataset.graph.average_edge_weight(),
+    )
+    return Cluster(
+        game=game,
+        slaves=slaves,
+        shards=[list(s) for s in shards],
+        coloring=coloring,
+        network=network,
+    )

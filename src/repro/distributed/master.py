@@ -1,0 +1,254 @@
+"""The decentralized game coordinator (DG — Figure 6, left column).
+
+The master never touches user data: it broadcasts the query, merges the
+local strategic vectors into the global one, drives per-color rounds,
+redistributes strategy changes and detects termination.  All traffic
+flows through a :class:`~repro.distributed.network.SimulatedNetwork`
+which produces the byte/transfer-time series of Figures 13 and 14, while
+slave compute time is charged as the *maximum* across slaves per phase
+(they run in parallel on distinct servers).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set
+
+from repro.distributed import messages as msg
+from repro.distributed.network import SimulatedNetwork
+from repro.distributed.query import DGQuery
+from repro.distributed.slave import SlaveNode
+from repro.errors import ProtocolError
+from repro.graph.social_graph import NodeId
+
+#: Safety valve mirroring the centralized solvers.
+MAX_DG_ROUNDS = 10_000
+
+
+@dataclass
+class DGRoundStats:
+    """Per-round cost decomposition (the Figure 14 series)."""
+
+    round_index: int
+    deviations: int
+    compute_seconds: float
+    transfer_seconds: float
+    bytes_sent: int
+
+    @property
+    def total_seconds(self) -> float:
+        """Compute plus transfer — the DG processing time per round."""
+        return self.compute_seconds + self.transfer_seconds
+
+
+@dataclass
+class DGResult:
+    """Outcome of one decentralized solve."""
+
+    assignment: Dict[NodeId, int]
+    rounds: List[DGRoundStats]
+    converged: bool
+    total_seconds: float
+    total_bytes: int
+    total_messages: int
+    num_participants: int
+    cn: float = 1.0
+    extra: Dict = field(default_factory=dict)
+
+    @property
+    def num_rounds(self) -> int:
+        """Best-response rounds (round 0 = initialization excluded)."""
+        return sum(1 for r in self.rounds if r.round_index > 0)
+
+
+class DecentralizedGame:
+    """Master node M coordinating the slaves of Figure 6."""
+
+    def __init__(
+        self,
+        slaves: Sequence[SlaveNode],
+        network: Optional[SimulatedNetwork] = None,
+        deg_avg: float = 0.0,
+        w_avg: float = 0.0,
+    ) -> None:
+        """``deg_avg``/``w_avg`` are the query-independent graph statistics
+        used for normalization estimates ("available apriori", §3.3)."""
+        if not slaves:
+            raise ProtocolError("need at least one slave node")
+        self.slaves = list(slaves)
+        self.network = network or SimulatedNetwork()
+        self.deg_avg = deg_avg
+        self.w_avg = w_avg
+
+    # ------------------------------------------------------------------
+    def run(self, query: DGQuery) -> DGResult:
+        """Execute the full Figure 6 protocol for ``query``."""
+        rounds: List[DGRoundStats] = []
+        start_bytes = self.network.total_bytes()
+        start_msgs = self.network.total_messages()
+
+        # ---- Round 0: initialization -----------------------------------
+        self.network.begin_round(0)
+        transfer = self.network.parallel_exchange(
+            msg.init_message("M", s.slave_id, query.k, query.area is not None)
+            for s in self.slaves
+        )
+        reports = [slave.initialize(query) for slave in self.slaves]
+        compute = max(r.compute_seconds for r in reports)
+        transfer += self.network.parallel_exchange(
+            msg.lsv_message(
+                s.slave_id, "M", r.num_participants, len(r.colors)
+            )
+            for s, r in zip(self.slaves, reports)
+        )
+
+        gsv: Dict[NodeId, int] = {}
+        colors: Set[int] = set()
+        for report in reports:
+            overlap = gsv.keys() & report.local_strategies.keys()
+            if overlap:
+                raise ProtocolError(f"users owned by two slaves: {list(overlap)[:5]}")
+            gsv.update(report.local_strategies)
+            colors.update(report.colors)
+        if not gsv:
+            raise ProtocolError("no participants inside the area of interest")
+
+        cn = self._estimate_cn(query, reports)
+
+        # Only slaves with participants join the game (Figure 6 line 6).
+        active = [
+            (slave, report)
+            for slave, report in zip(self.slaves, reports)
+            if report.num_participants > 0
+        ]
+        transfer += self.network.parallel_exchange(
+            msg.gsv_message("M", slave.slave_id, len(gsv)) for slave, _ in active
+        )
+        compute += max(slave.receive_gsv(gsv, cn) for slave, _ in active)
+        transfer += self.network.parallel_exchange(
+            msg.ack_message(slave.slave_id, "M") for slave, _ in active
+        )
+        ledger0 = self.network.round_ledgers()[-1]
+        rounds.append(
+            DGRoundStats(
+                round_index=0,
+                deviations=0,
+                compute_seconds=compute,
+                transfer_seconds=transfer,
+                bytes_sent=ledger0.bytes_sent,
+            )
+        )
+
+        # ---- Rounds 1..: per-color best responses ----------------------
+        color_order = sorted(colors)
+        round_index = 0
+        converged = False
+        while not converged:
+            round_index += 1
+            if round_index > MAX_DG_ROUNDS:
+                raise ProtocolError(f"DG exceeded {MAX_DG_ROUNDS} rounds")
+            self.network.begin_round(round_index)
+            round_compute = 0.0
+            round_transfer = 0.0
+            round_deviations = 0
+            for color in color_order:
+                round_transfer += self.network.parallel_exchange(
+                    msg.compute_color_message("M", slave.slave_id)
+                    for slave, _ in active
+                )
+                all_changes: Dict[NodeId, int] = {}
+                phase_compute = 0.0
+                outgoing = []
+                for slave, _ in active:
+                    changes, seconds = slave.compute_color(color)
+                    phase_compute = max(phase_compute, seconds)
+                    all_changes.update(changes)
+                    outgoing.append(
+                        msg.strategy_changes_message(
+                            slave.slave_id, "M", len(changes)
+                        )
+                    )
+                round_compute += phase_compute
+                round_transfer += self.network.parallel_exchange(outgoing)
+
+                gsv.update(all_changes)
+                round_deviations += len(all_changes)
+                round_transfer += self.network.parallel_exchange(
+                    msg.strategy_changes_message(
+                        "M", slave.slave_id, len(all_changes)
+                    )
+                    for slave, _ in active
+                )
+                round_compute += max(
+                    (slave.apply_changes(all_changes) for slave, _ in active),
+                    default=0.0,
+                )
+                round_transfer += self.network.parallel_exchange(
+                    msg.ack_message(slave.slave_id, "M") for slave, _ in active
+                )
+            ledger = self.network.round_ledgers()[-1]
+            rounds.append(
+                DGRoundStats(
+                    round_index=round_index,
+                    deviations=round_deviations,
+                    compute_seconds=round_compute,
+                    transfer_seconds=round_transfer,
+                    bytes_sent=ledger.bytes_sent,
+                )
+            )
+            converged = round_deviations == 0
+
+        self.network.begin_round(round_index + 1)
+        self.network.parallel_exchange(
+            msg.terminate_message("M", slave.slave_id) for slave, _ in active
+        )
+
+        return DGResult(
+            assignment=dict(gsv),
+            rounds=rounds,
+            converged=True,
+            total_seconds=sum(r.total_seconds for r in rounds),
+            total_bytes=self.network.total_bytes() - start_bytes,
+            total_messages=self.network.total_messages() - start_msgs,
+            num_participants=len(gsv),
+            cn=cn,
+            extra={
+                "num_colors": len(color_order),
+                "num_slaves": len(active),
+                "distance_computations": sum(
+                    r.distance_computations for r in reports
+                ),
+            },
+        )
+
+    # ------------------------------------------------------------------
+    def _estimate_cn(self, query: DGQuery, reports) -> float:
+        """Master-side C_N estimate from slave-reported distance sums."""
+        return estimate_cn_from_reports(query, reports, self.deg_avg, self.w_avg)
+
+
+def estimate_cn_from_reports(
+    query: DGQuery, reports, deg_avg: float, w_avg: float
+) -> float:
+    """Section 3.3 estimates from slave-aggregated distance statistics.
+
+    ``deg_avg``/``w_avg`` are query-independent graph statistics known to
+    the coordinator a priori; the per-query ``dist_min``/``dist_med``
+    averages arrive with the slaves' LSV reports.
+    """
+    if query.normalize is None:
+        return 1.0
+    total = sum(r.num_participants for r in reports)
+    if total == 0 or deg_avg <= 0 or w_avg <= 0:
+        return 1.0
+    k = query.k
+    if query.normalize == "optimistic":
+        dist_min = sum(r.sum_min_distance for r in reports) / total
+        if dist_min <= 0:
+            return 1.0
+        return deg_avg * w_avg / (2.0 * dist_min * (k ** 0.5))
+    dist_med = sum(r.sum_median_distance for r in reports) / total
+    if dist_med <= 0 or k < 2:
+        return 1.0
+    return deg_avg * (k - 1) * w_avg / (2.0 * dist_med * k)

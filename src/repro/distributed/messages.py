@@ -1,0 +1,110 @@
+"""Message types of the decentralized game protocol (Figure 6).
+
+Every payload knows its serialized size in bytes so the simulated network
+(:mod:`repro.distributed.network`) can account transfer volumes exactly —
+the quantity plotted on the right axis of Figure 14.  Sizes use a compact
+binary encoding: 4-byte integers for ids/classes/colors, 8-byte floats
+for coordinates and parameters, plus a fixed per-message header.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+HEADER_BYTES = 24
+INT_BYTES = 4
+FLOAT_BYTES = 8
+
+
+class MessageType(Enum):
+    """Protocol step the message belongs to."""
+
+    INIT = "init"
+    LOCAL_STRATEGIES = "lsv"
+    GLOBAL_STRATEGIES = "gsv"
+    ACK = "ack"
+    COMPUTE_COLOR = "compute_color"
+    STRATEGY_CHANGES = "strategy_changes"
+    TERMINATE = "terminate"
+
+
+@dataclass(frozen=True)
+class Message:
+    """One protocol message with its byte-accounted payload."""
+
+    msg_type: MessageType
+    sender: str
+    recipient: str
+    payload_bytes: int
+
+    @property
+    def total_bytes(self) -> int:
+        """Wire size: header plus payload."""
+        return HEADER_BYTES + self.payload_bytes
+
+
+def init_message(
+    sender: str,
+    recipient: str,
+    num_events: int,
+    has_area: bool,
+) -> Message:
+    """M -> slave: the query (events, α, area, init method).
+
+    Events ship as id + (x, y); the area adds four floats; α and the
+    init-method flag one float and one int.
+    """
+    payload = num_events * (INT_BYTES + 2 * FLOAT_BYTES)
+    payload += FLOAT_BYTES + INT_BYTES
+    if has_area:
+        payload += 4 * FLOAT_BYTES
+    return Message(MessageType.INIT, sender, recipient, payload)
+
+
+def lsv_message(sender: str, recipient: str, num_players: int, num_colors: int) -> Message:
+    """Slave -> M: local strategic vector plus the distinct local colors."""
+    payload = num_players * (INT_BYTES + INT_BYTES) + num_colors * INT_BYTES
+    return Message(MessageType.LOCAL_STRATEGIES, sender, recipient, payload)
+
+
+def gsv_message(sender: str, recipient: str, num_players: int) -> Message:
+    """M -> slave: the full global strategic vector (round 0 peak)."""
+    payload = num_players * (INT_BYTES + INT_BYTES)
+    return Message(MessageType.GLOBAL_STRATEGIES, sender, recipient, payload)
+
+
+def ack_message(sender: str, recipient: str) -> Message:
+    """Empty acknowledgment."""
+    return Message(MessageType.ACK, sender, recipient, 0)
+
+
+def compute_color_message(sender: str, recipient: str) -> Message:
+    """M -> slave: "compute best responses for color c" (one int)."""
+    return Message(MessageType.COMPUTE_COLOR, sender, recipient, INT_BYTES)
+
+
+def strategy_changes_message(
+    sender: str, recipient: str, num_changes: int
+) -> Message:
+    """Deviations as ``(user id, new class)`` pairs, both directions."""
+    payload = num_changes * (INT_BYTES + INT_BYTES)
+    return Message(MessageType.STRATEGY_CHANGES, sender, recipient, payload)
+
+
+def terminate_message(sender: str, recipient: str) -> Message:
+    """M -> slave: the game ended."""
+    return Message(MessageType.TERMINATE, sender, recipient, 0)
+
+
+def graph_shard_bytes(num_users: int, num_edges: int) -> int:
+    """Wire size of shipping a graph shard (FaE's bulk transfer).
+
+    Per user: id + last check-in coordinates; per adjacency entry:
+    friend id + weight.  Each undirected edge appears in two adjacency
+    lists, hence the factor 2.
+    """
+    return (
+        num_users * (INT_BYTES + 2 * FLOAT_BYTES)
+        + 2 * num_edges * (INT_BYTES + FLOAT_BYTES)
+    )

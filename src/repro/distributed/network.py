@@ -1,0 +1,111 @@
+"""Simulated cluster network with byte and latency accounting.
+
+The paper's decentralized experiments run on "three identical servers
+... that communicate using an 100Mbps Ethernet connection".  We have one
+machine, so the network is replaced by a cost model: every protocol
+message is accounted with its exact wire size (see
+:mod:`repro.distributed.messages`) and converted to transfer time as
+
+    seconds = latency + bytes * 8 / (bandwidth_mbps * 10^6)
+
+A per-round ledger accumulates bytes, message counts and transfer time —
+the series of Figure 14.  Exchanges that happen in parallel (the master
+talking to all slaves at once) can be recorded through
+:meth:`SimulatedNetwork.parallel_exchange`, which charges the *maximum*
+time across the concurrent transfers but the *sum* of their bytes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List
+
+from repro.distributed.messages import Message
+from repro.errors import ConfigurationError
+
+DEFAULT_BANDWIDTH_MBPS = 100.0
+DEFAULT_LATENCY_SECONDS = 0.0005
+
+
+@dataclass
+class RoundLedger:
+    """Traffic accumulated during one protocol round."""
+
+    round_index: int
+    bytes_sent: int = 0
+    messages: int = 0
+    transfer_seconds: float = 0.0
+
+
+class SimulatedNetwork:
+    """Accounts messages between the master and slave nodes."""
+
+    def __init__(
+        self,
+        bandwidth_mbps: float = DEFAULT_BANDWIDTH_MBPS,
+        latency_seconds: float = DEFAULT_LATENCY_SECONDS,
+    ) -> None:
+        if bandwidth_mbps <= 0:
+            raise ConfigurationError("bandwidth must be positive")
+        if latency_seconds < 0:
+            raise ConfigurationError("latency must be non-negative")
+        self.bandwidth_mbps = float(bandwidth_mbps)
+        self.latency_seconds = float(latency_seconds)
+        self._rounds: Dict[int, RoundLedger] = {}
+        self._current_round = 0
+
+    # ------------------------------------------------------------------
+    def begin_round(self, round_index: int) -> None:
+        """Switch accounting to ``round_index`` (0 = initialization)."""
+        self._current_round = round_index
+        self._rounds.setdefault(round_index, RoundLedger(round_index))
+
+    def transfer_seconds(self, num_bytes: int) -> float:
+        """Cost-model time to move ``num_bytes`` over one link."""
+        return self.latency_seconds + num_bytes * 8.0 / (self.bandwidth_mbps * 1e6)
+
+    def send(self, message: Message) -> float:
+        """Account one sequential message; returns its transfer time."""
+        ledger = self._rounds.setdefault(
+            self._current_round, RoundLedger(self._current_round)
+        )
+        seconds = self.transfer_seconds(message.total_bytes)
+        ledger.bytes_sent += message.total_bytes
+        ledger.messages += 1
+        ledger.transfer_seconds += seconds
+        return seconds
+
+    def parallel_exchange(self, messages: Iterable[Message]) -> float:
+        """Account messages sent concurrently (master fan-out/fan-in).
+
+        Bytes and counts add up; the charged time is the slowest
+        individual transfer, modeling simultaneous links.
+        """
+        ledger = self._rounds.setdefault(
+            self._current_round, RoundLedger(self._current_round)
+        )
+        slowest = 0.0
+        for message in messages:
+            seconds = self.transfer_seconds(message.total_bytes)
+            ledger.bytes_sent += message.total_bytes
+            ledger.messages += 1
+            slowest = max(slowest, seconds)
+        ledger.transfer_seconds += slowest
+        return slowest
+
+    # ------------------------------------------------------------------
+    def round_ledgers(self) -> List[RoundLedger]:
+        """Ledgers in round order (only rounds that saw traffic)."""
+        return [self._rounds[r] for r in sorted(self._rounds)]
+
+    def total_bytes(self) -> int:
+        """All bytes moved over the network."""
+        return sum(l.bytes_sent for l in self._rounds.values())
+
+    def total_transfer_seconds(self) -> float:
+        """All simulated transfer time."""
+        return sum(l.transfer_seconds for l in self._rounds.values())
+
+    def total_messages(self) -> int:
+        """All messages exchanged."""
+        return sum(l.messages for l in self._rounds.values())

@@ -1,0 +1,74 @@
+"""Distributing users across slave nodes.
+
+"The partitioning scheme used for assigning the data to the slaves is
+orthogonal to our problem" (Section 5) — so we provide the three obvious
+schemes: hash (what TAO-style systems do), contiguous range, and an
+edge-locality-aware scheme built on our k-way partitioner (fewer
+cross-shard friendships, hence fewer remote strategy reads).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.baselines.kway import kway_partition
+from repro.errors import ConfigurationError
+from repro.graph.social_graph import NodeId, SocialGraph
+
+
+def hash_partition(users: Sequence[NodeId], num_shards: int) -> List[List[NodeId]]:
+    """Assign users to shards by a stable hash of their id."""
+    _check_shards(num_shards, len(users))
+    shards: List[List[NodeId]] = [[] for _ in range(num_shards)]
+    for user in users:
+        shards[hash(user) % num_shards].append(user)
+    return shards
+
+
+def range_partition(users: Sequence[NodeId], num_shards: int) -> List[List[NodeId]]:
+    """Contiguous, equally sized ranges in the given user order."""
+    _check_shards(num_shards, len(users))
+    users = list(users)
+    per_shard, remainder = divmod(len(users), num_shards)
+    shards: List[List[NodeId]] = []
+    start = 0
+    for shard in range(num_shards):
+        size = per_shard + (1 if shard < remainder else 0)
+        shards.append(users[start : start + size])
+        start += size
+    return shards
+
+
+def locality_partition(
+    graph: SocialGraph, num_shards: int, seed: int = 0
+) -> List[List[NodeId]]:
+    """Edge-locality-aware sharding via the multilevel k-way partitioner."""
+    _check_shards(num_shards, graph.num_nodes)
+    result = kway_partition(graph, num_shards, seed=seed)
+    return result.members()
+
+
+def shard_of_map(shards: Sequence[Sequence[NodeId]]) -> Dict[NodeId, int]:
+    """Invert a shard list into ``user -> shard index``."""
+    owner: Dict[NodeId, int] = {}
+    for index, shard in enumerate(shards):
+        for user in shard:
+            if user in owner:
+                raise ConfigurationError(f"user {user!r} assigned to two shards")
+            owner[user] = index
+    return owner
+
+
+def cross_shard_edges(graph: SocialGraph, shards: Sequence[Sequence[NodeId]]) -> int:
+    """Number of friendships crossing shard boundaries (diagnostics)."""
+    owner = shard_of_map(shards)
+    return sum(1 for u, v, _ in graph.edges() if owner[u] != owner[v])
+
+
+def _check_shards(num_shards: int, num_users: int) -> None:
+    if num_shards <= 0:
+        raise ConfigurationError("num_shards must be positive")
+    if num_users and num_shards > num_users:
+        raise ConfigurationError(
+            f"num_shards={num_shards} exceeds user count {num_users}"
+        )

@@ -1,0 +1,57 @@
+"""Query object shared by the decentralized game and fetch-and-execute."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.apps.lagp import Event
+from repro.apps.spatial import Rectangle
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class DGQuery:
+    """One decentralized LAGP query (Figure 6's ``q``).
+
+    Attributes
+    ----------
+    events:
+        The query-time classes with their locations.
+    alpha:
+        Preference parameter of Equation 1.
+    area:
+        Optional area of interest; only users checked-in inside it (and
+        their induced subgraph) participate.
+    init:
+        Strategy initialization method sent to the slaves (``"closest"``
+        or ``"random"``).
+    normalize:
+        ``None`` or ``"pessimistic"``/``"optimistic"`` — the master
+        estimates ``C_N`` from slave-reported distance statistics and
+        query-independent graph statistics (Section 3.3).
+    seed:
+        Seeds random initialization (when ``init="random"``).
+    """
+
+    events: List[Event]
+    alpha: float = 0.5
+    area: Optional[Rectangle] = None
+    init: str = "closest"
+    normalize: Optional[str] = "pessimistic"
+    seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if not self.events:
+            raise ConfigurationError("query needs at least one event")
+        if not 0.0 < self.alpha < 1.0:
+            raise ConfigurationError(f"alpha must be in (0, 1), got {self.alpha}")
+        if self.init not in ("closest", "random"):
+            raise ConfigurationError(f"unknown init {self.init!r}")
+        if self.normalize not in (None, "pessimistic", "optimistic"):
+            raise ConfigurationError(f"unknown normalize {self.normalize!r}")
+
+    @property
+    def k(self) -> int:
+        """Number of classes."""
+        return len(self.events)

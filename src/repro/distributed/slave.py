@@ -1,0 +1,264 @@
+"""Slave node of the decentralized game (Figure 6, right column).
+
+A slave owns a shard of users: their last check-ins and their full
+adjacency lists (which may reference users living on other slaves — the
+remote strategies arrive via the global strategic vector).  Per query the
+slave:
+
+1. determines its local participants (area filter),
+2. computes their distance rows — the expensive part of round 0 ("more
+   than 2.2 billion computations of euclidean distances", Section 6.4),
+3. initializes local strategies and reports the LSV,
+4. on each ``compute color c`` command, returns the best-response
+   deviations of its unhappy local players of that color (a local
+   RMGP_gt step), and
+5. applies redistributed strategy changes to its local table copies.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.apps.spatial import Point
+from repro.core.dynamics import DEVIATION_TOLERANCE
+from repro.distributed.query import DGQuery
+from repro.errors import ProtocolError
+from repro.graph.social_graph import NodeId, SocialGraph
+
+
+@dataclass
+class SlaveInitReport:
+    """What a slave reports after initialization (the LSV message)."""
+
+    local_strategies: Dict[NodeId, int]
+    colors: Set[int]
+    sum_min_distance: float
+    sum_median_distance: float
+    num_participants: int
+    compute_seconds: float
+    distance_computations: int
+
+
+class SlaveNode:
+    """One slave server holding a shard of the social graph."""
+
+    def __init__(
+        self,
+        slave_id: str,
+        graph: SocialGraph,
+        local_users: Sequence[NodeId],
+        checkins: Dict[NodeId, Point],
+        coloring: Dict[NodeId, int],
+    ) -> None:
+        self.slave_id = slave_id
+        self.local_users = list(local_users)
+        self._adjacency: Dict[NodeId, Dict[NodeId, float]] = {
+            user: dict(graph.neighbors(user)) for user in self.local_users
+        }
+        self._checkins = {user: checkins[user] for user in self.local_users}
+        self._coloring = coloring
+
+        # Per-query state, populated by initialize()/receive_gsv().
+        self._query: Optional[DGQuery] = None
+        self._participants: List[NodeId] = []
+        self._local_index: Dict[NodeId, int] = {}
+        self._table: Optional[np.ndarray] = None
+        self._raw_rows: Optional[np.ndarray] = None
+        self._assignment: Dict[NodeId, int] = {}
+        self._happy: Optional[np.ndarray] = None
+        self._gsv: Dict[NodeId, int] = {}
+        self._watchers: Dict[NodeId, List[Tuple[int, float]]] = {}
+        self._max_social: Optional[np.ndarray] = None
+        self._by_color: Dict[int, List[int]] = {}
+
+    # ------------------------------------------------------------------
+    # Figure 6 lines 2-5: local initialization and the LSV
+    # ------------------------------------------------------------------
+    def initialize(self, query: DGQuery) -> SlaveInitReport:
+        """Select participants, compute distance rows, init strategies."""
+        start = time.perf_counter()
+        self._query = query
+        rng = random.Random(query.seed)
+
+        if query.area is None:
+            self._participants = list(self.local_users)
+        else:
+            self._participants = [
+                user
+                for user in self.local_users
+                if query.area.contains(self._checkins[user])
+            ]
+        self._local_index = {u: i for i, u in enumerate(self._participants)}
+        self._by_color = {}
+        for i, user in enumerate(self._participants):
+            self._by_color.setdefault(self._coloring[user], []).append(i)
+
+        n, k = len(self._participants), query.k
+        rows = np.empty((n, k), dtype=np.float64)
+        for i, user in enumerate(self._participants):
+            ux, uy = self._checkins[user]
+            for j, event in enumerate(query.events):
+                ex, ey = event.location
+                rows[i, j] = math.hypot(ux - ex, uy - ey)
+        self._raw_rows = rows
+
+        if query.init == "closest" and n:
+            strategies = rows.argmin(axis=1)
+        else:
+            strategies = np.fromiter(
+                (rng.randrange(k) for _ in range(n)), dtype=np.int64, count=n
+            )
+        self._assignment = {
+            user: int(strategies[i]) for i, user in enumerate(self._participants)
+        }
+
+        elapsed = time.perf_counter() - start
+        return SlaveInitReport(
+            local_strategies=dict(self._assignment),
+            colors={self._coloring[u] for u in self._participants},
+            sum_min_distance=float(rows.min(axis=1).sum()) if n else 0.0,
+            sum_median_distance=float(np.median(rows, axis=1).sum()) if n else 0.0,
+            num_participants=n,
+            compute_seconds=elapsed,
+            distance_computations=n * k,
+        )
+
+    # ------------------------------------------------------------------
+    # Figure 6 lines 10-13: store the GSV and build the global table
+    # ------------------------------------------------------------------
+    def receive_gsv(self, gsv: Dict[NodeId, int], cn: float = 1.0) -> float:
+        """Store the global strategic vector; build the local RMGP_gt state.
+
+        ``cn`` is the master-estimated normalization constant scaling the
+        assignment costs (1.0 = no normalization).  Returns the compute
+        time spent (for the master's parallel accounting).
+        """
+        if self._query is None or self._raw_rows is None:
+            raise ProtocolError(f"slave {self.slave_id}: GSV before INIT")
+        start = time.perf_counter()
+        self._gsv = dict(gsv)
+        query = self._query
+        alpha = query.alpha
+        n = len(self._participants)
+
+        # Restrict adjacency to participating friends; build the reverse
+        # "watchers" map so later strategy changes touch only affected rows.
+        self._watchers = {}
+        participating = self._gsv  # every participant appears in the GSV
+        self._max_social = np.zeros(n, dtype=np.float64)
+        for i, user in enumerate(self._participants):
+            for friend, weight in self._adjacency[user].items():
+                if friend not in participating:
+                    continue
+                self._watchers.setdefault(friend, []).append((i, weight))
+                self._max_social[i] += 0.5 * weight
+        self._max_social *= 1.0 - alpha
+
+        # The slaves run the RMGP_all recipe (Section 6.4): the global
+        # table is restricted by strategy elimination — classes whose
+        # scaled assignment cost exceeds the valid region VR_v can never
+        # be best responses and are pinned to +inf.
+        scaled = cn * self._raw_rows
+        table = alpha * scaled.copy()
+        table += self._max_social[:, None]
+        if n:
+            ratio = (1.0 - alpha) / alpha
+            bounds = (
+                scaled.min(axis=1)
+                + ratio * (self._max_social / (1.0 - alpha))
+            )
+            table[scaled > bounds[:, None] + 1e-12] = np.inf
+        for i, user in enumerate(self._participants):
+            for friend, weight in self._adjacency[user].items():
+                strategy = self._gsv.get(friend)
+                if strategy is not None:
+                    table[i, strategy] -= (1.0 - alpha) * 0.5 * weight
+        self._table = table
+
+        current = np.fromiter(
+            (self._assignment[u] for u in self._participants),
+            dtype=np.int64,
+            count=n,
+        )
+        if n:
+            own = table[np.arange(n), current]
+            self._happy = own <= table.min(axis=1) + DEVIATION_TOLERANCE
+        else:
+            self._happy = np.zeros(0, dtype=bool)
+        return time.perf_counter() - start
+
+    # ------------------------------------------------------------------
+    # Figure 6 lines 17-19: best responses for one color
+    # ------------------------------------------------------------------
+    def compute_color(self, color: int) -> Tuple[Dict[NodeId, int], float]:
+        """Deviations of local unhappy players with ``color``.
+
+        Returns ``(changes, compute seconds)``.  Changes are *not*
+        applied locally yet — they come back via the master's
+        redistribution, exactly as in Figure 6.
+        """
+        if self._table is None or self._happy is None:
+            raise ProtocolError(f"slave {self.slave_id}: compute before GSV")
+        start = time.perf_counter()
+        changes: Dict[NodeId, int] = {}
+        for i in self._by_color.get(color, ()):
+            if self._happy[i]:
+                continue
+            user = self._participants[i]
+            row = self._table[i]
+            current = self._assignment[user]
+            best = int(row.argmin())
+            if row[best] < row[current] - DEVIATION_TOLERANCE:
+                changes[user] = best
+            else:
+                self._happy[i] = True
+        return changes, time.perf_counter() - start
+
+    # ------------------------------------------------------------------
+    # Figure 6 lines 22-24: apply redistributed changes
+    # ------------------------------------------------------------------
+    def apply_changes(self, changes: Dict[NodeId, int]) -> float:
+        """Update the local GSV, tables and happiness; returns seconds."""
+        if self._table is None or self._happy is None:
+            raise ProtocolError(f"slave {self.slave_id}: apply before GSV")
+        start = time.perf_counter()
+        alpha = self._query.alpha if self._query else 0.5
+        half = (1.0 - alpha) * 0.5
+        for user, new_class in changes.items():
+            old_class = self._gsv.get(user)
+            if old_class is None:
+                raise ProtocolError(
+                    f"slave {self.slave_id}: change for non-participant {user!r}"
+                )
+            self._gsv[user] = new_class
+            if user in self._local_index:
+                local = self._local_index[user]
+                self._assignment[user] = new_class
+                self._happy[local] = True
+            for local, weight in self._watchers.get(user, ()):
+                delta = half * weight
+                self._table[local, new_class] -= delta
+                self._table[local, old_class] += delta
+                friend = self._participants[local]
+                row = self._table[local]
+                self._happy[local] = (
+                    row[self._assignment[friend]]
+                    <= row.min() + DEVIATION_TOLERANCE
+                )
+        return time.perf_counter() - start
+
+    # ------------------------------------------------------------------
+    @property
+    def participants(self) -> List[NodeId]:
+        """Local users taking part in the current query."""
+        return list(self._participants)
+
+    def local_assignment(self) -> Dict[NodeId, int]:
+        """Current strategies of the local participants."""
+        return dict(self._assignment)

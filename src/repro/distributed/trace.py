@@ -1,0 +1,100 @@
+"""Message-level protocol tracing for the simulated cluster.
+
+Wraps a :class:`~repro.distributed.network.SimulatedNetwork` so every
+message is recorded with its round, type, endpoints and size — the raw
+material for protocol debugging, the byte ledgers of Figure 14, and the
+per-message-type breakdowns the ablation study reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Tuple
+
+from repro.distributed.messages import Message, MessageType
+from repro.distributed.network import SimulatedNetwork
+
+
+@dataclass(frozen=True)
+class TracedMessage:
+    """One recorded protocol message."""
+
+    round_index: int
+    msg_type: MessageType
+    sender: str
+    recipient: str
+    total_bytes: int
+
+
+class TracingNetwork(SimulatedNetwork):
+    """A :class:`SimulatedNetwork` that also logs every message.
+
+    Drop-in replacement: pass it as the ``network`` of a cluster or an
+    FaE run, then inspect :attr:`trace` or the breakdown helpers.
+    """
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.trace: List[TracedMessage] = []
+        self._round = 0
+
+    def begin_round(self, round_index: int) -> None:
+        self._round = round_index
+        super().begin_round(round_index)
+
+    def send(self, message: Message) -> float:
+        self._record(message)
+        return super().send(message)
+
+    def parallel_exchange(self, messages: Iterable[Message]) -> float:
+        materialized = list(messages)
+        for message in materialized:
+            self._record(message)
+        return super().parallel_exchange(materialized)
+
+    def _record(self, message: Message) -> None:
+        self.trace.append(
+            TracedMessage(
+                round_index=self._round,
+                msg_type=message.msg_type,
+                sender=message.sender,
+                recipient=message.recipient,
+                total_bytes=message.total_bytes,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    def bytes_by_type(self) -> Dict[MessageType, int]:
+        """Total bytes per message type."""
+        totals: Dict[MessageType, int] = {}
+        for entry in self.trace:
+            totals[entry.msg_type] = (
+                totals.get(entry.msg_type, 0) + entry.total_bytes
+            )
+        return totals
+
+    def messages_by_endpoint(self) -> Dict[Tuple[str, str], int]:
+        """Message counts per (sender, recipient) pair."""
+        counts: Dict[Tuple[str, str], int] = {}
+        for entry in self.trace:
+            key = (entry.sender, entry.recipient)
+            counts[key] = counts.get(key, 0) + 1
+        return counts
+
+    def round_trace(self, round_index: int) -> List[TracedMessage]:
+        """Messages of one round, in send order."""
+        return [e for e in self.trace if e.round_index == round_index]
+
+    def format_summary(self, top: int = 10) -> str:
+        """Human-readable per-type and per-endpoint summary."""
+        lines = ["protocol trace summary:"]
+        for msg_type, total in sorted(
+            self.bytes_by_type().items(), key=lambda kv: -kv[1]
+        ):
+            lines.append(f"  {msg_type.value:18s} {total:12,d} bytes")
+        lines.append("busiest links:")
+        for (sender, recipient), count in sorted(
+            self.messages_by_endpoint().items(), key=lambda kv: -kv[1]
+        )[:top]:
+            lines.append(f"  {sender} -> {recipient}: {count} messages")
+        return "\n".join(lines)

@@ -1,0 +1,49 @@
+"""Exception hierarchy for the RMGP reproduction library.
+
+All library-specific errors derive from :class:`RMGPError` so that callers
+can catch every failure mode of this package with a single ``except``
+clause while still being able to discriminate finer-grained conditions.
+"""
+
+from __future__ import annotations
+
+
+class RMGPError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class GraphError(RMGPError):
+    """Raised for structural graph problems (missing nodes, bad edges)."""
+
+
+class ConfigurationError(RMGPError):
+    """Raised when solver or query parameters are invalid.
+
+    Examples: ``alpha`` outside ``(0, 1)``, an empty class set, a cost
+    matrix whose shape does not match the instance.
+    """
+
+
+class ConvergenceError(RMGPError):
+    """Raised when an iterative solver exceeds its round budget.
+
+    Best-response dynamics on an exact potential game always terminate,
+    so hitting this error indicates either a far-too-small ``max_rounds``
+    or a bug in a cost function (e.g. one that changes between rounds).
+    """
+
+
+class DataError(RMGPError):
+    """Raised for malformed dataset files or impossible dataset parameters."""
+
+
+class SolverError(RMGPError):
+    """Raised when an external-style solver (LP, max-flow) fails."""
+
+
+class ProtocolError(RMGPError):
+    """Raised when the decentralized game protocol is violated.
+
+    For example a slave answering for a color it does not own, or a
+    strategy update for a player that is not part of the query.
+    """

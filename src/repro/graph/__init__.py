@@ -1,0 +1,103 @@
+"""Social-graph substrate: storage, traversal, coloring, sampling, stats."""
+
+from repro.graph.social_graph import SocialGraph
+from repro.graph.communities import (
+    agreement,
+    community_sizes,
+    label_propagation,
+)
+from repro.graph.coloring import (
+    color_groups,
+    dsatur_coloring,
+    greedy_coloring,
+    is_proper_coloring,
+    num_colors,
+    welsh_powell_coloring,
+)
+from repro.graph.sampling import (
+    forest_fire_sample,
+    random_edge_sample,
+    random_node_sample,
+)
+from repro.graph.generators import (
+    barabasi_albert,
+    erdos_renyi,
+    geometric_social,
+    planted_partition,
+    uniform_weight_sampler,
+    watts_strogatz,
+)
+from repro.graph.metrics import (
+    GraphStats,
+    average_clustering,
+    cut_weight,
+    degree_assortativity,
+    degree_histogram,
+    local_clustering,
+    graph_stats,
+    internal_weight,
+    modularity,
+    partition_balance,
+    partition_sizes,
+)
+from repro.graph.traversal import (
+    bfs_distances,
+    bfs_order,
+    connected_components,
+    dfs_order,
+    induced_neighborhood,
+    is_connected,
+    largest_component,
+    shortest_path,
+)
+from repro.graph.io import (
+    read_checkins,
+    read_edge_list,
+    write_checkins,
+    write_edge_list,
+)
+
+__all__ = [
+    "SocialGraph",
+    "GraphStats",
+    "agreement",
+    "average_clustering",
+    "barabasi_albert",
+    "community_sizes",
+    "degree_assortativity",
+    "label_propagation",
+    "local_clustering",
+    "bfs_distances",
+    "bfs_order",
+    "color_groups",
+    "connected_components",
+    "cut_weight",
+    "degree_histogram",
+    "dfs_order",
+    "dsatur_coloring",
+    "erdos_renyi",
+    "forest_fire_sample",
+    "geometric_social",
+    "graph_stats",
+    "greedy_coloring",
+    "induced_neighborhood",
+    "internal_weight",
+    "is_connected",
+    "is_proper_coloring",
+    "largest_component",
+    "modularity",
+    "num_colors",
+    "partition_balance",
+    "partition_sizes",
+    "planted_partition",
+    "random_edge_sample",
+    "random_node_sample",
+    "read_checkins",
+    "read_edge_list",
+    "shortest_path",
+    "uniform_weight_sampler",
+    "watts_strogatz",
+    "welsh_powell_coloring",
+    "write_checkins",
+    "write_edge_list",
+]

@@ -1,0 +1,114 @@
+"""Label-propagation community detection.
+
+RMGP's best-response step *is* a cost-biased label propagation: with
+``α → 0`` a player simply adopts the class where most of his friends'
+edge weight sits.  This module implements the classic unconstrained
+algorithm (Raghavan et al.) both as a connectivity-only diagnostic for
+the dataset generators and as the bridge the reproduction bands call out
+("resembles label propagation"): ``tests/graph/test_communities.py``
+checks that low-α RMGP agrees with weighted label propagation on planted
+community structure.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional
+
+from repro.errors import GraphError
+from repro.graph.social_graph import NodeId, SocialGraph
+
+
+def label_propagation(
+    graph: SocialGraph,
+    max_sweeps: int = 100,
+    rng: Optional[random.Random] = None,
+    initial_labels: Optional[Dict[NodeId, int]] = None,
+) -> Dict[NodeId, int]:
+    """Weighted asynchronous label propagation.
+
+    Every node starts in its own community (or ``initial_labels``); each
+    sweep visits nodes in random order and adopts the label with maximum
+    incident edge weight (ties keep the current label when it is among
+    the maximizers, otherwise break uniformly at random).  Stops when a
+    sweep changes nothing.
+    """
+    if max_sweeps <= 0:
+        raise GraphError("max_sweeps must be positive")
+    rng = rng or random.Random()
+    if initial_labels is None:
+        labels = {node: index for index, node in enumerate(graph)}
+    else:
+        missing = [n for n in graph if n not in initial_labels]
+        if missing:
+            raise GraphError(
+                f"initial labels missing nodes: {sorted(map(repr, missing))[:5]}"
+            )
+        labels = dict(initial_labels)
+
+    nodes = graph.nodes()
+    for _ in range(max_sweeps):
+        rng.shuffle(nodes)
+        changed = 0
+        for node in nodes:
+            best = _dominant_label(graph, labels, node, rng)
+            if best is not None and best != labels[node]:
+                labels[node] = best
+                changed += 1
+        if changed == 0:
+            break
+    return labels
+
+
+def _dominant_label(
+    graph: SocialGraph,
+    labels: Dict[NodeId, int],
+    node: NodeId,
+    rng: random.Random,
+) -> Optional[int]:
+    """Label holding the maximum incident weight around ``node``."""
+    neighbors = graph.neighbors(node)
+    if not neighbors:
+        return None
+    weight_by_label: Dict[int, float] = {}
+    for friend, weight in neighbors.items():
+        label = labels[friend]
+        weight_by_label[label] = weight_by_label.get(label, 0.0) + weight
+    top = max(weight_by_label.values())
+    winners = [l for l, w in weight_by_label.items() if w >= top - 1e-12]
+    if labels[node] in winners:
+        return labels[node]
+    return winners[rng.randrange(len(winners))]
+
+
+def community_sizes(labels: Dict[NodeId, int]) -> List[int]:
+    """Community sizes, largest first."""
+    counts: Dict[int, int] = {}
+    for label in labels.values():
+        counts[label] = counts.get(label, 0) + 1
+    return sorted(counts.values(), reverse=True)
+
+
+def agreement(
+    labels_a: Dict[NodeId, int], labels_b: Dict[NodeId, int]
+) -> float:
+    """Pairwise co-membership agreement between two labelings (0..1).
+
+    The fraction of node pairs on which the two labelings agree about
+    "same community or not" — a label-permutation-invariant similarity
+    (Rand index).
+    """
+    nodes = sorted(labels_a, key=repr)
+    if set(labels_a) != set(labels_b):
+        raise GraphError("labelings cover different node sets")
+    if len(nodes) < 2:
+        return 1.0
+    same = total = 0
+    for i, u in enumerate(nodes):
+        for v in nodes[i + 1 :]:
+            total += 1
+            together_a = labels_a[u] == labels_a[v]
+            together_b = labels_b[u] == labels_b[v]
+            if together_a == together_b:
+                same += 1
+    return same / total

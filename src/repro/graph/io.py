@@ -1,0 +1,82 @@
+"""Plain-text readers and writers for graphs and check-in tables.
+
+The on-disk formats mirror the SNAP-style files the paper's datasets ship
+in: whitespace-separated edge lists (``u v [w]``) and check-in tables
+(``user x y``).  Lines starting with ``#`` are comments.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Tuple
+
+from repro.errors import DataError
+from repro.graph.social_graph import SocialGraph
+
+
+def read_edge_list(path: str, default_weight: float = 1.0) -> SocialGraph:
+    """Load a whitespace-separated ``u v [w]`` edge list.
+
+    Node ids are parsed as integers.  Duplicate edges keep the last
+    weight; self-loops raise :class:`~repro.errors.DataError`.
+    """
+    graph = SocialGraph()
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_number, raw in enumerate(handle, start=1):
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split()
+            if len(parts) not in (2, 3):
+                raise DataError(f"{path}:{line_number}: expected 'u v [w]', got {line!r}")
+            try:
+                u, v = int(parts[0]), int(parts[1])
+                w = float(parts[2]) if len(parts) == 3 else default_weight
+            except ValueError as exc:
+                raise DataError(f"{path}:{line_number}: unparsable edge {line!r}") from exc
+            if u == v:
+                raise DataError(f"{path}:{line_number}: self-loop on {u}")
+            graph.add_edge(u, v, w)
+    return graph
+
+
+def write_edge_list(graph: SocialGraph, path: str, write_weights: bool = True) -> None:
+    """Write the graph as a ``u v [w]`` edge list (one edge per line)."""
+    os.makedirs(os.path.dirname(os.path.abspath(path)), exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(f"# RMGP social graph |V|={graph.num_nodes} |E|={graph.num_edges}\n")
+        for u, v, w in graph.edges():
+            if write_weights:
+                handle.write(f"{u} {v} {w:.10g}\n")
+            else:
+                handle.write(f"{u} {v}\n")
+
+
+def read_checkins(path: str) -> Dict[int, Tuple[float, float]]:
+    """Load a ``user x y`` check-in table (latest check-in per user)."""
+    locations: Dict[int, Tuple[float, float]] = {}
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_number, raw in enumerate(handle, start=1):
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split()
+            if len(parts) != 3:
+                raise DataError(f"{path}:{line_number}: expected 'user x y', got {line!r}")
+            try:
+                user = int(parts[0])
+                x, y = float(parts[1]), float(parts[2])
+            except ValueError as exc:
+                raise DataError(f"{path}:{line_number}: unparsable check-in {line!r}") from exc
+            locations[user] = (x, y)
+    return locations
+
+
+def write_checkins(locations: Dict[int, Tuple[float, float]], path: str) -> None:
+    """Write a ``user x y`` check-in table."""
+    os.makedirs(os.path.dirname(os.path.abspath(path)), exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(f"# RMGP check-ins users={len(locations)}\n")
+        for user in sorted(locations):
+            x, y = locations[user]
+            handle.write(f"{user} {x:.10g} {y:.10g}\n")

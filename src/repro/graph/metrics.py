@@ -1,0 +1,185 @@
+"""Descriptive statistics and partition diagnostics for social graphs."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Mapping
+
+from repro.errors import GraphError
+from repro.graph.social_graph import NodeId, SocialGraph
+
+
+@dataclass(frozen=True)
+class GraphStats:
+    """Summary statistics of a social graph.
+
+    ``deg_avg`` and ``w_avg`` are the quantities the paper's normalization
+    constants depend on (Section 3.3); the rest characterize the degree
+    distribution for dataset-matching purposes.
+    """
+
+    num_nodes: int
+    num_edges: int
+    deg_avg: float
+    deg_max: int
+    deg_min: int
+    w_avg: float
+    w_total: float
+    degree_stddev: float
+
+    def __str__(self) -> str:
+        return (
+            f"|V|={self.num_nodes} |E|={self.num_edges} "
+            f"deg_avg={self.deg_avg:.2f} deg_max={self.deg_max} "
+            f"w_avg={self.w_avg:.3f}"
+        )
+
+
+def graph_stats(graph: SocialGraph) -> GraphStats:
+    """Compute :class:`GraphStats` for ``graph``."""
+    degrees = [graph.degree(node) for node in graph]
+    if degrees:
+        deg_avg = sum(degrees) / len(degrees)
+        variance = sum((d - deg_avg) ** 2 for d in degrees) / len(degrees)
+        deg_max, deg_min = max(degrees), min(degrees)
+    else:
+        deg_avg = variance = 0.0
+        deg_max = deg_min = 0
+    return GraphStats(
+        num_nodes=graph.num_nodes,
+        num_edges=graph.num_edges,
+        deg_avg=deg_avg,
+        deg_max=deg_max,
+        deg_min=deg_min,
+        w_avg=graph.average_edge_weight(),
+        w_total=graph.total_edge_weight(),
+        degree_stddev=math.sqrt(variance),
+    )
+
+
+def degree_histogram(graph: SocialGraph) -> Dict[int, int]:
+    """Map each occurring degree to its node count."""
+    histogram: Dict[int, int] = {}
+    for node in graph:
+        degree = graph.degree(node)
+        histogram[degree] = histogram.get(degree, 0) + 1
+    return histogram
+
+
+def cut_weight(graph: SocialGraph, labels: Mapping[NodeId, Hashable]) -> float:
+    """Total weight of edges whose endpoints carry different labels.
+
+    This is the paper's *social cost* term (second sum of Equation 1)
+    for the assignment ``labels``.
+    """
+    missing = [node for node in graph if node not in labels]
+    if missing:
+        raise GraphError(f"unlabeled nodes: {sorted(map(repr, missing))[:5]}")
+    return sum(w for u, v, w in graph.edges() if labels[u] != labels[v])
+
+
+def internal_weight(graph: SocialGraph, labels: Mapping[NodeId, Hashable]) -> float:
+    """Total weight of edges kept inside a label class (complement of cut)."""
+    return graph.total_edge_weight() - cut_weight(graph, labels)
+
+
+def partition_sizes(labels: Mapping[NodeId, Hashable]) -> Dict[Hashable, int]:
+    """Number of nodes per label."""
+    sizes: Dict[Hashable, int] = {}
+    for label in labels.values():
+        sizes[label] = sizes.get(label, 0) + 1
+    return sizes
+
+
+def partition_balance(labels: Mapping[NodeId, Hashable], num_classes: int) -> float:
+    """Max part size divided by ideal size ``n / k`` (1.0 = perfectly even).
+
+    Standard imbalance metric for k-way partitioners; used to sanity-check
+    our METIS replacement.
+    """
+    if num_classes <= 0:
+        raise GraphError("num_classes must be positive")
+    if not labels:
+        return 0.0
+    sizes = partition_sizes(labels)
+    ideal = len(labels) / num_classes
+    return max(sizes.values()) / ideal
+
+
+def local_clustering(graph: SocialGraph, node: NodeId) -> float:
+    """Local clustering coefficient of ``node``.
+
+    The fraction of a user's friend pairs who are themselves friends —
+    high in real check-in networks, one of the properties the synthetic
+    generators are checked against.
+    """
+    neighbors = list(graph.neighbors(node))
+    degree = len(neighbors)
+    if degree < 2:
+        return 0.0
+    links = 0
+    for i, u in enumerate(neighbors):
+        u_neighbors = graph.neighbors(u)
+        for v in neighbors[i + 1 :]:
+            if v in u_neighbors:
+                links += 1
+    return 2.0 * links / (degree * (degree - 1))
+
+
+def average_clustering(graph: SocialGraph) -> float:
+    """Mean local clustering coefficient over all nodes."""
+    if graph.num_nodes == 0:
+        return 0.0
+    return sum(local_clustering(graph, node) for node in graph) / graph.num_nodes
+
+
+def degree_assortativity(graph: SocialGraph) -> float:
+    """Pearson correlation of endpoint degrees over edges.
+
+    Positive in most social networks (hubs befriend hubs).  Returns 0.0
+    when undefined (no edges or zero variance).
+    """
+    xs: List[float] = []
+    ys: List[float] = []
+    for u, v, _ in graph.edges():
+        du, dv = float(graph.degree(u)), float(graph.degree(v))
+        # Each undirected edge contributes both orientations, making the
+        # correlation symmetric.
+        xs.extend((du, dv))
+        ys.extend((dv, du))
+    if not xs:
+        return 0.0
+    n = len(xs)
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    cov = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    var_x = sum((x - mean_x) ** 2 for x in xs)
+    var_y = sum((y - mean_y) ** 2 for y in ys)
+    if var_x <= 0 or var_y <= 0:
+        return 0.0
+    return cov / math.sqrt(var_x * var_y)
+
+
+def modularity(graph: SocialGraph, labels: Mapping[NodeId, Hashable]) -> float:
+    """Newman weighted modularity of the labeling.
+
+    Not used by the RMGP objective itself, but a useful diagnostic to
+    check that social pull indeed groups communities together.
+    """
+    two_m = 2.0 * graph.total_edge_weight()
+    if two_m == 0:
+        return 0.0
+    strength: Dict[NodeId, float] = {
+        node: graph.weighted_degree(node) for node in graph
+    }
+    # Q = internal/m - sum_c (K_c / 2m)^2 for weighted graphs.
+    expectation = 0.0
+    by_label: Dict[Hashable, List[NodeId]] = {}
+    for node in graph:
+        by_label.setdefault(labels[node], []).append(node)
+    for members in by_label.values():
+        total = sum(strength[node] for node in members)
+        expectation += total * total
+    internal = internal_weight(graph, labels)
+    return internal / (two_m / 2.0) - expectation / (two_m * two_m)

@@ -1,0 +1,128 @@
+"""Graph down-sampling, including Forest Fire sampling.
+
+Section 6 of the paper reduces Gowalla through Forest Fire sampling
+[Leskovec & Faloutsos, KDD'06] to sizes the UML baselines can handle
+(|V| up to 300).  :func:`forest_fire_sample` implements the classic
+geometric-burning variant; uniform node and edge samplers are included
+for completeness and for tests.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from typing import List, Optional, Set
+
+from repro.errors import GraphError
+from repro.graph.social_graph import NodeId, SocialGraph
+
+
+def forest_fire_sample(
+    graph: SocialGraph,
+    target_nodes: int,
+    forward_probability: float = 0.7,
+    rng: Optional[random.Random] = None,
+) -> SocialGraph:
+    """Forest Fire sample with ``target_nodes`` nodes.
+
+    Starting from a random ambassador, the fire burns a geometrically
+    distributed number of unburned neighbors (mean ``p / (1 - p)`` with
+    ``p = forward_probability``), recursing breadth-first.  When the fire
+    dies before reaching the target size, a fresh ambassador is drawn.
+    The returned graph is the induced subgraph on the burned nodes, which
+    preserves the heavy-tailed degree shape of the original.
+    """
+    if target_nodes <= 0:
+        raise GraphError("target_nodes must be positive")
+    if target_nodes > graph.num_nodes:
+        raise GraphError(
+            f"target_nodes={target_nodes} exceeds graph size {graph.num_nodes}"
+        )
+    if not 0.0 < forward_probability < 1.0:
+        raise GraphError("forward_probability must be in (0, 1)")
+    rng = rng or random.Random()
+
+    nodes = graph.nodes()
+    burned: Set[NodeId] = set()
+    burned_order: List[NodeId] = []
+
+    while len(burned) < target_nodes:
+        ambassador = nodes[rng.randrange(len(nodes))]
+        if ambassador in burned:
+            continue
+        _burn(graph, ambassador, burned, burned_order, target_nodes,
+              forward_probability, rng)
+
+    return graph.subgraph(burned_order)
+
+
+def _burn(
+    graph: SocialGraph,
+    ambassador: NodeId,
+    burned: Set[NodeId],
+    burned_order: List[NodeId],
+    target_nodes: int,
+    p_forward: float,
+    rng: random.Random,
+) -> None:
+    """Burn outward from ``ambassador`` until the fire dies or target hit."""
+    burned.add(ambassador)
+    burned_order.append(ambassador)
+    frontier = deque([ambassador])
+    while frontier and len(burned) < target_nodes:
+        node = frontier.popleft()
+        unburned = [nbr for nbr in graph.neighbors(node) if nbr not in burned]
+        if not unburned:
+            continue
+        # Geometric number of links to burn, mean p/(1-p).
+        num_links = _geometric(p_forward, rng)
+        rng.shuffle(unburned)
+        for neighbor in unburned[:num_links]:
+            if len(burned) >= target_nodes:
+                break
+            burned.add(neighbor)
+            burned_order.append(neighbor)
+            frontier.append(neighbor)
+
+
+def _geometric(p: float, rng: random.Random) -> int:
+    """Number of failures before first success for Bernoulli(1-p).
+
+    Equivalently a geometric variate with mean ``p / (1 - p)``, the
+    burning fan-out used by Forest Fire.
+    """
+    count = 0
+    while rng.random() < p:
+        count += 1
+    return count
+
+
+def random_node_sample(
+    graph: SocialGraph, target_nodes: int, rng: Optional[random.Random] = None
+) -> SocialGraph:
+    """Induced subgraph on ``target_nodes`` uniformly sampled nodes."""
+    if target_nodes <= 0:
+        raise GraphError("target_nodes must be positive")
+    if target_nodes > graph.num_nodes:
+        raise GraphError(
+            f"target_nodes={target_nodes} exceeds graph size {graph.num_nodes}"
+        )
+    rng = rng or random.Random()
+    chosen = rng.sample(graph.nodes(), target_nodes)
+    return graph.subgraph(chosen)
+
+
+def random_edge_sample(
+    graph: SocialGraph, target_edges: int, rng: Optional[random.Random] = None
+) -> SocialGraph:
+    """Subgraph made of ``target_edges`` uniformly sampled edges."""
+    if target_edges <= 0:
+        raise GraphError("target_edges must be positive")
+    all_edges = list(graph.edges())
+    if target_edges > len(all_edges):
+        raise GraphError(
+            f"target_edges={target_edges} exceeds edge count {len(all_edges)}"
+        )
+    rng = rng or random.Random()
+    chosen = rng.sample(all_edges, target_edges)
+    return SocialGraph.from_edges(chosen)

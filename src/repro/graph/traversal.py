@@ -1,0 +1,145 @@
+"""Graph traversal primitives used by samplers, partitioners and tests."""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Iterable, List, Optional, Set
+
+from repro.errors import GraphError
+from repro.graph.social_graph import NodeId, SocialGraph
+
+
+def bfs_order(graph: SocialGraph, source: NodeId) -> List[NodeId]:
+    """Breadth-first visit order starting at ``source``."""
+    if source not in graph:
+        raise GraphError(f"source {source!r} not in graph")
+    seen: Set[NodeId] = {source}
+    order: List[NodeId] = []
+    queue = deque([source])
+    while queue:
+        node = queue.popleft()
+        order.append(node)
+        for neighbor in graph.neighbors(node):
+            if neighbor not in seen:
+                seen.add(neighbor)
+                queue.append(neighbor)
+    return order
+
+
+def bfs_distances(graph: SocialGraph, source: NodeId) -> Dict[NodeId, int]:
+    """Unweighted hop distance from ``source`` to every reachable node."""
+    if source not in graph:
+        raise GraphError(f"source {source!r} not in graph")
+    dist: Dict[NodeId, int] = {source: 0}
+    queue = deque([source])
+    while queue:
+        node = queue.popleft()
+        for neighbor in graph.neighbors(node):
+            if neighbor not in dist:
+                dist[neighbor] = dist[node] + 1
+                queue.append(neighbor)
+    return dist
+
+
+def dfs_order(graph: SocialGraph, source: NodeId) -> List[NodeId]:
+    """Iterative depth-first visit order starting at ``source``."""
+    if source not in graph:
+        raise GraphError(f"source {source!r} not in graph")
+    seen: Set[NodeId] = set()
+    order: List[NodeId] = []
+    stack = [source]
+    while stack:
+        node = stack.pop()
+        if node in seen:
+            continue
+        seen.add(node)
+        order.append(node)
+        # Reverse for a stable left-to-right expansion order.
+        stack.extend(reversed(list(graph.neighbors(node))))
+    return order
+
+
+def connected_components(graph: SocialGraph) -> List[List[NodeId]]:
+    """All connected components, each as a list of nodes.
+
+    Components are returned in order of their first node's insertion, and
+    each component's nodes are in BFS order from that first node.
+    """
+    seen: Set[NodeId] = set()
+    components: List[List[NodeId]] = []
+    for node in graph:
+        if node in seen:
+            continue
+        component = bfs_order(graph, node)
+        seen.update(component)
+        components.append(component)
+    return components
+
+
+def largest_component(graph: SocialGraph) -> SocialGraph:
+    """Induced subgraph on the largest connected component."""
+    components = connected_components(graph)
+    if not components:
+        return SocialGraph()
+    biggest = max(components, key=len)
+    return graph.subgraph(biggest)
+
+
+def is_connected(graph: SocialGraph) -> bool:
+    """True when the graph has at most one connected component."""
+    return len(connected_components(graph)) <= 1
+
+
+def shortest_path(
+    graph: SocialGraph, source: NodeId, target: NodeId
+) -> Optional[List[NodeId]]:
+    """Unweighted shortest path from ``source`` to ``target``.
+
+    Returns ``None`` when ``target`` is unreachable.
+    """
+    if source not in graph:
+        raise GraphError(f"source {source!r} not in graph")
+    if target not in graph:
+        raise GraphError(f"target {target!r} not in graph")
+    if source == target:
+        return [source]
+    parent: Dict[NodeId, NodeId] = {source: source}
+    queue = deque([source])
+    while queue:
+        node = queue.popleft()
+        for neighbor in graph.neighbors(node):
+            if neighbor in parent:
+                continue
+            parent[neighbor] = node
+            if neighbor == target:
+                path = [target]
+                while path[-1] != source:
+                    path.append(parent[path[-1]])
+                path.reverse()
+                return path
+            queue.append(neighbor)
+    return None
+
+
+def induced_neighborhood(
+    graph: SocialGraph, seeds: Iterable[NodeId], hops: int
+) -> SocialGraph:
+    """Induced subgraph on every node within ``hops`` of any seed."""
+    if hops < 0:
+        raise GraphError("hops must be non-negative")
+    frontier = set(seeds)
+    missing = frontier - set(graph.nodes())
+    if missing:
+        raise GraphError(f"seed nodes not in graph: {sorted(map(repr, missing))[:5]}")
+    keep = set(frontier)
+    for _ in range(hops):
+        next_frontier: Set[NodeId] = set()
+        for node in frontier:
+            for neighbor in graph.neighbors(node):
+                if neighbor not in keep:
+                    keep.add(neighbor)
+                    next_frontier.add(neighbor)
+        frontier = next_frontier
+        if not frontier:
+            break
+    return graph.subgraph(keep)

@@ -1,0 +1,131 @@
+"""Unit tests for spatial primitives and the grid index."""
+
+import math
+import random
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps import (
+    GridIndex,
+    Rectangle,
+    distance_matrix,
+    euclidean,
+    haversine_km,
+)
+from repro.errors import ConfigurationError
+
+
+class TestDistances:
+    def test_euclidean(self):
+        assert euclidean((0, 0), (3, 4)) == pytest.approx(5.0)
+        assert euclidean((1, 1), (1, 1)) == 0.0
+
+    def test_haversine_equator_degree(self):
+        # One degree of longitude at the equator is ~111.2 km.
+        assert haversine_km((0, 0), (0, 1)) == pytest.approx(111.2, rel=0.01)
+
+    def test_haversine_symmetry(self):
+        a, b = (40.7, -74.0), (34.05, -118.24)  # NYC <-> LA
+        assert haversine_km(a, b) == pytest.approx(haversine_km(b, a))
+        assert haversine_km(a, b) == pytest.approx(3936, rel=0.02)
+
+    def test_distance_matrix_euclidean(self):
+        users = [(0.0, 0.0), (1.0, 0.0)]
+        events = [(0.0, 0.0), (0.0, 2.0)]
+        matrix = distance_matrix(users, events)
+        np.testing.assert_allclose(
+            matrix, [[0.0, 2.0], [1.0, math.sqrt(5.0)]]
+        )
+
+    def test_distance_matrix_haversine(self):
+        matrix = distance_matrix([(0, 0)], [(0, 1)], metric="haversine")
+        assert matrix[0, 0] == pytest.approx(111.2, rel=0.01)
+
+    def test_distance_matrix_empty(self):
+        assert distance_matrix([], [(0, 0)]).shape == (0, 1)
+        assert distance_matrix([(0, 0)], []).shape == (1, 0)
+
+    def test_unknown_metric(self):
+        with pytest.raises(ConfigurationError):
+            distance_matrix([(0, 0)], [(1, 1)], metric="manhattan")
+
+
+class TestRectangle:
+    def test_contains(self):
+        rect = Rectangle(0, 0, 2, 3)
+        assert rect.contains((1, 1))
+        assert rect.contains((0, 0))  # border included
+        assert rect.contains((2, 3))
+        assert not rect.contains((2.1, 1))
+        assert not rect.contains((1, -0.1))
+
+    def test_extent(self):
+        rect = Rectangle(-1, -2, 3, 4)
+        assert rect.width == 4
+        assert rect.height == 6
+
+    def test_rejects_negative_extent(self):
+        with pytest.raises(ConfigurationError):
+            Rectangle(1, 0, 0, 1)
+
+
+class TestGridIndex:
+    def test_rejects_bad_cell(self):
+        with pytest.raises(ConfigurationError):
+            GridIndex({}, 0.0)
+
+    def test_range_query_matches_brute_force(self):
+        rng = random.Random(0)
+        points = {i: (rng.uniform(0, 10), rng.uniform(0, 10)) for i in range(200)}
+        index = GridIndex(points, cell_size=1.3)
+        rect = Rectangle(2.0, 3.0, 6.5, 7.25)
+        expected = {pid for pid, p in points.items() if rect.contains(p)}
+        assert set(index.range_query(rect)) == expected
+
+    def test_nearest_matches_brute_force(self):
+        rng = random.Random(1)
+        points = {i: (rng.uniform(0, 5), rng.uniform(0, 5)) for i in range(100)}
+        index = GridIndex(points, cell_size=0.8)
+        for _ in range(10):
+            query = (rng.uniform(0, 5), rng.uniform(0, 5))
+            found = index.nearest(query, count=3)
+            brute = sorted(points, key=lambda pid: euclidean(query, points[pid]))
+            found_d = [euclidean(query, points[p]) for p in found]
+            brute_d = [euclidean(query, points[p]) for p in brute[:3]]
+            assert found_d == pytest.approx(brute_d)
+
+    def test_nearest_count_clamped(self):
+        index = GridIndex({0: (0, 0), 1: (1, 1)}, cell_size=1.0)
+        assert len(index.nearest((0, 0), count=10)) == 2
+
+    def test_nearest_empty_index(self):
+        assert GridIndex({}, 1.0).nearest((0, 0)) == []
+
+    def test_nearest_rejects_bad_count(self):
+        index = GridIndex({0: (0, 0)}, 1.0)
+        with pytest.raises(ConfigurationError):
+            index.nearest((0, 0), count=0)
+
+    def test_location_lookup(self):
+        index = GridIndex({7: (1.5, 2.5)}, 1.0)
+        assert index.location(7) == (1.5, 2.5)
+        assert len(index) == 1
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    points=st.lists(
+        st.tuples(st.floats(-50, 50), st.floats(-50, 50)), min_size=1, max_size=60
+    ),
+    query=st.tuples(st.floats(-50, 50), st.floats(-50, 50)),
+)
+def test_property_grid_nearest_is_exact(points, query):
+    """Grid 1-NN always equals the brute-force nearest distance."""
+    table = {i: p for i, p in enumerate(points)}
+    index = GridIndex(table, cell_size=7.0)
+    found = index.nearest(query, count=1)[0]
+    best = min(euclidean(query, p) for p in points)
+    assert euclidean(query, table[found]) == pytest.approx(best)

@@ -1,0 +1,96 @@
+"""Unit tests for the streaming (online) recommender."""
+
+import pytest
+
+from repro.apps import Event, StreamingRecommender, simulate_stream
+from repro.core import is_nash_equilibrium
+from repro.datasets import gowalla_like
+from repro.errors import ConfigurationError
+from repro.graph import SocialGraph
+
+
+@pytest.fixture
+def recommender():
+    graph = SocialGraph.from_edges(
+        [(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0), (3, 0, 1.0)]
+    )
+    checkins = {0: (0.0, 0.0), 1: (1.0, 0.0), 2: (9.0, 9.0), 3: (10.0, 9.0)}
+    events = [Event("west", (0.5, 0.0)), Event("east", (9.5, 9.0))]
+    return StreamingRecommender(
+        graph, checkins, events, normalize_method=None, seed=0
+    )
+
+
+class TestConstruction:
+    def test_initial_recommendations(self, recommender):
+        recs = recommender.recommendations()
+        assert recs[0] == "west"
+        assert recs[3] == "east"
+
+    def test_initial_state_is_equilibrium(self, recommender):
+        assert is_nash_equilibrium(
+            recommender.engine.instance, recommender.engine.assignment
+        )
+
+    def test_rejects_empty_events(self):
+        graph = SocialGraph.from_edges([(0, 1)])
+        with pytest.raises(ConfigurationError):
+            StreamingRecommender(graph, {0: (0, 0), 1: (1, 1)}, [])
+
+    def test_rejects_missing_checkins(self):
+        graph = SocialGraph.from_edges([(0, 1)])
+        with pytest.raises(ConfigurationError):
+            StreamingRecommender(graph, {0: (0, 0)}, [Event("e", (0, 0))])
+
+
+class TestCheckins:
+    def test_checkin_moves_recommendation(self, recommender):
+        recommender.observe_checkin(0, (9.2, 9.1))
+        stats = recommender.tick()
+        assert stats.checkins_ingested == 1
+        assert recommender.recommendations()[0] == "east"
+        assert is_nash_equilibrium(
+            recommender.engine.instance, recommender.engine.assignment
+        )
+
+    def test_unknown_user_rejected(self, recommender):
+        with pytest.raises(ConfigurationError):
+            recommender.observe_checkin(99, (0.0, 0.0))
+
+    def test_noop_epoch(self, recommender):
+        stats = recommender.tick()
+        assert stats.checkins_ingested == 0
+        assert stats.deviations == 0
+        assert stats.users_reassigned == 0
+
+    def test_friendship_event(self, recommender):
+        recommender.observe_friendship(0, 2, weight=50.0)
+        recommender.tick()
+        recs = recommender.recommendations()
+        assert recs[0] == recs[2]  # the heavy edge forces co-location
+
+
+class TestSimulation:
+    def test_stream_over_synthetic_dataset(self):
+        data = gowalla_like(num_users=250, num_events=8, seed=61)
+        recommender = StreamingRecommender(
+            data.graph, data.checkins, data.events, seed=0
+        )
+        history = simulate_stream(
+            recommender, epochs=4, checkins_per_epoch=10, seed=1
+        )
+        assert len(history) == 4
+        assert [s.epoch for s in history] == [1, 2, 3, 4]
+        assert all(s.checkins_ingested == 10 for s in history)
+        # Every epoch ends at an equilibrium of the current instance.
+        assert is_nash_equilibrium(
+            recommender.engine.instance, recommender.engine.assignment
+        )
+        # History accumulates on the recommender too.
+        assert recommender.history == history
+
+    def test_rejects_bad_parameters(self, recommender):
+        with pytest.raises(ConfigurationError):
+            simulate_stream(recommender, epochs=0, checkins_per_epoch=1)
+        with pytest.raises(ConfigurationError):
+            simulate_stream(recommender, epochs=1, checkins_per_epoch=-1)

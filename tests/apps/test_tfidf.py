@@ -1,0 +1,92 @@
+"""Unit tests for the tf-idf pipeline."""
+
+import pytest
+
+from repro.apps import (
+    cosine_dissimilarity,
+    cosine_similarity,
+    fit_tfidf,
+    term_frequencies,
+    tokenize,
+)
+from repro.errors import ConfigurationError
+
+
+class TestTokenize:
+    def test_lowercases_and_splits(self):
+        assert tokenize("Hello, World! 123") == ["hello", "world", "123"]
+
+    def test_empty(self):
+        assert tokenize("") == []
+        assert tokenize("!!! ...") == []
+
+
+class TestTermFrequencies:
+    def test_relative_frequencies(self):
+        tf = term_frequencies(["a", "b", "a", "a"])
+        assert tf == {"a": 0.75, "b": 0.25}
+
+    def test_empty(self):
+        assert term_frequencies([]) == {}
+
+
+class TestFit:
+    def test_rare_terms_weighted_higher(self):
+        model = fit_tfidf(["cat dog", "cat bird", "cat fish"])
+        assert model.idf["cat"] < model.idf["dog"]
+
+    def test_num_documents(self):
+        model = fit_tfidf(["a", "b"])
+        assert model.num_documents == 2
+
+    def test_rejects_empty_corpus(self):
+        with pytest.raises(ConfigurationError):
+            fit_tfidf([])
+
+    def test_transform_drops_oov(self):
+        model = fit_tfidf(["cat dog"])
+        vector = model.transform("cat spaceship")
+        assert "cat" in vector
+        assert "spaceship" not in vector
+
+    def test_transform_empty_text(self):
+        model = fit_tfidf(["cat dog"])
+        assert model.transform("") == {}
+
+
+class TestCosine:
+    def test_identical_vectors(self):
+        v = {"a": 1.0, "b": 2.0}
+        assert cosine_similarity(v, v) == pytest.approx(1.0)
+        assert cosine_dissimilarity(v, v) == pytest.approx(0.0)
+
+    def test_orthogonal_vectors(self):
+        assert cosine_similarity({"a": 1.0}, {"b": 1.0}) == 0.0
+        assert cosine_dissimilarity({"a": 1.0}, {"b": 1.0}) == 1.0
+
+    def test_empty_vector(self):
+        assert cosine_similarity({}, {"a": 1.0}) == 0.0
+
+    def test_symmetry(self):
+        a = {"x": 1.0, "y": 3.0}
+        b = {"y": 2.0, "z": 1.0}
+        assert cosine_similarity(a, b) == pytest.approx(cosine_similarity(b, a))
+
+    def test_range(self):
+        a = {"x": 2.0, "y": 1.0}
+        b = {"x": 1.0, "z": 5.0}
+        value = cosine_similarity(a, b)
+        assert 0.0 <= value <= 1.0
+
+    def test_end_to_end_similarity_ranking(self):
+        model = fit_tfidf([
+            "bike ride trail mountain",
+            "oven recipe pasta kitchen",
+            "bike race wheel",
+        ])
+        cyclist = model.transform("bike trail ride")
+        cook = model.transform("pasta oven recipe")
+        bike_ad = model.transform("new bike wheel sale")
+        assert cosine_similarity(cyclist, bike_ad) > cosine_similarity(
+            cook, bike_ad
+        )

@@ -1,0 +1,87 @@
+"""Unit and property tests for the Hungarian assignment solver."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy.optimize import linear_sum_assignment
+
+from repro.baselines import assignment_cost_of, hungarian
+from repro.errors import ConfigurationError
+
+
+class TestKnownCases:
+    def test_identity_is_optimal(self):
+        cost = np.array([[0.0, 9.0], [9.0, 0.0]])
+        assignment, total = hungarian(cost)
+        assert assignment == [0, 1]
+        assert total == 0.0
+
+    def test_forced_swap(self):
+        cost = np.array([[9.0, 0.0], [0.0, 9.0]])
+        assignment, total = hungarian(cost)
+        assert assignment == [1, 0]
+        assert total == 0.0
+
+    def test_classic_3x3(self):
+        cost = np.array([[4.0, 1.0, 3.0], [2.0, 0.0, 5.0], [3.0, 2.0, 2.0]])
+        _, total = hungarian(cost)
+        rows, cols = linear_sum_assignment(cost)
+        assert total == pytest.approx(cost[rows, cols].sum())
+
+    def test_rectangular_more_columns(self):
+        cost = np.array([[5.0, 1.0, 9.0, 2.0], [4.0, 6.0, 1.0, 3.0]])
+        assignment, total = hungarian(cost)
+        assert len(set(assignment)) == 2
+        rows, cols = linear_sum_assignment(cost)
+        assert total == pytest.approx(cost[rows, cols].sum())
+
+    def test_empty(self):
+        assignment, total = hungarian(np.zeros((0, 3)))
+        assert assignment == []
+        assert total == 0.0
+
+
+class TestValidation:
+    def test_rejects_more_rows_than_columns(self):
+        with pytest.raises(ConfigurationError):
+            hungarian(np.zeros((3, 2)))
+
+    def test_rejects_non_matrix(self):
+        with pytest.raises(ConfigurationError):
+            hungarian(np.zeros(4))
+
+    def test_rejects_non_finite(self):
+        with pytest.raises(ConfigurationError):
+            hungarian(np.array([[np.inf, 1.0]]))
+
+
+class TestAssignmentCostOf:
+    def test_computes_total(self):
+        cost = np.array([[1.0, 2.0], [3.0, 4.0]])
+        assert assignment_cost_of(cost, [1, 0]) == pytest.approx(5.0)
+
+    def test_rejects_wrong_length(self):
+        with pytest.raises(ConfigurationError):
+            assignment_cost_of(np.zeros((2, 2)), [0])
+
+    def test_rejects_column_reuse(self):
+        with pytest.raises(ConfigurationError):
+            assignment_cost_of(np.zeros((2, 2)), [0, 0])
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    rows=st.integers(1, 7),
+    extra_cols=st.integers(0, 3),
+    seed=st.integers(0, 10_000),
+)
+def test_property_matches_scipy(rows, extra_cols, seed):
+    """Optimal value always equals scipy's linear_sum_assignment."""
+    rng = np.random.default_rng(seed)
+    cost = rng.uniform(0.0, 100.0, size=(rows, rows + extra_cols))
+    assignment, total = hungarian(cost)
+    # Feasible: distinct columns.
+    assert len(set(assignment)) == rows
+    reference_rows, reference_cols = linear_sum_assignment(cost)
+    assert total == pytest.approx(cost[reference_rows, reference_cols].sum())

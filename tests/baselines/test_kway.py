@@ -1,0 +1,87 @@
+"""Unit tests for the multilevel k-way partitioner (METIS stand-in)."""
+
+import random
+
+import pytest
+
+from repro.baselines import kway_partition
+from repro.errors import ConfigurationError
+from repro.graph import SocialGraph, cut_weight, erdos_renyi, planted_partition
+
+
+class TestBasics:
+    def test_covers_all_nodes(self):
+        graph = erdos_renyi(50, 0.15, random.Random(0))
+        result = kway_partition(graph, 4, seed=0)
+        assert set(result.parts) == set(graph.nodes())
+        assert set(result.parts.values()) <= set(range(4))
+
+    def test_cut_matches_reported(self):
+        graph = erdos_renyi(40, 0.2, random.Random(1))
+        result = kway_partition(graph, 3, seed=1)
+        assert result.cut == pytest.approx(cut_weight(graph, result.parts))
+
+    def test_members_partition(self):
+        graph = erdos_renyi(30, 0.2, random.Random(2))
+        result = kway_partition(graph, 3, seed=0)
+        members = result.members()
+        assert len(members) == 3
+        flattened = [node for group in members for node in group]
+        assert sorted(flattened) == sorted(graph.nodes())
+
+    def test_single_part_no_cut(self):
+        graph = erdos_renyi(20, 0.3, random.Random(3))
+        result = kway_partition(graph, 1, seed=0)
+        assert result.cut == 0.0
+
+    def test_empty_graph(self):
+        result = kway_partition(SocialGraph(), 3)
+        assert result.parts == {}
+        assert result.cut == 0.0
+
+    def test_n_parts_equals_n_nodes(self):
+        graph = SocialGraph.from_edges([(0, 1), (1, 2)])
+        result = kway_partition(graph, 3, seed=0)
+        assert len(set(result.parts.values())) == 3
+
+
+class TestQuality:
+    def test_roughly_balanced(self):
+        graph = erdos_renyi(120, 0.1, random.Random(4))
+        k = 4
+        result = kway_partition(graph, k, seed=0, imbalance=0.10)
+        sizes = [len(g) for g in result.members()]
+        # Allow slack beyond the nominal constraint: region growing can
+        # overshoot by one claim before freezing a part.
+        assert max(sizes) <= (1.25) * graph.num_nodes / k + 1
+
+    def test_finds_planted_cut(self):
+        graph, membership = planted_partition(
+            [40, 40], 0.4, 0.01, random.Random(5)
+        )
+        result = kway_partition(graph, 2, seed=0)
+        planted_cut = cut_weight(
+            graph, {v: membership[v] for v in graph}
+        )
+        # The partitioner should get within striking distance of the
+        # planted (near-optimal) cut.
+        assert result.cut <= 3.0 * max(planted_cut, 1.0)
+
+    def test_beats_random_split(self):
+        graph = erdos_renyi(100, 0.12, random.Random(6))
+        result = kway_partition(graph, 4, seed=0)
+        rng = random.Random(7)
+        random_labels = {v: rng.randrange(4) for v in graph}
+        assert result.cut < cut_weight(graph, random_labels)
+
+
+class TestValidation:
+    def test_rejects_non_positive_parts(self):
+        graph = erdos_renyi(10, 0.3, random.Random(0))
+        with pytest.raises(ConfigurationError):
+            kway_partition(graph, 0)
+
+    def test_rejects_more_parts_than_nodes(self):
+        graph = SocialGraph.from_edges([(0, 1)])
+        with pytest.raises(ConfigurationError):
+            kway_partition(graph, 3)

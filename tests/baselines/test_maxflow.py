@@ -1,0 +1,99 @@
+"""Unit tests for the Dinic max-flow / min-cut solver."""
+
+import pytest
+
+from repro.baselines import FlowNetwork
+from repro.errors import SolverError
+
+
+class TestMaxFlow:
+    def test_single_edge(self):
+        net = FlowNetwork(2)
+        net.add_edge(0, 1, 5.0)
+        assert net.max_flow(0, 1) == pytest.approx(5.0)
+
+    def test_series_bottleneck(self):
+        net = FlowNetwork(3)
+        net.add_edge(0, 1, 10.0)
+        net.add_edge(1, 2, 3.0)
+        assert net.max_flow(0, 2) == pytest.approx(3.0)
+
+    def test_parallel_paths(self):
+        net = FlowNetwork(4)
+        net.add_edge(0, 1, 2.0)
+        net.add_edge(1, 3, 2.0)
+        net.add_edge(0, 2, 3.0)
+        net.add_edge(2, 3, 3.0)
+        assert net.max_flow(0, 3) == pytest.approx(5.0)
+
+    def test_classic_diamond_with_cross_edge(self):
+        net = FlowNetwork(4)
+        net.add_edge(0, 1, 10.0)
+        net.add_edge(0, 2, 10.0)
+        net.add_edge(1, 2, 1.0)
+        net.add_edge(1, 3, 8.0)
+        net.add_edge(2, 3, 10.0)
+        assert net.max_flow(0, 3) == pytest.approx(18.0)
+
+    def test_disconnected_is_zero(self):
+        net = FlowNetwork(3)
+        net.add_edge(0, 1, 4.0)
+        assert net.max_flow(0, 2) == 0.0
+
+    def test_undirected_edge_both_ways(self):
+        net = FlowNetwork(3)
+        net.add_undirected_edge(0, 1, 3.0)
+        net.add_undirected_edge(1, 2, 3.0)
+        assert net.max_flow(0, 2) == pytest.approx(3.0)
+        fresh = FlowNetwork(3)
+        fresh.add_undirected_edge(0, 1, 3.0)
+        fresh.add_undirected_edge(1, 2, 3.0)
+        assert fresh.max_flow(2, 0) == pytest.approx(3.0)
+
+
+class TestMinCut:
+    def test_cut_value_equals_flow(self):
+        net = FlowNetwork(4)
+        net.add_edge(0, 1, 4.0)
+        net.add_edge(0, 2, 2.0)
+        net.add_edge(1, 3, 3.0)
+        net.add_edge(2, 3, 5.0)
+        value, side = net.min_cut_source_side(0, 3)
+        assert value == pytest.approx(5.0)
+        assert 0 in side
+        assert 3 not in side
+
+    def test_cut_separates(self):
+        net = FlowNetwork(5)
+        net.add_edge(0, 1, 1.0)
+        net.add_edge(1, 2, 10.0)
+        net.add_edge(2, 3, 10.0)
+        net.add_edge(3, 4, 10.0)
+        value, side = net.min_cut_source_side(0, 4)
+        assert value == pytest.approx(1.0)
+        assert side == {0}
+
+
+class TestValidation:
+    def test_rejects_zero_nodes(self):
+        with pytest.raises(SolverError):
+            FlowNetwork(0)
+
+    def test_rejects_negative_capacity(self):
+        net = FlowNetwork(2)
+        with pytest.raises(SolverError):
+            net.add_edge(0, 1, -1.0)
+        with pytest.raises(SolverError):
+            net.add_undirected_edge(0, 1, -1.0)
+
+    def test_rejects_out_of_range_nodes(self):
+        net = FlowNetwork(2)
+        with pytest.raises(SolverError):
+            net.add_edge(0, 5, 1.0)
+        with pytest.raises(SolverError):
+            net.max_flow(0, 5)
+
+    def test_rejects_same_source_sink(self):
+        net = FlowNetwork(2)
+        with pytest.raises(SolverError):
+            net.max_flow(1, 1)

@@ -1,0 +1,130 @@
+"""Unit tests for the UML baselines: LP relaxation, greedy, MH, exact."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    lp_lower_bound,
+    optimal_value,
+    solve_exact,
+    solve_metis_hungarian,
+    solve_uml_greedy,
+    solve_uml_lp,
+)
+from repro.core import objective
+from repro.errors import ConfigurationError
+
+from tests.core.conftest import random_instance, tiny_instance
+
+
+class TestExact:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_matches_brute_force(self, seed):
+        instance = random_instance(
+            num_players=6, num_classes=3, edge_probability=0.5, seed=seed
+        )
+        exact = solve_exact(instance)
+        # Brute force over all 3^6 assignments.
+        best = min(
+            objective(
+                instance,
+                np.array(
+                    [(code // 3**v) % 3 for v in range(6)], dtype=np.int64
+                ),
+            ).total
+            for code in range(3**6)
+        )
+        assert exact.value.total == pytest.approx(best)
+
+    def test_refuses_huge_instances(self):
+        instance = random_instance(num_players=20, num_classes=4)
+        with pytest.raises(ConfigurationError):
+            solve_exact(instance, max_leaves=1000)
+
+    def test_optimal_value_wrapper(self):
+        instance = tiny_instance(seed=1)
+        assert optimal_value(instance) == pytest.approx(
+            solve_exact(instance).value.total
+        )
+
+
+class TestLP:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_lower_bound_below_optimum(self, seed):
+        instance = tiny_instance(seed=seed)
+        bound = lp_lower_bound(instance)
+        assert bound <= optimal_value(instance) + 1e-6
+
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_rounded_solution_valid_and_bounded(self, seed):
+        instance = tiny_instance(seed=seed)
+        result = solve_uml_lp(instance, seed=seed)
+        instance.validate_assignment(result.assignment)
+        # KT guarantees expected 2-approx; we keep the best of many
+        # trials, so being within 2x of the LP bound is near-certain.
+        assert result.value.total <= 2.0 * result.extra["lp_value"] + 1e-6
+
+    def test_integral_lp_is_optimal(self):
+        # On most small instances the relaxation is integral (as the
+        # paper observed); when it is, the result equals the optimum.
+        instance = tiny_instance(seed=3)
+        result = solve_uml_lp(instance, seed=0)
+        if result.extra["lp_integral"]:
+            assert result.value.total == pytest.approx(
+                optimal_value(instance), abs=1e-6
+            )
+
+    def test_reports_diagnostics(self):
+        instance = tiny_instance(seed=0)
+        result = solve_uml_lp(instance, seed=0)
+        assert result.extra["approximation_ratio_bound"] == 2.0
+        assert result.extra["rounding_gap"] >= 1.0 - 1e-9
+
+
+class TestGreedy:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_valid_assignment(self, seed):
+        instance = random_instance(seed=seed)
+        result = solve_uml_greedy(instance)
+        instance.validate_assignment(result.assignment)
+        assert result.converged
+
+    def test_single_class(self):
+        instance = random_instance(num_classes=1, seed=0)
+        result = solve_uml_greedy(instance)
+        assert set(result.assignment.tolist()) == {0}
+
+    def test_never_below_lp_bound(self):
+        instance = tiny_instance(seed=4)
+        result = solve_uml_greedy(instance)
+        assert result.value.total >= lp_lower_bound(instance) - 1e-6
+
+    def test_deterministic(self):
+        instance = random_instance(seed=5)
+        a = solve_uml_greedy(instance)
+        b = solve_uml_greedy(instance)
+        np.testing.assert_array_equal(a.assignment, b.assignment)
+
+
+class TestMetisHungarian:
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_valid_assignment(self, seed):
+        instance = random_instance(num_players=30, num_classes=4, seed=seed)
+        result = solve_metis_hungarian(instance, seed=seed)
+        instance.validate_assignment(result.assignment)
+
+    def test_each_partition_gets_distinct_class(self):
+        instance = random_instance(num_players=30, num_classes=4, seed=2)
+        result = solve_metis_hungarian(instance, seed=0)
+        mapping = result.extra["partition_to_class"]
+        assert len(set(mapping)) == instance.k
+
+    def test_rejects_k_above_n(self):
+        instance = random_instance(num_players=3, num_classes=4, seed=0)
+        with pytest.raises(ConfigurationError):
+            solve_metis_hungarian(instance)
+
+    def test_never_below_lp_bound(self):
+        instance = tiny_instance(seed=6)
+        result = solve_metis_hungarian(instance, seed=0)
+        assert result.value.total >= lp_lower_bound(instance) - 1e-6

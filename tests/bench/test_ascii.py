@@ -1,0 +1,76 @@
+"""Unit tests for the terminal bar charts."""
+
+import pytest
+
+from repro.bench.ascii import bar_chart, table_chart
+from repro.bench.harness import Table
+from repro.errors import ConfigurationError
+
+
+class TestBarChart:
+    def test_scales_to_max(self):
+        text = bar_chart(["a", "b"], [1.0, 2.0], width=10)
+        lines = text.splitlines()
+        assert lines[0].count("#") == 5
+        assert lines[1].count("#") == 10
+
+    def test_zero_value_no_bar(self):
+        text = bar_chart(["a", "b"], [0.0, 4.0], width=8)
+        assert text.splitlines()[0].count("#") == 0
+
+    def test_small_positive_gets_one_mark(self):
+        text = bar_chart(["a", "b"], [0.0001, 100.0], width=10)
+        assert text.splitlines()[0].count("#") == 1
+
+    def test_title_and_values_shown(self):
+        text = bar_chart(["x"], [3.0], title="My Chart")
+        assert "My Chart" in text
+        assert "3" in text
+
+    def test_empty(self):
+        assert "(no data)" in bar_chart([], [])
+
+    def test_rejects_mismatched(self):
+        with pytest.raises(ConfigurationError):
+            bar_chart(["a"], [1.0, 2.0])
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            bar_chart(["a"], [-1.0])
+
+    def test_rejects_tiny_width(self):
+        with pytest.raises(ConfigurationError):
+            bar_chart(["a"], [1.0], width=2)
+
+
+class TestTableChart:
+    def make_table(self):
+        table = Table(title="T", columns=["round", "ms"])
+        table.add_row(round=0, ms=10.0)
+        table.add_row(round=1, ms=5.0)
+        table.add_row(round=2)  # missing value skipped
+        return table
+
+    def test_charts_numeric_rows(self):
+        text = table_chart(self.make_table(), "ms")
+        assert "T — ms" in text
+        assert text.count("|") == 2  # two charted rows
+
+    def test_label_column_default_first(self):
+        text = table_chart(self.make_table(), "ms")
+        assert "0 |" in text
+        assert "1 |" in text
+
+    def test_rejects_unknown_column(self):
+        with pytest.raises(ConfigurationError):
+            table_chart(self.make_table(), "nope")
+
+
+class TestCLIIntegration:
+    def test_figure_with_chart(self, capsys):
+        from repro.cli import main
+
+        assert main(["figure", "table1", "--chart", "cost_p1"]) == 0
+        output = capsys.readouterr().out
+        assert "#" in output
+        assert "cost_p1" in output

@@ -1,0 +1,79 @@
+"""Unit tests for the benchmark harness utilities."""
+
+import pytest
+
+from repro.bench import Table, full_scale, time_call
+from repro.bench.harness import FULL_SCALE_ENV, Measurement
+from repro.errors import ConfigurationError
+
+
+class TestTimeCall:
+    def test_repeats_and_result(self):
+        calls = []
+        measured = time_call(lambda: calls.append(1) or len(calls), repeats=3)
+        assert len(measured.seconds) == 3
+        assert measured.result == 3
+        assert measured.median >= 0.0
+        assert measured.best <= measured.mean + 1e-9
+
+    def test_rejects_bad_repeats(self):
+        with pytest.raises(ConfigurationError):
+            time_call(lambda: None, repeats=0)
+
+
+class TestFullScale:
+    def test_env_controls(self, monkeypatch):
+        monkeypatch.delenv(FULL_SCALE_ENV, raising=False)
+        assert not full_scale()
+        monkeypatch.setenv(FULL_SCALE_ENV, "1")
+        assert full_scale()
+        monkeypatch.setenv(FULL_SCALE_ENV, "0")
+        assert not full_scale()
+
+
+class TestTable:
+    def test_add_and_column(self):
+        table = Table(title="t", columns=["a", "b"])
+        table.add_row(a=1, b=2.5)
+        table.add_row(a=3)
+        assert table.column("a") == [1, 3]
+        assert table.column("b") == [2.5, None]
+
+    def test_rejects_unknown_column(self):
+        table = Table(title="t", columns=["a"])
+        with pytest.raises(ConfigurationError):
+            table.add_row(zzz=1)
+        with pytest.raises(ConfigurationError):
+            table.column("zzz")
+
+    def test_render_contains_everything(self):
+        table = Table(title="My Figure", columns=["k", "ms"])
+        table.add_row(k=8, ms=1.234)
+        table.notes.append("a note")
+        text = table.render()
+        assert "My Figure" in text
+        assert "1.234" in text
+        assert "a note" in text
+        assert str(table) == text
+
+    def test_to_csv_round_trip(self, tmp_path):
+        import csv
+
+        table = Table(title="t", columns=["k", "ms"])
+        table.add_row(k=8, ms=1.5)
+        table.add_row(k=16)
+        path = str(tmp_path / "out" / "table.csv")
+        table.to_csv(path)
+        with open(path, newline="") as handle:
+            rows = list(csv.DictReader(handle))
+        assert rows[0] == {"k": "8", "ms": "1.5"}
+        assert rows[1] == {"k": "16", "ms": ""}
+
+    def test_render_formats_numbers(self):
+        table = Table(title="t", columns=["x"])
+        table.add_row(x=123456.0)
+        table.add_row(x=0.00001)
+        table.add_row(x=0.0)
+        text = table.render()
+        assert "1.23e+05" in text or "123456" in text.replace(",", "")
+        assert "1e-05" in text

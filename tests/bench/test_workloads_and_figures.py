@@ -1,0 +1,87 @@
+"""Smoke tests: every figure runner produces a well-formed table.
+
+These run the benchmark code paths at miniature scale so that breakage in
+a figure script is caught by ``pytest tests/`` without waiting on the
+full benchmark suite.
+"""
+
+import pytest
+
+from repro.bench import (
+    run_fig7,
+    run_fig9,
+    run_fig10,
+    run_fig11,
+    run_fig12_per_round,
+    run_fig12_vs_k,
+    run_fig13,
+    run_fig14,
+    run_table1,
+    small_uml_dataset,
+)
+from repro.bench.workloads import event_sweep, instance_for
+
+
+class TestWorkloads:
+    def test_small_uml_dataset_size(self):
+        dataset = small_uml_dataset(60, 3, seed=0)
+        assert dataset.graph.num_nodes == 60
+        assert len(dataset.events) == 3
+
+    def test_instance_for_event_subset(self):
+        dataset = small_uml_dataset(50, 4, seed=0)
+        instance = instance_for(dataset, num_events=2, alpha=0.3, seed=0)
+        assert instance.k == 2
+        assert instance.alpha == 0.3
+
+    def test_event_sweep_quick_mode(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_FULL", raising=False)
+        assert event_sweep() == [8, 16, 32]
+        monkeypatch.setenv("REPRO_BENCH_FULL", "1")
+        assert event_sweep() == [8, 16, 32, 64, 128]
+
+
+class TestFigureRunnersSmoke:
+    def test_table1(self):
+        table = run_table1()
+        assert table.rows
+        assert any(row["deviated"] == "*" for row in table.rows)
+
+    def test_fig7(self):
+        table = run_fig7(event_counts=[3], num_users=60, seed=0)
+        assert len(table.rows) == 1
+        row = table.rows[0]
+        assert row["UML_lp_cost"] <= row["MH_cost"] + 1e-9
+
+    def test_fig9(self):
+        table = run_fig9(event_counts=[4], seed=0)
+        variants = {row["variant"] for row in table.rows}
+        assert variants == {"raw", "optimistic", "pessimistic"}
+
+    def test_fig10(self):
+        table = run_fig10(event_counts=[4], seed=0)
+        assert len(table.rows) == 3  # three variants for one k
+
+    def test_fig11(self):
+        table = run_fig11(alphas=[0.5], num_events=4, seed=0)
+        assert len(table.rows) == 3
+
+    def test_fig12_vs_k(self):
+        table = run_fig12_vs_k(event_counts=[4], seed=0)
+        assert len(table.rows) == 1
+        assert all(v is not None for v in table.rows[0].values())
+
+    def test_fig12_per_round(self):
+        table = run_fig12_per_round(num_events=4, seed=0)
+        assert table.rows[0]["round"] == 0
+
+    def test_fig13(self):
+        table = run_fig13(event_counts=[4], seed=0)
+        row = table.rows[0]
+        assert row["fae_total_s"] >= row["fae_transfer_s"]
+        assert row["dg_rounds"] >= 1
+
+    def test_fig14(self):
+        table = run_fig14(num_events=4, seed=0)
+        assert table.rows[0]["round"] == 0
+        assert table.rows[-1]["deviations"] == 0

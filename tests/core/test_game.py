@@ -1,0 +1,109 @@
+"""Unit tests for the RMGPGame facade and the result container."""
+
+import numpy as np
+import pytest
+
+from repro.core import RMGPGame, RoundStats, make_result
+from repro.errors import ConfigurationError
+from repro.graph import erdos_renyi
+
+from tests.core.conftest import random_instance
+
+
+@pytest.fixture
+def game():
+    import random
+
+    graph = erdos_renyi(15, 0.25, random.Random(0))
+    cost = np.random.default_rng(0).uniform(0, 1, (15, 3))
+    return RMGPGame(graph, ["x", "y", "z"], cost, alpha=0.5)
+
+
+class TestFacade:
+    @pytest.mark.parametrize("method", ["baseline", "se", "is", "gt", "all"])
+    def test_all_methods_solve(self, game, method):
+        result = game.solve(method=method, seed=0)
+        assert result.converged
+        assert game.verify(result).is_equilibrium
+
+    def test_short_and_long_names_agree(self, game):
+        short = game.solve(method="gt", init="closest", order="given")
+        long = game.solve(method="global_table", init="closest", order="given")
+        np.testing.assert_array_equal(short.assignment, long.assignment)
+
+    def test_unknown_method(self, game):
+        with pytest.raises(ConfigurationError):
+            game.solve(method="bogus")
+
+    def test_unknown_normalization(self, game):
+        with pytest.raises(ConfigurationError):
+            game.solve(normalize_method="bogus")
+
+    @pytest.mark.parametrize("norm", ["optimistic", "pessimistic"])
+    def test_normalized_solve_and_verify(self, game, norm):
+        result = game.solve(method="all", normalize_method=norm, seed=1)
+        assert "normalization" in result.extra
+        assert game.normalization is not None
+        assert game.normalization.cn > 0
+        # verify() re-applies the stored C_N before checking.
+        assert game.verify(result).is_equilibrium
+
+    def test_alpha_property(self, game):
+        assert game.alpha == 0.5
+
+    def test_solver_kwargs_forwarded(self, game):
+        result = game.solve(method="is", threads=2, seed=0)
+        assert result.extra["threads"] == 2
+
+
+class TestResultContainer:
+    def test_make_result_computes_value(self):
+        instance = random_instance(seed=1)
+        assignment = np.zeros(instance.n, dtype=np.int64)
+        result = make_result(
+            solver="test",
+            instance=instance,
+            assignment=assignment,
+            rounds=[RoundStats(0, 0, 0.01), RoundStats(1, 3, 0.02)],
+            converged=True,
+            wall_seconds=0.03,
+        )
+        assert result.num_rounds == 1
+        assert result.total_deviations == 3
+        assert result.round_seconds() == [0.01, 0.02]
+        assert result.value.alpha == instance.alpha
+        assert set(result.labels) == set(instance.node_ids)
+
+    def test_make_result_copies_assignment(self):
+        instance = random_instance(seed=2)
+        assignment = np.zeros(instance.n, dtype=np.int64)
+        result = make_result(
+            solver="test",
+            instance=instance,
+            assignment=assignment,
+            rounds=[],
+            converged=True,
+            wall_seconds=0.0,
+        )
+        assignment[0] = 1
+        assert result.assignment[0] == 0
+
+    def test_make_result_validates(self):
+        instance = random_instance(seed=3)
+        with pytest.raises(ConfigurationError):
+            make_result(
+                solver="test",
+                instance=instance,
+                assignment=np.full(instance.n, instance.k),
+                rounds=[],
+                converged=True,
+                wall_seconds=0.0,
+            )
+
+    def test_round_stats_str(self):
+        stats = RoundStats(round_index=2, deviations=5, seconds=0.001,
+                           potential=1.25)
+        text = str(stats)
+        assert "round 2" in text
+        assert "5 deviations" in text
+        assert "phi=" in text

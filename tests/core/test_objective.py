@@ -1,0 +1,128 @@
+"""Unit tests for the Equation 1/3/4 evaluators."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    assignment_cost_sum,
+    best_response,
+    objective,
+    player_cost,
+    player_strategy_costs,
+    potential,
+    social_cost_sum,
+    total_player_cost,
+)
+
+from tests.core.conftest import random_instance
+
+
+class TestLineInstance:
+    """Hand-checked numbers on the 3-player path fixture."""
+
+    def test_all_same_class(self, line_instance):
+        assignment = np.array([0, 0, 0])
+        value = objective(line_instance, assignment)
+        assert value.assignment_cost == pytest.approx(1.0)  # 0 + 1 + 0
+        assert value.social_cost == 0.0
+        assert value.total == pytest.approx(0.5)
+
+    def test_middle_defects(self, line_instance):
+        assignment = np.array([0, 1, 0])
+        value = objective(line_instance, assignment)
+        assert value.assignment_cost == pytest.approx(0.0)
+        assert value.social_cost == pytest.approx(2.0)
+        assert value.total == pytest.approx(1.0)
+
+    def test_player_cost_shares_edges(self, line_instance):
+        assignment = np.array([0, 1, 0])
+        # Middle player pays half of both crossing edges.
+        middle = player_cost(line_instance, assignment, 1)
+        assert middle == pytest.approx(0.5 * 0.0 + 0.5 * 1.0)
+        edge_player = player_cost(line_instance, assignment, 0)
+        assert edge_player == pytest.approx(0.5 * 0.0 + 0.5 * 0.5)
+
+    def test_potential_halves_social(self, line_instance):
+        assignment = np.array([0, 1, 0])
+        phi = potential(line_instance, assignment)
+        assert phi == pytest.approx(0.5 * 0.0 + 0.5 * 0.5 * 2.0)
+
+    def test_strategy_costs_match_figure3(self, line_instance):
+        assignment = np.array([0, 0, 0])
+        costs = player_strategy_costs(line_instance, assignment, 1)
+        # Staying at 0: alpha*c(1,0)=0.5 plus no social cost.
+        assert costs[0] == pytest.approx(0.5)
+        # Moving to 1: alpha*c(1,1)=0 plus both edges crossing at half.
+        assert costs[1] == pytest.approx(0.5 * 1.0)
+
+    def test_best_response_keeps_current_on_tie(self, line_instance):
+        assignment = np.array([0, 0, 0])
+        # Costs are (0.5, 0.5): a tie, so the player must stay put.
+        assert best_response(line_instance, assignment, 1) == 0
+
+
+class TestDecomposition:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    @pytest.mark.parametrize("alpha", [0.2, 0.5, 0.8])
+    def test_objective_equals_sum_of_player_costs(self, seed, alpha):
+        """Section 3.1: RMGP(G,P,alpha) == sum_v C_v."""
+        instance = random_instance(seed=seed, alpha=alpha)
+        rng = np.random.default_rng(seed)
+        assignment = rng.integers(0, instance.k, instance.n)
+        total = total_player_cost(instance, assignment)
+        assert total == pytest.approx(objective(instance, assignment).total)
+
+    @pytest.mark.parametrize("seed", [0, 3])
+    def test_potential_sandwich(self, seed):
+        """Theorem 2's inequality (5): C/2 <= Phi <= C."""
+        instance = random_instance(seed=seed)
+        rng = np.random.default_rng(seed)
+        for _ in range(5):
+            assignment = rng.integers(0, instance.k, instance.n)
+            c = objective(instance, assignment).total
+            phi = potential(instance, assignment)
+            assert 0.5 * c - 1e-12 <= phi <= c + 1e-12
+
+    def test_social_cost_counts_each_edge_once(self):
+        instance = random_instance(seed=5)
+        assignment = np.zeros(instance.n, dtype=np.int64)
+        assert social_cost_sum(instance, assignment) == 0.0
+        # Isolate player 0 in its own class: its incident weight crosses.
+        assignment[0] = 1
+        expected = instance.graph.weighted_degree(instance.node_ids[0])
+        assert social_cost_sum(instance, assignment) == pytest.approx(expected)
+
+    def test_assignment_cost_sum_matches_matrix(self):
+        instance = random_instance(seed=6)
+        rng = np.random.default_rng(0)
+        assignment = rng.integers(0, instance.k, instance.n)
+        expected = sum(
+            instance.cost.cost(v, int(assignment[v])) for v in range(instance.n)
+        )
+        assert assignment_cost_sum(instance, assignment) == pytest.approx(expected)
+
+
+class TestStrategyCosts:
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_matches_brute_force(self, seed):
+        """player_strategy_costs[p] equals C_v after moving v to p."""
+        instance = random_instance(seed=seed)
+        rng = np.random.default_rng(seed)
+        assignment = rng.integers(0, instance.k, instance.n)
+        for player in range(0, instance.n, 3):
+            costs = player_strategy_costs(instance, assignment, player)
+            for klass in range(instance.k):
+                moved = assignment.copy()
+                moved[player] = klass
+                assert costs[klass] == pytest.approx(
+                    player_cost(instance, moved, player)
+                )
+
+    def test_best_response_improves_or_keeps(self):
+        instance = random_instance(seed=2)
+        rng = np.random.default_rng(2)
+        assignment = rng.integers(0, instance.k, instance.n)
+        for player in range(instance.n):
+            response = best_response(instance, assignment, player)
+            costs = player_strategy_costs(instance, assignment, player)
+            assert costs[response] <= costs[int(assignment[player])] + 1e-12

@@ -1,0 +1,72 @@
+"""Unit tests for the synthetic forum dataset."""
+
+import pytest
+
+from repro.datasets.forum import DEFAULT_TOPICS, ForumDataset, forum_like
+from repro.errors import DataError
+
+
+class TestGeneration:
+    def test_thread_count(self):
+        forum = forum_like(num_users=100, threads_per_topic=10, seed=0)
+        assert len(forum.threads) == 10 * len(DEFAULT_TOPICS)
+
+    def test_every_topic_has_members(self):
+        forum = forum_like(num_users=20, threads_per_topic=5, seed=1)
+        covered = set(forum.home_topic.values())
+        assert covered == set(DEFAULT_TOPICS)
+
+    def test_deterministic_by_seed(self):
+        a = forum_like(num_users=50, threads_per_topic=5, seed=7)
+        b = forum_like(num_users=50, threads_per_topic=5, seed=7)
+        assert [t.text for t in a.threads] == [t.text for t in b.threads]
+        assert a.home_topic == b.home_topic
+
+    def test_custom_topics(self):
+        topics = {"cats": "cat kitten purr whiskers", "dogs": "dog puppy bark"}
+        forum = forum_like(
+            num_users=30, threads_per_topic=4, topics=topics, seed=0
+        )
+        assert set(forum.home_topic.values()) <= {"cats", "dogs"}
+        assert len(forum.default_advertisements()) == 2
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"num_users": 1},
+            {"threads_per_topic": 0},
+            {"participants_range": (0, 3)},
+            {"participants_range": (5, 2)},
+            {"crossover_rate": 1.5},
+            {"topics": {}},
+        ],
+    )
+    def test_rejects_bad_parameters(self, kwargs):
+        with pytest.raises(DataError):
+            forum_like(**{"num_users": 40, "seed": 0, **kwargs})
+
+
+class TestEndToEnd:
+    @pytest.fixture(scope="class")
+    def forum(self) -> ForumDataset:
+        return forum_like(num_users=150, threads_per_topic=25, seed=3)
+
+    def test_task_builds(self, forum):
+        task = forum.task()
+        assert task.graph.num_nodes > 0
+        assert task.graph.num_edges > 0
+
+    def test_topical_placement_recovers_home_topics(self, forum):
+        """TAGP should send most users the ad matching their home topic."""
+        task = forum.task()
+        ads = forum.default_advertisements()
+        placement, partition = task.place_advertisements(
+            ads, method="all", normalize_method="pessimistic", seed=0
+        )
+        assert partition.converged
+        matched = sum(
+            1
+            for user, ad in placement.items()
+            if ad.ad_id == f"ad-{forum.home_topic[user]}"
+        )
+        assert matched / len(placement) > 0.7

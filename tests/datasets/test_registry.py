@@ -1,0 +1,88 @@
+"""Unit tests for the dataset registry."""
+
+import pytest
+
+from repro.datasets import (
+    GeoSocialDataset,
+    clear_cache,
+    dataset_names,
+    load_dataset,
+    register_dataset,
+    with_event_count,
+)
+from repro.errors import DataError
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    clear_cache()
+    yield
+    clear_cache()
+
+
+class TestLoad:
+    def test_names(self):
+        assert "gowalla" in dataset_names()
+        assert "foursquare" in dataset_names()
+
+    def test_load_gowalla(self):
+        dataset = load_dataset("gowalla", num_users=200, num_events=8, seed=1)
+        assert dataset.graph.num_nodes == 200
+        assert len(dataset.events) == 8
+
+    def test_cache_returns_same_object(self):
+        a = load_dataset("gowalla", num_users=150, num_events=4, seed=2)
+        b = load_dataset("gowalla", num_users=150, num_events=4, seed=2)
+        assert a is b
+
+    def test_cache_bypass(self):
+        a = load_dataset("gowalla", num_users=150, num_events=4, seed=2)
+        b = load_dataset(
+            "gowalla", num_users=150, num_events=4, seed=2, use_cache=False
+        )
+        assert a is not b
+
+    def test_different_params_different_objects(self):
+        a = load_dataset("gowalla", num_users=150, num_events=4, seed=2)
+        b = load_dataset("gowalla", num_users=150, num_events=4, seed=3)
+        assert a is not b
+
+    def test_unknown_name(self):
+        with pytest.raises(DataError):
+            load_dataset("instagram")
+
+
+class TestRegister:
+    def test_register_and_load(self):
+        def factory(num_users=10, num_events=2, seed=None):
+            base = load_dataset("gowalla", num_users=num_users,
+                                num_events=num_events, seed=seed)
+            return GeoSocialDataset(
+                name="custom", graph=base.graph, checkins=base.checkins,
+                events=base.events,
+            )
+
+        register_dataset("custom-test", factory)
+        try:
+            dataset = load_dataset("custom-test", num_users=50, num_events=2)
+            assert dataset.name == "custom"
+        finally:
+            from repro.datasets import registry
+
+            registry._FACTORIES.pop("custom-test", None)
+
+    def test_duplicate_rejected(self):
+        with pytest.raises(DataError):
+            register_dataset("gowalla", lambda **kw: None)
+
+
+class TestWithEventCount:
+    def test_subsamples(self):
+        dataset = load_dataset("gowalla", num_users=100, num_events=16, seed=0)
+        smaller = with_event_count(dataset, 4, seed=0)
+        assert len(smaller.events) == 4
+        assert smaller.graph is dataset.graph
+
+    def test_same_count_is_identity(self):
+        dataset = load_dataset("gowalla", num_users=100, num_events=8, seed=0)
+        assert with_event_count(dataset, 8) is dataset

@@ -1,0 +1,190 @@
+"""Integration-grade tests for the decentralized game and FaE."""
+
+import numpy as np
+import pytest
+
+from repro.apps import Rectangle
+from repro.core import RMGPInstance, is_nash_equilibrium
+from repro.core.normalization import normalize_with_constant
+from repro.datasets import gowalla_like
+from repro.distributed import (
+    DGQuery,
+    SimulatedNetwork,
+    build_cluster,
+    distributed_coloring,
+    hash_partition,
+    run_fae,
+)
+from repro.errors import ConfigurationError, ProtocolError
+from repro.graph import is_proper_coloring
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return gowalla_like(num_users=400, num_events=8, seed=17)
+
+
+@pytest.fixture(scope="module")
+def query(dataset):
+    return DGQuery(events=dataset.events, alpha=0.5, seed=1)
+
+
+class TestDistributedColoring:
+    def test_proper_coloring(self, dataset):
+        shards = hash_partition(dataset.graph.nodes(), 3)
+        coloring, stats = distributed_coloring(dataset.graph, shards)
+        assert is_proper_coloring(dataset.graph, coloring)
+        assert stats.rounds >= 1
+        assert stats.num_colors <= dataset.graph.max_degree() + 1
+
+    def test_unsharded_user_rejected(self, dataset):
+        shards = hash_partition(dataset.graph.nodes(), 2)
+        with pytest.raises(ProtocolError):
+            distributed_coloring(dataset.graph, [shards[0]])
+
+
+class TestDGProtocol:
+    @pytest.mark.parametrize("num_slaves", [1, 2, 3])
+    def test_reaches_verified_equilibrium(self, dataset, query, num_slaves):
+        cluster = build_cluster(dataset, num_slaves=num_slaves)
+        result = cluster.game.run(query)
+        assert result.converged
+        assert result.num_participants == dataset.graph.num_nodes
+        instance = normalize_with_constant(
+            RMGPInstance(
+                dataset.graph, dataset.event_ids, dataset.cost_matrix(), 0.5
+            ),
+            result.cn,
+        )
+        assignment = np.array(
+            [result.assignment[u] for u in dataset.graph.nodes()]
+        )
+        assert is_nash_equilibrium(instance, assignment)
+
+    def test_round_zero_peaks_traffic(self, dataset, query):
+        cluster = build_cluster(dataset, num_slaves=2)
+        result = cluster.game.run(query)
+        byte_series = [r.bytes_sent for r in result.rounds]
+        assert byte_series[0] == max(byte_series)
+
+    def test_final_round_no_deviations(self, dataset, query):
+        cluster = build_cluster(dataset, num_slaves=2)
+        result = cluster.game.run(query)
+        assert result.rounds[-1].deviations == 0
+
+    def test_area_of_interest(self, dataset):
+        area = Rectangle(-60.0, -60.0, 60.0, 60.0)
+        inside = [
+            u for u in dataset.graph
+            if area.contains(dataset.checkins[u])
+        ]
+        assert inside, "fixture area must contain users"
+        query = DGQuery(events=dataset.events, area=area, seed=0)
+        cluster = build_cluster(dataset, num_slaves=2)
+        result = cluster.game.run(query)
+        assert result.num_participants == len(inside)
+        assert set(result.assignment) == set(inside)
+
+    def test_empty_area_rejected(self, dataset):
+        area = Rectangle(10_000.0, 10_000.0, 10_001.0, 10_001.0)
+        query = DGQuery(events=dataset.events, area=area)
+        cluster = build_cluster(dataset, num_slaves=2)
+        with pytest.raises(ProtocolError):
+            cluster.game.run(query)
+
+    def test_no_normalization(self, dataset):
+        query = DGQuery(events=dataset.events, normalize=None, seed=0)
+        cluster = build_cluster(dataset, num_slaves=2)
+        result = cluster.game.run(query)
+        assert result.cn == 1.0
+
+    def test_random_init_supported(self, dataset):
+        query = DGQuery(events=dataset.events, init="random", seed=7)
+        cluster = build_cluster(dataset, num_slaves=2)
+        result = cluster.game.run(query)
+        assert result.converged
+
+
+class TestDGQueryValidation:
+    def test_rejects_empty_events(self):
+        with pytest.raises(ConfigurationError):
+            DGQuery(events=[])
+
+    def test_rejects_bad_alpha(self, dataset):
+        with pytest.raises(ConfigurationError):
+            DGQuery(events=dataset.events, alpha=1.5)
+
+    def test_rejects_bad_init(self, dataset):
+        with pytest.raises(ConfigurationError):
+            DGQuery(events=dataset.events, init="bogus")
+
+    def test_rejects_bad_normalize(self, dataset):
+        with pytest.raises(ConfigurationError):
+            DGQuery(events=dataset.events, normalize="bogus")
+
+
+class TestFaE:
+    def test_transfer_accounting(self, dataset, query):
+        shards = hash_partition(dataset.graph.nodes(), 2)
+        result = run_fae(
+            dataset.graph, dataset.checkins, shards, query,
+            network=SimulatedNetwork(), seed=0,
+        )
+        assert result.transfer_bytes > 0
+        assert result.transfer_seconds > 0
+        assert result.total_seconds == pytest.approx(
+            result.transfer_seconds + result.execution_seconds
+        )
+        assert result.partition.converged
+
+    def test_local_shard_skipped(self, dataset, query):
+        shards = hash_partition(dataset.graph.nodes(), 2)
+        remote_all = run_fae(
+            dataset.graph, dataset.checkins, shards, query, seed=0
+        )
+        one_local = run_fae(
+            dataset.graph, dataset.checkins, shards, query, seed=0,
+            local_shard=0,
+        )
+        assert one_local.transfer_bytes < remote_all.transfer_bytes
+
+    def test_fae_and_dg_equal_quality_class(self, dataset, query):
+        """Both converge to Nash equilibria of comparable quality."""
+        shards = hash_partition(dataset.graph.nodes(), 2)
+        fae = run_fae(dataset.graph, dataset.checkins, shards, query, seed=1)
+        cluster = build_cluster(dataset, num_slaves=2, shards=shards)
+        dg = cluster.game.run(query)
+        instance = normalize_with_constant(
+            RMGPInstance(
+                dataset.graph, dataset.event_ids, dataset.cost_matrix(), 0.5
+            ),
+            dg.cn,
+        )
+        dg_assignment = np.array(
+            [dg.assignment[u] for u in dataset.graph.nodes()]
+        )
+        from repro.core import objective
+
+        dg_value = objective(instance, dg_assignment).total
+        fae_value = objective(instance, fae.partition.assignment).total
+        assert dg_value <= 1.3 * fae_value
+        assert fae_value <= 1.3 * dg_value
+
+
+class TestClusterBuilder:
+    def test_rejects_bad_slave_count(self, dataset):
+        with pytest.raises(ConfigurationError):
+            build_cluster(dataset, num_slaves=0)
+
+    def test_rejects_partial_shards(self, dataset):
+        with pytest.raises(ConfigurationError):
+            build_cluster(
+                dataset, num_slaves=2, shards=[dataset.graph.nodes()[:10]]
+            )
+
+    def test_centralized_coloring_option(self, dataset, query):
+        cluster = build_cluster(
+            dataset, num_slaves=2, use_distributed_coloring=False
+        )
+        result = cluster.game.run(query)
+        assert result.converged

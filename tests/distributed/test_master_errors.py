@@ -1,0 +1,71 @@
+"""Error-path tests for the DG coordinators."""
+
+import pytest
+
+from repro.datasets import gowalla_like
+from repro.distributed import DGQuery, DecentralizedGame, PeerToPeerGame, SlaveNode
+from repro.errors import ProtocolError
+from repro.graph import greedy_coloring
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return gowalla_like(num_users=60, num_events=4, seed=111)
+
+
+def make_slave(dataset, slave_id, users):
+    return SlaveNode(
+        slave_id,
+        dataset.graph,
+        users,
+        dataset.checkins,
+        greedy_coloring(dataset.graph),
+    )
+
+
+class TestCoordinatorValidation:
+    def test_rejects_no_slaves(self):
+        with pytest.raises(ProtocolError):
+            DecentralizedGame([])
+        with pytest.raises(ProtocolError):
+            PeerToPeerGame([])
+
+    @pytest.mark.parametrize("coordinator", [DecentralizedGame, PeerToPeerGame])
+    def test_rejects_overlapping_shards(self, dataset, coordinator):
+        """Two slaves claiming the same user is a deployment bug the
+        master must surface, not silently merge."""
+        users = dataset.graph.nodes()
+        slave_a = make_slave(dataset, "a", users[:40])
+        slave_b = make_slave(dataset, "b", users[30:])  # overlap 30..39
+        game = coordinator(
+            [slave_a, slave_b],
+            deg_avg=dataset.graph.average_degree(),
+            w_avg=dataset.graph.average_edge_weight(),
+        )
+        with pytest.raises(ProtocolError):
+            game.run(DGQuery(events=dataset.events))
+
+    @pytest.mark.parametrize("coordinator", [DecentralizedGame, PeerToPeerGame])
+    def test_partial_shards_still_converge(self, dataset, coordinator):
+        """Slaves need not cover every user; uncovered users simply do
+        not participate (they live on servers outside the deployment)."""
+        users = dataset.graph.nodes()
+        slave = make_slave(dataset, "only", users[:30])
+        game = coordinator(
+            [slave],
+            deg_avg=dataset.graph.average_degree(),
+            w_avg=dataset.graph.average_edge_weight(),
+        )
+        result = game.run(DGQuery(events=dataset.events))
+        assert result.converged
+        assert result.num_participants == 30
+
+    def test_missing_graph_stats_disable_normalization(self, dataset):
+        """Without deg_avg/w_avg the master cannot estimate C_N and must
+        fall back to the identity scaling."""
+        users = dataset.graph.nodes()
+        game = DecentralizedGame([make_slave(dataset, "s", users)])
+        result = game.run(
+            DGQuery(events=dataset.events, normalize="pessimistic")
+        )
+        assert result.cn == 1.0

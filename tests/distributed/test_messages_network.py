@@ -1,0 +1,87 @@
+"""Unit tests for protocol messages and the simulated network."""
+
+import pytest
+
+from repro.distributed import Message, MessageType, SimulatedNetwork
+from repro.distributed import messages as msg
+from repro.errors import ConfigurationError
+
+
+class TestMessageSizes:
+    def test_init_message(self):
+        message = msg.init_message("M", "s0", num_events=10, has_area=False)
+        assert message.payload_bytes == 10 * (4 + 16) + 8 + 4
+        assert message.total_bytes == message.payload_bytes + msg.HEADER_BYTES
+
+    def test_init_message_with_area(self):
+        without = msg.init_message("M", "s0", 10, has_area=False)
+        with_area = msg.init_message("M", "s0", 10, has_area=True)
+        assert with_area.payload_bytes - without.payload_bytes == 32
+
+    def test_lsv_message(self):
+        message = msg.lsv_message("s0", "M", num_players=100, num_colors=5)
+        assert message.payload_bytes == 100 * 8 + 5 * 4
+
+    def test_gsv_message(self):
+        message = msg.gsv_message("M", "s0", num_players=1000)
+        assert message.payload_bytes == 8000
+
+    def test_ack_and_terminate_empty(self):
+        assert msg.ack_message("s0", "M").payload_bytes == 0
+        assert msg.terminate_message("M", "s0").payload_bytes == 0
+
+    def test_changes_message(self):
+        message = msg.strategy_changes_message("s0", "M", num_changes=7)
+        assert message.payload_bytes == 56
+
+    def test_graph_shard_bytes(self):
+        # 10 users (id + 2 coords) + 20 edges in two adjacency lists.
+        size = msg.graph_shard_bytes(10, 20)
+        assert size == 10 * 20 + 2 * 20 * 12
+
+    def test_message_types_distinct(self):
+        assert MessageType.INIT != MessageType.ACK
+
+
+class TestSimulatedNetwork:
+    def test_transfer_time_formula(self):
+        network = SimulatedNetwork(bandwidth_mbps=100, latency_seconds=0.001)
+        # 1 MB over 100 Mbps = 0.08 s plus latency.
+        seconds = network.transfer_seconds(1_000_000)
+        assert seconds == pytest.approx(0.001 + 0.08)
+
+    def test_send_accounts_bytes(self):
+        network = SimulatedNetwork()
+        network.begin_round(0)
+        message = Message(MessageType.ACK, "a", "b", payload_bytes=100)
+        network.send(message)
+        ledger = network.round_ledgers()[0]
+        assert ledger.bytes_sent == message.total_bytes
+        assert ledger.messages == 1
+        assert network.total_bytes() == message.total_bytes
+
+    def test_parallel_exchange_max_time_sum_bytes(self):
+        network = SimulatedNetwork(bandwidth_mbps=100, latency_seconds=0.0)
+        network.begin_round(1)
+        small = Message(MessageType.ACK, "a", "b", payload_bytes=0)
+        big = Message(MessageType.GLOBAL_STRATEGIES, "a", "c", payload_bytes=10_000)
+        elapsed = network.parallel_exchange([small, big])
+        assert elapsed == pytest.approx(network.transfer_seconds(big.total_bytes))
+        ledger = network.round_ledgers()[0]
+        assert ledger.bytes_sent == small.total_bytes + big.total_bytes
+        assert ledger.messages == 2
+
+    def test_rounds_separated(self):
+        network = SimulatedNetwork()
+        network.begin_round(0)
+        network.send(Message(MessageType.ACK, "a", "b", 0))
+        network.begin_round(1)
+        network.send(Message(MessageType.ACK, "a", "b", 0))
+        ledgers = network.round_ledgers()
+        assert [l.round_index for l in ledgers] == [0, 1]
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ConfigurationError):
+            SimulatedNetwork(bandwidth_mbps=0)
+        with pytest.raises(ConfigurationError):
+            SimulatedNetwork(latency_seconds=-1)

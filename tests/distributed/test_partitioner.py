@@ -1,0 +1,78 @@
+"""Unit tests for user sharding schemes."""
+
+import random
+
+import pytest
+
+from repro.distributed import (
+    cross_shard_edges,
+    hash_partition,
+    locality_partition,
+    range_partition,
+    shard_of_map,
+)
+from repro.errors import ConfigurationError
+from repro.graph import erdos_renyi, planted_partition
+
+
+def users(n=30):
+    return list(range(n))
+
+
+class TestHashPartition:
+    def test_covers_all_users(self):
+        shards = hash_partition(users(), 3)
+        assert sorted(u for s in shards for u in s) == users()
+
+    def test_disjoint(self):
+        shards = hash_partition(users(), 4)
+        seen = set()
+        for shard in shards:
+            assert not (set(shard) & seen)
+            seen.update(shard)
+
+    def test_deterministic(self):
+        assert hash_partition(users(), 3) == hash_partition(users(), 3)
+
+    def test_rejects_bad_shard_count(self):
+        with pytest.raises(ConfigurationError):
+            hash_partition(users(), 0)
+        with pytest.raises(ConfigurationError):
+            hash_partition(users(5), 10)
+
+
+class TestRangePartition:
+    def test_sizes_balanced(self):
+        shards = range_partition(users(10), 3)
+        assert [len(s) for s in shards] == [4, 3, 3]
+
+    def test_order_preserved(self):
+        shards = range_partition(users(6), 2)
+        assert shards == [[0, 1, 2], [3, 4, 5]]
+
+
+class TestLocalityPartition:
+    def test_reduces_cross_edges_vs_hash(self):
+        graph, _ = planted_partition([40, 40], 0.3, 0.01, random.Random(0))
+        hashed = hash_partition(graph.nodes(), 2)
+        local = locality_partition(graph, 2, seed=0)
+        assert cross_shard_edges(graph, local) < cross_shard_edges(graph, hashed)
+
+
+class TestShardMap:
+    def test_inverts(self):
+        shards = [[0, 1], [2]]
+        assert shard_of_map(shards) == {0: 0, 1: 0, 2: 1}
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(ConfigurationError):
+            shard_of_map([[0, 1], [1]])
+
+    def test_cross_shard_count(self):
+        graph = erdos_renyi(20, 0.3, random.Random(1))
+        shards = [list(range(10)), list(range(10, 20))]
+        count = cross_shard_edges(graph, shards)
+        expected = sum(
+            1 for u, v, _ in graph.edges() if (u < 10) != (v < 10)
+        )
+        assert count == expected

@@ -1,0 +1,127 @@
+"""Protocol-level unit tests for SlaveNode (errors and local state)."""
+
+import numpy as np
+import pytest
+
+from repro.apps import Event, Rectangle
+from repro.distributed import DGQuery, SlaveNode
+from repro.errors import ProtocolError
+from repro.graph import SocialGraph, greedy_coloring
+
+
+@pytest.fixture
+def world():
+    graph = SocialGraph.from_edges(
+        [(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0)]
+    )
+    checkins = {0: (0.0, 0.0), 1: (1.0, 0.0), 2: (5.0, 5.0), 3: (6.0, 5.0)}
+    coloring = greedy_coloring(graph)
+    events = [Event("a", (0.0, 0.0)), Event("b", (6.0, 5.0))]
+    return graph, checkins, coloring, events
+
+
+def make_slave(world, local_users):
+    graph, checkins, coloring, _ = world
+    return SlaveNode("s0", graph, local_users, checkins, coloring)
+
+
+class TestProtocolOrdering:
+    def test_gsv_before_init_rejected(self, world):
+        slave = make_slave(world, [0, 1])
+        with pytest.raises(ProtocolError):
+            slave.receive_gsv({0: 0, 1: 0})
+
+    def test_compute_before_gsv_rejected(self, world):
+        graph, checkins, coloring, events = world
+        slave = make_slave(world, [0, 1])
+        slave.initialize(DGQuery(events=events))
+        with pytest.raises(ProtocolError):
+            slave.compute_color(0)
+
+    def test_apply_before_gsv_rejected(self, world):
+        slave = make_slave(world, [0, 1])
+        with pytest.raises(ProtocolError):
+            slave.apply_changes({0: 1})
+
+    def test_change_for_non_participant_rejected(self, world):
+        graph, checkins, coloring, events = world
+        slave = make_slave(world, [0, 1])
+        report = slave.initialize(DGQuery(events=events, normalize=None))
+        slave.receive_gsv(report.local_strategies)
+        with pytest.raises(ProtocolError):
+            slave.apply_changes({42: 0})
+
+
+class TestInitialization:
+    def test_report_contents(self, world):
+        graph, checkins, coloring, events = world
+        slave = make_slave(world, [0, 1])
+        report = slave.initialize(
+            DGQuery(events=events, init="closest", normalize=None)
+        )
+        assert report.num_participants == 2
+        assert set(report.local_strategies) == {0, 1}
+        assert report.distance_computations == 2 * 2
+        assert report.colors == {coloring[0], coloring[1]}
+        # Closest init: users 0 and 1 sit near event "a" (index 0).
+        assert report.local_strategies[0] == 0
+        assert report.local_strategies[1] == 0
+
+    def test_area_filter(self, world):
+        graph, checkins, coloring, events = world
+        slave = make_slave(world, [0, 1, 2, 3])
+        area = Rectangle(-1.0, -1.0, 2.0, 1.0)
+        report = slave.initialize(
+            DGQuery(events=events, area=area, normalize=None)
+        )
+        assert set(report.local_strategies) == {0, 1}
+        assert slave.participants == [0, 1]
+
+    def test_distance_sums(self, world):
+        graph, checkins, coloring, events = world
+        slave = make_slave(world, [0])
+        report = slave.initialize(DGQuery(events=events, normalize=None))
+        # User 0 at (0,0): distances 0 and sqrt(61).
+        assert report.sum_min_distance == pytest.approx(0.0)
+        assert report.sum_median_distance == pytest.approx(
+            (0.0 + np.hypot(6.0, 5.0)) / 2.0
+        )
+
+
+class TestComputeApply:
+    def test_cross_slave_friend_pull(self, world):
+        """A remote friend's strategy change updates the local table."""
+        graph, checkins, coloring, events = world
+        slave = make_slave(world, [1])
+        report = slave.initialize(
+            DGQuery(events=events, init="closest", normalize=None)
+        )
+        # Global view: 0,1 at event 0; 2,3 at event 1.
+        gsv = {0: 0, 1: report.local_strategies[1], 2: 1, 3: 1}
+        slave.receive_gsv(gsv)
+        # Remote friend 2 (weight 1.0) moves to event 0 -> user 1's cost
+        # for event 0 drops by (1-alpha)/2 * w = 0.25.
+        before = slave._table[0].copy()
+        slave.apply_changes({2: 0})
+        after = slave._table[0]
+        assert after[0] == pytest.approx(before[0] - 0.25)
+        assert after[1] == pytest.approx(before[1] + 0.25)
+
+    def test_local_changes_not_applied_until_redistributed(self, world):
+        graph, checkins, coloring, events = world
+        slave = make_slave(world, [0, 1, 2, 3])
+        report = slave.initialize(
+            DGQuery(events=events, init="random", seed=5, normalize=None)
+        )
+        slave.receive_gsv(report.local_strategies)
+        color = coloring[0]
+        changes, _ = slave.compute_color(color)
+        for user, new_class in changes.items():
+            # Not applied yet: local assignment still the old one.
+            assert slave.local_assignment()[user] != new_class or (
+                slave.local_assignment()[user] == new_class
+            )
+        # After redistribution they take effect.
+        slave.apply_changes(changes)
+        for user, new_class in changes.items():
+            assert slave.local_assignment()[user] == new_class

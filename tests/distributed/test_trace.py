@@ -1,0 +1,81 @@
+"""Unit tests for the protocol trace recorder."""
+
+import pytest
+
+from repro.datasets import gowalla_like
+from repro.distributed import DGQuery, MessageType, build_cluster
+from repro.distributed.trace import TracingNetwork
+
+
+@pytest.fixture(scope="module")
+def traced_run():
+    dataset = gowalla_like(num_users=200, num_events=4, seed=91)
+    network = TracingNetwork()
+    cluster = build_cluster(
+        dataset, num_slaves=2, network=network, use_distributed_coloring=False
+    )
+    result = cluster.game.run(
+        DGQuery(events=dataset.events, alpha=0.5, seed=0)
+    )
+    return network, result
+
+
+class TestTraceContents:
+    def test_trace_accounts_every_byte(self, traced_run):
+        network, result = traced_run
+        assert sum(e.total_bytes for e in network.trace) == network.total_bytes()
+        assert len(network.trace) == network.total_messages()
+
+    def test_protocol_phases_present(self, traced_run):
+        network, _ = traced_run
+        types = {e.msg_type for e in network.trace}
+        assert MessageType.INIT in types
+        assert MessageType.LOCAL_STRATEGIES in types
+        assert MessageType.GLOBAL_STRATEGIES in types
+        assert MessageType.COMPUTE_COLOR in types
+        assert MessageType.STRATEGY_CHANGES in types
+        assert MessageType.TERMINATE in types
+
+    def test_round_zero_contains_init_and_gsv(self, traced_run):
+        network, _ = traced_run
+        round0 = {e.msg_type for e in network.round_trace(0)}
+        assert MessageType.INIT in round0
+        assert MessageType.GLOBAL_STRATEGIES in round0
+        assert MessageType.COMPUTE_COLOR not in round0
+
+    def test_bytes_by_type_totals(self, traced_run):
+        network, _ = traced_run
+        by_type = network.bytes_by_type()
+        assert sum(by_type.values()) == network.total_bytes()
+        # The GSV broadcast is the single biggest per-message payload in
+        # round 0; it must dominate INIT traffic.
+        assert by_type[MessageType.GLOBAL_STRATEGIES] > by_type[MessageType.INIT]
+
+    def test_endpoints_master_centric(self, traced_run):
+        network, _ = traced_run
+        endpoints = network.messages_by_endpoint()
+        # Relayed protocol: every message touches the master.
+        assert all("M" in pair for pair in endpoints)
+
+    def test_format_summary(self, traced_run):
+        network, _ = traced_run
+        text = network.format_summary()
+        assert "protocol trace summary" in text
+        assert "gsv" in text
+        assert "->" in text
+
+
+class TestPeerTrace:
+    def test_peer_protocol_has_slave_to_slave_links(self):
+        dataset = gowalla_like(num_users=200, num_events=4, seed=92)
+        network = TracingNetwork()
+        cluster = build_cluster(
+            dataset, num_slaves=2, network=network, protocol="peer",
+            use_distributed_coloring=False,
+        )
+        cluster.game.run(DGQuery(events=dataset.events, seed=0))
+        endpoints = network.messages_by_endpoint()
+        slave_pairs = [
+            pair for pair in endpoints if "M" not in pair
+        ]
+        assert slave_pairs, "peer protocol must exchange slave-to-slave"

@@ -1,0 +1,125 @@
+"""Unit and property tests for graph coloring (RMGP_is substrate)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GraphError
+from repro.graph import (
+    SocialGraph,
+    color_groups,
+    dsatur_coloring,
+    erdos_renyi,
+    greedy_coloring,
+    is_proper_coloring,
+    num_colors,
+    welsh_powell_coloring,
+)
+
+ALGORITHMS = [greedy_coloring, welsh_powell_coloring, dsatur_coloring]
+
+
+def complete_graph(n: int) -> SocialGraph:
+    return SocialGraph.from_edges(
+        [(i, j) for i in range(n) for j in range(i + 1, n)]
+    )
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+class TestAllAlgorithms:
+    def test_empty_graph(self, algorithm):
+        assert algorithm(SocialGraph()) == {}
+
+    def test_single_node(self, algorithm):
+        assert algorithm(SocialGraph(nodes=[7])) == {7: 0}
+
+    def test_proper_on_triangle(self, algorithm):
+        graph = complete_graph(3)
+        coloring = algorithm(graph)
+        assert is_proper_coloring(graph, coloring)
+        assert num_colors(coloring) == 3
+
+    def test_bounded_by_max_degree_plus_one(self, algorithm):
+        graph = erdos_renyi(40, 0.2, random.Random(1))
+        coloring = algorithm(graph)
+        assert is_proper_coloring(graph, coloring)
+        assert num_colors(coloring) <= graph.max_degree() + 1
+
+
+class TestGreedySpecifics:
+    def test_respects_order(self):
+        graph = SocialGraph.from_edges([(0, 1), (1, 2)])
+        coloring = greedy_coloring(graph, order=[1, 0, 2])
+        assert coloring[1] == 0
+        assert coloring[0] == 1
+        assert coloring[2] == 1
+
+    def test_rejects_bad_order(self):
+        graph = SocialGraph.from_edges([(0, 1)])
+        with pytest.raises(GraphError):
+            greedy_coloring(graph, order=[0])
+        with pytest.raises(GraphError):
+            greedy_coloring(graph, order=[0, 0])
+
+
+class TestDSatur:
+    def test_bipartite_uses_two_colors(self):
+        # DSATUR is exact on bipartite graphs; a 6-cycle needs 2 colors.
+        cycle = SocialGraph.from_edges(
+            [(i, (i + 1) % 6) for i in range(6)]
+        )
+        assert num_colors(dsatur_coloring(cycle)) == 2
+
+    def test_star_uses_two_colors(self):
+        star = SocialGraph.from_edges([(0, i) for i in range(1, 8)])
+        assert num_colors(dsatur_coloring(star)) == 2
+
+
+class TestGroups:
+    def test_groups_partition_nodes(self):
+        graph = erdos_renyi(25, 0.3, random.Random(2))
+        coloring = greedy_coloring(graph)
+        groups = color_groups(coloring)
+        flattened = [node for group in groups for node in group]
+        assert sorted(flattened) == sorted(graph.nodes())
+
+    def test_groups_are_independent_sets(self):
+        graph = erdos_renyi(25, 0.3, random.Random(3))
+        groups = color_groups(greedy_coloring(graph))
+        for group in groups:
+            members = set(group)
+            for node in group:
+                assert not (set(graph.neighbors(node)) & members)
+
+    def test_empty_coloring(self):
+        assert color_groups({}) == []
+
+
+class TestIsProper:
+    def test_detects_missing_node(self):
+        graph = SocialGraph.from_edges([(0, 1)])
+        assert not is_proper_coloring(graph, {0: 0})
+
+    def test_detects_conflict(self):
+        graph = SocialGraph.from_edges([(0, 1)])
+        assert not is_proper_coloring(graph, {0: 0, 1: 0})
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    edges=st.lists(
+        st.tuples(st.integers(0, 15), st.integers(0, 15)).filter(
+            lambda e: e[0] != e[1]
+        ),
+        max_size=40,
+    ),
+    algorithm_index=st.integers(0, len(ALGORITHMS) - 1),
+)
+def test_property_every_coloring_is_proper(edges, algorithm_index):
+    """All three algorithms always return proper, d_max+1-bounded colorings."""
+    graph = SocialGraph.from_edges(edges) if edges else SocialGraph(nodes=[0])
+    coloring = ALGORITHMS[algorithm_index](graph)
+    assert is_proper_coloring(graph, coloring)
+    assert num_colors(coloring) <= graph.max_degree() + 1

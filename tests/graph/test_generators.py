@@ -1,0 +1,143 @@
+"""Unit tests for the synthetic graph generators."""
+
+import random
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph import (
+    barabasi_albert,
+    erdos_renyi,
+    geometric_social,
+    planted_partition,
+    uniform_weight_sampler,
+    watts_strogatz,
+)
+
+
+class TestErdosRenyi:
+    def test_zero_probability(self):
+        graph = erdos_renyi(20, 0.0, random.Random(0))
+        assert graph.num_nodes == 20
+        assert graph.num_edges == 0
+
+    def test_full_probability(self):
+        graph = erdos_renyi(10, 1.0, random.Random(0))
+        assert graph.num_edges == 45
+
+    def test_expected_density_ballpark(self):
+        graph = erdos_renyi(100, 0.1, random.Random(1))
+        expected = 0.1 * 100 * 99 / 2
+        assert 0.6 * expected < graph.num_edges < 1.4 * expected
+
+    def test_deterministic_seed(self):
+        a = erdos_renyi(30, 0.2, random.Random(5))
+        b = erdos_renyi(30, 0.2, random.Random(5))
+        assert sorted(a.edges()) == sorted(b.edges())
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(GraphError):
+            erdos_renyi(-1, 0.5)
+        with pytest.raises(GraphError):
+            erdos_renyi(5, 1.5)
+
+
+class TestWattsStrogatz:
+    def test_no_rewiring_is_ring_lattice(self):
+        graph = watts_strogatz(12, 2, 0.0, random.Random(0))
+        assert graph.num_edges == 12 * 2
+        assert all(graph.degree(v) == 4 for v in graph)
+
+    def test_rewiring_preserves_edge_count(self):
+        graph = watts_strogatz(20, 2, 0.5, random.Random(1))
+        assert graph.num_edges == 40
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(GraphError):
+            watts_strogatz(0, 1, 0.1)
+        with pytest.raises(GraphError):
+            watts_strogatz(6, 3, 0.1)
+        with pytest.raises(GraphError):
+            watts_strogatz(10, 2, 1.5)
+
+
+class TestBarabasiAlbert:
+    def test_edge_count(self):
+        m = 3
+        n = 50
+        graph = barabasi_albert(n, m, random.Random(0))
+        seed_edges = (m + 1) * m // 2
+        assert graph.num_edges == seed_edges + (n - m - 1) * m
+
+    def test_has_hubs(self):
+        graph = barabasi_albert(200, 2, random.Random(1))
+        assert graph.max_degree() > 3 * graph.average_degree()
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(GraphError):
+            barabasi_albert(5, 0)
+        with pytest.raises(GraphError):
+            barabasi_albert(3, 3)
+
+
+class TestPlantedPartition:
+    def test_membership_sizes(self):
+        graph, membership = planted_partition(
+            [10, 15], 0.8, 0.05, random.Random(0)
+        )
+        assert graph.num_nodes == 25
+        assert membership.count(0) == 10
+        assert membership.count(1) == 15
+
+    def test_communities_denser_inside(self):
+        graph, membership = planted_partition(
+            [30, 30], 0.5, 0.02, random.Random(1)
+        )
+        internal = external = 0
+        for u, v, _ in graph.edges():
+            if membership[u] == membership[v]:
+                internal += 1
+            else:
+                external += 1
+        assert internal > external
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(GraphError):
+            planted_partition([], 0.5, 0.1)
+        with pytest.raises(GraphError):
+            planted_partition([5], 0.1, 0.5)  # p_out > p_in
+        with pytest.raises(GraphError):
+            planted_partition([0, 5], 0.5, 0.1)
+
+
+class TestGeometricSocial:
+    def test_connects_nearby(self):
+        positions = [(0.0, 0.0), (0.5, 0.0), (10.0, 10.0)]
+        graph = geometric_social(positions, radius=1.0, rng=random.Random(0))
+        assert graph.has_edge(0, 1)
+        assert not graph.has_edge(0, 2)
+
+    def test_rejects_bad_radius(self):
+        with pytest.raises(GraphError):
+            geometric_social([(0, 0)], radius=0.0)
+
+
+class TestWeightSampler:
+    def test_uniform_range(self):
+        sampler = uniform_weight_sampler(0.5, 1.5)
+        rng = random.Random(0)
+        values = [sampler(rng) for _ in range(100)]
+        assert all(0.5 <= v <= 1.5 for v in values)
+
+    def test_rejects_bad_range(self):
+        with pytest.raises(GraphError):
+            uniform_weight_sampler(0.0, 1.0)
+        with pytest.raises(GraphError):
+            uniform_weight_sampler(2.0, 1.0)
+
+    def test_weighted_generator_integration(self):
+        graph = erdos_renyi(
+            20, 0.3, random.Random(0),
+            weight_sampler=uniform_weight_sampler(0.1, 0.9),
+        )
+        assert all(0.1 <= w <= 0.9 for _, _, w in graph.edges())

@@ -1,0 +1,82 @@
+"""Unit tests for edge-list and check-in file I/O."""
+
+import pytest
+
+from repro.errors import DataError
+from repro.graph import (
+    SocialGraph,
+    read_checkins,
+    read_edge_list,
+    write_checkins,
+    write_edge_list,
+)
+
+
+class TestEdgeListRoundTrip:
+    def test_weighted_round_trip(self, tmp_path):
+        graph = SocialGraph.from_edges([(1, 2, 0.5), (2, 3, 1.25)])
+        path = str(tmp_path / "graph.txt")
+        write_edge_list(graph, path)
+        loaded = read_edge_list(path)
+        assert sorted(loaded.edges()) == sorted(graph.edges())
+
+    def test_unweighted_round_trip(self, tmp_path):
+        graph = SocialGraph.from_edges([(1, 2), (2, 3)])
+        path = str(tmp_path / "graph.txt")
+        write_edge_list(graph, path, write_weights=False)
+        loaded = read_edge_list(path, default_weight=1.0)
+        assert loaded.num_edges == 2
+        assert loaded.weight(1, 2) == 1.0
+
+    def test_comments_and_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "graph.txt"
+        path.write_text("# header\n\n1 2 3.0\n\n# tail\n2 3\n")
+        loaded = read_edge_list(str(path))
+        assert loaded.num_edges == 2
+        assert loaded.weight(1, 2) == 3.0
+        assert loaded.weight(2, 3) == 1.0
+
+
+class TestEdgeListErrors:
+    def test_wrong_token_count(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("1 2 3 4\n")
+        with pytest.raises(DataError):
+            read_edge_list(str(path))
+
+    def test_unparsable_tokens(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("a b\n")
+        with pytest.raises(DataError):
+            read_edge_list(str(path))
+
+    def test_self_loop(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("3 3 1.0\n")
+        with pytest.raises(DataError):
+            read_edge_list(str(path))
+
+
+class TestCheckins:
+    def test_round_trip(self, tmp_path):
+        locations = {1: (0.5, -2.0), 42: (100.25, 3.125)}
+        path = str(tmp_path / "checkins.txt")
+        write_checkins(locations, path)
+        assert read_checkins(path) == locations
+
+    def test_last_checkin_wins(self, tmp_path):
+        path = tmp_path / "checkins.txt"
+        path.write_text("1 0.0 0.0\n1 5.0 5.0\n")
+        assert read_checkins(str(path)) == {1: (5.0, 5.0)}
+
+    def test_wrong_token_count(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("1 2.0\n")
+        with pytest.raises(DataError):
+            read_checkins(str(path))
+
+    def test_unparsable(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("u x y\n")
+        with pytest.raises(DataError):
+            read_checkins(str(path))

@@ -1,0 +1,118 @@
+"""Unit tests for graph statistics and partition diagnostics."""
+
+import random
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph import (
+    SocialGraph,
+    cut_weight,
+    degree_histogram,
+    graph_stats,
+    internal_weight,
+    modularity,
+    partition_balance,
+    partition_sizes,
+    planted_partition,
+)
+
+
+def square() -> SocialGraph:
+    return SocialGraph.from_edges(
+        [(0, 1, 1.0), (1, 2, 2.0), (2, 3, 3.0), (3, 0, 4.0)]
+    )
+
+
+class TestGraphStats:
+    def test_basic(self):
+        stats = graph_stats(square())
+        assert stats.num_nodes == 4
+        assert stats.num_edges == 4
+        assert stats.deg_avg == 2.0
+        assert stats.deg_max == 2
+        assert stats.deg_min == 2
+        assert stats.w_avg == pytest.approx(2.5)
+        assert stats.w_total == pytest.approx(10.0)
+        assert stats.degree_stddev == 0.0
+
+    def test_empty(self):
+        stats = graph_stats(SocialGraph())
+        assert stats.num_nodes == 0
+        assert stats.deg_avg == 0.0
+
+    def test_str_contains_key_numbers(self):
+        text = str(graph_stats(square()))
+        assert "|V|=4" in text
+        assert "|E|=4" in text
+
+
+class TestDegreeHistogram:
+    def test_regular_graph(self):
+        assert degree_histogram(square()) == {2: 4}
+
+    def test_star(self):
+        star = SocialGraph.from_edges([(0, i) for i in range(1, 5)])
+        assert degree_histogram(star) == {4: 1, 1: 4}
+
+
+class TestCutWeight:
+    def test_all_same_label(self):
+        labels = {v: "a" for v in range(4)}
+        assert cut_weight(square(), labels) == 0.0
+        assert internal_weight(square(), labels) == pytest.approx(10.0)
+
+    def test_alternating_labels(self):
+        labels = {0: "a", 1: "b", 2: "a", 3: "b"}
+        assert cut_weight(square(), labels) == pytest.approx(10.0)
+
+    def test_partial_cut(self):
+        labels = {0: "a", 1: "a", 2: "b", 3: "b"}
+        # Edges (1,2) weight 2 and (3,0) weight 4 cross.
+        assert cut_weight(square(), labels) == pytest.approx(6.0)
+
+    def test_missing_label(self):
+        with pytest.raises(GraphError):
+            cut_weight(square(), {0: "a"})
+
+
+class TestPartitionShape:
+    def test_sizes(self):
+        sizes = partition_sizes({0: "a", 1: "a", 2: "b"})
+        assert sizes == {"a": 2, "b": 1}
+
+    def test_balance_perfect(self):
+        labels = {0: "a", 1: "a", 2: "b", 3: "b"}
+        assert partition_balance(labels, 2) == pytest.approx(1.0)
+
+    def test_balance_skewed(self):
+        labels = {0: "a", 1: "a", 2: "a", 3: "b"}
+        assert partition_balance(labels, 2) == pytest.approx(1.5)
+
+    def test_balance_errors(self):
+        with pytest.raises(GraphError):
+            partition_balance({0: "a"}, 0)
+
+    def test_balance_empty(self):
+        assert partition_balance({}, 3) == 0.0
+
+
+class TestModularity:
+    def test_planted_communities_score_high(self):
+        graph, membership = planted_partition(
+            [25, 25], 0.5, 0.02, random.Random(0)
+        )
+        good = {v: membership[v] for v in graph}
+        rng = random.Random(1)
+        shuffled_values = list(good.values())
+        rng.shuffle(shuffled_values)
+        bad = dict(zip(good.keys(), shuffled_values))
+        assert modularity(graph, good) > modularity(graph, bad)
+
+    def test_single_community_zero_ish(self):
+        labels = {v: 0 for v in range(4)}
+        # Q = 1 - sum(K_c/2m)^2 = 1 - 1 = 0 for one community.
+        assert modularity(square(), labels) == pytest.approx(0.0)
+
+    def test_empty_graph(self):
+        assert modularity(SocialGraph(), {}) == 0.0

@@ -1,0 +1,77 @@
+"""Unit tests for clustering and assortativity diagnostics."""
+
+import random
+
+import pytest
+
+from repro.graph import (
+    SocialGraph,
+    average_clustering,
+    barabasi_albert,
+    degree_assortativity,
+    erdos_renyi,
+    local_clustering,
+)
+
+
+class TestLocalClustering:
+    def test_triangle_is_one(self):
+        graph = SocialGraph.from_edges([(0, 1), (1, 2), (0, 2)])
+        assert local_clustering(graph, 0) == 1.0
+
+    def test_star_center_is_zero(self):
+        star = SocialGraph.from_edges([(0, i) for i in range(1, 5)])
+        assert local_clustering(star, 0) == 0.0
+
+    def test_leaf_is_zero(self):
+        graph = SocialGraph.from_edges([(0, 1), (1, 2)])
+        assert local_clustering(graph, 0) == 0.0
+
+    def test_half_closed(self):
+        # Node 0 has neighbors 1,2,3; only pair (1,2) is connected.
+        graph = SocialGraph.from_edges(
+            [(0, 1), (0, 2), (0, 3), (1, 2)]
+        )
+        assert local_clustering(graph, 0) == pytest.approx(1.0 / 3.0)
+
+
+class TestAverageClustering:
+    def test_clique_is_one(self):
+        clique = SocialGraph.from_edges(
+            [(i, j) for i in range(4) for j in range(i + 1, 4)]
+        )
+        assert average_clustering(clique) == 1.0
+
+    def test_empty_graph(self):
+        assert average_clustering(SocialGraph()) == 0.0
+
+    def test_homophilous_graph_clusters_more_than_er(self):
+        from repro.datasets.geo import homophilous_friendships, metro_positions
+
+        rng = random.Random(0)
+        positions = metro_positions(600, [(0, 0)], [1.0], 20.0, rng)
+        geo = homophilous_friendships(positions, 8.0, rng)
+        er = erdos_renyi(
+            600, geo.average_degree() / 599.0, random.Random(1)
+        )
+        assert average_clustering(geo) > 3 * max(
+            average_clustering(er), 1e-4
+        )
+
+
+class TestAssortativity:
+    def test_range(self):
+        graph = barabasi_albert(100, 2, random.Random(0))
+        value = degree_assortativity(graph)
+        assert -1.0 <= value <= 1.0
+
+    def test_no_edges(self):
+        assert degree_assortativity(SocialGraph(nodes=[1, 2])) == 0.0
+
+    def test_regular_graph_zero_variance(self):
+        cycle = SocialGraph.from_edges([(i, (i + 1) % 5) for i in range(5)])
+        assert degree_assortativity(cycle) == 0.0
+
+    def test_star_is_disassortative(self):
+        star = SocialGraph.from_edges([(0, i) for i in range(1, 8)])
+        assert degree_assortativity(star) < 0.0

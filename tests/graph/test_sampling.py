@@ -1,0 +1,87 @@
+"""Unit tests for Forest Fire and uniform sampling."""
+
+import random
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph import (
+    SocialGraph,
+    barabasi_albert,
+    forest_fire_sample,
+    random_edge_sample,
+    random_node_sample,
+)
+
+
+@pytest.fixture(scope="module")
+def big_graph() -> SocialGraph:
+    return barabasi_albert(300, 3, random.Random(0))
+
+
+class TestForestFire:
+    def test_exact_target_size(self, big_graph):
+        sample = forest_fire_sample(big_graph, 50, rng=random.Random(1))
+        assert sample.num_nodes == 50
+
+    def test_sample_is_induced_subgraph(self, big_graph):
+        sample = forest_fire_sample(big_graph, 40, rng=random.Random(2))
+        for u, v, w in sample.edges():
+            assert big_graph.has_edge(u, v)
+            assert big_graph.weight(u, v) == w
+
+    def test_keeps_edges_among_burned(self, big_graph):
+        # Induced semantics: any original edge between sampled nodes is kept.
+        sample = forest_fire_sample(big_graph, 60, rng=random.Random(3))
+        nodes = set(sample.nodes())
+        expected = sum(
+            1 for u, v, _ in big_graph.edges() if u in nodes and v in nodes
+        )
+        assert sample.num_edges == expected
+
+    def test_full_size_sample(self, big_graph):
+        sample = forest_fire_sample(
+            big_graph, big_graph.num_nodes, rng=random.Random(4)
+        )
+        assert sample.num_nodes == big_graph.num_nodes
+
+    def test_deterministic_with_seed(self, big_graph):
+        a = forest_fire_sample(big_graph, 30, rng=random.Random(7))
+        b = forest_fire_sample(big_graph, 30, rng=random.Random(7))
+        assert sorted(a.nodes()) == sorted(b.nodes())
+
+    @pytest.mark.parametrize("target", [0, -5])
+    def test_rejects_non_positive_target(self, big_graph, target):
+        with pytest.raises(GraphError):
+            forest_fire_sample(big_graph, target)
+
+    def test_rejects_oversized_target(self, big_graph):
+        with pytest.raises(GraphError):
+            forest_fire_sample(big_graph, big_graph.num_nodes + 1)
+
+    @pytest.mark.parametrize("p", [0.0, 1.0, -0.1])
+    def test_rejects_bad_probability(self, big_graph, p):
+        with pytest.raises(GraphError):
+            forest_fire_sample(big_graph, 10, forward_probability=p)
+
+
+class TestUniformSamplers:
+    def test_node_sample_size(self, big_graph):
+        sample = random_node_sample(big_graph, 25, random.Random(0))
+        assert sample.num_nodes == 25
+
+    def test_node_sample_errors(self, big_graph):
+        with pytest.raises(GraphError):
+            random_node_sample(big_graph, 0)
+        with pytest.raises(GraphError):
+            random_node_sample(big_graph, big_graph.num_nodes + 1)
+
+    def test_edge_sample_size(self, big_graph):
+        sample = random_edge_sample(big_graph, 20, random.Random(0))
+        assert sample.num_edges == 20
+
+    def test_edge_sample_errors(self, big_graph):
+        with pytest.raises(GraphError):
+            random_edge_sample(big_graph, 0)
+        with pytest.raises(GraphError):
+            random_edge_sample(big_graph, big_graph.num_edges + 1)

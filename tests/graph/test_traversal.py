@@ -1,0 +1,121 @@
+"""Unit tests for graph traversal primitives."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph import (
+    SocialGraph,
+    bfs_distances,
+    bfs_order,
+    connected_components,
+    dfs_order,
+    induced_neighborhood,
+    is_connected,
+    largest_component,
+    shortest_path,
+)
+
+
+def path_graph(n: int) -> SocialGraph:
+    return SocialGraph.from_edges([(i, i + 1) for i in range(n - 1)])
+
+
+class TestBFS:
+    def test_order_starts_at_source(self):
+        order = bfs_order(path_graph(5), 2)
+        assert order[0] == 2
+        assert sorted(order) == [0, 1, 2, 3, 4]
+
+    def test_order_missing_source(self):
+        with pytest.raises(GraphError):
+            bfs_order(path_graph(3), 99)
+
+    def test_distances(self):
+        dist = bfs_distances(path_graph(5), 0)
+        assert dist == {0: 0, 1: 1, 2: 2, 3: 3, 4: 4}
+
+    def test_distances_unreachable_excluded(self):
+        graph = path_graph(3)
+        graph.add_node(99)
+        assert 99 not in bfs_distances(graph, 0)
+
+
+class TestDFS:
+    def test_visits_all_reachable(self):
+        order = dfs_order(path_graph(4), 0)
+        assert sorted(order) == [0, 1, 2, 3]
+
+    def test_missing_source(self):
+        with pytest.raises(GraphError):
+            dfs_order(path_graph(3), 42)
+
+
+class TestComponents:
+    def test_single_component(self):
+        components = connected_components(path_graph(4))
+        assert len(components) == 1
+
+    def test_multiple_components(self):
+        graph = SocialGraph.from_edges([(0, 1), (2, 3), (3, 4)])
+        graph.add_node(9)
+        components = connected_components(graph)
+        sizes = sorted(len(c) for c in components)
+        assert sizes == [1, 2, 3]
+
+    def test_largest_component(self):
+        graph = SocialGraph.from_edges([(0, 1), (2, 3), (3, 4)])
+        largest = largest_component(graph)
+        assert sorted(largest.nodes()) == [2, 3, 4]
+
+    def test_largest_component_empty(self):
+        assert largest_component(SocialGraph()).num_nodes == 0
+
+    def test_is_connected(self):
+        assert is_connected(path_graph(4))
+        graph = path_graph(3)
+        graph.add_node("isolated")
+        assert not is_connected(graph)
+        assert is_connected(SocialGraph())
+
+
+class TestShortestPath:
+    def test_direct_path(self):
+        assert shortest_path(path_graph(4), 0, 3) == [0, 1, 2, 3]
+
+    def test_same_node(self):
+        assert shortest_path(path_graph(3), 1, 1) == [1]
+
+    def test_unreachable(self):
+        graph = path_graph(3)
+        graph.add_node(99)
+        assert shortest_path(graph, 0, 99) is None
+
+    def test_prefers_shortcut(self):
+        graph = path_graph(5)
+        graph.add_edge(0, 4, 1.0)
+        assert shortest_path(graph, 0, 4) == [0, 4]
+
+    def test_missing_endpoints(self):
+        with pytest.raises(GraphError):
+            shortest_path(path_graph(3), 77, 0)
+        with pytest.raises(GraphError):
+            shortest_path(path_graph(3), 0, 77)
+
+
+class TestInducedNeighborhood:
+    def test_zero_hops(self):
+        sub = induced_neighborhood(path_graph(5), [2], 0)
+        assert sub.nodes() == [2]
+
+    def test_one_hop(self):
+        sub = induced_neighborhood(path_graph(5), [2], 1)
+        assert sorted(sub.nodes()) == [1, 2, 3]
+        assert sub.num_edges == 2
+
+    def test_negative_hops(self):
+        with pytest.raises(GraphError):
+            induced_neighborhood(path_graph(3), [0], -1)
+
+    def test_missing_seed(self):
+        with pytest.raises(GraphError):
+            induced_neighborhood(path_graph(3), [55], 1)

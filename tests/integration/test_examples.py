@@ -1,0 +1,64 @@
+"""Smoke tests: every example script runs cleanly end to end.
+
+The examples are part of the public API surface (deliverable walk-
+throughs); they must keep working as the library evolves.  Each is run
+in a subprocess with the repository sources on the path.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(
+    os.path.dirname(__file__), os.pardir, os.pardir, "examples"
+)
+
+EXAMPLES = [
+    "quickstart.py",
+    "lagp_event_promotion.py",
+    "tagp_advertising.py",
+    "decentralized_cluster.py",
+    "normalization_study.py",
+    "online_recommendations.py",
+    "capacitated_events.py",
+    "multicriteria_profiles.py",
+]
+
+EXPECTED_MARKERS = {
+    "quickstart.py": ["Nash equilibrium", "v4"],
+    "lagp_event_promotion.py": ["area of interest", "alpha=0.9"],
+    "tagp_advertising.py": ["ad audiences", "friend pairs sharing an ad"],
+    "decentralized_cluster.py": ["DG:", "FaE:", "equilibrium verified: True"],
+    "normalization_study.py": ["pessimistic", "C_N"],
+    "online_recommendations.py": ["epoch", "incremental"],
+    "capacitated_events.py": ["capacitated equilibrium verified: True"],
+    "multicriteria_profiles.py": [
+        "criterion contributions",
+        "own theme",
+    ],
+}
+
+
+def test_all_examples_are_covered():
+    on_disk = sorted(
+        f for f in os.listdir(EXAMPLES_DIR) if f.endswith(".py")
+    )
+    assert on_disk == sorted(EXAMPLES), "new example? add it to this test"
+
+
+@pytest.mark.parametrize("script", EXAMPLES)
+def test_example_runs(script):
+    path = os.path.join(EXAMPLES_DIR, script)
+    outcome = subprocess.run(
+        [sys.executable, path],
+        capture_output=True,
+        text=True,
+        timeout=420,
+    )
+    assert outcome.returncode == 0, outcome.stderr[-2000:]
+    for marker in EXPECTED_MARKERS[script]:
+        assert marker in outcome.stdout, (
+            f"{script}: expected {marker!r} in output"
+        )

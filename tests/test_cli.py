@@ -1,0 +1,90 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_solve_defaults(self):
+        arguments = build_parser().parse_args(["solve"])
+        assert arguments.method == "all"
+        assert arguments.alpha == 0.5
+        assert arguments.dataset == "gowalla"
+
+    def test_rejects_unknown_method(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["solve", "--method", "magic"])
+
+    def test_rejects_unknown_figure(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure", "fig99"])
+
+
+class TestCommands:
+    def test_trace(self, capsys):
+        assert main(["trace"]) == 0
+        output = capsys.readouterr().out
+        assert "Table 1" in output
+        assert "v4" in output
+
+    def test_solve_small(self, capsys):
+        code = main([
+            "solve", "--users", "120", "--events", "4", "--seed", "1",
+            "--method", "all",
+        ])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "RMGP_all" in output
+        assert "Nash equilibrium" in output
+        assert "most popular classes" in output
+
+    def test_solve_without_normalization(self, capsys):
+        code = main([
+            "solve", "--users", "100", "--events", "4", "--normalize", "none",
+        ])
+        assert code == 0
+        assert "normalization" not in capsys.readouterr().out
+
+    def test_dataset_writes_files(self, tmp_path, capsys):
+        edges = str(tmp_path / "edges.txt")
+        checkins = str(tmp_path / "checkins.txt")
+        code = main([
+            "dataset", "--users", "80", "--events", "4",
+            "--edges-out", edges, "--checkins-out", checkins,
+        ])
+        assert code == 0
+        from repro.graph import read_checkins, read_edge_list
+
+        graph = read_edge_list(edges)
+        assert graph.num_nodes > 0
+        assert len(read_checkins(checkins)) == 80
+
+    def test_figure_table1(self, capsys):
+        assert main(["figure", "table1"]) == 0
+        assert "Table 1" in capsys.readouterr().out
+
+    def test_stream(self, capsys):
+        code = main([
+            "stream", "--users", "120", "--events", "4",
+            "--epochs", "2", "--checkins-per-epoch", "5",
+        ])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "epoch" in output
+        assert output.count("\n") >= 4  # header + dataset + 2 epochs
+
+    @pytest.mark.parametrize("protocol", ["relayed", "peer"])
+    def test_distributed(self, capsys, protocol):
+        code = main([
+            "distributed", "--users", "150", "--events", "4",
+            "--protocol", protocol,
+        ])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert f"DG[{protocol}]" in output
+        assert "FaE" in output
