@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install test bench bench-full examples figures clean
+.PHONY: install test test-output bench bench-full bench-output examples figures clean
 
 install:
 	pip install -e '.[dev]'

@@ -6,10 +6,20 @@ from repro.distributed.coloring import (
     distributed_coloring,
 )
 from repro.distributed.fae import FaEResult, run_fae
+from repro.distributed.faults import (
+    CrashEvent,
+    DeliveryOutcome,
+    FaultPlan,
+    FaultyNetwork,
+    InjectedFault,
+)
 from repro.distributed.master import (
+    ChannelState,
     DecentralizedGame,
     DGResult,
     DGRoundStats,
+    ReliableTransport,
+    RetryPolicy,
     estimate_cn_from_reports,
 )
 from repro.distributed.peer import PeerToPeerGame
@@ -28,19 +38,32 @@ from repro.distributed.partitioner import (
 )
 from repro.distributed.query import DGQuery
 from repro.distributed.slave import SlaveInitReport, SlaveNode
-from repro.distributed.trace import TracedMessage, TracingNetwork
+from repro.distributed.trace import (
+    FaultTracingNetwork,
+    TracedMessage,
+    TracingNetwork,
+)
 
 __all__ = [
+    "ChannelState",
     "Cluster",
+    "CrashEvent",
     "DGQuery",
     "DGResult",
     "DGRoundStats",
     "DecentralizedGame",
+    "DeliveryOutcome",
     "DistributedColoringStats",
     "FaEResult",
+    "FaultPlan",
+    "FaultTracingNetwork",
+    "FaultyNetwork",
+    "InjectedFault",
     "Message",
     "MessageType",
     "PeerToPeerGame",
+    "ReliableTransport",
+    "RetryPolicy",
     "estimate_cn_from_reports",
     "RoundLedger",
     "SimulatedNetwork",

@@ -12,7 +12,8 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.datasets.base import GeoSocialDataset
 from repro.distributed.coloring import distributed_coloring
-from repro.distributed.master import DecentralizedGame
+from repro.distributed.faults import FaultPlan, FaultyNetwork
+from repro.distributed.master import DecentralizedGame, RetryPolicy
 from repro.distributed.network import SimulatedNetwork
 from repro.distributed.peer import PeerToPeerGame
 from repro.distributed.partitioner import hash_partition
@@ -40,6 +41,9 @@ def build_cluster(
     shards: Optional[Sequence[Sequence[NodeId]]] = None,
     use_distributed_coloring: bool = True,
     protocol: str = "relayed",
+    fault_plan: Optional[FaultPlan] = None,
+    retry_policy: Optional[RetryPolicy] = None,
+    degrade: bool = True,
 ) -> Cluster:
     """Assemble a simulated cluster over ``dataset``.
 
@@ -49,11 +53,23 @@ def build_cluster(
     ``protocol`` selects the coordinator: ``"relayed"`` (Figure 6,
     everything flows through M) or ``"peer"`` (direct slave-to-slave
     change broadcast, Section 5's suggested extension).
+
+    ``fault_plan`` builds the cluster over a
+    :class:`~repro.distributed.faults.FaultyNetwork` injecting that plan;
+    ``retry_policy`` tunes the reliability layer and ``degrade`` chooses
+    between re-sharding dead slaves onto survivors (True) and raising
+    :class:`~repro.errors.SlaveUnreachableError` (False).
     """
     if num_slaves <= 0:
         raise ConfigurationError("num_slaves must be positive")
     if protocol not in ("relayed", "peer"):
         raise ConfigurationError(f"unknown protocol {protocol!r}")
+    if fault_plan is not None:
+        if network is not None:
+            raise ConfigurationError(
+                "pass either a prebuilt network or a fault_plan, not both"
+            )
+        network = FaultyNetwork(fault_plan)
     users = dataset.graph.nodes()
     if shards is None:
         shards = hash_partition(users, num_slaves)
@@ -81,13 +97,23 @@ def build_cluster(
         )
         for index, shard in enumerate(shards)
     ]
-    coordinator_class = DecentralizedGame if protocol == "relayed" else PeerToPeerGame
-    game = coordinator_class(
-        slaves,
-        network=network,
-        deg_avg=dataset.graph.average_degree(),
-        w_avg=dataset.graph.average_edge_weight(),
-    )
+    if protocol == "relayed":
+        game: "DecentralizedGame | PeerToPeerGame" = DecentralizedGame(
+            slaves,
+            network=network,
+            deg_avg=dataset.graph.average_degree(),
+            w_avg=dataset.graph.average_edge_weight(),
+            retry_policy=retry_policy,
+            degrade=degrade,
+        )
+    else:
+        game = PeerToPeerGame(
+            slaves,
+            network=network,
+            deg_avg=dataset.graph.average_degree(),
+            w_avg=dataset.graph.average_edge_weight(),
+            retry_policy=retry_policy,
+        )
     return Cluster(
         game=game,
         slaves=slaves,

@@ -1,0 +1,368 @@
+"""Deterministic fault injection for the simulated cluster.
+
+The decentralized protocol of Figure 6 assumes a perfectly reliable
+network and immortal slaves.  This module supplies the adversary: a
+seeded, fully deterministic :class:`FaultPlan` describing which faults to
+inject, and a :class:`FaultyNetwork` — a drop-in
+:class:`~repro.distributed.network.SimulatedNetwork` subclass — that
+applies the plan at delivery time.  Supported faults:
+
+* **drop** — a delivery attempt is lost (its bytes still burn bandwidth,
+  modeling the wasted transmission); capped per message by
+  ``max_consecutive_drops`` so every message is eventually deliverable
+  within a finite retry budget,
+* **delay** — a delivery arrives late (extra transfer seconds),
+* **duplicate** — a delivery arrives twice (second copy accounted on the
+  wire, then deduplicated by sequence number at the receiver),
+* **reorder** — a parallel exchange processes its messages in a
+  deterministically shuffled order,
+* **crash/restart** — a slave dies at a scheduled ``(round, step)``
+  point and stays down for ``downtime`` simulated seconds
+  (``math.inf`` = permanently dead).
+
+Every injected fault is recorded both globally (:attr:`FaultyNetwork
+.injected`) and in the per-round ledger
+(:attr:`~repro.distributed.network.RoundLedger.faults`).
+
+Determinism contract: all randomness flows from one ``random.Random``
+stream seeded by :attr:`FaultPlan.seed` and consumed in protocol order —
+the protocol itself is lockstep and deterministic, so the same seed
+produces the identical fault schedule, byte ledger, and final
+assignment.  The :class:`FaultPlan` is an immutable config; each
+:class:`FaultyNetwork` derives its own stream from it, so one plan can
+be replayed any number of times.  A plain :class:`SimulatedNetwork` (or
+an empty plan) leaves the protocol byte-for-byte identical to the
+fault-free implementation.
+
+There is no wall-clock anywhere: timeouts, backoff and crash downtime
+all live on the network's simulated :attr:`~FaultyNetwork.clock`.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.distributed.messages import Message
+from repro.distributed.network import RoundLedger, SimulatedNetwork
+from repro.errors import ConfigurationError
+
+#: Coordinator node id — deliveries are keyed on the *other* endpoint.
+MASTER_ID = "M"
+
+
+@dataclass(frozen=True)
+class CrashEvent:
+    """Kill ``slave_id`` at exchange ``step`` of round ``round_index``.
+
+    ``step`` counts parallel exchanges within the round (0-based); the
+    slave stays down for ``downtime`` simulated seconds after the crash
+    (``math.inf`` marks a permanent death, exercising the degradation
+    path).
+    """
+
+    slave_id: str
+    round_index: int
+    step: int = 0
+    downtime: float = math.inf
+
+    def __post_init__(self) -> None:
+        if self.round_index < 0 or self.step < 0:
+            raise ConfigurationError("crash (round, step) must be non-negative")
+        if self.downtime <= 0:
+            raise ConfigurationError("crash downtime must be positive")
+
+    @property
+    def permanent(self) -> bool:
+        """Whether the slave never restarts."""
+        return math.isinf(self.downtime)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Immutable, seeded description of the faults to inject."""
+
+    seed: int = 0
+    drop_rate: float = 0.0
+    delay_rate: float = 0.0
+    max_delay_seconds: float = 0.01
+    duplicate_rate: float = 0.0
+    reorder_rate: float = 0.0
+    #: Hard cap on consecutive drops of one message, guaranteeing
+    #: delivery within ``max_consecutive_drops + 1`` attempts.  Raise it
+    #: past the retry budget to simulate a black-holed link.
+    max_consecutive_drops: int = 2
+    crashes: Tuple[CrashEvent, ...] = ()
+
+    def __post_init__(self) -> None:
+        for name in ("drop_rate", "delay_rate", "duplicate_rate", "reorder_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ConfigurationError(f"{name} must be in [0, 1], got {rate}")
+        if self.max_delay_seconds < 0:
+            raise ConfigurationError("max_delay_seconds must be non-negative")
+        if self.max_consecutive_drops < 0:
+            raise ConfigurationError("max_consecutive_drops must be non-negative")
+        # Tuples keep the plan hashable/replayable even when callers
+        # pass a list of crash events.
+        object.__setattr__(self, "crashes", tuple(self.crashes))
+
+    @property
+    def message_faults_enabled(self) -> bool:
+        """Whether any per-delivery fault can fire."""
+        return (
+            self.drop_rate > 0
+            or self.delay_rate > 0
+            or self.duplicate_rate > 0
+            or self.reorder_rate > 0
+        )
+
+    def describe(self) -> str:
+        """One-line human-readable summary (for logs and runbooks)."""
+        parts = [f"seed={self.seed}"]
+        for name in ("drop_rate", "delay_rate", "duplicate_rate", "reorder_rate"):
+            rate = getattr(self, name)
+            if rate:
+                parts.append(f"{name}={rate:g}")
+        for crash in self.crashes:
+            when = "forever" if crash.permanent else f"{crash.downtime:g}s"
+            parts.append(
+                f"crash({crash.slave_id}@r{crash.round_index}.s{crash.step},{when})"
+            )
+        return "FaultPlan(" + ", ".join(parts) + ")"
+
+
+@dataclass(frozen=True)
+class InjectedFault:
+    """One fault that actually fired, as recorded in the ledgers."""
+
+    round_index: int
+    step: int
+    kind: str  # drop | delay | duplicate | reorder | crash | unreachable | recovery | reshard
+    target: str
+    msg_type: str = ""
+    attempt: int = 0
+    detail: float = 0.0
+
+
+@dataclass
+class DeliveryOutcome:
+    """Result of one delivery attempt through the faulty network."""
+
+    delivered: bool
+    seconds: float
+    duplicated: bool = False
+
+
+@dataclass
+class _CrashWindow:
+    """An activated crash: ``[start, start + downtime)`` on the clock."""
+
+    event: CrashEvent
+    start: float
+
+    def down_at(self, at: float) -> bool:
+        return self.start <= at < self.start + self.event.downtime
+
+
+class FaultyNetwork(SimulatedNetwork):
+    """A :class:`SimulatedNetwork` that injects a :class:`FaultPlan`.
+
+    The fault-aware coordinator drives deliveries through
+    :meth:`attempt` (one accounted transmission, possibly faulted)
+    instead of :meth:`parallel_exchange`; plain sends still work and are
+    never faulted, so passing a ``FaultyNetwork`` with an empty plan is
+    byte-identical to a plain network.
+    """
+
+    def __init__(
+        self,
+        plan: Optional[FaultPlan] = None,
+        *args,
+        **kwargs,
+    ) -> None:
+        super().__init__(*args, **kwargs)
+        self.plan = plan or FaultPlan()
+        self.clock = 0.0
+        self.injected: List[InjectedFault] = []
+        self._rng = random.Random(self.plan.seed)
+        self._step = -1
+        self._windows: Dict[str, _CrashWindow] = {}
+        self._pending_crashes: List[str] = []
+        self._pending_recovery: set = set()
+        self._fired_crashes: set = set()
+
+    # -- round/step bookkeeping ----------------------------------------
+    def begin_round(self, round_index: int) -> None:
+        super().begin_round(round_index)
+        self._step = -1
+
+    @property
+    def step(self) -> int:
+        """Current exchange index within the round (−1 before the first)."""
+        return self._step
+
+    def next_step(self) -> None:
+        """Advance to the next exchange; activate scheduled crashes."""
+        self._step += 1
+        for event in self.plan.crashes:
+            key = (event.slave_id, event.round_index, event.step)
+            if key in self._fired_crashes:
+                continue
+            if event.round_index == self._current_round and event.step == self._step:
+                self._fired_crashes.add(key)
+                self._windows[event.slave_id] = _CrashWindow(event, self.clock)
+                self._pending_crashes.append(event.slave_id)
+                if not event.permanent:
+                    self._pending_recovery.add(event.slave_id)
+                self._record("crash", event.slave_id, detail=event.downtime)
+
+    def take_new_crashes(self) -> List[str]:
+        """Slaves whose crash just activated (state wipe due); clears."""
+        crashed, self._pending_crashes = self._pending_crashes, []
+        return crashed
+
+    def slave_down(self, slave_id: str, at: Optional[float] = None) -> bool:
+        """Whether ``slave_id`` is inside a crash window at clock ``at``."""
+        window = self._windows.get(slave_id)
+        if window is None:
+            return False
+        return window.down_at(self.clock if at is None else at)
+
+    def needs_recovery(self, slave_id: str) -> bool:
+        """Whether the slave restarted and awaits a state resync."""
+        return slave_id in self._pending_recovery
+
+    def consume_recovery(self, slave_id: str) -> bool:
+        """Pop the restarted-flag; True exactly once per restart."""
+        if slave_id in self._pending_recovery:
+            self._pending_recovery.discard(slave_id)
+            self._record("recovery", slave_id)
+            return True
+        return False
+
+    # -- delivery ------------------------------------------------------
+    @staticmethod
+    def peer_of(message: Message) -> str:
+        """The non-master endpoint of a message (retry/crash target)."""
+        return message.recipient if message.recipient != MASTER_ID else message.sender
+
+    def attempt(self, message: Message, attempt_index: int, at: float) -> DeliveryOutcome:
+        """One delivery attempt at simulated time ``at``.
+
+        Bytes are always charged (a dropped frame still crossed the
+        sender's NIC); the caller folds the returned seconds into the
+        exchange's parallel max and adds timeout/backoff on failure.
+        """
+        ledger = self._ledger()
+        ledger.bytes_sent += message.total_bytes
+        ledger.messages += 1
+        seconds = self.transfer_seconds(message.total_bytes)
+        peer = self.peer_of(message)
+
+        if self.slave_down(peer, at):
+            self._record(
+                "unreachable", peer, message, attempt_index, detail=at
+            )
+            return DeliveryOutcome(False, seconds)
+
+        plan = self.plan
+        dropped = (
+            self._rng.random() < plan.drop_rate
+            and attempt_index < plan.max_consecutive_drops
+        )
+        delayed = self._rng.random() < plan.delay_rate
+        duplicated = self._rng.random() < plan.duplicate_rate
+        if dropped:
+            self._record("drop", peer, message, attempt_index)
+            return DeliveryOutcome(False, seconds)
+        if delayed:
+            extra = self._rng.uniform(0.0, plan.max_delay_seconds)
+            seconds += extra
+            self._record("delay", peer, message, attempt_index, detail=extra)
+        if duplicated:
+            # The spurious copy burns wire bytes; the receiver's
+            # sequence-number dedup discards it.
+            ledger.bytes_sent += message.total_bytes
+            ledger.messages += 1
+            self._record("duplicate", peer, message, attempt_index)
+        return DeliveryOutcome(True, seconds, duplicated)
+
+    def maybe_reorder(self, batch: List[Message]) -> List[Message]:
+        """Deterministically shuffle an exchange batch, per the plan."""
+        if len(batch) < 2 or self.plan.reorder_rate <= 0:
+            return batch
+        if self._rng.random() >= self.plan.reorder_rate:
+            return batch
+        order = list(range(len(batch)))
+        self._rng.shuffle(order)
+        self._record("reorder", "*", detail=float(len(batch)))
+        return [batch[i] for i in order]
+
+    def jitter_fraction(self) -> float:
+        """Deterministic jitter sample in [0, 1) for backoff timeouts."""
+        return self._rng.random()
+
+    # -- time & bulk accounting ----------------------------------------
+    def advance(self, seconds: float) -> None:
+        """Charge exchange wall time to the ledger and the clock."""
+        self._ledger().transfer_seconds += seconds
+        self.clock += seconds
+
+    def record_extra(self, message: Message) -> float:
+        """Account an out-of-band message (e.g. recovery GSV resend).
+
+        Bytes and count land in the ledger; the returned seconds are
+        folded into the caller's elapsed time (never faulted — recovery
+        rides on the just-reestablished link).
+        """
+        ledger = self._ledger()
+        ledger.bytes_sent += message.total_bytes
+        ledger.messages += 1
+        return self.transfer_seconds(message.total_bytes)
+
+    def bulk_transfer(self, num_bytes: int, kind: str, target: str) -> float:
+        """Account a bulk side-channel move (FaE-style re-sharding)."""
+        ledger = self._ledger()
+        ledger.bytes_sent += num_bytes
+        ledger.messages += 1
+        seconds = self.transfer_seconds(num_bytes)
+        ledger.transfer_seconds += seconds
+        self.clock += seconds
+        self._record(kind, target, detail=float(num_bytes))
+        return seconds
+
+    # -- fault ledger --------------------------------------------------
+    def _ledger(self) -> RoundLedger:
+        return self._rounds.setdefault(
+            self._current_round, RoundLedger(self._current_round)
+        )
+
+    def _record(
+        self,
+        kind: str,
+        target: str,
+        message: Optional[Message] = None,
+        attempt: int = 0,
+        detail: float = 0.0,
+    ) -> None:
+        fault = InjectedFault(
+            round_index=self._current_round,
+            step=self._step,
+            kind=kind,
+            target=target,
+            msg_type=message.msg_type.value if message else "",
+            attempt=attempt,
+            detail=detail,
+        )
+        self.injected.append(fault)
+        self._ledger().faults.append(fault)
+
+    def faults_by_kind(self) -> Dict[str, int]:
+        """Histogram of injected fault kinds (for tests and reports)."""
+        counts: Dict[str, int] = {}
+        for fault in self.injected:
+            counts[fault.kind] = counts.get(fault.kind, 0) + 1
+        return counts

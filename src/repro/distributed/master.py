@@ -7,23 +7,171 @@ flows through a :class:`~repro.distributed.network.SimulatedNetwork`
 which produces the byte/transfer-time series of Figures 13 and 14, while
 slave compute time is charged as the *maximum* across slaves per phase
 (they run in parallel on distinct servers).
+
+Reliability layer: when the network is a
+:class:`~repro.distributed.faults.FaultyNetwork`, every exchange runs
+through a :class:`ReliableTransport` — per-link sequence numbers, ACK
+tracking, bounded retries with exponential backoff + jitter on the
+*simulated* clock, duplicate suppression, crash detection with
+checkpoint-based recovery, and (optionally) graceful degradation that
+re-shards a permanently dead slave's players onto survivors.  On a plain
+:class:`SimulatedNetwork` none of this code runs and the protocol is
+byte-for-byte identical to the fault-free implementation.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set
 
 from repro.distributed import messages as msg
+from repro.distributed.faults import FaultyNetwork
 from repro.distributed.network import SimulatedNetwork
 from repro.distributed.query import DGQuery
 from repro.distributed.slave import SlaveNode
-from repro.errors import ProtocolError
+from repro.errors import ConfigurationError, ProtocolError, SlaveUnreachableError
 from repro.graph.social_graph import NodeId
 
 #: Safety valve mirroring the centralized solvers.
 MAX_DG_ROUNDS = 10_000
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded-retry budget with exponential backoff on simulated time.
+
+    After a failed attempt ``i`` (0-based) the master waits
+    ``base_timeout * backoff ** i * (1 + jitter * u)`` simulated seconds
+    (``u`` drawn deterministically from the fault plan's stream) before
+    retrying; after ``max_attempts`` failures the peer is declared
+    unreachable.
+    """
+
+    max_attempts: int = 6
+    base_timeout: float = 0.05
+    backoff: float = 2.0
+    jitter: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigurationError("retry budget needs at least one attempt")
+        if self.base_timeout <= 0 or self.backoff < 1.0:
+            raise ConfigurationError("timeout must be positive, backoff >= 1")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ConfigurationError("jitter must be in [0, 1]")
+
+    def timeout_after(self, attempt_index: int, jitter_u: float = 0.0) -> float:
+        """Backoff wait after failed attempt ``attempt_index``."""
+        return (
+            self.base_timeout
+            * self.backoff ** attempt_index
+            * (1.0 + self.jitter * jitter_u)
+        )
+
+
+@dataclass
+class ChannelState:
+    """Per-link reliability bookkeeping (master <-> one slave)."""
+
+    next_seq: int = 0
+    #: Highest sequence number confirmed by the peer — M→slave messages
+    #: are acked by the slave's next response; slave→M messages ack
+    #: themselves on delivery.
+    acked_through: int = -1
+    delivered: Set[int] = field(default_factory=set)
+    duplicates_suppressed: int = 0
+    retries: int = 0
+
+
+class ReliableTransport:
+    """Drives exchanges over a :class:`FaultyNetwork` with retries.
+
+    ``on_crash`` is told about newly activated crash events (so the
+    coordinator can wipe the slave process); ``on_restart`` performs the
+    recovery resync on first contact after a restart and returns the
+    extra seconds it cost; ``on_dead`` handles a peer that exhausted the
+    retry budget — returning True means "degraded, carry on without it",
+    False (or no handler) escalates to :class:`SlaveUnreachableError`.
+    """
+
+    def __init__(
+        self,
+        network: FaultyNetwork,
+        policy: RetryPolicy,
+        on_crash: Optional[Callable[[str], None]] = None,
+        on_restart: Optional[Callable[[str], float]] = None,
+        on_dead: Optional[Callable[[str], bool]] = None,
+    ) -> None:
+        self.network = network
+        self.policy = policy
+        self.on_crash = on_crash
+        self.on_restart = on_restart
+        self.on_dead = on_dead
+        self.channels: Dict[str, ChannelState] = {}
+        self.dead: Set[str] = set()
+
+    def exchange(self, messages: Iterable[msg.Message]) -> float:
+        """Reliable counterpart of ``parallel_exchange``.
+
+        Messages travel concurrently (slowest chain is charged), each
+        one retried independently until delivered or the budget runs
+        out.  Returns the exchange's wall time on the simulated clock.
+        """
+        net = self.network
+        net.next_step()
+        if self.on_crash:
+            for slave_id in net.take_new_crashes():
+                self.on_crash(slave_id)
+        batch = net.maybe_reorder(
+            [m for m in messages if net.peer_of(m) not in self.dead]
+        )
+        slowest = 0.0
+        for message in batch:
+            peer = net.peer_of(message)
+            if peer in self.dead:  # died earlier in this very batch
+                continue
+            try:
+                slowest = max(slowest, self._deliver(message, peer))
+            except SlaveUnreachableError:
+                if self.on_dead is not None and self.on_dead(peer):
+                    self.dead.add(peer)
+                    continue
+                raise
+        net.advance(slowest)
+        return slowest
+
+    def _deliver(self, message: msg.Message, peer: str) -> float:
+        """Deliver one message, retrying on drops and down peers."""
+        net, policy = self.network, self.policy
+        channel = self.channels.setdefault(peer, ChannelState())
+        message = msg.with_seq(message, channel.next_seq)
+        channel.next_seq += 1
+        elapsed = 0.0
+        for attempt in range(policy.max_attempts):
+            if attempt:
+                channel.retries += 1
+            outcome = net.attempt(message, attempt, at=net.clock + elapsed)
+            elapsed += outcome.seconds
+            if outcome.delivered:
+                if net.consume_recovery(peer) and self.on_restart:
+                    elapsed += self.on_restart(peer)
+                # Idempotence: the receiver keeps delivered seqs, so a
+                # duplicated frame is recognized and discarded.
+                if outcome.duplicated:
+                    channel.duplicates_suppressed += 1
+                channel.delivered.add(message.seq)
+                # ACK tracking: a slave→M delivery confirms the link up
+                # through this seq; M→slave deliveries are confirmed by
+                # the slave's next response over the same channel.
+                channel.acked_through = max(channel.acked_through, message.seq)
+                return elapsed
+            elapsed += policy.timeout_after(attempt, net.jitter_fraction())
+        raise SlaveUnreachableError(
+            peer,
+            f"slave {peer!r} unreachable after {policy.max_attempts} attempts "
+            f"({message.msg_type.value} seq={message.seq})",
+        )
 
 
 @dataclass
@@ -71,41 +219,96 @@ class DecentralizedGame:
         network: Optional[SimulatedNetwork] = None,
         deg_avg: float = 0.0,
         w_avg: float = 0.0,
+        retry_policy: Optional[RetryPolicy] = None,
+        degrade: bool = True,
     ) -> None:
         """``deg_avg``/``w_avg`` are the query-independent graph statistics
-        used for normalization estimates ("available apriori", §3.3)."""
+        used for normalization estimates ("available apriori", §3.3).
+
+        ``retry_policy`` governs the reliability layer (only consulted
+        when ``network`` is a :class:`FaultyNetwork`); ``degrade``
+        selects graceful degradation — re-shard a permanently dead
+        slave's players onto survivors — over raising
+        :class:`SlaveUnreachableError`.
+        """
         if not slaves:
             raise ProtocolError("need at least one slave node")
         self.slaves = list(slaves)
         self.network = network or SimulatedNetwork()
         self.deg_avg = deg_avg
         self.w_avg = w_avg
+        self.retry_policy = retry_policy or RetryPolicy()
+        self.degrade = degrade
+        #: Optional hook called as ``round_listener(round_index, gsv)``
+        #: after every completed round — the chaos/property tests use it
+        #: to audit the potential Φ across faults.  No-op when unset.
+        self.round_listener: Optional[Callable[[int, Dict[NodeId, int]], None]] = None
+        self.transport: Optional[ReliableTransport] = None
+        #: Measured compute spent rebuilding state after restarts /
+        #: adoptions — reported separately so it never perturbs the
+        #: deterministic simulated clock.
+        self.recovery_compute_seconds = 0.0
+        self._slaves_by_id = {s.slave_id: s for s in self.slaves}
+        self._live: List[SlaveNode] = []
+        self._active: List[SlaveNode] = []
+        self._reports: Dict[str, object] = {}
+        self._query: Optional[DGQuery] = None
+        self._gsv: Optional[Dict[NodeId, int]] = None
+        self._cn: float = 1.0
 
     # ------------------------------------------------------------------
+    def _exchange(self, messages: Iterable[msg.Message]) -> float:
+        """Send one parallel exchange, reliably when faults can fire."""
+        if self.transport is None:
+            return self.network.parallel_exchange(messages)
+        return self.transport.exchange(messages)
+
     def run(self, query: DGQuery) -> DGResult:
         """Execute the full Figure 6 protocol for ``query``."""
         rounds: List[DGRoundStats] = []
         start_bytes = self.network.total_bytes()
         start_msgs = self.network.total_messages()
 
+        self._query = query
+        self._gsv = None
+        self._cn = 1.0
+        self._reports = {}
+        self._live = list(self.slaves)
+        self._active = []
+        self.recovery_compute_seconds = 0.0
+        if isinstance(self.network, FaultyNetwork):
+            self.transport = ReliableTransport(
+                self.network,
+                self.retry_policy,
+                on_crash=self._on_crash,
+                on_restart=self._recover_slave,
+                on_dead=self._absorb_dead_slave if self.degrade else None,
+            )
+        else:
+            self.transport = None
+
         # ---- Round 0: initialization -----------------------------------
         self.network.begin_round(0)
-        transfer = self.network.parallel_exchange(
+        transfer = self._exchange(
             msg.init_message("M", s.slave_id, query.k, query.area is not None)
-            for s in self.slaves
+            for s in self._live
         )
-        reports = [slave.initialize(query) for slave in self.slaves]
-        compute = max(r.compute_seconds for r in reports)
-        transfer += self.network.parallel_exchange(
+        self._reports = {s.slave_id: s.initialize(query) for s in self._live}
+        compute = max(r.compute_seconds for r in self._reports.values())
+        transfer += self._exchange(
             msg.lsv_message(
-                s.slave_id, "M", r.num_participants, len(r.colors)
+                s.slave_id,
+                "M",
+                self._reports[s.slave_id].num_participants,
+                len(self._reports[s.slave_id].colors),
             )
-            for s, r in zip(self.slaves, reports)
+            for s in self._live
         )
 
         gsv: Dict[NodeId, int] = {}
         colors: Set[int] = set()
-        for report in reports:
+        for slave in self._live:
+            report = self._reports[slave.slave_id]
             overlap = gsv.keys() & report.local_strategies.keys()
             if overlap:
                 raise ProtocolError(f"users owned by two slaves: {list(overlap)[:5]}")
@@ -113,22 +316,29 @@ class DecentralizedGame:
             colors.update(report.colors)
         if not gsv:
             raise ProtocolError("no participants inside the area of interest")
+        self._gsv = gsv
 
-        cn = self._estimate_cn(query, reports)
+        cn = self._estimate_cn(
+            query, [self._reports[s.slave_id] for s in self._live]
+        )
+        self._cn = cn
 
         # Only slaves with participants join the game (Figure 6 line 6).
-        active = [
-            (slave, report)
-            for slave, report in zip(self.slaves, reports)
-            if report.num_participants > 0
+        self._active = [
+            s for s in self._live
+            if self._reports[s.slave_id].num_participants > 0
         ]
-        transfer += self.network.parallel_exchange(
-            msg.gsv_message("M", slave.slave_id, len(gsv)) for slave, _ in active
+        transfer += self._exchange(
+            msg.gsv_message("M", s.slave_id, len(gsv)) for s in self._active
         )
-        compute += max(slave.receive_gsv(gsv, cn) for slave, _ in active)
-        transfer += self.network.parallel_exchange(
-            msg.ack_message(slave.slave_id, "M") for slave, _ in active
+        compute += max(
+            (s.receive_gsv(gsv, cn) for s in self._active), default=0.0
         )
+        transfer += self._exchange(
+            msg.ack_message(s.slave_id, "M") for s in self._active
+        )
+        for slave in self._active:
+            slave.checkpoint(0)
         ledger0 = self.network.round_ledgers()[-1]
         rounds.append(
             DGRoundStats(
@@ -139,6 +349,8 @@ class DecentralizedGame:
                 bytes_sent=ledger0.bytes_sent,
             )
         )
+        if self.round_listener:
+            self.round_listener(0, dict(gsv))
 
         # ---- Rounds 1..: per-color best responses ----------------------
         color_order = sorted(colors)
@@ -153,40 +365,45 @@ class DecentralizedGame:
             round_transfer = 0.0
             round_deviations = 0
             for color in color_order:
-                round_transfer += self.network.parallel_exchange(
-                    msg.compute_color_message("M", slave.slave_id)
-                    for slave, _ in active
+                round_transfer += self._exchange(
+                    msg.compute_color_message("M", s.slave_id)
+                    for s in self._active
                 )
-                all_changes: Dict[NodeId, int] = {}
+                computed = []
                 phase_compute = 0.0
-                outgoing = []
-                for slave, _ in active:
+                for slave in list(self._active):
                     changes, seconds = slave.compute_color(color)
                     phase_compute = max(phase_compute, seconds)
-                    all_changes.update(changes)
-                    outgoing.append(
-                        msg.strategy_changes_message(
-                            slave.slave_id, "M", len(changes)
-                        )
-                    )
+                    computed.append((slave, changes))
                 round_compute += phase_compute
-                round_transfer += self.network.parallel_exchange(outgoing)
+                round_transfer += self._exchange(
+                    msg.strategy_changes_message(s.slave_id, "M", len(changes))
+                    for s, changes in computed
+                )
 
+                # Changes from a slave that died before its report got
+                # through are discarded — its players re-deviate later.
+                all_changes: Dict[NodeId, int] = {}
+                for slave, changes in computed:
+                    if slave in self._active:
+                        all_changes.update(changes)
                 gsv.update(all_changes)
                 round_deviations += len(all_changes)
-                round_transfer += self.network.parallel_exchange(
+                round_transfer += self._exchange(
                     msg.strategy_changes_message(
-                        "M", slave.slave_id, len(all_changes)
+                        "M", s.slave_id, len(all_changes)
                     )
-                    for slave, _ in active
+                    for s in self._active
                 )
                 round_compute += max(
-                    (slave.apply_changes(all_changes) for slave, _ in active),
+                    (s.apply_changes(all_changes) for s in self._active),
                     default=0.0,
                 )
-                round_transfer += self.network.parallel_exchange(
-                    msg.ack_message(slave.slave_id, "M") for slave, _ in active
+                round_transfer += self._exchange(
+                    msg.ack_message(s.slave_id, "M") for s in self._active
                 )
+            for slave in self._active:
+                slave.checkpoint(round_index)
             ledger = self.network.round_ledgers()[-1]
             rounds.append(
                 DGRoundStats(
@@ -197,13 +414,25 @@ class DecentralizedGame:
                     bytes_sent=ledger.bytes_sent,
                 )
             )
+            if self.round_listener:
+                self.round_listener(round_index, dict(gsv))
             converged = round_deviations == 0
 
         self.network.begin_round(round_index + 1)
-        self.network.parallel_exchange(
-            msg.terminate_message("M", slave.slave_id) for slave, _ in active
+        self._exchange(
+            msg.terminate_message("M", s.slave_id) for s in self._active
         )
 
+        extra = {
+            "num_colors": len(color_order),
+            "num_slaves": len(self._active),
+            "distance_computations": sum(
+                r.distance_computations for r in self._reports.values()
+            ),
+        }
+        if self.transport is not None:
+            extra["fault_plan"] = self.network.plan.describe()
+            extra["recovery_compute_seconds"] = self.recovery_compute_seconds
         return DGResult(
             assignment=dict(gsv),
             rounds=rounds,
@@ -213,14 +442,84 @@ class DecentralizedGame:
             total_messages=self.network.total_messages() - start_msgs,
             num_participants=len(gsv),
             cn=cn,
-            extra={
-                "num_colors": len(color_order),
-                "num_slaves": len(active),
-                "distance_computations": sum(
-                    r.distance_computations for r in reports
-                ),
-            },
+            extra=extra,
         )
+
+    # ------------------------------------------------------------------
+    # Fault handling: crash wipe, restart recovery, graceful degradation
+    # ------------------------------------------------------------------
+    def _on_crash(self, slave_id: str) -> None:
+        """A scheduled crash fired: the slave process loses its memory."""
+        self._slaves_by_id[slave_id].crash()
+
+    def _recover_slave(self, slave_id: str) -> float:
+        """Resync a restarted slave; returns the extra *network* seconds.
+
+        The slave restores its strategy vector from its last durable
+        checkpoint, re-derives participants and distance rows from the
+        shard, and the master re-ships the current GSV (accounted at
+        full wire size) so the rebuilt game table matches the
+        coordinator exactly.  Only the deterministic wire time feeds the
+        simulated clock; the measured rebuild compute time accumulates
+        in :attr:`recovery_compute_seconds` (wall-clock measurements
+        must never steer the deterministic backoff schedule).
+        """
+        slave = self._slaves_by_id[slave_id]
+        assert isinstance(self.network, FaultyNetwork)
+        seconds = 0.0
+        if self._gsv is not None:
+            seconds += self.network.record_extra(
+                msg.gsv_message("M", slave_id, len(self._gsv))
+            )
+        self.recovery_compute_seconds += slave.resync(
+            self._query, self._gsv, self._cn
+        )
+        if self._gsv is None:
+            # Crash during round 0, before the GSV existed: the re-run
+            # initialization replaces the slave's (lost) LSV report.
+            self._reports[slave_id] = slave.initialize(self._query)
+        return seconds
+
+    def _absorb_dead_slave(self, slave_id: str) -> bool:
+        """Re-shard a permanently dead slave's players onto a survivor.
+
+        Returns True when degradation succeeded (the protocol carries on
+        without the dead slave), False when nobody is left to absorb the
+        block — the transport then escalates to SlaveUnreachableError.
+        """
+        pool = self._active or self._live
+        survivors = [s for s in pool if s.slave_id != slave_id]
+        if not survivors:
+            return False
+        dead = self._slaves_by_id[slave_id]
+        assert isinstance(self.network, FaultyNetwork)
+
+        # FaE-style block transfer: the dead slave's replicated shard is
+        # shipped to the survivor and accounted at exact wire size.
+        directed_entries = sum(
+            len(dead._adjacency[u]) for u in dead.local_users
+        )
+        shard_bytes = (
+            msg.graph_shard_bytes(len(dead.local_users), directed_entries // 2)
+            + msg.HEADER_BYTES
+        )
+        target = min(
+            survivors, key=lambda s: (len(s.participants), s.slave_id)
+        )
+        self.network.bulk_transfer(shard_bytes, "reshard", slave_id)
+        target.absorb_shard(dead)
+
+        if self._gsv is not None:
+            target.resync(self._query, self._gsv, self._cn)
+        elif self._reports:
+            # Death after initialization but before the GSV: regenerate
+            # the survivor's report so the merge below sees the adopted
+            # players.
+            self._reports[target.slave_id] = target.initialize(self._query)
+
+        self._live = [s for s in self._live if s.slave_id != slave_id]
+        self._active = [s for s in self._active if s.slave_id != slave_id]
+        return True
 
     # ------------------------------------------------------------------
     def _estimate_cn(self, query: DGQuery, reports) -> float:

@@ -9,7 +9,7 @@ for coordinates and parameters, plus a fixed per-message header.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from enum import Enum
 
 HEADER_BYTES = 24
@@ -31,17 +31,30 @@ class MessageType(Enum):
 
 @dataclass(frozen=True)
 class Message:
-    """One protocol message with its byte-accounted payload."""
+    """One protocol message with its byte-accounted payload.
+
+    ``seq`` is the per-link sequence number stamped by the reliability
+    layer (see :class:`~repro.distributed.master.ReliableTransport`); it
+    rides inside the fixed :data:`HEADER_BYTES` header, so stamping it
+    never changes a message's wire size.  ``-1`` means unsequenced (the
+    fault-free fast path never stamps).
+    """
 
     msg_type: MessageType
     sender: str
     recipient: str
     payload_bytes: int
+    seq: int = -1
 
     @property
     def total_bytes(self) -> int:
         """Wire size: header plus payload."""
         return HEADER_BYTES + self.payload_bytes
+
+
+def with_seq(message: Message, seq: int) -> Message:
+    """Copy of ``message`` stamped with sequence number ``seq``."""
+    return replace(message, seq=seq)
 
 
 def init_message(

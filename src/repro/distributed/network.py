@@ -17,7 +17,7 @@ time across the concurrent transfers but the *sum* of their bytes.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, Iterable, List
 
 from repro.distributed.messages import Message
@@ -29,12 +29,19 @@ DEFAULT_LATENCY_SECONDS = 0.0005
 
 @dataclass
 class RoundLedger:
-    """Traffic accumulated during one protocol round."""
+    """Traffic accumulated during one protocol round.
+
+    ``faults`` stays empty on a plain :class:`SimulatedNetwork`; a
+    :class:`~repro.distributed.faults.FaultyNetwork` appends one
+    :class:`~repro.distributed.faults.InjectedFault` record per injected
+    fault so chaos runs can be audited round by round.
+    """
 
     round_index: int
     bytes_sent: int = 0
     messages: int = 0
     transfer_seconds: float = 0.0
+    faults: List = field(default_factory=list)
 
 
 class SimulatedNetwork:

@@ -16,14 +16,21 @@ benchmark compares total bytes and modeled time of both variants.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Set
+from typing import Dict, Iterable, List, Optional, Sequence, Set
 
 from repro.distributed import messages as msg
-from repro.distributed.master import DGResult, DGRoundStats, MAX_DG_ROUNDS
+from repro.distributed.faults import FaultyNetwork
+from repro.distributed.master import (
+    DGResult,
+    DGRoundStats,
+    MAX_DG_ROUNDS,
+    ReliableTransport,
+    RetryPolicy,
+)
 from repro.distributed.network import SimulatedNetwork
 from repro.distributed.query import DGQuery
 from repro.distributed.slave import SlaveNode
-from repro.errors import ProtocolError
+from repro.errors import ConfigurationError, ProtocolError
 from repro.graph.social_graph import NodeId
 
 #: Wire size of a per-slave deviation-count report (a single integer).
@@ -31,7 +38,15 @@ COUNT_REPORT_BYTES = msg.INT_BYTES
 
 
 class PeerToPeerGame:
-    """DG variant with direct slave-to-slave strategy exchange."""
+    """DG variant with direct slave-to-slave strategy exchange.
+
+    Message-level faults (drop/delay/duplicate/reorder from a
+    :class:`FaultyNetwork`) are retried through the same
+    :class:`ReliableTransport` as the relayed coordinator.  Crash
+    recovery, however, needs the master's authoritative GSV resend —
+    which this protocol deliberately avoids — so fault plans with crash
+    events are rejected; use the relayed coordinator for those.
+    """
 
     def __init__(
         self,
@@ -39,6 +54,7 @@ class PeerToPeerGame:
         network: Optional[SimulatedNetwork] = None,
         deg_avg: float = 0.0,
         w_avg: float = 0.0,
+        retry_policy: Optional[RetryPolicy] = None,
     ) -> None:
         if not slaves:
             raise ProtocolError("need at least one slave node")
@@ -46,6 +62,14 @@ class PeerToPeerGame:
         self.network = network or SimulatedNetwork()
         self.deg_avg = deg_avg
         self.w_avg = w_avg
+        self.retry_policy = retry_policy or RetryPolicy()
+        self.transport: Optional[ReliableTransport] = None
+
+    def _exchange(self, messages: Iterable[msg.Message]) -> float:
+        """Send one parallel exchange, reliably when faults can fire."""
+        if self.transport is None:
+            return self.network.parallel_exchange(messages)
+        return self.transport.exchange(messages)
 
     def run(self, query: DGQuery) -> DGResult:
         """Execute the peer-to-peer protocol for ``query``."""
@@ -53,15 +77,25 @@ class PeerToPeerGame:
         start_bytes = self.network.total_bytes()
         start_msgs = self.network.total_messages()
 
+        if isinstance(self.network, FaultyNetwork):
+            if self.network.plan.crashes:
+                raise ConfigurationError(
+                    "peer protocol does not support crash recovery; "
+                    "run crash plans through the relayed coordinator"
+                )
+            self.transport = ReliableTransport(self.network, self.retry_policy)
+        else:
+            self.transport = None
+
         # ---- Round 0: identical initialization to relayed DG ----------
         self.network.begin_round(0)
-        transfer = self.network.parallel_exchange(
+        transfer = self._exchange(
             msg.init_message("M", s.slave_id, query.k, query.area is not None)
             for s in self.slaves
         )
         reports = [slave.initialize(query) for slave in self.slaves]
         compute = max(r.compute_seconds for r in reports)
-        transfer += self.network.parallel_exchange(
+        transfer += self._exchange(
             msg.lsv_message(s.slave_id, "M", r.num_participants, len(r.colors))
             for s, r in zip(self.slaves, reports)
         )
@@ -85,11 +119,11 @@ class PeerToPeerGame:
             for slave, report in zip(self.slaves, reports)
             if report.num_participants > 0
         ]
-        transfer += self.network.parallel_exchange(
+        transfer += self._exchange(
             msg.gsv_message("M", slave.slave_id, len(gsv)) for slave, _ in active
         )
         compute += max(slave.receive_gsv(gsv, cn) for slave, _ in active)
-        transfer += self.network.parallel_exchange(
+        transfer += self._exchange(
             msg.ack_message(slave.slave_id, "M") for slave, _ in active
         )
         ledger0 = self.network.round_ledgers()[-1]
@@ -116,7 +150,7 @@ class PeerToPeerGame:
             round_transfer = 0.0
             round_deviations = 0
             for color in color_order:
-                round_transfer += self.network.parallel_exchange(
+                round_transfer += self._exchange(
                     msg.compute_color_message("M", slave.slave_id)
                     for slave, _ in active
                 )
@@ -140,7 +174,7 @@ class PeerToPeerGame:
                                 source.slave_id, target.slave_id, len(changes)
                             )
                         )
-                round_transfer += self.network.parallel_exchange(peer_messages)
+                round_transfer += self._exchange(peer_messages)
 
                 all_changes: Dict[NodeId, int] = {}
                 for changes in per_slave_changes:
@@ -152,7 +186,7 @@ class PeerToPeerGame:
                     default=0.0,
                 )
                 # Tiny count reports let M detect termination.
-                round_transfer += self.network.parallel_exchange(
+                round_transfer += self._exchange(
                     msg.Message(
                         msg.MessageType.ACK,
                         slave.slave_id,
@@ -175,7 +209,7 @@ class PeerToPeerGame:
 
         # ---- Final gather: slaves report their local assignments ------
         self.network.begin_round(round_index + 1)
-        self.network.parallel_exchange(
+        self._exchange(
             msg.lsv_message(
                 slave.slave_id, "M", len(slave.participants), 0
             )

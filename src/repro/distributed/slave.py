@@ -13,6 +13,17 @@ slave:
    deviations of its unhappy local players of that color (a local
    RMGP_gt step), and
 5. applies redistributed strategy changes to its local table copies.
+
+Fault tolerance (see :mod:`repro.distributed.faults`): the shard data
+(users, adjacency, check-ins, coloring) is durable — it survives a
+:meth:`SlaveNode.crash`, which wipes only the volatile per-query state.
+After every round the slave saves a :meth:`SlaveNode.checkpoint` of its
+local strategy vector to durable storage; a restarted slave runs
+:meth:`SlaveNode.resync` to re-derive the volatile state from the
+checkpoint plus the master's authoritative GSV.  When a slave dies
+permanently, a survivor takes over its block via
+:meth:`SlaveNode.absorb_shard` (the FaE-style transfer the master
+accounts in the byte ledger).
 """
 
 from __future__ import annotations
@@ -76,6 +87,12 @@ class SlaveNode:
         self._watchers: Dict[NodeId, List[Tuple[int, float]]] = {}
         self._max_social: Optional[np.ndarray] = None
         self._by_color: Dict[int, List[int]] = {}
+        self._cn: float = 1.0
+
+        # Fault-tolerance state: the checkpoint lives on durable storage
+        # (it survives crash()), ``crashed`` marks a down process.
+        self._checkpoint: Optional[Dict] = None
+        self.crashed = False
 
     # ------------------------------------------------------------------
     # Figure 6 lines 2-5: local initialization and the LSV
@@ -143,6 +160,7 @@ class SlaveNode:
             raise ProtocolError(f"slave {self.slave_id}: GSV before INIT")
         start = time.perf_counter()
         self._gsv = dict(gsv)
+        self._cn = cn
         query = self._query
         alpha = query.alpha
         n = len(self._participants)
@@ -252,6 +270,92 @@ class SlaveNode:
                     <= row.min() + DEVIATION_TOLERANCE
                 )
         return time.perf_counter() - start
+
+    # ------------------------------------------------------------------
+    # Fault tolerance: checkpoint / crash / resync / shard adoption
+    # ------------------------------------------------------------------
+    def checkpoint(self, round_index: int) -> None:
+        """Persist the local strategy vector to durable storage.
+
+        Lightweight by design — strategies and the normalization
+        constant only; tables and distance rows are re-derivable from
+        the shard data plus the master's GSV on restart.
+        """
+        self._checkpoint = {
+            "round": round_index,
+            "assignment": dict(self._assignment),
+            "cn": self._cn,
+        }
+
+    @property
+    def last_checkpoint_round(self) -> Optional[int]:
+        """Round of the newest durable checkpoint (None = never saved)."""
+        return self._checkpoint["round"] if self._checkpoint else None
+
+    def crash(self) -> None:
+        """Kill the process: volatile per-query state is lost.
+
+        The shard data (users, adjacency, check-ins, coloring) and the
+        last checkpoint live on disk and survive.
+        """
+        self.crashed = True
+        self._query = None
+        self._participants = []
+        self._local_index = {}
+        self._table = None
+        self._raw_rows = None
+        self._assignment = {}
+        self._happy = None
+        self._gsv = {}
+        self._watchers = {}
+        self._max_social = None
+        self._by_color = {}
+
+    def resync(
+        self,
+        query: DGQuery,
+        gsv: Optional[Dict[NodeId, int]],
+        cn: float = 1.0,
+    ) -> float:
+        """Rebuild volatile state after a restart (or shard adoption).
+
+        Recomputes participants and distance rows from the durable
+        shard, resumes strategies from the last checkpoint, then lets
+        the master's authoritative ``gsv`` override them before the
+        local game table is rebuilt — so a recovered slave is exactly
+        consistent with the coordinator.  Returns compute seconds.
+        """
+        start = time.perf_counter()
+        self.crashed = False
+        self.initialize(query)
+        if self._checkpoint:
+            for user, strategy in self._checkpoint["assignment"].items():
+                if user in self._local_index:
+                    self._assignment[user] = strategy
+        seconds = time.perf_counter() - start
+        if gsv is not None:
+            for user in self._participants:
+                if user in gsv:
+                    self._assignment[user] = gsv[user]
+            seconds += self.receive_gsv(gsv, cn)
+        return seconds
+
+    def absorb_shard(self, dead: "SlaveNode") -> None:
+        """Take ownership of a permanently dead slave's shard.
+
+        Copies the durable block (users, adjacency, check-ins, colors);
+        the caller accounts the FaE-style wire transfer and triggers
+        :meth:`resync` to fold the adopted players into the query state.
+        """
+        for user in dead.local_users:
+            if user in self._adjacency:
+                raise ProtocolError(
+                    f"slave {self.slave_id}: already owns user {user!r}"
+                )
+            self.local_users.append(user)
+            self._adjacency[user] = dict(dead._adjacency[user])
+            self._checkins[user] = dead._checkins[user]
+            self._coloring[user] = dead._coloring[user]
 
     # ------------------------------------------------------------------
     @property

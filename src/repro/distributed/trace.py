@@ -11,19 +11,29 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Tuple
 
+from repro.distributed.faults import DeliveryOutcome, FaultyNetwork
 from repro.distributed.messages import Message, MessageType
 from repro.distributed.network import SimulatedNetwork
 
 
 @dataclass(frozen=True)
 class TracedMessage:
-    """One recorded protocol message."""
+    """One recorded protocol message (or delivery attempt).
+
+    ``attempt``/``delivered`` stay at their defaults on a fault-free
+    trace; a :class:`FaultTracingNetwork` records one entry per delivery
+    attempt, so retransmissions of one logical message show up as
+    successive attempts of the same ``seq``.
+    """
 
     round_index: int
     msg_type: MessageType
     sender: str
     recipient: str
     total_bytes: int
+    attempt: int = 0
+    delivered: bool = True
+    seq: int = -1
 
 
 class TracingNetwork(SimulatedNetwork):
@@ -98,3 +108,38 @@ class TracingNetwork(SimulatedNetwork):
         )[:top]:
             lines.append(f"  {sender} -> {recipient}: {count} messages")
         return "\n".join(lines)
+
+
+class FaultTracingNetwork(FaultyNetwork):
+    """A :class:`FaultyNetwork` that logs every delivery attempt.
+
+    The trace shows retransmissions explicitly: a message that needed
+    three attempts appears three times with the same ``seq`` and
+    ``attempt`` 0..2, the first two with ``delivered=False`` — raw
+    material for debugging a chaos run next to the injected-fault
+    ledger.
+    """
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.trace: List[TracedMessage] = []
+
+    def attempt(self, message: Message, attempt_index: int, at: float) -> DeliveryOutcome:
+        outcome = super().attempt(message, attempt_index, at)
+        self.trace.append(
+            TracedMessage(
+                round_index=self._current_round,
+                msg_type=message.msg_type,
+                sender=message.sender,
+                recipient=message.recipient,
+                total_bytes=message.total_bytes,
+                attempt=attempt_index,
+                delivered=outcome.delivered,
+                seq=message.seq,
+            )
+        )
+        return outcome
+
+    def dropped_attempts(self) -> List[TracedMessage]:
+        """Attempts that never arrived (drops and down peers)."""
+        return [entry for entry in self.trace if not entry.delivered]

@@ -47,3 +47,19 @@ class ProtocolError(RMGPError):
     For example a slave answering for a color it does not own, or a
     strategy update for a player that is not part of the query.
     """
+
+
+class SlaveUnreachableError(ProtocolError):
+    """Raised when a slave stays unreachable past the retry budget.
+
+    Carries the failing slave's id so callers can decide between
+    aborting the query and degrading (re-sharding the dead slave's
+    players onto survivors).
+    """
+
+    def __init__(self, slave_id: str, message: str = "") -> None:
+        super().__init__(
+            message
+            or f"slave {slave_id!r} unreachable: retry budget exhausted"
+        )
+        self.slave_id = slave_id

@@ -1,0 +1,212 @@
+"""Chaos/property suite: faults change timing and bytes, never the game.
+
+Hypothesis generates random small instances and random seeded fault
+plans in which every message is eventually delivered (drop caps below
+the retry budget, recoverable crash downtimes).  The pinned invariants:
+
+* DG under faults converges to a verified Nash equilibrium,
+* with the same objective value as the fault-free run on the same
+  instance and color order (in fact the identical assignment),
+* and a slave crash + checkpoint recovery mid-round never increases the
+  potential Φ — the best-response descent survives the fault.
+"""
+
+import functools
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import RMGPInstance, is_nash_equilibrium, objective, potential
+from repro.core.normalization import normalize_with_constant
+from repro.datasets import gowalla_like
+from repro.distributed import (
+    CrashEvent,
+    DGQuery,
+    FaultPlan,
+    build_cluster,
+)
+
+DATASET_SEEDS = (0, 1, 2)
+
+CHAOS_SETTINGS = dict(
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@functools.lru_cache(maxsize=None)
+def small_dataset(seed):
+    return gowalla_like(num_users=60, num_events=3, seed=seed)
+
+
+@functools.lru_cache(maxsize=None)
+def fault_free_run(dataset_seed, query_seed):
+    """Reference assignment/objective for one instance (no faults)."""
+    dataset = small_dataset(dataset_seed)
+    query = DGQuery(events=dataset.events, alpha=0.5, seed=query_seed)
+    cluster = build_cluster(dataset, num_slaves=2)
+    result = cluster.game.run(query)
+    instance = normalize_with_constant(
+        RMGPInstance(dataset.graph, dataset.event_ids, dataset.cost_matrix(), 0.5),
+        result.cn,
+    )
+    order = dataset.graph.nodes()
+    value = objective(
+        instance, np.array([result.assignment[u] for u in order])
+    ).total
+    return result.assignment, value, result.cn
+
+
+def run_faulty(dataset_seed, query_seed, plan, listener=None):
+    dataset = small_dataset(dataset_seed)
+    query = DGQuery(events=dataset.events, alpha=0.5, seed=query_seed)
+    cluster = build_cluster(dataset, num_slaves=2, fault_plan=plan)
+    if listener is not None:
+        cluster.game.round_listener = listener
+    result = cluster.game.run(query)
+    return cluster, result, dataset
+
+
+eventual_delivery_plans = st.builds(
+    FaultPlan,
+    seed=st.integers(min_value=0, max_value=2**16),
+    drop_rate=st.floats(min_value=0.0, max_value=0.9),
+    delay_rate=st.floats(min_value=0.0, max_value=1.0),
+    max_delay_seconds=st.floats(min_value=0.0, max_value=0.05),
+    duplicate_rate=st.floats(min_value=0.0, max_value=0.5),
+    reorder_rate=st.floats(min_value=0.0, max_value=1.0),
+    # Strictly below the default retry budget of 6 attempts — every
+    # message is eventually delivered.
+    max_consecutive_drops=st.integers(min_value=0, max_value=3),
+)
+
+
+class TestEventualDeliveryEquivalence:
+    @settings(**CHAOS_SETTINGS)
+    @given(
+        dataset_seed=st.sampled_from(DATASET_SEEDS),
+        query_seed=st.integers(min_value=0, max_value=3),
+        plan=eventual_delivery_plans,
+    )
+    def test_faulty_run_matches_fault_free_objective(
+        self, dataset_seed, query_seed, plan
+    ):
+        reference_assignment, reference_value, cn = fault_free_run(
+            dataset_seed, query_seed
+        )
+        cluster, result, dataset = run_faulty(dataset_seed, query_seed, plan)
+        assert result.converged
+
+        instance = normalize_with_constant(
+            RMGPInstance(
+                dataset.graph, dataset.event_ids, dataset.cost_matrix(), 0.5
+            ),
+            result.cn,
+        )
+        order = dataset.graph.nodes()
+        arr = np.array([result.assignment[u] for u in order])
+        assert is_nash_equilibrium(instance, arr)
+        value = objective(instance, arr).total
+        assert value == pytest.approx(reference_value, rel=1e-12)
+        # Stronger than the objective: the deviation sequence is
+        # untouched, so the assignment itself is identical.
+        assert result.assignment == reference_assignment
+
+    @settings(**CHAOS_SETTINGS)
+    @given(
+        dataset_seed=st.sampled_from(DATASET_SEEDS),
+        plan=eventual_delivery_plans,
+    )
+    def test_bytes_never_shrink_under_faults(self, dataset_seed, plan):
+        """Faults may only add traffic (retransmissions, duplicates)."""
+        _, reference_value, _ = fault_free_run(dataset_seed, 0)
+        reference = build_cluster(small_dataset(dataset_seed), num_slaves=2)
+        query = DGQuery(
+            events=small_dataset(dataset_seed).events, alpha=0.5, seed=0
+        )
+        ref_result = reference.game.run(query)
+        _, result, _ = run_faulty(dataset_seed, 0, plan)
+        assert result.total_bytes >= ref_result.total_bytes
+        assert result.total_messages >= ref_result.total_messages
+
+
+class TestCrashRecoveryProperties:
+    @settings(**CHAOS_SETTINGS)
+    @given(
+        dataset_seed=st.sampled_from(DATASET_SEEDS),
+        query_seed=st.integers(min_value=0, max_value=3),
+        fault_seed=st.integers(min_value=0, max_value=2**16),
+        crash_slave=st.sampled_from(["slave-0", "slave-1"]),
+        crash_step=st.integers(min_value=0, max_value=3),
+        drop_rate=st.floats(min_value=0.0, max_value=0.5),
+    )
+    def test_crash_recovery_never_increases_potential(
+        self, dataset_seed, query_seed, fault_seed, crash_slave, crash_step, drop_rate
+    ):
+        """Mid-round crash + checkpoint recovery: Φ stays non-increasing
+        round over round, and the final objective matches fault-free."""
+        _, reference_value, _ = fault_free_run(dataset_seed, query_seed)
+        plan = FaultPlan(
+            seed=fault_seed,
+            drop_rate=drop_rate,
+            crashes=(CrashEvent(crash_slave, 1, crash_step, downtime=0.01),),
+        )
+        dataset = small_dataset(dataset_seed)
+        instance_holder = {}
+        phis = []
+
+        def listener(round_index, gsv):
+            if "instance" not in instance_holder:
+                return  # cn known only after run() returns; fill later
+            order = dataset.graph.nodes()
+            arr = np.array([gsv[u] for u in order])
+            phis.append(potential(instance_holder["instance"], arr))
+
+        # cn is deterministic per instance — take it from the reference.
+        cn = fault_free_run(dataset_seed, query_seed)[2]
+        instance_holder["instance"] = normalize_with_constant(
+            RMGPInstance(
+                dataset.graph, dataset.event_ids, dataset.cost_matrix(), 0.5
+            ),
+            cn,
+        )
+        cluster, result, _ = run_faulty(
+            dataset_seed, query_seed, plan, listener=listener
+        )
+        assert result.converged
+        kinds = cluster.network.faults_by_kind()
+        assert kinds.get("crash", 0) == 1, "scheduled crash never fired"
+        assert kinds.get("recovery", 0) == 1, "slave never recovered"
+
+        # Φ non-increasing across every round boundary despite the crash.
+        assert len(phis) >= 2
+        for before, after in zip(phis, phis[1:]):
+            assert after <= before + 1e-9
+
+        order = dataset.graph.nodes()
+        arr = np.array([result.assignment[u] for u in order])
+        value = objective(instance_holder["instance"], arr).total
+        assert value == pytest.approx(reference_value, rel=1e-12)
+        assert is_nash_equilibrium(instance_holder["instance"], arr)
+
+    def test_checkpoint_restores_strategy_vector(self):
+        """Direct unit check of the checkpoint/crash/resync cycle."""
+        dataset = small_dataset(0)
+        query = DGQuery(events=dataset.events, alpha=0.5, seed=0)
+        cluster = build_cluster(dataset, num_slaves=2)
+        result = cluster.game.run(query)
+        slave = cluster.slaves[0]
+        saved = slave.local_assignment()
+        assert slave.last_checkpoint_round is not None
+
+        slave.crash()
+        assert slave.crashed
+        assert slave.local_assignment() == {}
+
+        seconds = slave.resync(query, result.assignment, result.cn)
+        assert not slave.crashed
+        assert seconds >= 0.0
+        assert slave.local_assignment() == saved

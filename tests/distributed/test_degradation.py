@@ -1,0 +1,168 @@
+"""Graceful degradation: permanent slave death mid-query.
+
+With ``degrade=True`` (the default) the master re-shards the dead
+slave's players onto survivors — the FaE-style block transfer shows up
+in the byte ledger — and the run completes at a Nash equilibrium.  With
+``degrade=False`` the retry budget escalates to a typed
+:class:`SlaveUnreachableError` carrying the failing slave's id.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import RMGPInstance, is_nash_equilibrium
+from repro.core.normalization import normalize_with_constant
+from repro.datasets import gowalla_like
+from repro.distributed import (
+    CrashEvent,
+    DGQuery,
+    FaultPlan,
+    RetryPolicy,
+    build_cluster,
+)
+from repro.errors import SlaveUnreachableError
+
+DEAD = "slave-1"
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return gowalla_like(num_users=240, num_events=5, seed=23)
+
+
+@pytest.fixture(scope="module")
+def query(dataset):
+    return DGQuery(events=dataset.events, alpha=0.5, seed=4)
+
+
+@pytest.fixture(scope="module")
+def permanent_death_plan():
+    return FaultPlan(seed=8, crashes=(CrashEvent(DEAD, 1, 1),))
+
+
+@pytest.fixture(scope="module")
+def degraded_run(dataset, query, permanent_death_plan):
+    cluster = build_cluster(
+        dataset, num_slaves=3, fault_plan=permanent_death_plan
+    )
+    result = cluster.game.run(query)
+    return cluster, result
+
+
+class TestPermanentDeath:
+    def test_run_completes_with_all_players(self, dataset, degraded_run):
+        cluster, result = degraded_run
+        assert result.converged
+        assert len(result.assignment) == dataset.graph.num_nodes
+        assert set(result.assignment) == set(dataset.graph.nodes())
+
+    def test_players_reassigned_to_survivors(self, dataset, degraded_run):
+        cluster, result = degraded_run
+        dead = next(s for s in cluster.slaves if s.slave_id == DEAD)
+        survivors = [s for s in cluster.slaves if s.slave_id != DEAD]
+        # The dead process lost its state and never came back ...
+        assert dead.crashed
+        assert dead.participants == []
+        # ... but its users are now owned (and served) by a survivor.
+        survivor_participants = set()
+        for slave in survivors:
+            survivor_participants.update(slave.participants)
+        assert survivor_participants == set(dataset.graph.nodes())
+        # Survivors between them now hold every shard, including the
+        # dead slave's transferred block.
+        shard_total = sum(len(s.local_users) for s in survivors)
+        assert shard_total == dataset.graph.num_nodes
+        owned = set()
+        for slave in survivors:
+            owned.update(slave.local_users)
+        assert owned.issuperset(dead.local_users)
+
+    def test_reshard_bytes_in_ledger(self, degraded_run):
+        cluster, _ = degraded_run
+        reshards = [
+            f for f in cluster.network.injected if f.kind == "reshard"
+        ]
+        assert len(reshards) == 1
+        fault = reshards[0]
+        assert fault.target == DEAD
+        assert fault.detail > 0  # wire size of the transferred block
+        ledger = next(
+            l
+            for l in cluster.network.round_ledgers()
+            if l.round_index == fault.round_index
+        )
+        assert any(f.kind == "reshard" for f in ledger.faults)
+        # The block transfer is part of the round's byte count.
+        assert ledger.bytes_sent > fault.detail
+
+    def test_degraded_run_reaches_equilibrium(self, dataset, degraded_run):
+        _, result = degraded_run
+        instance = normalize_with_constant(
+            RMGPInstance(
+                dataset.graph, dataset.event_ids, dataset.cost_matrix(), 0.5
+            ),
+            result.cn,
+        )
+        arr = np.array(
+            [result.assignment[u] for u in dataset.graph.nodes()]
+        )
+        assert is_nash_equilibrium(instance, arr)
+
+    def test_result_records_fault_context(self, degraded_run):
+        _, result = degraded_run
+        assert "fault_plan" in result.extra
+        assert DEAD in result.extra["fault_plan"]
+
+
+class TestEscalation:
+    def test_degrade_false_raises_with_slave_id(
+        self, dataset, query, permanent_death_plan
+    ):
+        cluster = build_cluster(
+            dataset,
+            num_slaves=3,
+            fault_plan=permanent_death_plan,
+            degrade=False,
+        )
+        with pytest.raises(SlaveUnreachableError) as excinfo:
+            cluster.game.run(query)
+        assert excinfo.value.slave_id == DEAD
+
+    def test_black_holed_link_exhausts_budget(self, dataset, query):
+        """Drops past the retry budget mean unreachable, not a hang."""
+        plan = FaultPlan(seed=1, drop_rate=1.0, max_consecutive_drops=99)
+        cluster = build_cluster(
+            dataset,
+            num_slaves=2,
+            fault_plan=plan,
+            retry_policy=RetryPolicy(max_attempts=3, base_timeout=0.01),
+            degrade=False,
+        )
+        with pytest.raises(SlaveUnreachableError):
+            cluster.game.run(query)
+
+    def test_no_survivors_left_escalates(self, dataset, query):
+        """Degradation with every slave black-holed still terminates."""
+        plan = FaultPlan(seed=1, drop_rate=1.0, max_consecutive_drops=99)
+        cluster = build_cluster(
+            dataset,
+            num_slaves=2,
+            fault_plan=plan,
+            retry_policy=RetryPolicy(max_attempts=2, base_timeout=0.01),
+            degrade=True,
+        )
+        with pytest.raises(SlaveUnreachableError):
+            cluster.game.run(query)
+
+
+class TestRetryBudgetAccounting:
+    def test_retries_counted_per_channel(self, dataset, query):
+        plan = FaultPlan(seed=2, drop_rate=0.5, max_consecutive_drops=2)
+        cluster = build_cluster(dataset, num_slaves=2, fault_plan=plan)
+        result = cluster.game.run(query)
+        assert result.converged
+        total_retries = sum(
+            c.retries for c in cluster.game.transport.channels.values()
+        )
+        drops = cluster.network.faults_by_kind().get("drop", 0)
+        assert total_retries == drops
