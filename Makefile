@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install test test-output bench bench-full bench-output examples figures clean
+.PHONY: install test test-output bench bench-full bench-output bench-perf bench-perf-update examples figures clean
 
 install:
 	pip install -e '.[dev]'
@@ -21,6 +21,13 @@ bench-full:
 
 bench-output:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt
+
+# Solver perf-regression check against benchmarks/BENCH_core.json.
+bench-perf:
+	$(PYTHON) benchmarks/bench_perf_regression.py --check --profile core
+
+bench-perf-update:
+	$(PYTHON) benchmarks/bench_perf_regression.py --update
 
 examples:
 	for script in examples/*.py; do echo "== $$script"; $(PYTHON) $$script; done

@@ -1,9 +1,13 @@
 """RMGP_b — the baseline best-response algorithm (Figure 3).
 
-Each round sweeps every player and replaces his strategy with the class
-minimizing his Equation 3 cost against the *current* strategies of all
-other players; the algorithm stops at the first round with no deviation,
-which by Theorem 1 is a pure Nash equilibrium.
+Each round sweeps the *frontier* of players whose costs may have changed
+and replaces each one's strategy with the class minimizing his Equation 3
+cost against the *current* strategies of all other players; the algorithm
+stops at the first round with no deviation, which by Theorem 1 is a pure
+Nash equilibrium.  Round 1 examines everyone; afterwards only players
+marked dirty by a friend's move are examined (see
+:class:`repro.core.dynamics.ActiveSet` — the move sequence is provably
+identical to the full sweep's).
 
 The two heuristics evaluated in Section 6.3 are exposed as parameters:
 ``init="closest"`` is the ``+i`` variant and ``order="degree"`` adds the
@@ -77,6 +81,7 @@ def solve_baseline(
     ]
 
     name = solver_name or _variant_name(init, order)
+    active = dynamics.ActiveSet(instance.n)
     converged = False
     round_index = 0
     while not converged:
@@ -84,7 +89,9 @@ def solve_baseline(
         dynamics.check_round_budget(round_index, max_rounds, name)
         if reshuffle_each_round and order == "random":
             sweep = dynamics.player_order(instance, order, rng)
-        deviations = _best_response_round(instance, assignment, sweep)
+        deviations, examined = _best_response_round(
+            instance, assignment, sweep, active
+        )
         rounds.append(
             RoundStats(
                 round_index=round_index,
@@ -93,7 +100,7 @@ def solve_baseline(
                 potential=(
                     potential(instance, assignment) if track_potential else None
                 ),
-                players_examined=instance.n,
+                players_examined=examined,
             )
         )
         converged = deviations == 0
@@ -110,23 +117,37 @@ def solve_baseline(
 
 
 def _best_response_round(
-    instance: RMGPInstance, assignment: np.ndarray, sweep: List[int]
-) -> int:
-    """One full round of Figure 3 lines 5-13; returns deviation count.
+    instance: RMGPInstance,
+    assignment: np.ndarray,
+    sweep: List[int],
+    active: dynamics.ActiveSet,
+) -> tuple:
+    """One frontier round of Figure 3 lines 5-13.
 
     Mutates ``assignment`` in place so later players in the sweep see the
     up-to-date strategies of earlier ones (sequential best response).
+    Only dirty players are examined; a mover marks its CSR neighbor
+    slice dirty (some of whom sit later in this very sweep, exactly as
+    the full sweep would reach them).  Returns ``(deviations, examined)``.
     """
     deviations = 0
+    examined = 0
     tol = dynamics.DEVIATION_TOLERANCE
+    flags = active.flags
+    neighbor_views = instance.neighbor_indices
     for player in sweep:
+        if not flags[player]:
+            continue
+        flags[player] = False
+        examined += 1
         costs = player_strategy_costs(instance, assignment, player)
         current = int(assignment[player])
         best = int(costs.argmin())
         if best != current and costs[best] < costs[current] - tol:
             assignment[player] = best
             deviations += 1
-    return deviations
+            flags[neighbor_views[player]] = True
+    return deviations, examined
 
 
 def _variant_name(init: str, order: str) -> str:

@@ -52,6 +52,8 @@ class CostProvider:
 
     def dense(self) -> np.ndarray:
         """Materialize the full ``n x k`` matrix (used by LP baselines)."""
+        if self.num_players == 0:
+            return np.empty((0, self.num_classes), dtype=np.float64)
         return np.vstack([self.row(v) for v in range(self.num_players)])
 
 
@@ -135,6 +137,11 @@ class ScaledCost(CostProvider):
     def cost(self, player: int, klass: int) -> float:
         return self._base.cost(player, klass) * self.factor
 
+    def dense(self) -> np.ndarray:
+        # One vectorized scale of the base matrix; elementwise it is the
+        # same multiplication row() performs, so values are bit-identical.
+        return self._base.dense() * self.factor
+
 
 class CombinedCost(CostProvider):
     """Weighted sum of several cost providers (multi-criteria costs).
@@ -169,6 +176,13 @@ class CombinedCost(CostProvider):
         for provider, weight in zip(self._providers, self._weights):
             if weight:
                 total += weight * provider.row(player)
+        return total
+
+    def dense(self) -> np.ndarray:
+        total = np.zeros((self.num_players, self.num_classes), dtype=np.float64)
+        for provider, weight in zip(self._providers, self._weights):
+            if weight:
+                total += weight * provider.dense()
         return total
 
 

@@ -13,6 +13,11 @@ This module centralizes the two knobs the paper evaluates in Section 6.3:
   (insertion order), or ``"degree"`` — decreasing degree, so "strategy
   changes of highly connected users (community leaders) will propagate
   fast" (Section 3.1).
+
+It also hosts :class:`ActiveSet`, the dirty-frontier scheduler shared by
+every best-response solver: rounds examine only players whose costs may
+have changed since their last examination, which is equivalent to the
+full sweep move for move (see the class docstring for the argument).
 """
 
 from __future__ import annotations
@@ -60,10 +65,12 @@ def initial_assignment(
             count=instance.n,
         )
     if method == "closest":
-        assignment = np.empty(instance.n, dtype=np.int64)
-        for player in range(instance.n):
-            assignment[player] = int(instance.cost.row(player).argmin())
-        return assignment
+        if instance.n == 0:
+            return np.empty(0, dtype=np.int64)
+        # One dense argmin instead of a per-player Python loop; providers
+        # that cannot materialize cheaply pay the same per-row work the
+        # loop did, matrix-backed providers become a single numpy call.
+        return instance.cost.dense().argmin(axis=1).astype(np.int64)
     raise ConfigurationError(
         f"unknown init method {method!r}; expected one of {INIT_METHODS}"
     )
@@ -89,6 +96,64 @@ def player_order(
     raise ConfigurationError(
         f"unknown order method {method!r}; expected one of {ORDER_METHODS}"
     )
+
+
+class ActiveSet:
+    """Dirty-frontier scheduler for best-response rounds.
+
+    The paper observes that "strategy changes ... propagate" outward from
+    movers (§3.1): after the first round only a shrinking frontier of
+    players can possibly improve.  ``ActiveSet`` tracks that frontier as
+    a boolean dirty array — a round examines only dirty players, clears
+    each flag at examination, and a player's *move* marks exactly its
+    CSR neighbor slice dirty.
+
+    Equivalence to the full sweep: a clean player's strategy costs are
+    unchanged since he was last examined (none of his friends moved), so
+    examining him is provably a no-op — skipping clean players reproduces
+    the full-sweep move sequence *exactly*, and "frontier empty" implies
+    a quiet full sweep (a pure Nash equilibrium, Theorem 1).
+    """
+
+    def __init__(self, n: int, dirty: Optional[np.ndarray] = None) -> None:
+        if dirty is None:
+            self.flags = np.ones(n, dtype=bool)
+        else:
+            self.flags = np.array(dirty, dtype=bool, copy=True)
+            if self.flags.shape != (n,):
+                raise ConfigurationError(
+                    f"dirty flags have shape {self.flags.shape}, expected ({n},)"
+                )
+
+    def mark(self, players) -> None:
+        """Flag ``players`` (array/list of indices) for re-examination."""
+        self.flags[players] = True
+
+    def clear(self, players) -> None:
+        """Unflag ``players`` after their best responses were computed."""
+        self.flags[players] = False
+
+    def is_dirty(self, player: int) -> bool:
+        return bool(self.flags[player])
+
+    def any_dirty(self) -> bool:
+        """True while the frontier is non-empty (game may be unquiet)."""
+        return bool(self.flags.any())
+
+    def count(self) -> int:
+        """Current frontier size (the accurate ``players_examined``)."""
+        return int(self.flags.sum())
+
+    def pending(self, members: Optional[np.ndarray] = None) -> np.ndarray:
+        """Dirty player indices, optionally restricted to ``members``.
+
+        With ``members`` given, the result preserves ``members`` order —
+        what the group-batched solvers need to keep their sweep schedule.
+        """
+        if members is None:
+            return np.flatnonzero(self.flags)
+        members = np.asarray(members, dtype=np.int64)
+        return members[self.flags[members]]
 
 
 class RoundClock:

@@ -1,12 +1,15 @@
 """RMGP_gt — scheduling with a global table (Section 4.3, Figure 5).
 
 A ``|V| x k`` table holds, for every player, the current total cost of
-every strategy.  A boolean *happiness* flag marks players whose current
-strategy is already their best response; rounds only examine unhappy
-players.  When a player deviates he notifies his friends: exactly two of
-each friend's table entries change (the old and new class), after which
-the friend's happiness is re-evaluated.  The per-round cost therefore
-shrinks as the game approaches equilibrium (Figure 12(c)).
+every strategy.  The table is built in one shot from the instance's CSR
+adjacency (a single ``np.bincount`` scatter of all edge refunds), and the
+round loop runs on the shared dirty-frontier scheduler
+(:class:`repro.core.dynamics.ActiveSet`): a round only examines dirty
+players, and when a player deviates he notifies his friends — exactly two
+of each friend's table entries change (the old and new class), one
+vectorized fancy-index update per move — and marks them dirty.  The
+per-round cost therefore shrinks as the game approaches equilibrium
+(Figure 12(c)).
 
 The trade-off is O(|V|·k) memory; combined with strategy elimination the
 table can be restricted to each player's reduced strategy space, which is
@@ -16,7 +19,7 @@ what :mod:`repro.core.combined` does.
 from __future__ import annotations
 
 import random
-from typing import List, Optional
+from typing import Iterable, List, Optional, Tuple
 
 import numpy as np
 
@@ -28,17 +31,22 @@ from repro.core.result import PartitionResult, RoundStats, make_result
 def build_global_table(
     instance: RMGPInstance, assignment: np.ndarray
 ) -> np.ndarray:
-    """The ``|V| x k`` table ``GT[v][p] = C_v(p, π_v)`` (Figure 5 lines 3-5)."""
-    table = np.empty((instance.n, instance.k), dtype=np.float64)
-    alpha = instance.alpha
-    for player in range(instance.n):
-        row = alpha * instance.cost.row(player)
-        row += instance.max_social_cost[player]
-        idx = instance.neighbor_indices[player]
-        if idx.size:
-            refund = (1.0 - alpha) * 0.5 * instance.neighbor_weights[player]
-            np.subtract.at(row, assignment[idx], refund)
-        table[player] = row
+    """The ``|V| x k`` table ``GT[v][p] = C_v(p, π_v)`` (Figure 5 lines 3-5).
+
+    One dense pass: ``α·C + maxSC[:, None]`` minus a single bincount
+    scatter of every refund ``(1 − α)·½·w`` onto the linearized
+    ``(owner, friend's class)`` keys — no per-player Python loop.
+    """
+    n, k = instance.n, instance.k
+    table = instance.alpha * instance.cost.dense()
+    table += instance.max_social_cost[:, None]
+    if instance.indices.size:
+        assignment = np.asarray(assignment, dtype=np.int64)
+        refunds = (1.0 - instance.alpha) * instance.half_weights
+        keys = instance.edge_owner * k + assignment[instance.indices]
+        table -= np.bincount(keys, weights=refunds, minlength=n * k).reshape(
+            n, k
+        )
     return table
 
 
@@ -47,6 +55,50 @@ def happiness(table: np.ndarray, assignment: np.ndarray) -> np.ndarray:
     n = table.shape[0]
     current = table[np.arange(n), assignment]
     return current <= table.min(axis=1) + dynamics.DEVIATION_TOLERANCE
+
+
+def table_round(
+    instance: RMGPInstance,
+    table: np.ndarray,
+    assignment: np.ndarray,
+    active: dynamics.ActiveSet,
+    sweep: Iterable[int],
+) -> Tuple[int, int]:
+    """One frontier round of table-driven best responses (Figure 5 lines 6-15).
+
+    Shared by :func:`solve_global_table` and
+    :class:`repro.core.incremental.IncrementalRMGP` — both maintain the
+    same state (table + frontier) and must replay the same schedule.
+    Returns ``(deviations, players_examined)``.
+    """
+    deviations = 0
+    examined = 0
+    half = (1.0 - instance.alpha) * 0.5
+    tol = dynamics.DEVIATION_TOLERANCE
+    flags = active.flags
+    neighbor_views = instance.neighbor_indices
+    weight_views = instance.neighbor_weights
+    for player in sweep:
+        if not flags[player]:
+            continue
+        flags[player] = False
+        examined += 1
+        row = table[player]
+        current = int(assignment[player])
+        best = int(row.argmin())
+        if row[best] >= row[current] - tol:
+            continue
+        # Deviate and notify friends (Figure 5 lines 10-15): two entries
+        # of each friend's row move by ½·w, one vectorized update.
+        assignment[player] = best
+        deviations += 1
+        idx = neighbor_views[player]
+        if idx.size:
+            deltas = half * weight_views[player]
+            table[idx, best] -= deltas
+            table[idx, current] += deltas
+            flags[idx] = True
+    return deviations, examined
 
 
 def solve_global_table(
@@ -64,45 +116,21 @@ def solve_global_table(
     assignment = dynamics.initial_assignment(instance, init, rng, warm_start)
     sweep = dynamics.player_order(instance, order, rng)
     table = build_global_table(instance, assignment)
-    happy = happiness(table, assignment)
+    # Initially dirty = not provably happy, matching Figure 5's first pass.
+    active = dynamics.ActiveSet(instance.n, dirty=~happiness(table, assignment))
 
     rounds: List[RoundStats] = [
         RoundStats(round_index=0, deviations=0, seconds=clock.lap())
     ]
 
-    half = (1.0 - instance.alpha) * 0.5
-    tol = dynamics.DEVIATION_TOLERANCE
     converged = False
     round_index = 0
     while not converged:
         round_index += 1
         dynamics.check_round_budget(round_index, max_rounds, "RMGP_gt")
-        deviations = 0
-        examined = 0
-        for player in sweep:
-            if happy[player]:
-                continue
-            examined += 1
-            current = int(assignment[player])
-            best = int(table[player].argmin())
-            if table[player, best] >= table[player, current] - tol:
-                happy[player] = True
-                continue
-            # Deviate and notify friends (Figure 5 lines 10-15).
-            assignment[player] = best
-            happy[player] = True
-            deviations += 1
-            idx = instance.neighbor_indices[player]
-            wts = instance.neighbor_weights[player]
-            for friend, weight in zip(idx, wts):
-                delta = half * weight
-                table[friend, best] -= delta
-                table[friend, current] += delta
-                friend_class = int(assignment[friend])
-                happy[friend] = (
-                    table[friend, friend_class]
-                    <= table[friend].min() + tol
-                )
+        deviations, examined = table_round(
+            instance, table, assignment, active, sweep
+        )
         rounds.append(
             RoundStats(
                 round_index=round_index,

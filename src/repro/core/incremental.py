@@ -4,8 +4,9 @@ The paper motivates RMGP as an on-line task: "locations of users may be
 updated through check-ins, while new events may appear frequently"
 (Section 1), and suggests seeding each execution with the previous
 solution (Section 3.1).  :class:`IncrementalRMGP` takes this to its
-logical end: it keeps the RMGP_gt state (global table + happiness flags)
-alive between queries and supports *localized* updates —
+logical end: it keeps the RMGP_gt state (global table + the shared
+dirty-frontier :class:`~repro.core.dynamics.ActiveSet`) alive between
+queries and supports *localized* updates —
 
 * :meth:`update_player_costs` — a user checked in somewhere else (his
   cost row changed);
@@ -28,7 +29,7 @@ import numpy as np
 
 from repro.core import dynamics
 from repro.core.costs import MatrixCost
-from repro.core.global_table import build_global_table, happiness
+from repro.core.global_table import build_global_table, happiness, table_round
 from repro.core.instance import RMGPInstance
 from repro.core.objective import objective
 from repro.core.result import PartitionResult, RoundStats, make_result
@@ -60,7 +61,12 @@ class IncrementalRMGP:
         rng = random.Random(seed)
         self.assignment = dynamics.initial_assignment(self.instance, init, rng)
         self._table = build_global_table(self.instance, self.assignment)
-        self._happy = happiness(self._table, self.assignment)
+        # The shared dirty-frontier scheduler every solver uses; online
+        # updates mark the touched players, resolve() drains the frontier.
+        self._active = dynamics.ActiveSet(
+            self.instance.n,
+            dirty=~happiness(self._table, self.assignment),
+        )
         self.resolve_count = 0
         self.resolve()
 
@@ -80,7 +86,7 @@ class IncrementalRMGP:
         delta = self.instance.alpha * (row - self._matrix[player])
         self._matrix[player] = row
         self._table[player] += delta
-        self._refresh_happiness(player)
+        self._active.mark([player])
 
     def add_edge(self, u: NodeId, v: NodeId, weight: float) -> None:
         """A friendship forms; both endpoints' tables gain the edge."""
@@ -99,42 +105,20 @@ class IncrementalRMGP:
 
     # ------------------------------------------------------------------
     def resolve(self, max_rounds: int = dynamics.DEFAULT_MAX_ROUNDS) -> PartitionResult:
-        """Run localized best responses until every player is happy."""
+        """Run localized best responses until the frontier is quiet."""
         clock = dynamics.RoundClock()
         rounds: List[RoundStats] = [RoundStats(0, 0, clock.lap())]
-        half = (1.0 - self.instance.alpha) * 0.5
-        tol = dynamics.DEVIATION_TOLERANCE
+        # Sweep in player order over the dirty frontier — the exact
+        # RMGP_gt schedule (same table_round), so a fresh engine
+        # reproduces solve_global_table(order="given") step for step.
+        sweep = range(self.instance.n)
         round_index = 0
-        while True:
-            if self._happy.all():
-                break
+        while self._active.any_dirty():
             round_index += 1
             dynamics.check_round_budget(round_index, max_rounds, "IncrementalRMGP")
-            deviations = 0
-            examined = 0
-            # Sweep in player order, skipping happy players — the exact
-            # RMGP_gt schedule, so a fresh engine reproduces
-            # solve_global_table(order="given") step for step.
-            for player in range(self.instance.n):
-                if self._happy[player]:
-                    continue
-                examined += 1
-                row = self._table[player]
-                current = int(self.assignment[player])
-                best = int(row.argmin())
-                if row[best] >= row[current] - tol:
-                    self._happy[player] = True
-                    continue
-                self.assignment[player] = best
-                self._happy[player] = True
-                deviations += 1
-                idx = self.instance.neighbor_indices[player]
-                wts = self.instance.neighbor_weights[player]
-                for friend, weight in zip(idx, wts):
-                    delta = half * weight
-                    self._table[friend, best] -= delta
-                    self._table[friend, current] += delta
-                    self._refresh_happiness(int(friend))
+            deviations, examined = table_round(
+                self.instance, self._table, self.assignment, self._active, sweep
+            )
             rounds.append(
                 RoundStats(
                     round_index=round_index,
@@ -167,31 +151,9 @@ class IncrementalRMGP:
         except KeyError as exc:
             raise ConfigurationError(f"unknown user {node!r}") from exc
 
-    def _refresh_happiness(self, player: int) -> None:
-        row = self._table[player]
-        current = int(self.assignment[player])
-        self._happy[player] = (
-            row[current] <= row.min() + dynamics.DEVIATION_TOLERANCE
-        )
-
     def _rebuild_adjacency(self, nodes: Iterable[NodeId]) -> None:
-        """Refresh the cached numpy adjacency of the touched players."""
-        for node in nodes:
-            player = self._index(node)
-            neighbors = self.instance.graph.neighbors(node)
-            self.instance.neighbor_indices[player] = np.fromiter(
-                (self.instance.index_of[f] for f in neighbors),
-                dtype=np.int64,
-                count=len(neighbors),
-            )
-            self.instance.neighbor_weights[player] = np.fromiter(
-                neighbors.values(), dtype=np.float64, count=len(neighbors)
-            )
-            half = 0.5 * self.instance.neighbor_weights[player].sum()
-            self.instance.half_strength[player] = half
-            self.instance.max_social_cost[player] = (
-                1.0 - self.instance.alpha
-            ) * half
+        """Refresh the instance's CSR adjacency after a graph mutation."""
+        self.instance.rebuild_adjacency(nodes)
 
     def _apply_edge_delta(
         self, u: NodeId, v: NodeId, weight: float, sign: float
@@ -207,4 +169,4 @@ class IncrementalRMGP:
         for me, other in ((iu, iv), (iv, iu)):
             self._table[me] += sign * half
             self._table[me, int(self.assignment[other])] -= sign * half
-            self._refresh_happiness(me)
+        self._active.mark([iu, iv])

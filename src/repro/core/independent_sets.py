@@ -88,6 +88,7 @@ def solve_independent_sets(
     ]
 
     executor = ThreadPoolExecutor(max_workers=threads) if threads > 1 else None
+    active = dynamics.ActiveSet(instance.n)
     try:
         converged = False
         round_index = 0
@@ -95,16 +96,24 @@ def solve_independent_sets(
             round_index += 1
             dynamics.check_round_budget(round_index, max_rounds, "RMGP_is")
             deviations = 0
+            examined = 0
             for group in groups:
+                # Only the dirty members of the group can possibly move;
+                # clean members' best responses are provably unchanged.
+                pending = [p for p in group if active.flags[p]]
+                if not pending:
+                    continue
+                examined += len(pending)
+                active.clear(pending)
                 deviations += _process_group(
-                    instance, assignment, group, executor, threads
+                    instance, assignment, pending, executor, threads, active
                 )
             rounds.append(
                 RoundStats(
                     round_index=round_index,
                     deviations=deviations,
                     seconds=clock.lap(),
-                    players_examined=instance.n,
+                    players_examined=examined,
                 )
             )
             converged = deviations == 0
@@ -136,13 +145,15 @@ def _process_group(
     group: Sequence[int],
     executor: Optional[ThreadPoolExecutor],
     threads: int,
+    active: dynamics.ActiveSet,
 ) -> int:
-    """Best responses for one color group; returns deviation count.
+    """Best responses for one color group's frontier; returns deviations.
 
     Members are pairwise non-adjacent, so all best responses are computed
     against the same effective context regardless of intra-group order;
     writes are committed after computation, mirroring Figure 4's
-    "wait for all threads to finish".
+    "wait for all threads to finish".  Each committed move marks the
+    mover's CSR neighbor slice dirty for the following groups/rounds.
     """
     if executor is None or len(group) <= threads:
         moves = _chunk_best_classes(instance, assignment, group)
@@ -159,6 +170,7 @@ def _process_group(
     deviations = 0
     for player, best in moves:
         assignment[player] = best
+        active.mark(instance.neighbor_indices[player])
         deviations += 1
     return deviations
 

@@ -9,13 +9,35 @@ numpy-backed adjacency so that every solver round runs in
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Hashable, List, Sequence
+from typing import Callable, Dict, Hashable, Iterable, List, Optional, Sequence
 
 import numpy as np
 
 from repro.core.costs import CostProvider, as_cost_provider
 from repro.errors import ConfigurationError
 from repro.graph.social_graph import NodeId, SocialGraph
+
+
+def concat_ranges(starts: np.ndarray, counts: np.ndarray) -> np.ndarray:
+    """Concatenate ``[starts[i], starts[i] + counts[i])`` without a Python loop.
+
+    The workhorse of frontier scheduling: given CSR slice starts and
+    lengths it produces the flat positions of every (player, edge)
+    incidence in one vectorized pass.
+    """
+    counts = np.asarray(counts, dtype=np.int64)
+    starts = np.asarray(starts, dtype=np.int64)
+    nonzero = counts > 0
+    if not nonzero.all():
+        starts = starts[nonzero]
+        counts = counts[nonzero]
+    if counts.size == 0:
+        return np.empty(0, dtype=np.int64)
+    ends = np.cumsum(counts)
+    out = np.ones(ends[-1], dtype=np.int64)
+    out[0] = starts[0]
+    out[ends[:-1]] = starts[1:] - (starts[:-1] + counts[:-1] - 1)
+    return np.cumsum(out)
 
 
 class RMGPInstance:
@@ -40,9 +62,14 @@ class RMGPInstance:
     ----------
     node_ids:
         Player index -> original user id.
+    indptr / indices / weights / half_weights:
+        Flat CSR adjacency: player ``v``'s friends occupy
+        ``indices[indptr[v]:indptr[v+1]]`` with matching edge weights
+        (``half_weights`` pre-halves them for the ``½·w`` refunds).
+        ``edge_owner`` holds the owning row of every CSR slot.
     neighbor_indices / neighbor_weights:
-        Per player, numpy arrays of friend indices and edge weights —
-        the index-space ``adj(v)``.
+        Per player, zero-copy views into the CSR arrays — the ragged
+        index-space ``adj(v)`` kept for compatibility.
     """
 
     def __init__(
@@ -80,19 +107,59 @@ class RMGPInstance:
                 f"cost has {self.cost.num_classes} classes, P has {len(classes)}"
             )
 
-        self.neighbor_indices: List[np.ndarray] = []
-        self.neighbor_weights: List[np.ndarray] = []
-        for node in self.node_ids:
+        self._build_adjacency()
+
+    # ------------------------------------------------------------------
+    def _build_adjacency(self) -> None:
+        """Build the shared CSR adjacency layout (plus compatibility views).
+
+        ``indptr``/``indices``/``weights`` is the flat index-space
+        ``adj(v)`` for every player at once; ``half_weights`` pre-halves
+        the edge weights (the ``½·w`` factor every refund uses) and
+        ``edge_owner`` records the owning player row of each CSR slot, so
+        whole-table scatters can run as one ``np.bincount``.  The ragged
+        ``neighbor_indices``/``neighbor_weights`` lists stay available as
+        zero-copy views into the flat arrays.
+        """
+        graph, node_ids = self.graph, self.node_ids
+        n = len(node_ids)
+        degrees = np.fromiter(
+            (len(graph.neighbors(node)) for node in node_ids),
+            dtype=np.int64,
+            count=n,
+        )
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(degrees, out=indptr[1:])
+        num_slots = int(indptr[-1])
+        indices = np.empty(num_slots, dtype=np.int64)
+        weights = np.empty(num_slots, dtype=np.float64)
+        index_of = self.index_of
+        pos = 0
+        for node in node_ids:
             neighbors = graph.neighbors(node)
-            idx = np.fromiter(
-                (self.index_of[f] for f in neighbors), dtype=np.int64,
-                count=len(neighbors),
+            count = len(neighbors)
+            indices[pos : pos + count] = np.fromiter(
+                (index_of[f] for f in neighbors), dtype=np.int64, count=count
             )
-            wts = np.fromiter(
-                neighbors.values(), dtype=np.float64, count=len(neighbors)
+            weights[pos : pos + count] = np.fromiter(
+                neighbors.values(), dtype=np.float64, count=count
             )
-            self.neighbor_indices.append(idx)
-            self.neighbor_weights.append(wts)
+            pos += count
+
+        self.indptr = indptr
+        self.indices = indices
+        self.weights = weights
+        self.half_weights = 0.5 * weights
+        self.edge_owner = np.repeat(np.arange(n, dtype=np.int64), degrees)
+        self._degrees = degrees
+
+        # Ragged per-player views into the CSR arrays (compatibility API).
+        self.neighbor_indices: List[np.ndarray] = [
+            indices[indptr[i] : indptr[i + 1]] for i in range(n)
+        ]
+        self.neighbor_weights: List[np.ndarray] = [
+            weights[indptr[i] : indptr[i + 1]] for i in range(n)
+        ]
 
         # max social cost per player: (1 - α) · Σ_f ½·w(v, f), the
         # "all friends elsewhere" ceiling of Figure 3 line 3.
@@ -100,6 +167,28 @@ class RMGPInstance:
             [0.5 * wts.sum() for wts in self.neighbor_weights], dtype=np.float64
         )
         self.max_social_cost = (1.0 - self.alpha) * self._half_strength
+
+    def rebuild_adjacency(self, nodes: Optional[Iterable[NodeId]] = None) -> None:
+        """Refresh the CSR layout after the underlying graph changed.
+
+        Degree changes shift every downstream CSR slice, so the layout is
+        rebuilt wholesale — O(|V| + |E|) vectorized work, cheap next to
+        any re-solve.  ``nodes`` is accepted for interface symmetry with
+        the old per-player patching; the rebuild covers them regardless.
+        """
+        del nodes  # the flat rebuild refreshes every player
+        self._build_adjacency()
+
+    def neighbors_of(self, players: np.ndarray) -> np.ndarray:
+        """Flat neighbor indices of ``players`` (CSR slice concatenation).
+
+        The frontier-marking primitive: the result of a batch of moves is
+        exactly this set becoming dirty for the next round.
+        """
+        players = np.asarray(players, dtype=np.int64)
+        return self.indices[
+            concat_ranges(self.indptr[players], self._degrees[players])
+        ]
 
     # ------------------------------------------------------------------
     @property
@@ -118,8 +207,12 @@ class RMGPInstance:
         return self._half_strength
 
     def degrees(self) -> np.ndarray:
-        """Degree of each player, index-aligned."""
-        return np.array([len(idx) for idx in self.neighbor_indices], dtype=np.int64)
+        """Degree of each player, index-aligned.
+
+        Memoized from the CSR ``indptr`` diffs; treat the returned array
+        as read-only (it is refreshed by :meth:`rebuild_adjacency`).
+        """
+        return self._degrees
 
     def with_cost(self, cost: CostProvider) -> "RMGPInstance":
         """Clone this instance with a different cost provider.

@@ -46,24 +46,23 @@ class ObjectiveValue:
 def assignment_cost_sum(instance: RMGPInstance, assignment: np.ndarray) -> float:
     """``Σ_v c(v, s_v)`` for the given strategy vector."""
     instance.validate_assignment(assignment)
-    total = 0.0
-    for player in range(instance.n):
-        total += instance.cost.cost(player, int(assignment[player]))
-    return total
+    if instance.n == 0:
+        return 0.0
+    assignment = np.asarray(assignment, dtype=np.int64)
+    dense = instance.cost.dense()
+    return float(dense[np.arange(instance.n), assignment].sum())
 
 
 def social_cost_sum(instance: RMGPInstance, assignment: np.ndarray) -> float:
     """Cut weight ``Σ_{(i,j)∈E, s_i≠s_j} w_ij`` (each edge counted once)."""
     instance.validate_assignment(assignment)
-    total = 0.0
-    for player in range(instance.n):
-        idx = instance.neighbor_indices[player]
-        if idx.size == 0:
-            continue
-        crossing = assignment[idx] != assignment[player]
-        total += float(instance.neighbor_weights[player][crossing].sum())
-    # Each crossing edge was seen from both endpoints.
-    return total / 2.0
+    if instance.indices.size == 0:
+        return 0.0
+    assignment = np.asarray(assignment, dtype=np.int64)
+    crossing = assignment[instance.indices] != assignment[instance.edge_owner]
+    # Each crossing edge is seen from both endpoints; half_weights are
+    # already ½·w, so the plain sum counts every edge exactly once.
+    return float(instance.half_weights[crossing].sum())
 
 
 def objective(instance: RMGPInstance, assignment: np.ndarray) -> ObjectiveValue:

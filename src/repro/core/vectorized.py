@@ -6,16 +6,21 @@ profile are independent and may be computed *simultaneously*.  Instead of
 threads (which CPython's GIL starves), the whole group is evaluated as
 one batched numpy computation:
 
+* batch arrays come straight from the instance's CSR adjacency — one
+  slice + ``np.concatenate`` per group instead of per-edge Python loops,
 * ``costs = α · C[group] + maxSC[group, None]`` — a dense slice,
-* one ``np.add.at`` scatter accumulates every member's friend refunds
-  into a ``|group| x k`` matrix using pre-flattened edge arrays,
+* one ``np.bincount`` on linearized ``(row, class)`` keys accumulates
+  every member's friend refunds into a ``|group| x k`` matrix,
 * a row-wise argmin with the keep-current-on-ties rule commits the whole
   group at once.
 
-Convergence and quality guarantees are exactly RMGP_is's (same game,
-same schedule); only the constant factor changes — this is the fastest
-pure-Python variant for large ``n``, and the benchmark suite compares it
-against the scalar solvers.
+Rounds run on the shared dirty-frontier scheduler
+(:class:`repro.core.dynamics.ActiveSet`): only the dirty members of each
+group are evaluated, and a committed move marks exactly the mover's CSR
+neighbor slice dirty.  Convergence and quality guarantees are exactly
+RMGP_is's (same game, same schedule); only the constant factor changes —
+this is the fastest pure-Python variant for large ``n``, and the
+benchmark suite compares it against the scalar solvers.
 """
 
 from __future__ import annotations
@@ -28,7 +33,7 @@ import numpy as np
 
 from repro.core import dynamics
 from repro.core.independent_sets import groups_from_coloring
-from repro.core.instance import RMGPInstance
+from repro.core.instance import RMGPInstance, concat_ranges
 from repro.core.result import PartitionResult, RoundStats, make_result
 
 
@@ -40,46 +45,99 @@ class _GroupBatch:
     (member, friend) incidence: the member's row inside the group batch,
     the friend's global player index, and the refund
     ``(1 − α) · ½ · w`` his strategy subtracts from that row.
+    ``edge_ptr`` is the intra-batch CSR: member ``m``'s incidences occupy
+    ``[edge_ptr[m], edge_ptr[m+1])``, which lets a round gather the
+    frontier's incidences with one vectorized range concatenation.
+    ``rows`` is the precomputed ``arange(len(members))``.
     """
 
     members: np.ndarray
+    edge_ptr: np.ndarray
     row_positions: np.ndarray
     neighbor_ids: np.ndarray
     refunds: np.ndarray
     base_costs: np.ndarray  # alpha * C[group] + maxSC[group, None]
+    rows: np.ndarray
 
 
 def _build_batches(
     instance: RMGPInstance, groups: List[List[int]]
 ) -> List[_GroupBatch]:
     alpha = instance.alpha
-    half = (1.0 - alpha) * 0.5
+    refund_scale = 1.0 - alpha  # applied to half_weights (already ½·w)
+    dense = alpha * instance.cost.dense()
+    degrees = instance.degrees()
     batches = []
     for group in groups:
         members = np.asarray(group, dtype=np.int64)
-        rows: List[int] = []
-        neighbors: List[int] = []
-        refunds: List[float] = []
-        for position, player in enumerate(group):
-            idx = instance.neighbor_indices[player]
-            wts = instance.neighbor_weights[player]
-            rows.extend([position] * len(idx))
-            neighbors.extend(idx.tolist())
-            refunds.extend((half * wts).tolist())
-        base = np.vstack([
-            alpha * instance.cost.row(p) for p in group
-        ])
-        base += instance.max_social_cost[members][:, None]
+        counts = degrees[members]
+        edge_ptr = np.zeros(len(group) + 1, dtype=np.int64)
+        np.cumsum(counts, out=edge_ptr[1:])
+        csr_slots = concat_ranges(instance.indptr[members], counts)
+        rows = np.arange(len(group), dtype=np.int64)
+        base = dense[members] + instance.max_social_cost[members][:, None]
         batches.append(
             _GroupBatch(
                 members=members,
-                row_positions=np.asarray(rows, dtype=np.int64),
-                neighbor_ids=np.asarray(neighbors, dtype=np.int64),
-                refunds=np.asarray(refunds, dtype=np.float64),
+                edge_ptr=edge_ptr,
+                row_positions=np.repeat(rows, counts),
+                neighbor_ids=instance.indices[csr_slots],
+                refunds=refund_scale * instance.half_weights[csr_slots],
                 base_costs=base,
+                rows=rows,
             )
         )
     return batches
+
+
+def _batch_frontier_round(
+    instance: RMGPInstance,
+    batch: _GroupBatch,
+    assignment: np.ndarray,
+    active: dynamics.ActiveSet,
+    tol: float,
+) -> tuple:
+    """Evaluate one group's dirty members; returns (deviations, examined)."""
+    k = instance.k
+    members = batch.members
+    sel = np.flatnonzero(active.flags[members])
+    if sel.size == 0:
+        return 0, 0
+    if sel.size == len(members):
+        # Fast path: the whole group is dirty (always true in round 1).
+        rows = batch.rows
+        row_positions = batch.row_positions
+        neighbor_ids = batch.neighbor_ids
+        refunds = batch.refunds
+        base = batch.base_costs
+        chosen = members
+    else:
+        counts = batch.edge_ptr[sel + 1] - batch.edge_ptr[sel]
+        incidences = concat_ranges(batch.edge_ptr[sel], counts)
+        rows = batch.rows[: sel.size]
+        row_positions = np.repeat(rows, counts)
+        neighbor_ids = batch.neighbor_ids[incidences]
+        refunds = batch.refunds[incidences]
+        base = batch.base_costs[sel]
+        chosen = members[sel]
+    costs = base.copy()
+    if neighbor_ids.size:
+        keys = row_positions * k + assignment[neighbor_ids]
+        costs -= np.bincount(
+            keys, weights=refunds, minlength=len(chosen) * k
+        ).reshape(len(chosen), k)
+    current = assignment[chosen]
+    best = costs.argmin(axis=1)
+    improves = (costs[rows, best] < costs[rows, current] - tol) & (
+        best != current
+    )
+    active.clear(chosen)
+    moved = int(improves.sum())
+    if moved:
+        movers = chosen[improves]
+        assignment[movers] = best[improves]
+        active.mark(instance.neighbors_of(movers))
+    return moved, int(sel.size)
 
 
 def solve_vectorized(
@@ -102,6 +160,7 @@ def solve_vectorized(
     groups = groups_from_coloring(instance, coloring)
     assignment = dynamics.initial_assignment(instance, init, rng, warm_start)
     batches = _build_batches(instance, groups)
+    active = dynamics.ActiveSet(instance.n)
     rounds: List[RoundStats] = [RoundStats(0, 0, clock.lap())]
 
     tol = dynamics.DEVIATION_TOLERANCE
@@ -111,32 +170,21 @@ def solve_vectorized(
         round_index += 1
         dynamics.check_round_budget(round_index, max_rounds, "RMGP_vec")
         deviations = 0
+        examined = 0
         for batch in batches:
             if batch.members.size == 0:
                 continue
-            costs = batch.base_costs.copy()
-            if batch.neighbor_ids.size:
-                np.subtract.at(
-                    costs,
-                    (batch.row_positions, assignment[batch.neighbor_ids]),
-                    batch.refunds,
-                )
-            current = assignment[batch.members]
-            best = costs.argmin(axis=1)
-            rows = np.arange(len(batch.members))
-            improves = (
-                costs[rows, best] < costs[rows, current] - tol
-            ) & (best != current)
-            moved = int(improves.sum())
-            if moved:
-                assignment[batch.members[improves]] = best[improves]
-                deviations += moved
+            moved, seen = _batch_frontier_round(
+                instance, batch, assignment, active, tol
+            )
+            deviations += moved
+            examined += seen
         rounds.append(
             RoundStats(
                 round_index=round_index,
                 deviations=deviations,
                 seconds=clock.lap(),
-                players_examined=instance.n,
+                players_examined=examined,
             )
         )
         converged = deviations == 0

@@ -10,9 +10,12 @@ slave:
    than 2.2 billion computations of euclidean distances", Section 6.4),
 3. initializes local strategies and reports the LSV,
 4. on each ``compute color c`` command, returns the best-response
-   deviations of its unhappy local players of that color (a local
-   RMGP_gt step), and
-5. applies redistributed strategy changes to its local table copies.
+   deviations of its *dirty* local players of that color (a local
+   RMGP_gt step over the shared dirty-frontier scheduler,
+   :class:`repro.core.dynamics.ActiveSet`), and
+5. applies redistributed strategy changes to its local table copies —
+   one vectorized fancy-index update per change via pre-built watcher
+   arrays — marking each touched watcher dirty for the next round.
 
 Fault tolerance (see :mod:`repro.distributed.faults`): the shard data
 (users, adjacency, check-ins, coloring) is durable — it survives a
@@ -37,6 +40,7 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 import numpy as np
 
 from repro.apps.spatial import Point
+from repro.core import dynamics
 from repro.core.dynamics import DEVIATION_TOLERANCE
 from repro.distributed.query import DGQuery
 from repro.errors import ProtocolError
@@ -82,9 +86,11 @@ class SlaveNode:
         self._table: Optional[np.ndarray] = None
         self._raw_rows: Optional[np.ndarray] = None
         self._assignment: Dict[NodeId, int] = {}
-        self._happy: Optional[np.ndarray] = None
+        self._active: Optional[dynamics.ActiveSet] = None
         self._gsv: Dict[NodeId, int] = {}
-        self._watchers: Dict[NodeId, List[Tuple[int, float]]] = {}
+        # friend -> (local row indices, edge weights) as numpy arrays, so
+        # one redistributed change is one vectorized table update.
+        self._watchers: Dict[NodeId, Tuple[np.ndarray, np.ndarray]] = {}
         self._max_social: Optional[np.ndarray] = None
         self._by_color: Dict[int, List[int]] = {}
         self._cn: float = 1.0
@@ -165,18 +171,36 @@ class SlaveNode:
         alpha = query.alpha
         n = len(self._participants)
 
-        # Restrict adjacency to participating friends; build the reverse
-        # "watchers" map so later strategy changes touch only affected rows.
-        self._watchers = {}
+        # Restrict adjacency to participating friends in one scan: build
+        # the reverse "watchers" map (as numpy arrays, so later strategy
+        # changes are one vectorized update each) and collect every
+        # refund's linearized (row, friend's class) key for one bincount
+        # scatter over the table below.
         participating = self._gsv  # every participant appears in the GSV
+        k = query.k
+        watcher_rows: Dict[NodeId, List[int]] = {}
+        watcher_weights: Dict[NodeId, List[float]] = {}
+        refund_keys: List[int] = []
+        refund_weights: List[float] = []
         self._max_social = np.zeros(n, dtype=np.float64)
         for i, user in enumerate(self._participants):
             for friend, weight in self._adjacency[user].items():
-                if friend not in participating:
+                strategy = participating.get(friend)
+                if strategy is None:
                     continue
-                self._watchers.setdefault(friend, []).append((i, weight))
+                watcher_rows.setdefault(friend, []).append(i)
+                watcher_weights.setdefault(friend, []).append(weight)
+                refund_keys.append(i * k + strategy)
+                refund_weights.append(weight)
                 self._max_social[i] += 0.5 * weight
         self._max_social *= 1.0 - alpha
+        self._watchers = {
+            friend: (
+                np.asarray(rows_, dtype=np.int64),
+                np.asarray(watcher_weights[friend], dtype=np.float64),
+            )
+            for friend, rows_ in watcher_rows.items()
+        }
 
         # The slaves run the RMGP_all recipe (Section 6.4): the global
         # table is restricted by strategy elimination — classes whose
@@ -192,11 +216,15 @@ class SlaveNode:
                 + ratio * (self._max_social / (1.0 - alpha))
             )
             table[scaled > bounds[:, None] + 1e-12] = np.inf
-        for i, user in enumerate(self._participants):
-            for friend, weight in self._adjacency[user].items():
-                strategy = self._gsv.get(friend)
-                if strategy is not None:
-                    table[i, strategy] -= (1.0 - alpha) * 0.5 * weight
+        if refund_keys:
+            refunds = (1.0 - alpha) * 0.5 * np.asarray(
+                refund_weights, dtype=np.float64
+            )
+            table -= np.bincount(
+                np.asarray(refund_keys, dtype=np.int64),
+                weights=refunds,
+                minlength=n * k,
+            ).reshape(n, k)
         self._table = table
 
         current = np.fromiter(
@@ -206,27 +234,32 @@ class SlaveNode:
         )
         if n:
             own = table[np.arange(n), current]
-            self._happy = own <= table.min(axis=1) + DEVIATION_TOLERANCE
+            happy = own <= table.min(axis=1) + DEVIATION_TOLERANCE
+            self._active = dynamics.ActiveSet(n, dirty=~happy)
         else:
-            self._happy = np.zeros(0, dtype=bool)
+            self._active = dynamics.ActiveSet(0)
         return time.perf_counter() - start
 
     # ------------------------------------------------------------------
     # Figure 6 lines 17-19: best responses for one color
     # ------------------------------------------------------------------
     def compute_color(self, color: int) -> Tuple[Dict[NodeId, int], float]:
-        """Deviations of local unhappy players with ``color``.
+        """Deviations of local dirty players with ``color``.
 
         Returns ``(changes, compute seconds)``.  Changes are *not*
         applied locally yet — they come back via the master's
-        redistribution, exactly as in Figure 6.
+        redistribution, exactly as in Figure 6.  A dirty player whose
+        best response turns out to be his current strategy is cleared
+        here; a deviating player stays dirty until his change comes back
+        through :meth:`apply_changes`.
         """
-        if self._table is None or self._happy is None:
+        if self._table is None or self._active is None:
             raise ProtocolError(f"slave {self.slave_id}: compute before GSV")
         start = time.perf_counter()
         changes: Dict[NodeId, int] = {}
+        flags = self._active.flags
         for i in self._by_color.get(color, ()):
-            if self._happy[i]:
+            if not flags[i]:
                 continue
             user = self._participants[i]
             row = self._table[i]
@@ -235,15 +268,23 @@ class SlaveNode:
             if row[best] < row[current] - DEVIATION_TOLERANCE:
                 changes[user] = best
             else:
-                self._happy[i] = True
+                flags[i] = False
         return changes, time.perf_counter() - start
 
     # ------------------------------------------------------------------
     # Figure 6 lines 22-24: apply redistributed changes
     # ------------------------------------------------------------------
     def apply_changes(self, changes: Dict[NodeId, int]) -> float:
-        """Update the local GSV, tables and happiness; returns seconds."""
-        if self._table is None or self._happy is None:
+        """Update the local GSV, tables and dirty frontier; returns seconds.
+
+        Each change is one vectorized fancy-index update over the
+        watcher arrays (exactly two entries of every watcher's row move
+        by ``½·w``).  Watchers are *marked dirty* rather than having
+        their happiness recomputed eagerly — the next ``compute_color``
+        performs the exact argmin test anyway, so the emitted change
+        messages are identical and the per-change work stays O(degree).
+        """
+        if self._table is None or self._active is None:
             raise ProtocolError(f"slave {self.slave_id}: apply before GSV")
         start = time.perf_counter()
         alpha = self._query.alpha if self._query else 0.5
@@ -258,17 +299,14 @@ class SlaveNode:
             if user in self._local_index:
                 local = self._local_index[user]
                 self._assignment[user] = new_class
-                self._happy[local] = True
-            for local, weight in self._watchers.get(user, ()):
-                delta = half * weight
-                self._table[local, new_class] -= delta
-                self._table[local, old_class] += delta
-                friend = self._participants[local]
-                row = self._table[local]
-                self._happy[local] = (
-                    row[self._assignment[friend]]
-                    <= row.min() + DEVIATION_TOLERANCE
-                )
+                self._active.clear([local])
+            watchers = self._watchers.get(user)
+            if watchers is not None:
+                locals_, weights = watchers
+                deltas = half * weights
+                self._table[locals_, new_class] -= deltas
+                self._table[locals_, old_class] += deltas
+                self._active.mark(locals_)
         return time.perf_counter() - start
 
     # ------------------------------------------------------------------
@@ -305,7 +343,7 @@ class SlaveNode:
         self._table = None
         self._raw_rows = None
         self._assignment = {}
-        self._happy = None
+        self._active = None
         self._gsv = {}
         self._watchers = {}
         self._max_social = None
