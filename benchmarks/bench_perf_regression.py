@@ -43,11 +43,15 @@ if str(REPO_ROOT / "src") not in sys.path:
     sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro.bench.workloads import instance_for, small_uml_dataset  # noqa: E402
-from repro.core.baseline import solve_baseline  # noqa: E402
-from repro.core.global_table import solve_global_table  # noqa: E402
-from repro.core.independent_sets import solve_independent_sets  # noqa: E402
+from repro.core.baseline import _solve_baseline as solve_baseline  # noqa: E402
+from repro.core.global_table import (  # noqa: E402
+    _solve_global_table as solve_global_table,
+)
+from repro.core.independent_sets import (  # noqa: E402
+    _solve_independent_sets as solve_independent_sets,
+)
 from repro.core.normalization import normalize  # noqa: E402
-from repro.core.vectorized import solve_vectorized  # noqa: E402
+from repro.core.vectorized import _solve_vectorized as solve_vectorized  # noqa: E402
 
 BENCH_FILE = REPO_ROOT / "benchmarks" / "BENCH_core.json"
 SCHEMA = "bench-core/v1"

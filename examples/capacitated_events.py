@@ -14,12 +14,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core import (
-    RMGPInstance,
-    is_capacitated_equilibrium,
-    solve_all,
-    solve_capacitated,
-)
+import repro
+from repro.core import RMGPInstance, is_capacitated_equilibrium
 from repro.core.normalization import normalize
 from repro.datasets import gowalla_like
 
@@ -34,7 +30,7 @@ def main() -> None:
     print(f"normalized with {estimate}")
 
     # ---- Unconstrained: popular events overflow ----------------------
-    unconstrained = solve_all(instance, seed=0)
+    unconstrained = repro.partition(instance, solver="all", seed=0)
     loads = np.bincount(unconstrained.assignment, minlength=instance.k)
     print("\nunconstrained attendance per event:")
     print(" ", sorted(loads.tolist(), reverse=True))
@@ -45,7 +41,9 @@ def main() -> None:
     fair = instance.n // instance.k
     capacity = int(1.2 * fair) + 1
     capacities = [capacity] * instance.k
-    constrained = solve_capacitated(instance, capacities, seed=0)
+    constrained = repro.partition(
+        instance, solver="cap", capacities=capacities, seed=0
+    )
     capped_loads = np.bincount(constrained.assignment, minlength=instance.k)
     print(f"\ncapacitated (max {capacity} seats per event):")
     print(" ", sorted(capped_loads.tolist(), reverse=True))
@@ -69,10 +67,10 @@ def main() -> None:
     )
 
     # ---- Minimum participation: tiny events get canceled -------------
-    from repro.core import solve_with_minimums
-
     minimum = max(5, fair // 3)
-    with_min = solve_with_minimums(instance, min_participants=minimum, seed=0)
+    with_min = repro.partition(
+        instance, solver="minpart", min_participants=minimum, seed=0
+    )
     min_loads = np.bincount(with_min.assignment, minlength=instance.k)
     survivors = sorted(int(x) for x in min_loads if x > 0)
     print(

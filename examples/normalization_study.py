@@ -13,13 +13,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core import (
-    RMGPInstance,
-    estimate_cn,
-    exact_cn,
-    normalize,
-    solve_baseline,
-)
+import repro
+from repro.core import RMGPInstance, estimate_cn, exact_cn, normalize
 from repro.datasets import gowalla_like
 
 
@@ -40,7 +35,9 @@ def main() -> None:
         else:
             instance, est = normalize(base, variant)
             cn = est.cn
-        result = solve_baseline(instance, init="closest", order="given")
+        result = repro.partition(
+            instance, solver="b", init="closest", order="given"
+        )
         value = result.value
         assignment_part = 0.5 * value.assignment_cost
         social_part = 0.5 * value.social_cost
@@ -59,7 +56,9 @@ def main() -> None:
 
     # Compare the heuristic estimates against the a-posteriori truth.
     normalized, est = normalize(base, "pessimistic")
-    result = solve_baseline(normalized, init="closest", order="degree")
+    result = repro.partition(
+        normalized, solver="b", init="closest", order="degree"
+    )
     print(
         f"\npessimistic estimate C_N={est.cn:.4g}; "
         f"a-posteriori C_N of the solved game={exact_cn(base, result.assignment):.4g}"

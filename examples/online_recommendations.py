@@ -15,8 +15,9 @@ from __future__ import annotations
 
 import time
 
+import repro
 from repro.apps import StreamingRecommender, simulate_stream
-from repro.core import RMGPInstance, solve_all
+from repro.core import RMGPInstance
 from repro.core.normalization import normalize
 from repro.datasets import gowalla_like
 
@@ -54,7 +55,7 @@ def main() -> None:
     )
     instance, _ = normalize(instance, "pessimistic")
     start = time.perf_counter()
-    cold = solve_all(instance, seed=0)
+    cold = repro.partition(instance, solver="all", seed=0)
     cold_seconds = time.perf_counter() - start
 
     print(

@@ -11,13 +11,29 @@ an exact potential game to a pure Nash equilibrium.
 
 Quick start::
 
-    from repro import RMGPGame
+    import repro
     from repro.datasets import gowalla_like
 
     data = gowalla_like(num_users=2000, num_events=32, seed=7)
+    instance = repro.RMGPInstance(
+        data.graph, data.event_ids, data.cost_matrix, alpha=0.5
+    )
+    result = repro.partition(instance, solver="all", seed=7)
+    print(result.summary())
+
+or, with normalization and equilibrium certification, through the
+:class:`RMGPGame` facade::
+
     game = RMGPGame(data.graph, data.event_ids, data.cost_matrix, alpha=0.5)
     result = game.solve(method="all", normalize_method="pessimistic", seed=7)
-    print(result.summary())
+
+To profile a solve, wrap it in a recorder (``repro.obs``)::
+
+    from repro.obs import recording, summary_tree
+
+    with recording() as rec:
+        repro.partition(instance, solver="gt", seed=7)
+    print(summary_tree(rec))
 
 Sub-packages
 ------------
@@ -41,6 +57,7 @@ Sub-packages
     Workloads and reporting used by the figure-by-figure benchmarks.
 """
 
+from repro.api import SolveOptions, partition
 from repro.core import (
     ObjectiveValue,
     PartitionResult,
@@ -60,8 +77,10 @@ __all__ = [
     "RMGPGame",
     "RMGPInstance",
     "SocialGraph",
+    "SolveOptions",
     "is_nash_equilibrium",
     "objective",
+    "partition",
     "potential",
     "__version__",
 ]

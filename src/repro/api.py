@@ -1,0 +1,158 @@
+"""The unified solve surface: ``repro.partition(instance, solver=...)``.
+
+Every algorithm variant in the reproduction is reachable through one
+call::
+
+    import repro
+    from repro.api import SolveOptions
+
+    result = repro.partition(instance, solver="gt",
+                             options=SolveOptions(seed=7, init="closest"))
+
+``partition`` dispatches through the :data:`repro.core.registry.SOLVERS`
+registry, applies the common :class:`SolveOptions` knobs (rejecting any
+the chosen variant does not understand), and forwards solver-specific
+keyword arguments (``capacities=``, ``threads=``, ``damping=``, ...)
+untouched.  The legacy ``solve_*`` functions remain as deprecation shims
+that call the same implementations, so both paths produce byte-identical
+assignments under a fixed seed.
+
+See ``docs/API.md`` for the full surface, the trace/metric schema and a
+migration table from the old signatures.
+"""
+
+from __future__ import annotations
+
+import inspect
+from dataclasses import dataclass, fields
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+from repro.core.registry import SOLVERS, canonical_solver_name
+from repro.core.result import PartitionResult
+from repro.errors import ConfigurationError
+from repro.obs.recorder import Recorder
+
+if False:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.core.instance import RMGPInstance
+
+
+@dataclass(frozen=True)
+class SolveOptions:
+    """Common solver knobs; ``None`` means "use the variant's default".
+
+    Defaults intentionally stay ``None`` rather than copying any one
+    solver's defaults: the variants differ (RMGP_b initializes randomly,
+    the optimized variants use ``"closest"``), and ``partition()`` must
+    reproduce each legacy entry point exactly.
+
+    Attributes
+    ----------
+    alpha:
+        Override the instance's preference parameter (the instance is
+        cloned via :meth:`RMGPInstance.with_alpha`).
+    init / order / seed / max_rounds / warm_start:
+        Forwarded to the solver when it supports the knob; explicitly
+        setting one a variant lacks (e.g. ``order`` for ``"vec"``)
+        raises :class:`ConfigurationError` instead of silently ignoring.
+    recorder:
+        An :class:`repro.obs.Recorder` receiving spans/metrics; leave
+        ``None`` for the ambient recorder (a no-op unless inside
+        ``obs.recording()``).
+    """
+
+    alpha: Optional[float] = None
+    init: Optional[str] = None
+    order: Optional[str] = None
+    seed: Optional[int] = None
+    max_rounds: Optional[int] = None
+    warm_start: Optional[np.ndarray] = None
+    recorder: Optional[Recorder] = None
+
+    def solver_kwargs(self) -> Dict[str, Any]:
+        """The explicitly-set per-solver knobs (everything but alpha)."""
+        set_values = {}
+        for field in fields(self):
+            if field.name == "alpha":
+                continue
+            value = getattr(self, field.name)
+            if value is not None:
+                set_values[field.name] = value
+        return set_values
+
+
+_SIGNATURES: Dict[Any, frozenset] = {}
+
+
+def _accepted_parameters(impl) -> frozenset:
+    accepted = _SIGNATURES.get(impl)
+    if accepted is None:
+        accepted = frozenset(inspect.signature(impl).parameters)
+        _SIGNATURES[impl] = accepted
+    return accepted
+
+
+def partition(
+    instance: "RMGPInstance",
+    solver: str = "gt",
+    options: Optional[SolveOptions] = None,
+    **solver_kwargs: Any,
+) -> PartitionResult:
+    """Partition ``instance`` with the chosen algorithm variant.
+
+    Parameters
+    ----------
+    instance:
+        The :class:`~repro.core.instance.RMGPInstance` to solve.
+    solver:
+        A registry name — short (``"b"``, ``"se"``, ``"is"``, ``"gt"``,
+        ``"vec"``, ``"mg"``, ``"sync"``, ``"cap"``, ``"minpart"``) or
+        long (``"baseline"``, ``"strategy_elimination"``, ...); see
+        :data:`repro.core.registry.SOLVERS`.
+    options:
+        Shared knobs (:class:`SolveOptions`).  Unset fields fall back to
+        the variant's own defaults.
+    solver_kwargs:
+        Variant-specific arguments forwarded verbatim (``capacities=``,
+        ``min_participants=``, ``threads=``, ``coloring=``, ``plan=``,
+        ``damping=``, ``track_potential=``, ...).
+
+    Returns
+    -------
+    PartitionResult
+        The shared result type — identical field semantics for every
+        variant (see :class:`repro.core.result.PartitionResult`).
+    """
+    if solver not in SOLVERS:
+        raise ConfigurationError(
+            f"unknown solver {solver!r}; expected one of {sorted(SOLVERS)}"
+        )
+    impl = SOLVERS[solver]
+    options = options or SolveOptions()
+    if options.alpha is not None and options.alpha != instance.alpha:
+        instance = instance.with_alpha(options.alpha)
+
+    accepted = _accepted_parameters(impl)
+    kwargs: Dict[str, Any] = {}
+    for name, value in options.solver_kwargs().items():
+        if name not in accepted:
+            raise ConfigurationError(
+                f"solver {canonical_solver_name(solver)!r} does not accept "
+                f"option {name!r}"
+            )
+        kwargs[name] = value
+    conflicts = kwargs.keys() & solver_kwargs.keys()
+    if conflicts:
+        raise ConfigurationError(
+            f"{sorted(conflicts)} given both in options and as keyword "
+            "arguments"
+        )
+    unknown = set(solver_kwargs) - accepted
+    if unknown:
+        raise ConfigurationError(
+            f"solver {canonical_solver_name(solver)!r} does not accept "
+            f"{sorted(unknown)}"
+        )
+    kwargs.update(solver_kwargs)
+    return impl(instance, **kwargs)

@@ -15,13 +15,17 @@ from typing import Callable, Dict, List, Optional
 
 from repro.bench.harness import Table, full_scale, time_call
 from repro.bench.workloads import event_sweep, gowalla_dataset, instance_for
-from repro.core.baseline import solve_baseline
-from repro.core.combined import solve_all
-from repro.core.global_table import solve_global_table
-from repro.core.independent_sets import solve_independent_sets
+from repro.core.baseline import _solve_baseline as solve_baseline
+from repro.core.combined import _solve_all as solve_all
+from repro.core.global_table import _solve_global_table as solve_global_table
+from repro.core.independent_sets import (
+    _solve_independent_sets as solve_independent_sets,
+)
 from repro.core.instance import RMGPInstance
 from repro.core.normalization import normalize
-from repro.core.strategy_elimination import solve_strategy_elimination
+from repro.core.strategy_elimination import (
+    _solve_strategy_elimination as solve_strategy_elimination,
+)
 
 ALPHA_SWEEP = [0.1, 0.3, 0.5, 0.7, 0.9]
 

@@ -16,7 +16,7 @@ from repro.baselines.uml_greedy import solve_uml_greedy
 from repro.baselines.uml_lp import solve_uml_lp
 from repro.bench.harness import Table, full_scale, time_call
 from repro.bench.workloads import instance_for, small_uml_dataset
-from repro.core.baseline import solve_baseline
+from repro.core.baseline import _solve_baseline as solve_baseline
 from repro.core.normalization import normalize
 
 #: Paper's Figure 7 x-axis.

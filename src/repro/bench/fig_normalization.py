@@ -17,7 +17,7 @@ import numpy as np
 
 from repro.bench.harness import Table
 from repro.bench.workloads import event_sweep, gowalla_dataset, instance_for
-from repro.core.baseline import solve_baseline
+from repro.core.baseline import _solve_baseline as solve_baseline
 from repro.core.normalization import estimate_cn, normalize
 
 VARIANTS = ("raw", "optimistic", "pessimistic")

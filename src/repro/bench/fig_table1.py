@@ -17,6 +17,7 @@ from repro.datasets.paper_example import (
     USERS,
     paper_example_instance,
 )
+from repro.obs.recorder import active_recorder
 
 
 def run_table1(init: str = "closest") -> Table:
@@ -36,32 +37,47 @@ def run_table1(init: str = "closest") -> Table:
         + [f"cost_{p}" for p in EVENTS]
         + ["from", "to", "deviated"],
     )
+    rec = active_recorder()
     round_index = 0
-    while True:
-        round_index += 1
-        deviations = 0
-        for player in range(instance.n):
-            costs = player_strategy_costs(instance, assignment, player)
-            current = int(assignment[player])
-            best = int(costs.argmin())
-            deviated = (
-                best != current and costs[best] < costs[current] - DEVIATION_TOLERANCE
+    with rec.span(
+        "solve", solver="Table1_trace", n=instance.n, k=instance.k
+    ):
+        while True:
+            round_index += 1
+            deviations = 0
+            with rec.span("round", round=round_index) as round_span:
+                for player in range(instance.n):
+                    costs = player_strategy_costs(instance, assignment, player)
+                    current = int(assignment[player])
+                    best = int(costs.argmin())
+                    deviated = (
+                        best != current
+                        and costs[best] < costs[current] - DEVIATION_TOLERANCE
+                    )
+                    table.add_row(
+                        round=round_index,
+                        player=USERS[player],
+                        **{
+                            f"cost_{p}": float(costs[j])
+                            for j, p in enumerate(EVENTS)
+                        },
+                        **{
+                            "from": EVENTS[current],
+                            "to": EVENTS[best if deviated else current],
+                            "deviated": "*" if deviated else "",
+                        },
+                    )
+                    if deviated:
+                        assignment[player] = best
+                        deviations += 1
+            rec.round_end(
+                round_span, "Table1_trace", round_index,
+                deviations=deviations,
+                examined=instance.n,
+                cost_evaluations=instance.n * instance.k,
             )
-            table.add_row(
-                round=round_index,
-                player=USERS[player],
-                **{f"cost_{p}": float(costs[j]) for j, p in enumerate(EVENTS)},
-                **{
-                    "from": EVENTS[current],
-                    "to": EVENTS[best if deviated else current],
-                    "deviated": "*" if deviated else "",
-                },
-            )
-            if deviated:
-                assignment[player] = best
-                deviations += 1
-        if deviations == 0:
-            break
+            if deviations == 0:
+                break
     table.notes.append(
         "final assignment: "
         + ", ".join(

@@ -6,9 +6,10 @@ import os
 import statistics
 import time
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List
+from typing import Any, Callable, Dict, List, Optional
 
 from repro.errors import ConfigurationError
+from repro.obs.recorder import Recorder, active_recorder
 
 #: Environment switch: set REPRO_BENCH_FULL=1 to run paper-scale
 #: workloads instead of the quick CI-sized defaults.
@@ -45,16 +46,26 @@ def time_call(
     fn: Callable[[], Any],
     repeats: int = 3,
     label: str = "",
+    recorder: Optional[Recorder] = None,
 ) -> Measurement:
-    """Call ``fn`` ``repeats`` times, keeping the last return value."""
+    """Call ``fn`` ``repeats`` times, keeping the last return value.
+
+    Each repetition runs inside a ``bench.call`` span on the active (or
+    given) recorder, so benchmark traces share the solver trace schema.
+    """
     if repeats <= 0:
         raise ConfigurationError("repeats must be positive")
+    rec = active_recorder(recorder)
     seconds: List[float] = []
     result = None
-    for _ in range(repeats):
-        start = time.perf_counter()
-        result = fn()
-        seconds.append(time.perf_counter() - start)
+    for repetition in range(repeats):
+        with rec.span("bench.call", label=label, repetition=repetition) as span:
+            start = time.perf_counter()
+            result = fn()
+            elapsed = time.perf_counter() - start
+            if span is not None:
+                span.attrs["seconds"] = elapsed
+        seconds.append(elapsed)
     return Measurement(label=label, seconds=seconds, result=result)
 
 

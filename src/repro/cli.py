@@ -3,9 +3,14 @@
 Commands
 --------
 ``solve``
-    Generate a dataset, run one RMGP query and print the outcome.
+    Generate a dataset, run one RMGP query and print the outcome
+    (``--json`` for a machine-readable summary).
+``profile``
+    Run one query under a trace recorder and print the span tree;
+    optionally export the ``repro-trace/v1`` JSONL and Prometheus text.
 ``trace``
-    Print the paper's Table 1 best-response trace.
+    Print the paper's Table 1 best-response trace (``--jsonl`` also
+    writes the recorded trace).
 ``figure``
     Regenerate one of the paper's evaluation figures as a text table.
 ``dataset``
@@ -22,6 +27,14 @@ import sys
 from typing import List, Optional
 
 from repro import __version__
+from repro.core.registry import SOLVERS
+
+#: Registry names usable without extra arguments (cap/minpart need
+#: capacities / min_participants, which the CLI does not collect).
+_CLI_METHODS = sorted(
+    name for name in SOLVERS
+    if name not in ("cap", "capacitated", "minpart", "with_minimums")
+)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -38,7 +51,7 @@ def build_parser() -> argparse.ArgumentParser:
     solve.add_argument(
         "--method",
         default="all",
-        choices=["baseline", "se", "is", "gt", "all"],
+        choices=_CLI_METHODS,
         help="algorithm variant (default: all)",
     )
     solve.add_argument("--alpha", type=float, default=0.5)
@@ -49,9 +62,44 @@ def build_parser() -> argparse.ArgumentParser:
     )
     solve.add_argument("--top", type=int, default=5,
                        help="show the N most popular classes")
+    solve.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the result as JSON (result.to_dict()) instead of text",
+    )
+
+    profile = commands.add_parser(
+        "profile", help="run one query under a trace recorder"
+    )
+    profile.add_argument(
+        "--dataset",
+        default="paper",
+        choices=["gowalla", "foursquare", "paper"],
+        help="workload; 'paper' is the running example of Figure 2",
+    )
+    profile.add_argument("--users", type=int, default=1000)
+    profile.add_argument("--events", type=int, default=32)
+    profile.add_argument("--seed", type=int, default=0)
+    profile.add_argument("--alpha", type=float, default=0.5)
+    profile.add_argument(
+        "--method", default="gt", choices=_CLI_METHODS,
+        help="algorithm variant (default: gt)",
+    )
+    profile.add_argument(
+        "--jsonl", metavar="PATH",
+        help="write the repro-trace/v1 JSONL trace here",
+    )
+    profile.add_argument(
+        "--metrics", metavar="PATH",
+        help="write Prometheus-style metrics text here",
+    )
 
     trace = commands.add_parser("trace", help="print the Table 1 trace")
     trace.add_argument("--init", default="closest", choices=["closest", "random"])
+    trace.add_argument(
+        "--jsonl", metavar="PATH",
+        help="also record the run and write the JSONL trace here",
+    )
 
     figure = commands.add_parser("figure", help="regenerate a paper figure")
     figure.add_argument(
@@ -66,6 +114,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--chart",
         metavar="COLUMN",
         help="also render COLUMN as an ASCII bar chart",
+    )
+    figure.add_argument(
+        "--trace",
+        metavar="PATH",
+        help="record the benchmark run and write the JSONL trace here",
     )
 
     dataset = commands.add_parser("dataset", help="generate a dataset")
@@ -106,6 +159,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     arguments = build_parser().parse_args(argv)
     handler = {
         "solve": _run_solve,
+        "profile": _run_profile,
         "trace": _run_trace,
         "figure": _run_figure,
         "dataset": _run_dataset,
@@ -131,7 +185,6 @@ def _run_solve(arguments) -> int:
     from repro.core import RMGPGame
 
     data = _load(arguments)
-    print(f"dataset: {data.stats()}")
     game = RMGPGame(
         data.graph, data.event_ids, data.cost_matrix(), alpha=arguments.alpha
     )
@@ -139,6 +192,20 @@ def _run_solve(arguments) -> int:
     result = game.solve(
         method=arguments.method, normalize_method=normalize, seed=arguments.seed
     )
+    if arguments.json:
+        import json
+
+        payload = result.to_dict()
+        payload["dataset"] = {
+            "name": data.name,
+            "users": arguments.users,
+            "events": arguments.events,
+            "seed": arguments.seed,
+            "normalize": arguments.normalize,
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    print(f"dataset: {data.stats()}")
     print(result.summary())
     if game.normalization is not None:
         print(f"normalization: {game.normalization}")
@@ -153,9 +220,57 @@ def _run_solve(arguments) -> int:
     return 0
 
 
+def _run_profile(arguments) -> int:
+    from repro.api import partition
+    from repro.obs import recording, summary_tree
+    from repro.obs.exporters import prometheus_text, write_jsonl
+
+    if arguments.dataset == "paper":
+        from repro.datasets import paper_example_instance
+
+        instance = paper_example_instance(alpha=arguments.alpha)
+        print("dataset: paper running example (Figure 2)")
+    else:
+        from repro.core import RMGPInstance
+        from repro.core.normalization import normalize
+
+        data = _load(arguments)
+        print(f"dataset: {data.stats()}")
+        instance = RMGPInstance(
+            data.graph, data.event_ids, data.cost_matrix(),
+            alpha=arguments.alpha,
+        )
+        instance, _ = normalize(instance, "pessimistic")
+    with recording() as recorder:
+        result = partition(
+            instance, solver=arguments.method, seed=arguments.seed
+        )
+    print(result.summary())
+    print()
+    print(summary_tree(recorder))
+    if arguments.jsonl:
+        count = write_jsonl(recorder, arguments.jsonl)
+        print(f"trace: {count} records written to {arguments.jsonl}")
+    if arguments.metrics:
+        with open(arguments.metrics, "w", encoding="utf-8") as handle:
+            handle.write(prometheus_text(recorder.metrics))
+        print(f"metrics written to {arguments.metrics}")
+    return 0
+
+
 def _run_trace(arguments) -> int:
     from repro.bench.fig_table1 import run_table1
 
+    if arguments.jsonl:
+        from repro.obs import recording
+        from repro.obs.exporters import write_jsonl
+
+        with recording() as recorder:
+            table = run_table1(init=arguments.init)
+        print(table)
+        count = write_jsonl(recorder, arguments.jsonl)
+        print(f"trace: {count} records written to {arguments.jsonl}")
+        return 0
     print(run_table1(init=arguments.init))
     return 0
 
@@ -177,13 +292,29 @@ def _run_figure(arguments) -> int:
         "fig14": bench.run_fig14,
     }
     runner = runners[arguments.name]
-    table = runner() if arguments.name == "table1" else runner(seed=arguments.seed)
-    print(table)
-    if getattr(arguments, "chart", None):
-        from repro.bench.ascii import table_chart
 
-        print()
-        print(table_chart(table, arguments.chart))
+    def _render() -> None:
+        table = (
+            runner() if arguments.name == "table1"
+            else runner(seed=arguments.seed)
+        )
+        print(table)
+        if getattr(arguments, "chart", None):
+            from repro.bench.ascii import table_chart
+
+            print()
+            print(table_chart(table, arguments.chart))
+
+    if getattr(arguments, "trace", None):
+        from repro.obs import recording
+        from repro.obs.exporters import write_jsonl
+
+        with recording() as recorder:
+            _render()
+        count = write_jsonl(recorder, arguments.trace)
+        print(f"trace: {count} records written to {arguments.trace}")
+    else:
+        _render()
     return 0
 
 

@@ -17,6 +17,7 @@ The two heuristics evaluated in Section 6.3 are exposed as parameters:
 from __future__ import annotations
 
 import random
+import warnings
 from typing import List, Optional
 
 import numpy as np
@@ -25,9 +26,10 @@ from repro.core import dynamics
 from repro.core.instance import RMGPInstance
 from repro.core.objective import player_strategy_costs, potential
 from repro.core.result import PartitionResult, RoundStats, make_result
+from repro.obs.recorder import Recorder, active_recorder
 
 
-def solve_baseline(
+def _solve_baseline(
     instance: RMGPInstance,
     init: str = "random",
     order: str = "random",
@@ -37,6 +39,7 @@ def solve_baseline(
     reshuffle_each_round: bool = False,
     track_potential: bool = False,
     solver_name: Optional[str] = None,
+    recorder: Optional[Recorder] = None,
 ) -> PartitionResult:
     """Run RMGP_b on ``instance``.
 
@@ -59,6 +62,9 @@ def solve_baseline(
     track_potential:
         Record ``Φ(S)`` after every round (used by analysis and tests;
         costs one extra objective evaluation per round).
+    recorder:
+        Telemetry sink; ``None`` uses the ambient recorder (a no-op
+        unless inside :func:`repro.obs.recording`).
 
     Returns
     -------
@@ -66,44 +72,62 @@ def solve_baseline(
         With one :class:`RoundStats` for initialization (round 0) and one
         per best-response round.
     """
+    rec = active_recorder(recorder)
     rng = random.Random(seed)
     clock = dynamics.RoundClock()
 
-    assignment = dynamics.initial_assignment(instance, init, rng, warm_start)
-    sweep = dynamics.player_order(instance, order, rng)
-    rounds: List[RoundStats] = [
-        RoundStats(
-            round_index=0,
-            deviations=0,
-            seconds=clock.lap(),
-            potential=potential(instance, assignment) if track_potential else None,
-        )
-    ]
-
     name = solver_name or _variant_name(init, order)
-    active = dynamics.ActiveSet(instance.n)
-    converged = False
-    round_index = 0
-    while not converged:
-        round_index += 1
-        dynamics.check_round_budget(round_index, max_rounds, name)
-        if reshuffle_each_round and order == "random":
+    with rec.span("solve", solver=name, n=instance.n, k=instance.k):
+        with rec.span("round", round=0, phase="init"):
+            assignment = dynamics.initial_assignment(
+                instance, init, rng, warm_start
+            )
             sweep = dynamics.player_order(instance, order, rng)
-        deviations, examined = _best_response_round(
-            instance, assignment, sweep, active
-        )
-        rounds.append(
+        rounds: List[RoundStats] = [
             RoundStats(
-                round_index=round_index,
-                deviations=deviations,
+                round_index=0,
+                deviations=0,
                 seconds=clock.lap(),
                 potential=(
                     potential(instance, assignment) if track_potential else None
                 ),
-                players_examined=examined,
             )
-        )
-        converged = deviations == 0
+        ]
+
+        active = dynamics.ActiveSet(instance.n)
+        converged = False
+        round_index = 0
+        while not converged:
+            round_index += 1
+            dynamics.check_round_budget(round_index, max_rounds, name)
+            if reshuffle_each_round and order == "random":
+                sweep = dynamics.player_order(instance, order, rng)
+            with rec.span("round", round=round_index) as round_span:
+                deviations, examined = _best_response_round(
+                    instance, assignment, sweep, active
+                )
+            rec.round_end(
+                round_span, name, round_index,
+                deviations=deviations,
+                examined=examined,
+                cost_evaluations=examined * instance.k,
+                frontier_fn=active.count,
+                potential_fn=lambda: potential(instance, assignment),
+            )
+            rounds.append(
+                RoundStats(
+                    round_index=round_index,
+                    deviations=deviations,
+                    seconds=clock.lap(),
+                    potential=(
+                        potential(instance, assignment)
+                        if track_potential
+                        else None
+                    ),
+                    players_examined=examined,
+                )
+            )
+            converged = deviations == 0
 
     return make_result(
         solver=name,
@@ -113,6 +137,37 @@ def solve_baseline(
         converged=True,
         wall_seconds=clock.total(),
         extra={"init": init, "order": order},
+    )
+
+
+def solve_baseline(
+    instance: RMGPInstance,
+    init: str = "random",
+    order: str = "random",
+    seed: Optional[int] = None,
+    warm_start: Optional[np.ndarray] = None,
+    max_rounds: int = dynamics.DEFAULT_MAX_ROUNDS,
+    reshuffle_each_round: bool = False,
+    track_potential: bool = False,
+    solver_name: Optional[str] = None,
+) -> PartitionResult:
+    """Deprecated alias — use ``repro.partition(instance, solver="b")``."""
+    warnings.warn(
+        "solve_baseline() is deprecated; use "
+        "repro.partition(instance, solver='b', ...)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _solve_baseline(
+        instance,
+        init=init,
+        order=order,
+        seed=seed,
+        warm_start=warm_start,
+        max_rounds=max_rounds,
+        reshuffle_each_round=reshuffle_each_round,
+        track_potential=track_potential,
+        solver_name=solver_name,
     )
 
 

@@ -26,15 +26,17 @@ and the equilibrium check below make the guarantee testable.
 from __future__ import annotations
 
 import random
+import warnings
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
 from repro.core import dynamics
 from repro.core.instance import RMGPInstance
-from repro.core.objective import player_strategy_costs
+from repro.core.objective import player_strategy_costs, potential
 from repro.core.result import PartitionResult, RoundStats, make_result
 from repro.errors import ConfigurationError
+from repro.obs.recorder import Recorder, active_recorder
 
 
 def validate_capacities(
@@ -87,54 +89,78 @@ def feasible_initial_assignment(
     return assignment
 
 
-def solve_capacitated(
+def _solve_capacitated(
     instance: RMGPInstance,
     capacities: Sequence[int],
     init: str = "closest",
     order: str = "degree",
     seed: Optional[int] = None,
     max_rounds: int = dynamics.DEFAULT_MAX_ROUNDS,
+    recorder: Optional[Recorder] = None,
 ) -> PartitionResult:
-    """Best-response dynamics under per-class maximum capacities."""
+    """Best-response dynamics under per-class maximum capacities.
+
+    Every round sweeps all ``n`` players — deliberately *not* the dirty
+    frontier of the other solvers: seat availability is global state, so
+    a "clean" player's best response can change when someone else frees
+    a seat in a class he wants.  ``players_examined == n`` is therefore
+    the true per-round work, not an unexamined assumption.
+    """
     caps = validate_capacities(instance, capacities)
+    rec = active_recorder(recorder)
     rng = random.Random(seed)
     clock = dynamics.RoundClock()
 
-    assignment = feasible_initial_assignment(instance, caps, rng, init)
-    load = np.bincount(assignment, minlength=instance.k)
-    sweep = dynamics.player_order(instance, order, rng)
-    rounds: List[RoundStats] = [RoundStats(0, 0, clock.lap())]
+    with rec.span("solve", solver="RMGP_cap", n=instance.n, k=instance.k):
+        with rec.span("round", round=0, phase="init"):
+            assignment = feasible_initial_assignment(
+                instance, caps, rng, init
+            )
+            load = np.bincount(assignment, minlength=instance.k)
+            sweep = dynamics.player_order(instance, order, rng)
+        rounds: List[RoundStats] = [RoundStats(0, 0, clock.lap())]
 
-    tol = dynamics.DEVIATION_TOLERANCE
-    converged = False
-    round_index = 0
-    while not converged:
-        round_index += 1
-        dynamics.check_round_budget(round_index, max_rounds, "RMGP_cap")
-        deviations = 0
-        for player in sweep:
-            costs = player_strategy_costs(instance, assignment, player)
-            current = int(assignment[player])
-            # Only classes with a free seat (or the current one) are open.
-            open_classes = (load < caps) | (
-                np.arange(instance.k) == current
-            )
-            costs[~open_classes] = np.inf
-            best = int(costs.argmin())
-            if best != current and costs[best] < costs[current] - tol:
-                assignment[player] = best
-                load[current] -= 1
-                load[best] += 1
-                deviations += 1
-        rounds.append(
-            RoundStats(
-                round_index=round_index,
+        tol = dynamics.DEVIATION_TOLERANCE
+        converged = False
+        round_index = 0
+        while not converged:
+            round_index += 1
+            dynamics.check_round_budget(round_index, max_rounds, "RMGP_cap")
+            deviations = 0
+            with rec.span("round", round=round_index) as round_span:
+                for player in sweep:
+                    costs = player_strategy_costs(
+                        instance, assignment, player
+                    )
+                    current = int(assignment[player])
+                    # Only classes with a free seat (or the current one)
+                    # are open.
+                    open_classes = (load < caps) | (
+                        np.arange(instance.k) == current
+                    )
+                    costs[~open_classes] = np.inf
+                    best = int(costs.argmin())
+                    if best != current and costs[best] < costs[current] - tol:
+                        assignment[player] = best
+                        load[current] -= 1
+                        load[best] += 1
+                        deviations += 1
+            rec.round_end(
+                round_span, "RMGP_cap", round_index,
                 deviations=deviations,
-                seconds=clock.lap(),
-                players_examined=instance.n,
+                examined=instance.n,
+                cost_evaluations=instance.n * instance.k,
+                potential_fn=lambda: potential(instance, assignment),
             )
-        )
-        converged = deviations == 0
+            rounds.append(
+                RoundStats(
+                    round_index=round_index,
+                    deviations=deviations,
+                    seconds=clock.lap(),
+                    players_examined=instance.n,
+                )
+            )
+            converged = deviations == 0
 
     return make_result(
         solver="RMGP_cap",
@@ -150,13 +176,40 @@ def solve_capacitated(
     )
 
 
-def solve_with_minimums(
+def solve_capacitated(
+    instance: RMGPInstance,
+    capacities: Sequence[int],
+    init: str = "closest",
+    order: str = "degree",
+    seed: Optional[int] = None,
+    max_rounds: int = dynamics.DEFAULT_MAX_ROUNDS,
+) -> PartitionResult:
+    """Deprecated alias — use ``repro.partition(instance, solver="cap",
+    capacities=...)``."""
+    warnings.warn(
+        "solve_capacitated() is deprecated; use "
+        "repro.partition(instance, solver='cap', capacities=..., ...)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _solve_capacitated(
+        instance,
+        capacities,
+        init=init,
+        order=order,
+        seed=seed,
+        max_rounds=max_rounds,
+    )
+
+
+def _solve_with_minimums(
     instance: RMGPInstance,
     min_participants: int,
     capacities: Optional[Sequence[int]] = None,
     init: str = "closest",
     order: str = "degree",
     seed: Optional[int] = None,
+    recorder: Optional[Recorder] = None,
 ) -> PartitionResult:
     """RMGP with *minimum* participation: undersubscribed events cancel.
 
@@ -172,6 +225,11 @@ def solve_with_minimums(
     Terminates after at most ``k − 1`` cancellations.  The result's
     assignment is over the *original* class indices; canceled classes end
     up empty, and ``extra["canceled"]`` lists them in cancellation order.
+
+    The returned result's ``wall_seconds`` covers the *entire*
+    cancel-and-resolve loop and ``extra["rounds_total"]`` sums the rounds
+    of every re-solve; ``rounds`` (the per-round stats) describe the
+    final re-solve only.
     """
     if min_participants < 0:
         raise ConfigurationError("min_participants must be non-negative")
@@ -180,37 +238,77 @@ def solve_with_minimums(
     else:
         caps = np.full(instance.k, instance.n, dtype=np.int64)
 
+    rec = active_recorder(recorder)
+    loop_clock = dynamics.RoundClock()
     active = np.ones(instance.k, dtype=bool)
     canceled: List[int] = []
     rounds_total = 0
     clock_rng_seed = seed
-    while True:
-        effective = caps.copy()
-        effective[~active] = 0
-        if int(effective.sum()) < instance.n:
-            raise ConfigurationError(
-                "cancellations left too few seats for the players; "
-                "lower min_participants or raise capacities"
+    with rec.span(
+        "solve", solver="RMGP_minpart", n=instance.n, k=instance.k
+    ):
+        while True:
+            effective = caps.copy()
+            effective[~active] = 0
+            if int(effective.sum()) < instance.n:
+                raise ConfigurationError(
+                    "cancellations left too few seats for the players; "
+                    "lower min_participants or raise capacities"
+                )
+            result = _solve_capacitated(
+                instance, effective, init=init, order=order,
+                seed=clock_rng_seed, recorder=rec,
             )
-        result = solve_capacitated(
-            instance, effective, init=init, order=order, seed=clock_rng_seed
-        )
-        rounds_total += result.num_rounds
-        loads = np.bincount(result.assignment, minlength=instance.k)
-        under = [
-            klass
-            for klass in range(instance.k)
-            if active[klass] and 0 < loads[klass] < min_participants
-        ]
-        if not under:
-            result.extra["canceled"] = canceled
-            result.extra["rounds_total"] = rounds_total
-            result.solver = "RMGP_minpart"
-            return result
-        # Cancel the weakest event first, as organizers would.
-        weakest = min(under, key=lambda klass: loads[klass])
-        active[weakest] = False
-        canceled.append(weakest)
+            rounds_total += result.num_rounds
+            loads = np.bincount(result.assignment, minlength=instance.k)
+            under = [
+                klass
+                for klass in range(instance.k)
+                if active[klass] and 0 < loads[klass] < min_participants
+            ]
+            if not under:
+                result.extra["canceled"] = canceled
+                result.extra["rounds_total"] = rounds_total
+                result.solver = "RMGP_minpart"
+                # The per-solve timer only saw the final re-solve; the
+                # contract says wall_seconds covers the whole call.
+                result.wall_seconds = loop_clock.total()
+                return result
+            # Cancel the weakest event first, as organizers would.
+            weakest = min(under, key=lambda klass: loads[klass])
+            active[weakest] = False
+            canceled.append(weakest)
+            rec.event(
+                "class_canceled", klass=weakest, load=int(loads[weakest])
+            )
+            rec.count("solver.cancellations", 1, solver="RMGP_minpart")
+
+
+def solve_with_minimums(
+    instance: RMGPInstance,
+    min_participants: int,
+    capacities: Optional[Sequence[int]] = None,
+    init: str = "closest",
+    order: str = "degree",
+    seed: Optional[int] = None,
+) -> PartitionResult:
+    """Deprecated alias — use ``repro.partition(instance, solver="minpart",
+    min_participants=...)``."""
+    warnings.warn(
+        "solve_with_minimums() is deprecated; use "
+        "repro.partition(instance, solver='minpart', min_participants=..., "
+        "...)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _solve_with_minimums(
+        instance,
+        min_participants,
+        capacities=capacities,
+        init=init,
+        order=order,
+        seed=seed,
+    )
 
 
 def capacity_violations(

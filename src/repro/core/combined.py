@@ -16,6 +16,7 @@ combination" (Section 4); RMGP_all applies all of them:
 from __future__ import annotations
 
 import random
+import warnings
 from typing import Dict, List, Optional
 
 import numpy as np
@@ -24,11 +25,13 @@ from repro.core import dynamics
 from repro.core.global_table import happiness
 from repro.core.independent_sets import groups_from_coloring
 from repro.core.instance import RMGPInstance
+from repro.core.objective import potential
 from repro.core.result import PartitionResult, RoundStats, make_result
 from repro.core.strategy_elimination import (
     EliminationPlan,
     build_elimination_plan,
 )
+from repro.obs.recorder import Recorder, active_recorder
 
 
 def build_pruned_table(
@@ -51,7 +54,7 @@ def build_pruned_table(
     return table
 
 
-def solve_all(
+def _solve_all(
     instance: RMGPInstance,
     init: str = "closest",
     order: str = "degree",
@@ -60,6 +63,7 @@ def solve_all(
     max_rounds: int = dynamics.DEFAULT_MAX_ROUNDS,
     coloring: Optional[Dict] = None,
     plan: Optional[EliminationPlan] = None,
+    recorder: Optional[Recorder] = None,
 ) -> PartitionResult:
     """Run RMGP_all on ``instance``.
 
@@ -67,77 +71,109 @@ def solve_all(
     and pruned-table construction, matching the paper's accounting of the
     expensive initialization step (Figure 12(c)).
     """
+    rec = active_recorder(recorder)
     rng = random.Random(seed)
     clock = dynamics.RoundClock()
 
-    if plan is None:
-        plan = build_elimination_plan(instance)
-    assignment = dynamics.initial_assignment(instance, init, rng, warm_start)
-    fixed_mask = plan.fixed_class >= 0
-    assignment[fixed_mask] = plan.fixed_class[fixed_mask]
-
-    groups = groups_from_coloring(instance, coloring)
-    rank = {p: i for i, p in enumerate(dynamics.player_order(instance, order, rng))}
-    groups = [
-        sorted((p for p in group if not fixed_mask[p]), key=rank.__getitem__)
-        for group in groups
-    ]
-    groups = [g for g in groups if g]
-
-    table = build_pruned_table(instance, assignment, plan)
-    happy = happiness(table, assignment)
-    happy[fixed_mask] = True
-
-    rounds: List[RoundStats] = [
-        RoundStats(round_index=0, deviations=0, seconds=clock.lap())
-    ]
-
-    half = (1.0 - instance.alpha) * 0.5
-    tol = dynamics.DEVIATION_TOLERANCE
-    converged = False
-    round_index = 0
-    while not converged:
-        round_index += 1
-        dynamics.check_round_budget(round_index, max_rounds, "RMGP_all")
-        deviations = 0
-        examined = 0
-        for group in groups:
-            # Members are non-adjacent: their best responses are mutually
-            # independent, so this sweep equals a simultaneous update.
-            for player in group:
-                if happy[player]:
-                    continue
-                examined += 1
-                current = int(assignment[player])
-                best = int(table[player].argmin())
-                if table[player, best] >= table[player, current] - tol:
-                    happy[player] = True
-                    continue
-                assignment[player] = best
-                happy[player] = True
-                deviations += 1
-                idx = instance.neighbor_indices[player]
-                wts = instance.neighbor_weights[player]
-                for friend, weight in zip(idx, wts):
-                    delta = half * weight
-                    table[friend, best] -= delta
-                    table[friend, current] += delta
-                    if fixed_mask[friend]:
-                        continue
-                    friend_class = int(assignment[friend])
-                    happy[friend] = (
-                        table[friend, friend_class]
-                        <= table[friend].min() + tol
-                    )
-        rounds.append(
-            RoundStats(
-                round_index=round_index,
-                deviations=deviations,
-                seconds=clock.lap(),
-                players_examined=examined,
+    with rec.span("solve", solver="RMGP_all", n=instance.n, k=instance.k):
+        with rec.span("round", round=0, phase="init") as init_span:
+            if plan is None:
+                with rec.span("build_plan"):
+                    plan = build_elimination_plan(instance)
+            assignment = dynamics.initial_assignment(
+                instance, init, rng, warm_start
             )
-        )
-        converged = deviations == 0
+            fixed_mask = plan.fixed_class >= 0
+            assignment[fixed_mask] = plan.fixed_class[fixed_mask]
+
+            groups = groups_from_coloring(instance, coloring)
+            rank = {
+                p: i
+                for i, p in enumerate(
+                    dynamics.player_order(instance, order, rng)
+                )
+            }
+            groups = [
+                sorted(
+                    (p for p in group if not fixed_mask[p]),
+                    key=rank.__getitem__,
+                )
+                for group in groups
+            ]
+            groups = [g for g in groups if g]
+
+            with rec.span("build_table"):
+                table = build_pruned_table(instance, assignment, plan)
+            happy = happiness(table, assignment)
+            happy[fixed_mask] = True
+            if init_span is not None:
+                init_span.attrs.update(
+                    num_groups=len(groups), num_fixed=plan.num_fixed,
+                    table_bytes=int(table.nbytes),
+                )
+        rec.gauge("solver.table_bytes", table.nbytes, solver="RMGP_all")
+
+        rounds: List[RoundStats] = [
+            RoundStats(round_index=0, deviations=0, seconds=clock.lap())
+        ]
+
+        half = (1.0 - instance.alpha) * 0.5
+        tol = dynamics.DEVIATION_TOLERANCE
+        converged = False
+        round_index = 0
+        while not converged:
+            round_index += 1
+            dynamics.check_round_budget(round_index, max_rounds, "RMGP_all")
+            deviations = 0
+            examined = 0
+            with rec.span("round", round=round_index) as round_span:
+                for group in groups:
+                    # Members are non-adjacent: their best responses are
+                    # mutually independent, so this sweep equals a
+                    # simultaneous update.
+                    for player in group:
+                        if happy[player]:
+                            continue
+                        examined += 1
+                        current = int(assignment[player])
+                        best = int(table[player].argmin())
+                        if table[player, best] >= table[player, current] - tol:
+                            happy[player] = True
+                            continue
+                        assignment[player] = best
+                        happy[player] = True
+                        deviations += 1
+                        idx = instance.neighbor_indices[player]
+                        wts = instance.neighbor_weights[player]
+                        for friend, weight in zip(idx, wts):
+                            delta = half * weight
+                            table[friend, best] -= delta
+                            table[friend, current] += delta
+                            if fixed_mask[friend]:
+                                continue
+                            friend_class = int(assignment[friend])
+                            happy[friend] = (
+                                table[friend, friend_class]
+                                <= table[friend].min() + tol
+                            )
+            rec.round_end(
+                round_span, "RMGP_all", round_index,
+                deviations=deviations,
+                examined=examined,
+                # Table-driven: one row argmin per examined player.
+                cost_evaluations=examined,
+                frontier_fn=lambda: int((~happy).sum()),
+                potential_fn=lambda: potential(instance, assignment),
+            )
+            rounds.append(
+                RoundStats(
+                    round_index=round_index,
+                    deviations=deviations,
+                    seconds=clock.lap(),
+                    players_examined=examined,
+                )
+            )
+            converged = deviations == 0
 
     return make_result(
         solver="RMGP_all",
@@ -151,4 +187,33 @@ def solve_all(
             "num_groups": len(groups),
             "strategies_remaining": plan.strategies_remaining(),
         },
+    )
+
+
+def solve_all(
+    instance: RMGPInstance,
+    init: str = "closest",
+    order: str = "degree",
+    seed: Optional[int] = None,
+    warm_start: Optional[np.ndarray] = None,
+    max_rounds: int = dynamics.DEFAULT_MAX_ROUNDS,
+    coloring: Optional[Dict] = None,
+    plan: Optional[EliminationPlan] = None,
+) -> PartitionResult:
+    """Deprecated alias — use ``repro.partition(instance, solver="all")``."""
+    warnings.warn(
+        "solve_all() is deprecated; use "
+        "repro.partition(instance, solver='all', ...)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _solve_all(
+        instance,
+        init=init,
+        order=order,
+        seed=seed,
+        warm_start=warm_start,
+        max_rounds=max_rounds,
+        coloring=coloring,
+        plan=plan,
     )

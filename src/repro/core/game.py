@@ -11,42 +11,22 @@ single object, which is what the examples and applications use:
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Hashable, Optional, Sequence
+from typing import Callable, Hashable, Optional, Sequence
 
 import numpy as np
 
-from repro.core.baseline import solve_baseline
-from repro.core.combined import solve_all
 from repro.core.costs import CostProvider
 from repro.core.equilibrium import EquilibriumReport, equilibrium_report
-from repro.core.global_table import solve_global_table
-from repro.core.independent_sets import solve_independent_sets
 from repro.core.instance import RMGPInstance
 from repro.core.normalization import (
     NORMALIZATION_METHODS,
     NormalizationEstimate,
     normalize,
 )
+from repro.core.registry import SOLVERS  # noqa: F401  (public re-export)
 from repro.core.result import PartitionResult
-from repro.core.strategy_elimination import solve_strategy_elimination
-from repro.core.vectorized import solve_vectorized
 from repro.errors import ConfigurationError
 from repro.graph.social_graph import SocialGraph
-
-#: Registry of algorithm variants, keyed by their public names.
-SOLVERS: Dict[str, Callable[..., PartitionResult]] = {
-    "baseline": solve_baseline,
-    "b": solve_baseline,
-    "se": solve_strategy_elimination,
-    "strategy_elimination": solve_strategy_elimination,
-    "is": solve_independent_sets,
-    "independent_sets": solve_independent_sets,
-    "gt": solve_global_table,
-    "global_table": solve_global_table,
-    "all": solve_all,
-    "vec": solve_vectorized,
-    "vectorized": solve_vectorized,
-}
 
 
 class RMGPGame:
@@ -83,15 +63,21 @@ class RMGPGame:
         ----------
         method:
             One of ``"baseline"``, ``"se"``, ``"is"``, ``"gt"``, ``"all"``
-            (short or long names; see :data:`SOLVERS`).
+            (short or long names; see
+            :data:`repro.core.registry.SOLVERS`).
         normalize_method:
             ``None`` (raw costs), ``"optimistic"`` or ``"pessimistic"``
             (Section 3.3).  The estimate used is stored on
             ``self.normalization`` and echoed in ``result.extra``.
         solver_kwargs:
             Forwarded to the variant (``init=``, ``order=``, ``seed=``,
-            ``threads=``, ``warm_start=``, ...).
+            ``threads=``, ``warm_start=``, ``recorder=``, ...).
         """
+        # Imported lazily: repro.api imports this module's sibling
+        # registry, and importing it at module scope would be circular
+        # through repro.core's package __init__.
+        from repro.api import partition
+
         if method not in SOLVERS:
             raise ConfigurationError(
                 f"unknown method {method!r}; expected one of {sorted(SOLVERS)}"
@@ -105,7 +91,7 @@ class RMGPGame:
                     f"one of {NORMALIZATION_METHODS} or None"
                 )
             instance, self.normalization = normalize(instance, normalize_method)
-        result = SOLVERS[method](instance, **solver_kwargs)
+        result = partition(instance, solver=method, **solver_kwargs)
         if self.normalization is not None and normalize_method is not None:
             result.extra["normalization"] = self.normalization
         return result

@@ -19,13 +19,16 @@ what :mod:`repro.core.combined` does.
 from __future__ import annotations
 
 import random
+import warnings
 from typing import Iterable, List, Optional, Tuple
 
 import numpy as np
 
 from repro.core import dynamics
 from repro.core.instance import RMGPInstance
+from repro.core.objective import potential
 from repro.core.result import PartitionResult, RoundStats, make_result
+from repro.obs.recorder import Recorder, active_recorder
 
 
 def build_global_table(
@@ -101,45 +104,69 @@ def table_round(
     return deviations, examined
 
 
-def solve_global_table(
+def _solve_global_table(
     instance: RMGPInstance,
     init: str = "closest",
     order: str = "degree",
     seed: Optional[int] = None,
     warm_start: Optional[np.ndarray] = None,
     max_rounds: int = dynamics.DEFAULT_MAX_ROUNDS,
+    recorder: Optional[Recorder] = None,
 ) -> PartitionResult:
     """Run RMGP_gt on ``instance`` (Figure 5)."""
+    rec = active_recorder(recorder)
     rng = random.Random(seed)
     clock = dynamics.RoundClock()
 
-    assignment = dynamics.initial_assignment(instance, init, rng, warm_start)
-    sweep = dynamics.player_order(instance, order, rng)
-    table = build_global_table(instance, assignment)
-    # Initially dirty = not provably happy, matching Figure 5's first pass.
-    active = dynamics.ActiveSet(instance.n, dirty=~happiness(table, assignment))
-
-    rounds: List[RoundStats] = [
-        RoundStats(round_index=0, deviations=0, seconds=clock.lap())
-    ]
-
-    converged = False
-    round_index = 0
-    while not converged:
-        round_index += 1
-        dynamics.check_round_budget(round_index, max_rounds, "RMGP_gt")
-        deviations, examined = table_round(
-            instance, table, assignment, active, sweep
-        )
-        rounds.append(
-            RoundStats(
-                round_index=round_index,
-                deviations=deviations,
-                seconds=clock.lap(),
-                players_examined=examined,
+    with rec.span("solve", solver="RMGP_gt", n=instance.n, k=instance.k):
+        with rec.span("round", round=0, phase="init") as init_span:
+            assignment = dynamics.initial_assignment(
+                instance, init, rng, warm_start
             )
-        )
-        converged = deviations == 0
+            sweep = dynamics.player_order(instance, order, rng)
+            with rec.span("build_table"):
+                table = build_global_table(instance, assignment)
+            # Initially dirty = not provably happy, matching Figure 5's
+            # first pass.
+            active = dynamics.ActiveSet(
+                instance.n, dirty=~happiness(table, assignment)
+            )
+            if init_span is not None:
+                init_span.attrs["table_bytes"] = int(table.nbytes)
+        rec.gauge("solver.table_bytes", table.nbytes, solver="RMGP_gt")
+
+        rounds: List[RoundStats] = [
+            RoundStats(round_index=0, deviations=0, seconds=clock.lap())
+        ]
+
+        converged = False
+        round_index = 0
+        while not converged:
+            round_index += 1
+            dynamics.check_round_budget(round_index, max_rounds, "RMGP_gt")
+            with rec.span("round", round=round_index) as round_span:
+                deviations, examined = table_round(
+                    instance, table, assignment, active, sweep
+                )
+            rec.round_end(
+                round_span, "RMGP_gt", round_index,
+                deviations=deviations,
+                examined=examined,
+                # A table lookup replaces the k-way Eq. 3 scan: one row
+                # argmin per examined player.
+                cost_evaluations=examined,
+                frontier_fn=active.count,
+                potential_fn=lambda: potential(instance, assignment),
+            )
+            rounds.append(
+                RoundStats(
+                    round_index=round_index,
+                    deviations=deviations,
+                    seconds=clock.lap(),
+                    players_examined=examined,
+                )
+            )
+            converged = deviations == 0
 
     return make_result(
         solver="RMGP_gt",
@@ -149,4 +176,29 @@ def solve_global_table(
         converged=True,
         wall_seconds=clock.total(),
         extra={"table_bytes": table.nbytes},
+    )
+
+
+def solve_global_table(
+    instance: RMGPInstance,
+    init: str = "closest",
+    order: str = "degree",
+    seed: Optional[int] = None,
+    warm_start: Optional[np.ndarray] = None,
+    max_rounds: int = dynamics.DEFAULT_MAX_ROUNDS,
+) -> PartitionResult:
+    """Deprecated alias — use ``repro.partition(instance, solver="gt")``."""
+    warnings.warn(
+        "solve_global_table() is deprecated; use "
+        "repro.partition(instance, solver='gt', ...)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _solve_global_table(
+        instance,
+        init=init,
+        order=order,
+        seed=seed,
+        warm_start=warm_start,
+        max_rounds=max_rounds,
     )

@@ -35,6 +35,7 @@ from repro.core.objective import objective
 from repro.core.result import PartitionResult, RoundStats, make_result
 from repro.errors import ConfigurationError
 from repro.graph.social_graph import NodeId
+from repro.obs.recorder import Recorder, active_recorder
 
 
 class IncrementalRMGP:
@@ -43,6 +44,11 @@ class IncrementalRMGP:
     Construction solves the instance once (via the global-table
     dynamics); afterwards, apply any number of updates and call
     :meth:`resolve` to re-converge.
+
+    A ``recorder`` given at construction receives an event per online
+    update and one ``resolve`` span (with per-round children) per
+    :meth:`resolve` call; :meth:`resolve` also accepts a per-call
+    recorder override.
     """
 
     def __init__(
@@ -50,7 +56,9 @@ class IncrementalRMGP:
         instance: RMGPInstance,
         init: str = "closest",
         seed: Optional[int] = None,
+        recorder: Optional[Recorder] = None,
     ) -> None:
+        self._recorder = recorder
         # Materialize the cost matrix: updates mutate it in place.
         self._matrix = instance.cost.dense()
         self.instance = instance.with_cost(MatrixCost(self._matrix))
@@ -87,6 +95,9 @@ class IncrementalRMGP:
         self._matrix[player] = row
         self._table[player] += delta
         self._active.mark([player])
+        rec = active_recorder(self._recorder)
+        rec.event("update_player_costs", player=player)
+        rec.count("incremental.updates", 1, kind="costs")
 
     def add_edge(self, u: NodeId, v: NodeId, weight: float) -> None:
         """A friendship forms; both endpoints' tables gain the edge."""
@@ -95,6 +106,9 @@ class IncrementalRMGP:
         self.instance.graph.add_edge(u, v, weight)
         self._rebuild_adjacency((u, v))
         self._apply_edge_delta(u, v, weight, sign=+1.0)
+        active_recorder(self._recorder).count(
+            "incremental.updates", 1, kind="add_edge"
+        )
 
     def remove_edge(self, u: NodeId, v: NodeId) -> None:
         """A friendship dissolves."""
@@ -102,10 +116,20 @@ class IncrementalRMGP:
         self.instance.graph.remove_edge(u, v)
         self._rebuild_adjacency((u, v))
         self._apply_edge_delta(u, v, weight, sign=-1.0)
+        active_recorder(self._recorder).count(
+            "incremental.updates", 1, kind="remove_edge"
+        )
 
     # ------------------------------------------------------------------
-    def resolve(self, max_rounds: int = dynamics.DEFAULT_MAX_ROUNDS) -> PartitionResult:
+    def resolve(
+        self,
+        max_rounds: int = dynamics.DEFAULT_MAX_ROUNDS,
+        recorder: Optional[Recorder] = None,
+    ) -> PartitionResult:
         """Run localized best responses until the frontier is quiet."""
+        rec = active_recorder(
+            recorder if recorder is not None else self._recorder
+        )
         clock = dynamics.RoundClock()
         rounds: List[RoundStats] = [RoundStats(0, 0, clock.lap())]
         # Sweep in player order over the dirty frontier — the exact
@@ -113,22 +137,39 @@ class IncrementalRMGP:
         # reproduces solve_global_table(order="given") step for step.
         sweep = range(self.instance.n)
         round_index = 0
-        while self._active.any_dirty():
-            round_index += 1
-            dynamics.check_round_budget(round_index, max_rounds, "IncrementalRMGP")
-            deviations, examined = table_round(
-                self.instance, self._table, self.assignment, self._active, sweep
-            )
-            rounds.append(
-                RoundStats(
-                    round_index=round_index,
-                    deviations=deviations,
-                    seconds=clock.lap(),
-                    players_examined=examined,
+        with rec.span(
+            "resolve", solver="RMGP_incremental", n=self.instance.n,
+            resolve_index=self.resolve_count,
+        ) as resolve_span:
+            if resolve_span is not None:
+                resolve_span.attrs["initial_frontier"] = self._active.count()
+            while self._active.any_dirty():
+                round_index += 1
+                dynamics.check_round_budget(
+                    round_index, max_rounds, "IncrementalRMGP"
                 )
-            )
-            if deviations == 0:
-                break
+                with rec.span("round", round=round_index) as round_span:
+                    deviations, examined = table_round(
+                        self.instance, self._table, self.assignment,
+                        self._active, sweep,
+                    )
+                rec.round_end(
+                    round_span, "RMGP_incremental", round_index,
+                    deviations=deviations,
+                    examined=examined,
+                    cost_evaluations=examined,
+                    frontier_fn=self._active.count,
+                )
+                rounds.append(
+                    RoundStats(
+                        round_index=round_index,
+                        deviations=deviations,
+                        seconds=clock.lap(),
+                        players_examined=examined,
+                    )
+                )
+                if deviations == 0:
+                    break
         self.resolve_count += 1
         return make_result(
             solver="RMGP_incremental",

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import math
 import random
+import warnings
 from concurrent.futures import ThreadPoolExecutor
 from typing import Dict, List, Optional, Sequence
 
@@ -25,10 +26,11 @@ import numpy as np
 
 from repro.core import dynamics
 from repro.core.instance import RMGPInstance
-from repro.core.objective import player_strategy_costs
+from repro.core.objective import player_strategy_costs, potential
 from repro.core.result import PartitionResult, RoundStats, make_result
 from repro.errors import ConfigurationError
 from repro.graph.coloring import color_groups, greedy_coloring, is_proper_coloring
+from repro.obs.recorder import Recorder, active_recorder
 
 
 def groups_from_coloring(
@@ -51,7 +53,7 @@ def groups_from_coloring(
     ]
 
 
-def solve_independent_sets(
+def _solve_independent_sets(
     instance: RMGPInstance,
     init: str = "closest",
     order: str = "degree",
@@ -60,6 +62,7 @@ def solve_independent_sets(
     max_rounds: int = dynamics.DEFAULT_MAX_ROUNDS,
     coloring: Optional[Dict] = None,
     threads: int = 1,
+    recorder: Optional[Recorder] = None,
 ) -> PartitionResult:
     """Run RMGP_is: best-response rounds sweeping color groups.
 
@@ -71,55 +74,83 @@ def solve_independent_sets(
         identical, only wall time differs.
     coloring:
         Optional pre-computed proper coloring (user id -> color).
+    recorder:
+        Telemetry sink; ``None`` uses the ambient recorder.
     """
     if threads < 1:
         raise ConfigurationError("threads must be >= 1")
+    rec = active_recorder(recorder)
     rng = random.Random(seed)
     clock = dynamics.RoundClock()
 
-    groups = groups_from_coloring(instance, coloring)
-    # Within each group keep the requested ordering (degree / random).
-    rank = {p: i for i, p in enumerate(dynamics.player_order(instance, order, rng))}
-    groups = [sorted(group, key=rank.__getitem__) for group in groups]
-
-    assignment = dynamics.initial_assignment(instance, init, rng, warm_start)
-    rounds: List[RoundStats] = [
-        RoundStats(round_index=0, deviations=0, seconds=clock.lap())
-    ]
-
-    executor = ThreadPoolExecutor(max_workers=threads) if threads > 1 else None
-    active = dynamics.ActiveSet(instance.n)
-    try:
-        converged = False
-        round_index = 0
-        while not converged:
-            round_index += 1
-            dynamics.check_round_budget(round_index, max_rounds, "RMGP_is")
-            deviations = 0
-            examined = 0
-            for group in groups:
-                # Only the dirty members of the group can possibly move;
-                # clean members' best responses are provably unchanged.
-                pending = [p for p in group if active.flags[p]]
-                if not pending:
-                    continue
-                examined += len(pending)
-                active.clear(pending)
-                deviations += _process_group(
-                    instance, assignment, pending, executor, threads, active
+    with rec.span(
+        "solve", solver="RMGP_is", n=instance.n, k=instance.k, threads=threads
+    ):
+        with rec.span("round", round=0, phase="init") as init_span:
+            groups = groups_from_coloring(instance, coloring)
+            # Within each group keep the requested ordering (degree/random).
+            rank = {
+                p: i
+                for i, p in enumerate(
+                    dynamics.player_order(instance, order, rng)
                 )
-            rounds.append(
-                RoundStats(
-                    round_index=round_index,
-                    deviations=deviations,
-                    seconds=clock.lap(),
-                    players_examined=examined,
-                )
+            }
+            groups = [sorted(group, key=rank.__getitem__) for group in groups]
+            assignment = dynamics.initial_assignment(
+                instance, init, rng, warm_start
             )
-            converged = deviations == 0
-    finally:
-        if executor is not None:
-            executor.shutdown(wait=True)
+            if init_span is not None:
+                init_span.attrs["num_groups"] = len(groups)
+        rounds: List[RoundStats] = [
+            RoundStats(round_index=0, deviations=0, seconds=clock.lap())
+        ]
+
+        executor = (
+            ThreadPoolExecutor(max_workers=threads) if threads > 1 else None
+        )
+        active = dynamics.ActiveSet(instance.n)
+        try:
+            converged = False
+            round_index = 0
+            while not converged:
+                round_index += 1
+                dynamics.check_round_budget(round_index, max_rounds, "RMGP_is")
+                deviations = 0
+                examined = 0
+                with rec.span("round", round=round_index) as round_span:
+                    for group in groups:
+                        # Only the dirty members of the group can possibly
+                        # move; clean members' best responses are provably
+                        # unchanged.
+                        pending = [p for p in group if active.flags[p]]
+                        if not pending:
+                            continue
+                        examined += len(pending)
+                        active.clear(pending)
+                        deviations += _process_group(
+                            instance, assignment, pending, executor, threads,
+                            active,
+                        )
+                rec.round_end(
+                    round_span, "RMGP_is", round_index,
+                    deviations=deviations,
+                    examined=examined,
+                    cost_evaluations=examined * instance.k,
+                    frontier_fn=active.count,
+                    potential_fn=lambda: potential(instance, assignment),
+                )
+                rounds.append(
+                    RoundStats(
+                        round_index=round_index,
+                        deviations=deviations,
+                        seconds=clock.lap(),
+                        players_examined=examined,
+                    )
+                )
+                converged = deviations == 0
+        finally:
+            if executor is not None:
+                executor.shutdown(wait=True)
 
     critical_path = sum(math.ceil(len(g) / threads) for g in groups)
     return make_result(
@@ -136,6 +167,35 @@ def solve_independent_sets(
             "sequential_players_per_round": instance.n,
             "model_speedup": (instance.n / critical_path) if critical_path else 1.0,
         },
+    )
+
+
+def solve_independent_sets(
+    instance: RMGPInstance,
+    init: str = "closest",
+    order: str = "degree",
+    seed: Optional[int] = None,
+    warm_start: Optional[np.ndarray] = None,
+    max_rounds: int = dynamics.DEFAULT_MAX_ROUNDS,
+    coloring: Optional[Dict] = None,
+    threads: int = 1,
+) -> PartitionResult:
+    """Deprecated alias — use ``repro.partition(instance, solver="is")``."""
+    warnings.warn(
+        "solve_independent_sets() is deprecated; use "
+        "repro.partition(instance, solver='is', ...)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _solve_independent_sets(
+        instance,
+        init=init,
+        order=order,
+        seed=seed,
+        warm_start=warm_start,
+        max_rounds=max_rounds,
+        coloring=coloring,
+        threads=threads,
     )
 
 

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import heapq
 import random
+import warnings
 from typing import List, Optional
 
 import numpy as np
@@ -27,14 +28,16 @@ from repro.core.global_table import build_global_table
 from repro.core.instance import RMGPInstance
 from repro.core.result import PartitionResult, RoundStats, make_result
 from repro.errors import ConvergenceError
+from repro.obs.recorder import Recorder, active_recorder
 
 
-def solve_max_gain(
+def _solve_max_gain(
     instance: RMGPInstance,
     init: str = "closest",
     seed: Optional[int] = None,
     warm_start: Optional[np.ndarray] = None,
     max_moves: Optional[int] = None,
+    recorder: Optional[Recorder] = None,
 ) -> PartitionResult:
     """Run max-gain dynamics to a pure Nash equilibrium.
 
@@ -42,74 +45,98 @@ def solve_max_gain(
     ``n * k * 1000``, a generous multiple of anything observed); the
     result records every move in one round entry per *batch* of 1000
     moves so the usual round accounting stays meaningful.
+
+    ``players_examined`` counts heap pops (gain re-evaluations), the
+    real unit of work of best-improvement dynamics — there is no
+    full-sweep round here.  Round 0's count is the heap build, which
+    evaluates every player's gain once.
     """
+    rec = active_recorder(recorder)
     rng = random.Random(seed)
     clock = dynamics.RoundClock()
 
-    assignment = dynamics.initial_assignment(instance, init, rng, warm_start)
-    table = build_global_table(instance, assignment)
-    if max_moves is None:
-        max_moves = max(1000, instance.n * instance.k * 1000)
+    with rec.span("solve", solver="RMGP_mg", n=instance.n, k=instance.k):
+        with rec.span("round", round=0, phase="init"):
+            assignment = dynamics.initial_assignment(
+                instance, init, rng, warm_start
+            )
+            with rec.span("build_table"):
+                table = build_global_table(instance, assignment)
+            if max_moves is None:
+                max_moves = max(1000, instance.n * instance.k * 1000)
 
-    tol = dynamics.DEVIATION_TOLERANCE
-    half = (1.0 - instance.alpha) * 0.5
+            tol = dynamics.DEVIATION_TOLERANCE
+            half = (1.0 - instance.alpha) * 0.5
 
-    def gain_of(player: int) -> float:
-        row = table[player]
-        return float(row[assignment[player]] - row.min())
+            def gain_of(player: int) -> float:
+                row = table[player]
+                return float(row[assignment[player]] - row.min())
 
-    # Max-heap entries: (-gain, player).  Lazy invalidation: an entry is
-    # acted on only if its gain still matches the player's current gain.
-    heap: List[tuple] = []
-    for player in range(instance.n):
-        gain = gain_of(player)
-        if gain > tol:
-            heapq.heappush(heap, (-gain, player))
+            # Max-heap entries: (-gain, player).  Lazy invalidation: an
+            # entry is acted on only if its gain still matches the
+            # player's current gain.
+            heap: List[tuple] = []
+            for player in range(instance.n):
+                gain = gain_of(player)
+                if gain > tol:
+                    heapq.heappush(heap, (-gain, player))
 
-    rounds: List[RoundStats] = [RoundStats(0, 0, clock.lap())]
-    moves = 0
-    batch_moves = 0
-    while heap:
-        negative_gain, player = heapq.heappop(heap)
-        current_gain = gain_of(player)
-        if current_gain <= tol:
-            continue
-        if abs(-negative_gain - current_gain) > 1e-12:
-            heapq.heappush(heap, (-current_gain, player))
-            continue
-        current = int(assignment[player])
-        best = int(table[player].argmin())
-        assignment[player] = best
-        moves += 1
-        batch_moves += 1
-        if moves > max_moves:
-            raise ConvergenceError(f"RMGP_mg exceeded {max_moves} moves")
-        idx = instance.neighbor_indices[player]
-        wts = instance.neighbor_weights[player]
-        for friend, weight in zip(idx, wts):
-            delta = half * weight
-            table[friend, best] -= delta
-            table[friend, current] += delta
-            friend_gain = gain_of(int(friend))
-            if friend_gain > tol:
-                heapq.heappush(heap, (-friend_gain, int(friend)))
-        if batch_moves >= 1000:
+        rounds: List[RoundStats] = [
+            RoundStats(0, 0, clock.lap(), players_examined=instance.n)
+        ]
+        moves = 0
+        batch_moves = 0
+        batch_examined = 0
+
+        def flush_batch() -> None:
+            nonlocal batch_moves, batch_examined
+            rec.round_end(
+                None, "RMGP_mg", len(rounds),
+                deviations=batch_moves,
+                examined=batch_examined,
+                cost_evaluations=batch_examined,
+                frontier_fn=lambda: len(heap),
+            )
             rounds.append(
                 RoundStats(
                     round_index=len(rounds),
                     deviations=batch_moves,
                     seconds=clock.lap(),
+                    players_examined=batch_examined,
                 )
             )
             batch_moves = 0
-    if batch_moves or len(rounds) == 1:
-        rounds.append(
-            RoundStats(
-                round_index=len(rounds),
-                deviations=batch_moves,
-                seconds=clock.lap(),
-            )
-        )
+            batch_examined = 0
+
+        while heap:
+            negative_gain, player = heapq.heappop(heap)
+            batch_examined += 1
+            current_gain = gain_of(player)
+            if current_gain <= tol:
+                continue
+            if abs(-negative_gain - current_gain) > 1e-12:
+                heapq.heappush(heap, (-current_gain, player))
+                continue
+            current = int(assignment[player])
+            best = int(table[player].argmin())
+            assignment[player] = best
+            moves += 1
+            batch_moves += 1
+            if moves > max_moves:
+                raise ConvergenceError(f"RMGP_mg exceeded {max_moves} moves")
+            idx = instance.neighbor_indices[player]
+            wts = instance.neighbor_weights[player]
+            for friend, weight in zip(idx, wts):
+                delta = half * weight
+                table[friend, best] -= delta
+                table[friend, current] += delta
+                friend_gain = gain_of(int(friend))
+                if friend_gain > tol:
+                    heapq.heappush(heap, (-friend_gain, int(friend)))
+            if batch_moves >= 1000:
+                flush_batch()
+        if batch_moves or batch_examined or len(rounds) == 1:
+            flush_batch()
 
     return make_result(
         solver="RMGP_mg",
@@ -119,4 +146,27 @@ def solve_max_gain(
         converged=True,
         wall_seconds=clock.total(),
         extra={"total_moves": moves},
+    )
+
+
+def solve_max_gain(
+    instance: RMGPInstance,
+    init: str = "closest",
+    seed: Optional[int] = None,
+    warm_start: Optional[np.ndarray] = None,
+    max_moves: Optional[int] = None,
+) -> PartitionResult:
+    """Deprecated alias — use ``repro.partition(instance, solver="mg")``."""
+    warnings.warn(
+        "solve_max_gain() is deprecated; use "
+        "repro.partition(instance, solver='mg', ...)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _solve_max_gain(
+        instance,
+        init=init,
+        seed=seed,
+        warm_start=warm_start,
+        max_moves=max_moves,
     )

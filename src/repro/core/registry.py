@@ -1,0 +1,68 @@
+"""Registry of algorithm-variant implementations.
+
+One place maps every public solver name (short and long) to its
+implementation function; :func:`repro.api.partition` and
+:meth:`repro.core.game.RMGPGame.solve` both dispatch through it.  The
+values are the *implementation* functions (``_solve_*``), not the
+deprecated ``solve_*`` shims, so routing through the registry never
+triggers a :class:`DeprecationWarning`.
+
+Kept separate from :mod:`repro.core.game` so solver modules and the API
+facade can import it without pulling in the whole facade.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.core.baseline import _solve_baseline
+from repro.core.capacitated import _solve_capacitated, _solve_with_minimums
+from repro.core.combined import _solve_all
+from repro.core.global_table import _solve_global_table
+from repro.core.independent_sets import _solve_independent_sets
+from repro.core.priority import _solve_max_gain
+from repro.core.result import PartitionResult
+from repro.core.simultaneous import _solve_simultaneous
+from repro.core.strategy_elimination import _solve_strategy_elimination
+from repro.core.vectorized import _solve_vectorized
+
+#: Algorithm variants by public name.  Short names follow the paper
+#: (RMGP_b, RMGP_se, RMGP_is, RMGP_gt, ...); long names are explicit.
+SOLVERS: Dict[str, Callable[..., PartitionResult]] = {
+    "baseline": _solve_baseline,
+    "b": _solve_baseline,
+    "se": _solve_strategy_elimination,
+    "strategy_elimination": _solve_strategy_elimination,
+    "is": _solve_independent_sets,
+    "independent_sets": _solve_independent_sets,
+    "gt": _solve_global_table,
+    "global_table": _solve_global_table,
+    "all": _solve_all,
+    "vec": _solve_vectorized,
+    "vectorized": _solve_vectorized,
+    "mg": _solve_max_gain,
+    "max_gain": _solve_max_gain,
+    "sync": _solve_simultaneous,
+    "simultaneous": _solve_simultaneous,
+    "cap": _solve_capacitated,
+    "capacitated": _solve_capacitated,
+    "minpart": _solve_with_minimums,
+    "with_minimums": _solve_with_minimums,
+}
+
+_CANONICAL: Dict[str, str] = {
+    "b": "baseline",
+    "se": "strategy_elimination",
+    "is": "independent_sets",
+    "gt": "global_table",
+    "vec": "vectorized",
+    "mg": "max_gain",
+    "sync": "simultaneous",
+    "cap": "capacitated",
+    "minpart": "with_minimums",
+}
+
+
+def canonical_solver_name(name: str) -> str:
+    """The long form of a registry name (``"gt"`` -> ``"global_table"``)."""
+    return _CANONICAL.get(name, name)

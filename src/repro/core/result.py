@@ -39,26 +39,45 @@ class RoundStats:
 
 @dataclass
 class PartitionResult:
-    """Outcome of one RMGP solve.
+    """Outcome of one RMGP solve — the shared contract of every solver.
+
+    Every solve entry point in this package (``partition()`` with any
+    registry name, ``RMGPGame.solve``, the distributed game, and the
+    deprecated ``solve_*`` shims) returns this type with **identical
+    field semantics**:
 
     Attributes
     ----------
     solver:
         Name of the algorithm variant (``"RMGP_b"``, ``"RMGP_gt"``, ...).
     assignment:
-        Index-space strategy vector (player index -> class index).
+        Index-space strategy vector (player index -> class index),
+        always a fresh ``int64`` copy the caller may mutate.
     labels:
         The same assignment as ``user id -> class label``.
     value:
-        Equation 1 breakdown at termination.
+        Equation 1 breakdown at termination, evaluated on the instance
+        the solver actually ran on (i.e. after any normalization).
     rounds:
-        Round trace, including round 0 (initialization).
+        Round trace, including round 0 (initialization).  Round entries
+        carry ``players_examined`` — the number of best responses
+        actually computed that round (frontier size for frontier
+        solvers, heap pops for max-gain, ``n`` only where a full sweep
+        is semantically required).  For :func:`solve_with_minimums` the
+        trace covers the final re-solve; ``extra["rounds_total"]`` sums
+        every re-solve.
     converged:
         True when the solver reached a round without deviations (a Nash
-        equilibrium); False only if ``max_rounds`` was exhausted.
+        equilibrium, or the variant's weaker solution concept); False
+        only if the round budget was exhausted (possible only for the
+        synchronous ablation — every other variant raises instead).
+    wall_seconds:
+        Wall-clock seconds for the **entire call**, round 0 and any
+        internal re-solves included.
     extra:
         Solver-specific diagnostics (players eliminated, colors used,
-        bytes transferred, ...).
+        bytes transferred, ...).  Keys here are the only place variants
+        may differ.
     """
 
     solver: str
@@ -91,6 +110,50 @@ class PartitionResult:
             f"{self.solver}: {status} in {self.num_rounds} rounds, "
             f"{self.value}, {self.wall_seconds * 1e3:.1f} ms"
         )
+
+    def to_dict(self, include_assignment: bool = False) -> Dict[str, Any]:
+        """JSON-ready summary (``repro solve --json``).
+
+        The full assignment is included only on request (it is O(n));
+        ``assignment_sha256`` is always present so runs can be compared
+        byte-for-byte without shipping the vector.
+        """
+        import hashlib
+
+        payload: Dict[str, Any] = {
+            "solver": self.solver,
+            "n": int(self.assignment.size),
+            "converged": bool(self.converged),
+            "rounds": self.num_rounds,
+            "total_deviations": int(self.total_deviations),
+            "wall_seconds": float(self.wall_seconds),
+            "objective": {
+                "total": float(self.value.total),
+                "assignment_cost": float(self.value.assignment_cost),
+                "social_cost": float(self.value.social_cost),
+                "alpha": float(self.value.alpha),
+            },
+            "assignment_sha256": hashlib.sha256(
+                np.ascontiguousarray(self.assignment, dtype=np.int64).tobytes()
+            ).hexdigest(),
+            "round_trace": [
+                {
+                    "round": r.round_index,
+                    "deviations": r.deviations,
+                    "seconds": r.seconds,
+                    "players_examined": r.players_examined,
+                    **(
+                        {"potential": r.potential}
+                        if r.potential is not None
+                        else {}
+                    ),
+                }
+                for r in self.rounds
+            ],
+        }
+        if include_assignment:
+            payload["assignment"] = self.assignment.tolist()
+        return payload
 
 
 def make_result(

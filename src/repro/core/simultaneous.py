@@ -20,6 +20,7 @@ measured (see ``benchmarks/bench_ablations.py``):
 from __future__ import annotations
 
 import random
+import warnings
 from typing import List, Optional
 
 import numpy as np
@@ -28,15 +29,17 @@ from repro.core import dynamics
 from repro.core.instance import RMGPInstance
 from repro.core.objective import player_strategy_costs, potential
 from repro.core.result import PartitionResult, RoundStats, make_result
+from repro.obs.recorder import Recorder, active_recorder
 
 
-def solve_simultaneous(
+def _solve_simultaneous(
     instance: RMGPInstance,
     init: str = "closest",
     seed: Optional[int] = None,
     warm_start: Optional[np.ndarray] = None,
     max_rounds: int = 200,
     damping: float = 1.0,
+    recorder: Optional[Recorder] = None,
 ) -> PartitionResult:
     """Synchronous best-response dynamics.
 
@@ -45,69 +48,101 @@ def solve_simultaneous(
     ``extra`` diagnostics (``potential_increases``, ``cycle_detected``)
     tell what happened.  This exists to validate the paper's argument
     for sequential/independent-set updates, not for production use.
+
+    ``players_examined`` is genuinely ``n`` every round here: synchronous
+    dynamics best-respond against a full snapshot, so every player is
+    re-evaluated each round — it is not a full-sweep *assumption*, it is
+    the algorithm.
     """
     if not 0.0 < damping <= 1.0:
         from repro.errors import ConfigurationError
 
         raise ConfigurationError(f"damping must be in (0, 1], got {damping}")
+    rec = active_recorder(recorder)
     rng = random.Random(seed)
     clock = dynamics.RoundClock()
 
-    assignment = dynamics.initial_assignment(instance, init, rng, warm_start)
-    rounds: List[RoundStats] = [
-        RoundStats(0, 0, clock.lap(), potential=potential(instance, assignment))
-    ]
-
-    seen_states = {assignment.tobytes()}
-    potential_increases = 0
-    cycle_detected = False
-    converged = False
-    last_potential = rounds[0].potential or 0.0
-
-    for round_index in range(1, max_rounds + 1):
-        # Everyone computes a best response against the same snapshot.
-        # "deviations" counts players who *want* to move; damping only
-        # suppresses the execution, never the convergence test —
-        # otherwise an unlucky round of coin flips would end the game at
-        # a non-equilibrium.
-        proposals = assignment.copy()
-        deviations = 0
-        for player in range(instance.n):
-            costs = player_strategy_costs(instance, assignment, player)
-            current = int(assignment[player])
-            best = int(costs.argmin())
-            if (
-                best != current
-                and costs[best] < costs[current] - dynamics.DEVIATION_TOLERANCE
-            ):
-                deviations += 1
-                if rng.random() < damping:
-                    proposals[player] = best
-        assignment = proposals
-        phi = potential(instance, assignment)
-        if phi > last_potential + 1e-12:
-            potential_increases += 1
-        last_potential = phi
-        rounds.append(
-            RoundStats(
-                round_index=round_index,
-                deviations=deviations,
-                seconds=clock.lap(),
-                potential=phi,
-                players_examined=instance.n,
+    with rec.span(
+        "solve", solver="RMGP_sync", n=instance.n, k=instance.k,
+        damping=damping,
+    ):
+        with rec.span("round", round=0, phase="init"):
+            assignment = dynamics.initial_assignment(
+                instance, init, rng, warm_start
             )
-        )
-        if deviations == 0:
-            converged = True
-            break
-        # Cycle detection only makes sense for deterministic (undamped)
-        # dynamics; a damped walk may legitimately revisit states.
-        if damping >= 1.0:
-            state = assignment.tobytes()
-            if state in seen_states:
-                cycle_detected = True
+        rounds: List[RoundStats] = [
+            RoundStats(
+                0, 0, clock.lap(), potential=potential(instance, assignment)
+            )
+        ]
+
+        seen_states = {assignment.tobytes()}
+        potential_increases = 0
+        cycle_detected = False
+        converged = False
+        last_potential = rounds[0].potential or 0.0
+
+        for round_index in range(1, max_rounds + 1):
+            # Everyone computes a best response against the same snapshot.
+            # "deviations" counts players who *want* to move; damping only
+            # suppresses the execution, never the convergence test —
+            # otherwise an unlucky round of coin flips would end the game
+            # at a non-equilibrium.
+            with rec.span("round", round=round_index) as round_span:
+                proposals = assignment.copy()
+                deviations = 0
+                for player in range(instance.n):
+                    costs = player_strategy_costs(
+                        instance, assignment, player
+                    )
+                    current = int(assignment[player])
+                    best = int(costs.argmin())
+                    if (
+                        best != current
+                        and costs[best]
+                        < costs[current] - dynamics.DEVIATION_TOLERANCE
+                    ):
+                        deviations += 1
+                        if rng.random() < damping:
+                            proposals[player] = best
+                assignment = proposals
+                phi = potential(instance, assignment)
+            rec.round_end(
+                round_span, "RMGP_sync", round_index,
+                deviations=deviations,
+                examined=instance.n,
+                cost_evaluations=instance.n * instance.k,
+                potential_fn=lambda: phi,
+            )
+            if phi > last_potential + 1e-12:
+                potential_increases += 1
+                rec.event(
+                    "potential_increase", round=round_index,
+                    delta=phi - last_potential,
+                )
+            last_potential = phi
+            rounds.append(
+                RoundStats(
+                    round_index=round_index,
+                    deviations=deviations,
+                    seconds=clock.lap(),
+                    potential=phi,
+                    players_examined=instance.n,
+                )
+            )
+            if deviations == 0:
+                converged = True
                 break
-            seen_states.add(state)
+            # Cycle detection only makes sense for deterministic
+            # (undamped) dynamics; a damped walk may legitimately revisit
+            # states.
+            if damping >= 1.0:
+                state = assignment.tobytes()
+                if state in seen_states:
+                    cycle_detected = True
+                    rec.event("cycle_detected", round=round_index)
+                    break
+                seen_states.add(state)
 
     return make_result(
         solver="RMGP_sync",
@@ -121,4 +156,29 @@ def solve_simultaneous(
             "cycle_detected": cycle_detected,
             "damping": damping,
         },
+    )
+
+
+def solve_simultaneous(
+    instance: RMGPInstance,
+    init: str = "closest",
+    seed: Optional[int] = None,
+    warm_start: Optional[np.ndarray] = None,
+    max_rounds: int = 200,
+    damping: float = 1.0,
+) -> PartitionResult:
+    """Deprecated alias — use ``repro.partition(instance, solver="sync")``."""
+    warnings.warn(
+        "solve_simultaneous() is deprecated; use "
+        "repro.partition(instance, solver='sync', ...)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _solve_simultaneous(
+        instance,
+        init=init,
+        seed=seed,
+        warm_start=warm_start,
+        max_rounds=max_rounds,
+        damping=damping,
     )

@@ -16,14 +16,17 @@ guarantees carry over unchanged.
 from __future__ import annotations
 
 import random
+import warnings
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 import numpy as np
 
 from repro.core import dynamics
 from repro.core.instance import RMGPInstance
+from repro.core.objective import potential
 from repro.core.result import PartitionResult, RoundStats, make_result
+from repro.obs.recorder import Recorder, active_recorder
 
 
 @dataclass
@@ -74,7 +77,7 @@ def build_elimination_plan(instance: RMGPInstance) -> EliminationPlan:
     return EliminationPlan(valid_classes, fixed, regions)
 
 
-def solve_strategy_elimination(
+def _solve_strategy_elimination(
     instance: RMGPInstance,
     init: str = "closest",
     order: str = "degree",
@@ -82,6 +85,7 @@ def solve_strategy_elimination(
     warm_start: Optional[np.ndarray] = None,
     max_rounds: int = dynamics.DEFAULT_MAX_ROUNDS,
     plan: Optional[EliminationPlan] = None,
+    recorder: Optional[Recorder] = None,
 ) -> PartitionResult:
     """Run RMGP_se: Figure 3 dynamics over reduced strategy spaces.
 
@@ -90,37 +94,68 @@ def solve_strategy_elimination(
     instance; by default it is built during round 0 (and its time is
     charged there, as in Figure 12(c)).
     """
+    rec = active_recorder(recorder)
     rng = random.Random(seed)
     clock = dynamics.RoundClock()
 
-    if plan is None:
-        plan = build_elimination_plan(instance)
-    assignment = dynamics.initial_assignment(instance, init, rng, warm_start)
-    # Fixed players are assigned immediately and leave the game.
-    fixed_mask = plan.fixed_class >= 0
-    assignment[fixed_mask] = plan.fixed_class[fixed_mask]
-    free_players = [p for p in range(instance.n) if not fixed_mask[p]]
-    sweep = [p for p in dynamics.player_order(instance, order, rng) if not fixed_mask[p]]
-
-    rounds: List[RoundStats] = [
-        RoundStats(round_index=0, deviations=0, seconds=clock.lap())
-    ]
-
-    converged = False
-    round_index = 0
-    while not converged:
-        round_index += 1
-        dynamics.check_round_budget(round_index, max_rounds, "RMGP_se")
-        deviations = _reduced_round(instance, assignment, sweep, plan)
-        rounds.append(
-            RoundStats(
-                round_index=round_index,
-                deviations=deviations,
-                seconds=clock.lap(),
-                players_examined=len(free_players),
+    with rec.span("solve", solver="RMGP_se", n=instance.n, k=instance.k):
+        with rec.span("round", round=0, phase="init") as init_span:
+            if plan is None:
+                with rec.span("build_plan"):
+                    plan = build_elimination_plan(instance)
+            assignment = dynamics.initial_assignment(
+                instance, init, rng, warm_start
             )
-        )
-        converged = deviations == 0
+            # Fixed players are assigned immediately and leave the game.
+            fixed_mask = plan.fixed_class >= 0
+            assignment[fixed_mask] = plan.fixed_class[fixed_mask]
+            sweep = [
+                p
+                for p in dynamics.player_order(instance, order, rng)
+                if not fixed_mask[p]
+            ]
+            # Frontier scheduling over the free players only: fixed
+            # players never move, so they never need re-examination, and
+            # a mover's clean neighbors are re-marked exactly as in
+            # RMGP_b — the move sequence is identical to the full sweep.
+            active = dynamics.ActiveSet(instance.n)
+            active.flags[fixed_mask] = False
+            if init_span is not None:
+                init_span.attrs["num_fixed"] = plan.num_fixed
+        rounds: List[RoundStats] = [
+            RoundStats(round_index=0, deviations=0, seconds=clock.lap())
+        ]
+
+        converged = False
+        round_index = 0
+        while not converged:
+            round_index += 1
+            dynamics.check_round_budget(round_index, max_rounds, "RMGP_se")
+            with rec.span("round", round=round_index) as round_span:
+                deviations, examined = _reduced_round(
+                    instance, assignment, sweep, plan, active, fixed_mask
+                )
+            rec.round_end(
+                round_span, "RMGP_se", round_index,
+                deviations=deviations,
+                examined=examined,
+                # Only the reduced strategy spaces are scanned (Eq. 3 on
+                # |S'_v| classes, amortized as the mean reduced size).
+                cost_evaluations=(
+                    examined * plan.strategies_remaining() // max(instance.n, 1)
+                ),
+                frontier_fn=active.count,
+                potential_fn=lambda: potential(instance, assignment),
+            )
+            rounds.append(
+                RoundStats(
+                    round_index=round_index,
+                    deviations=deviations,
+                    seconds=clock.lap(),
+                    players_examined=examined,
+                )
+            )
+            converged = deviations == 0
 
     return make_result(
         solver="RMGP_se",
@@ -137,18 +172,58 @@ def solve_strategy_elimination(
     )
 
 
+def solve_strategy_elimination(
+    instance: RMGPInstance,
+    init: str = "closest",
+    order: str = "degree",
+    seed: Optional[int] = None,
+    warm_start: Optional[np.ndarray] = None,
+    max_rounds: int = dynamics.DEFAULT_MAX_ROUNDS,
+    plan: Optional[EliminationPlan] = None,
+) -> PartitionResult:
+    """Deprecated alias — use ``repro.partition(instance, solver="se")``."""
+    warnings.warn(
+        "solve_strategy_elimination() is deprecated; use "
+        "repro.partition(instance, solver='se', ...)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _solve_strategy_elimination(
+        instance,
+        init=init,
+        order=order,
+        seed=seed,
+        warm_start=warm_start,
+        max_rounds=max_rounds,
+        plan=plan,
+    )
+
+
 def _reduced_round(
     instance: RMGPInstance,
     assignment: np.ndarray,
     sweep: List[int],
     plan: EliminationPlan,
-) -> int:
-    """One best-response round restricted to each player's ``S'_v``."""
+    active: dynamics.ActiveSet,
+    fixed_mask: np.ndarray,
+) -> Tuple[int, int]:
+    """One frontier round restricted to each player's ``S'_v``.
+
+    Only dirty free players are examined; a mover marks his (free) CSR
+    neighbors dirty, so ``players_examined`` reports the true work done
+    rather than assuming a full sweep.  Returns ``(deviations, examined)``.
+    """
     deviations = 0
+    examined = 0
     alpha = instance.alpha
     tol = dynamics.DEVIATION_TOLERANCE
+    flags = active.flags
     scratch = np.empty(instance.k, dtype=np.float64)
     for player in sweep:
+        if not flags[player]:
+            continue
+        flags[player] = False
+        examined += 1
         valid = plan.valid_classes[player]
         scratch.fill(np.inf)
         scratch[valid] = (
@@ -165,4 +240,7 @@ def _reduced_round(
         if best != current and scratch[best] < scratch[current] - tol:
             assignment[player] = best
             deviations += 1
-    return deviations
+            if idx.size:
+                # Mark free neighbors dirty; fixed ones stay clean.
+                flags[idx] = ~fixed_mask[idx]
+    return deviations, examined

@@ -26,6 +26,7 @@ benchmark suite compares it against the scalar solvers.
 from __future__ import annotations
 
 import random
+import warnings
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
@@ -34,7 +35,9 @@ import numpy as np
 from repro.core import dynamics
 from repro.core.independent_sets import groups_from_coloring
 from repro.core.instance import RMGPInstance, concat_ranges
+from repro.core.objective import potential
 from repro.core.result import PartitionResult, RoundStats, make_result
+from repro.obs.recorder import Recorder, active_recorder
 
 
 @dataclass
@@ -140,13 +143,14 @@ def _batch_frontier_round(
     return moved, int(sel.size)
 
 
-def solve_vectorized(
+def _solve_vectorized(
     instance: RMGPInstance,
     init: str = "closest",
     seed: Optional[int] = None,
     warm_start: Optional[np.ndarray] = None,
     max_rounds: int = dynamics.DEFAULT_MAX_ROUNDS,
     coloring: Optional[Dict] = None,
+    recorder: Optional[Recorder] = None,
 ) -> PartitionResult:
     """Run the vectorized group-batched dynamics.
 
@@ -154,40 +158,57 @@ def solve_vectorized(
     player ordering inside a group is irrelevant (the batch is committed
     atomically), so there is no ``order`` knob.
     """
+    rec = active_recorder(recorder)
     rng = random.Random(seed)
     clock = dynamics.RoundClock()
 
-    groups = groups_from_coloring(instance, coloring)
-    assignment = dynamics.initial_assignment(instance, init, rng, warm_start)
-    batches = _build_batches(instance, groups)
-    active = dynamics.ActiveSet(instance.n)
-    rounds: List[RoundStats] = [RoundStats(0, 0, clock.lap())]
+    with rec.span("solve", solver="RMGP_vec", n=instance.n, k=instance.k):
+        with rec.span("round", round=0, phase="init") as init_span:
+            groups = groups_from_coloring(instance, coloring)
+            assignment = dynamics.initial_assignment(
+                instance, init, rng, warm_start
+            )
+            with rec.span("build_batches"):
+                batches = _build_batches(instance, groups)
+            active = dynamics.ActiveSet(instance.n)
+            if init_span is not None:
+                init_span.attrs["num_groups"] = len(groups)
+        rounds: List[RoundStats] = [RoundStats(0, 0, clock.lap())]
 
-    tol = dynamics.DEVIATION_TOLERANCE
-    converged = False
-    round_index = 0
-    while not converged:
-        round_index += 1
-        dynamics.check_round_budget(round_index, max_rounds, "RMGP_vec")
-        deviations = 0
-        examined = 0
-        for batch in batches:
-            if batch.members.size == 0:
-                continue
-            moved, seen = _batch_frontier_round(
-                instance, batch, assignment, active, tol
-            )
-            deviations += moved
-            examined += seen
-        rounds.append(
-            RoundStats(
-                round_index=round_index,
+        tol = dynamics.DEVIATION_TOLERANCE
+        converged = False
+        round_index = 0
+        while not converged:
+            round_index += 1
+            dynamics.check_round_budget(round_index, max_rounds, "RMGP_vec")
+            deviations = 0
+            examined = 0
+            with rec.span("round", round=round_index) as round_span:
+                for batch in batches:
+                    if batch.members.size == 0:
+                        continue
+                    moved, seen = _batch_frontier_round(
+                        instance, batch, assignment, active, tol
+                    )
+                    deviations += moved
+                    examined += seen
+            rec.round_end(
+                round_span, "RMGP_vec", round_index,
                 deviations=deviations,
-                seconds=clock.lap(),
-                players_examined=examined,
+                examined=examined,
+                cost_evaluations=examined * instance.k,
+                frontier_fn=active.count,
+                potential_fn=lambda: potential(instance, assignment),
             )
-        )
-        converged = deviations == 0
+            rounds.append(
+                RoundStats(
+                    round_index=round_index,
+                    deviations=deviations,
+                    seconds=clock.lap(),
+                    players_examined=examined,
+                )
+            )
+            converged = deviations == 0
 
     return make_result(
         solver="RMGP_vec",
@@ -197,4 +218,29 @@ def solve_vectorized(
         converged=True,
         wall_seconds=clock.total(),
         extra={"num_groups": len(groups)},
+    )
+
+
+def solve_vectorized(
+    instance: RMGPInstance,
+    init: str = "closest",
+    seed: Optional[int] = None,
+    warm_start: Optional[np.ndarray] = None,
+    max_rounds: int = dynamics.DEFAULT_MAX_ROUNDS,
+    coloring: Optional[Dict] = None,
+) -> PartitionResult:
+    """Deprecated alias — use ``repro.partition(instance, solver="vec")``."""
+    warnings.warn(
+        "solve_vectorized() is deprecated; use "
+        "repro.partition(instance, solver='vec', ...)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _solve_vectorized(
+        instance,
+        init=init,
+        seed=seed,
+        warm_start=warm_start,
+        max_rounds=max_rounds,
+        coloring=coloring,
     )

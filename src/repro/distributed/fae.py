@@ -18,7 +18,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Optional, Sequence
 
 from repro.apps.spatial import Point, distance_matrix
-from repro.core.combined import solve_all
+from repro.core.combined import _solve_all as solve_all
 from repro.core.instance import RMGPInstance
 from repro.core.normalization import normalize
 from repro.core.result import PartitionResult

@@ -32,6 +32,7 @@ from repro.distributed.query import DGQuery
 from repro.distributed.slave import SlaveNode
 from repro.errors import ConfigurationError, ProtocolError, SlaveUnreachableError
 from repro.graph.social_graph import NodeId
+from repro.obs.recorder import Recorder, active_recorder
 
 #: Safety valve mirroring the centralized solvers.
 MAX_DG_ROUNDS = 10_000
@@ -221,6 +222,7 @@ class DecentralizedGame:
         w_avg: float = 0.0,
         retry_policy: Optional[RetryPolicy] = None,
         degrade: bool = True,
+        recorder: Optional[Recorder] = None,
     ) -> None:
         """``deg_avg``/``w_avg`` are the query-independent graph statistics
         used for normalization estimates ("available apriori", §3.3).
@@ -229,7 +231,9 @@ class DecentralizedGame:
         when ``network`` is a :class:`FaultyNetwork`); ``degrade``
         selects graceful degradation — re-shard a permanently dead
         slave's players onto survivors — over raising
-        :class:`SlaveUnreachableError`.
+        :class:`SlaveUnreachableError`.  ``recorder`` receives the
+        protocol telemetry (per-round spans, byte/message counters,
+        fault events); ``None`` uses the ambient recorder.
         """
         if not slaves:
             raise ProtocolError("need at least one slave node")
@@ -239,6 +243,7 @@ class DecentralizedGame:
         self.w_avg = w_avg
         self.retry_policy = retry_policy or RetryPolicy()
         self.degrade = degrade
+        self.recorder = recorder
         #: Optional hook called as ``round_listener(round_index, gsv)``
         #: after every completed round — the chaos/property tests use it
         #: to audit the potential Φ across faults.  No-op when unset.
@@ -265,6 +270,30 @@ class DecentralizedGame:
 
     def run(self, query: DGQuery) -> DGResult:
         """Execute the full Figure 6 protocol for ``query``."""
+        rec = active_recorder(self.recorder)
+        with rec.span(
+            "dg.solve", solver="DG", slaves=len(self.slaves), k=query.k
+        ):
+            result = self._run(query, rec)
+            rec.count("dg.bytes", result.total_bytes)
+            rec.count("dg.messages", result.total_messages)
+            if self.transport is not None:
+                channels = self.transport.channels.values()
+                rec.count(
+                    "dg.retries", sum(c.retries for c in channels)
+                )
+                rec.count(
+                    "dg.duplicates_suppressed",
+                    sum(c.duplicates_suppressed for c in channels),
+                )
+                rec.count("dg.dead_slaves", len(self.transport.dead))
+                rec.gauge(
+                    "dg.recovery_compute_seconds",
+                    self.recovery_compute_seconds,
+                )
+        return result
+
+    def _run(self, query: DGQuery, rec: Recorder) -> DGResult:
         rounds: List[DGRoundStats] = []
         start_bytes = self.network.total_bytes()
         start_msgs = self.network.total_messages()
@@ -288,58 +317,76 @@ class DecentralizedGame:
             self.transport = None
 
         # ---- Round 0: initialization -----------------------------------
-        self.network.begin_round(0)
-        transfer = self._exchange(
-            msg.init_message("M", s.slave_id, query.k, query.area is not None)
-            for s in self._live
-        )
-        self._reports = {s.slave_id: s.initialize(query) for s in self._live}
-        compute = max(r.compute_seconds for r in self._reports.values())
-        transfer += self._exchange(
-            msg.lsv_message(
-                s.slave_id,
-                "M",
-                self._reports[s.slave_id].num_participants,
-                len(self._reports[s.slave_id].colors),
+        with rec.span("dg.round", round=0, phase="init") as init_span:
+            self.network.begin_round(0)
+            transfer = self._exchange(
+                msg.init_message(
+                    "M", s.slave_id, query.k, query.area is not None
+                )
+                for s in self._live
             )
-            for s in self._live
-        )
+            self._reports = {
+                s.slave_id: s.initialize(query) for s in self._live
+            }
+            compute = max(r.compute_seconds for r in self._reports.values())
+            transfer += self._exchange(
+                msg.lsv_message(
+                    s.slave_id,
+                    "M",
+                    self._reports[s.slave_id].num_participants,
+                    len(self._reports[s.slave_id].colors),
+                )
+                for s in self._live
+            )
 
-        gsv: Dict[NodeId, int] = {}
-        colors: Set[int] = set()
-        for slave in self._live:
-            report = self._reports[slave.slave_id]
-            overlap = gsv.keys() & report.local_strategies.keys()
-            if overlap:
-                raise ProtocolError(f"users owned by two slaves: {list(overlap)[:5]}")
-            gsv.update(report.local_strategies)
-            colors.update(report.colors)
-        if not gsv:
-            raise ProtocolError("no participants inside the area of interest")
-        self._gsv = gsv
+            gsv: Dict[NodeId, int] = {}
+            colors: Set[int] = set()
+            for slave in self._live:
+                report = self._reports[slave.slave_id]
+                overlap = gsv.keys() & report.local_strategies.keys()
+                if overlap:
+                    raise ProtocolError(
+                        f"users owned by two slaves: {list(overlap)[:5]}"
+                    )
+                gsv.update(report.local_strategies)
+                colors.update(report.colors)
+            if not gsv:
+                raise ProtocolError(
+                    "no participants inside the area of interest"
+                )
+            self._gsv = gsv
 
-        cn = self._estimate_cn(
-            query, [self._reports[s.slave_id] for s in self._live]
-        )
-        self._cn = cn
+            cn = self._estimate_cn(
+                query, [self._reports[s.slave_id] for s in self._live]
+            )
+            self._cn = cn
 
-        # Only slaves with participants join the game (Figure 6 line 6).
-        self._active = [
-            s for s in self._live
-            if self._reports[s.slave_id].num_participants > 0
-        ]
-        transfer += self._exchange(
-            msg.gsv_message("M", s.slave_id, len(gsv)) for s in self._active
-        )
-        compute += max(
-            (s.receive_gsv(gsv, cn) for s in self._active), default=0.0
-        )
-        transfer += self._exchange(
-            msg.ack_message(s.slave_id, "M") for s in self._active
-        )
-        for slave in self._active:
-            slave.checkpoint(0)
-        ledger0 = self.network.round_ledgers()[-1]
+            # Only slaves with participants join the game (Fig. 6 line 6).
+            self._active = [
+                s for s in self._live
+                if self._reports[s.slave_id].num_participants > 0
+            ]
+            transfer += self._exchange(
+                msg.gsv_message("M", s.slave_id, len(gsv))
+                for s in self._active
+            )
+            compute += max(
+                (s.receive_gsv(gsv, cn) for s in self._active), default=0.0
+            )
+            transfer += self._exchange(
+                msg.ack_message(s.slave_id, "M") for s in self._active
+            )
+            for slave in self._active:
+                slave.checkpoint(0)
+            ledger0 = self.network.round_ledgers()[-1]
+            if init_span is not None:
+                init_span.attrs.update(
+                    participants=len(gsv),
+                    bytes=ledger0.bytes_sent,
+                    messages=ledger0.messages,
+                )
+        rec.count("dg.rounds", 1)
+        rec.observe("dg.round_bytes", ledger0.bytes_sent)
         rounds.append(
             DGRoundStats(
                 round_index=0,
@@ -360,51 +407,66 @@ class DecentralizedGame:
             round_index += 1
             if round_index > MAX_DG_ROUNDS:
                 raise ProtocolError(f"DG exceeded {MAX_DG_ROUNDS} rounds")
-            self.network.begin_round(round_index)
-            round_compute = 0.0
-            round_transfer = 0.0
-            round_deviations = 0
-            for color in color_order:
-                round_transfer += self._exchange(
-                    msg.compute_color_message("M", s.slave_id)
-                    for s in self._active
-                )
-                computed = []
-                phase_compute = 0.0
-                for slave in list(self._active):
-                    changes, seconds = slave.compute_color(color)
-                    phase_compute = max(phase_compute, seconds)
-                    computed.append((slave, changes))
-                round_compute += phase_compute
-                round_transfer += self._exchange(
-                    msg.strategy_changes_message(s.slave_id, "M", len(changes))
-                    for s, changes in computed
-                )
-
-                # Changes from a slave that died before its report got
-                # through are discarded — its players re-deviate later.
-                all_changes: Dict[NodeId, int] = {}
-                for slave, changes in computed:
-                    if slave in self._active:
-                        all_changes.update(changes)
-                gsv.update(all_changes)
-                round_deviations += len(all_changes)
-                round_transfer += self._exchange(
-                    msg.strategy_changes_message(
-                        "M", s.slave_id, len(all_changes)
+            with rec.span("dg.round", round=round_index) as round_span:
+                self.network.begin_round(round_index)
+                round_compute = 0.0
+                round_transfer = 0.0
+                round_deviations = 0
+                for color in color_order:
+                    round_transfer += self._exchange(
+                        msg.compute_color_message("M", s.slave_id)
+                        for s in self._active
                     )
-                    for s in self._active
-                )
-                round_compute += max(
-                    (s.apply_changes(all_changes) for s in self._active),
-                    default=0.0,
-                )
-                round_transfer += self._exchange(
-                    msg.ack_message(s.slave_id, "M") for s in self._active
-                )
-            for slave in self._active:
-                slave.checkpoint(round_index)
-            ledger = self.network.round_ledgers()[-1]
+                    computed = []
+                    phase_compute = 0.0
+                    for slave in list(self._active):
+                        changes, seconds = slave.compute_color(color)
+                        phase_compute = max(phase_compute, seconds)
+                        computed.append((slave, changes))
+                    round_compute += phase_compute
+                    round_transfer += self._exchange(
+                        msg.strategy_changes_message(
+                            s.slave_id, "M", len(changes)
+                        )
+                        for s, changes in computed
+                    )
+
+                    # Changes from a slave that died before its report got
+                    # through are discarded — its players re-deviate later.
+                    all_changes: Dict[NodeId, int] = {}
+                    for slave, changes in computed:
+                        if slave in self._active:
+                            all_changes.update(changes)
+                    gsv.update(all_changes)
+                    round_deviations += len(all_changes)
+                    round_transfer += self._exchange(
+                        msg.strategy_changes_message(
+                            "M", s.slave_id, len(all_changes)
+                        )
+                        for s in self._active
+                    )
+                    round_compute += max(
+                        (s.apply_changes(all_changes) for s in self._active),
+                        default=0.0,
+                    )
+                    round_transfer += self._exchange(
+                        msg.ack_message(s.slave_id, "M") for s in self._active
+                    )
+                for slave in self._active:
+                    slave.checkpoint(round_index)
+                ledger = self.network.round_ledgers()[-1]
+                if round_span is not None:
+                    round_span.attrs.update(
+                        deviations=round_deviations,
+                        bytes=ledger.bytes_sent,
+                        messages=ledger.messages,
+                        compute_seconds=round_compute,
+                        transfer_seconds=round_transfer,
+                    )
+            rec.count("dg.rounds", 1)
+            rec.count("dg.moves", round_deviations)
+            rec.count("dg.transfer_seconds", round_transfer)
+            rec.observe("dg.round_bytes", ledger.bytes_sent)
             rounds.append(
                 DGRoundStats(
                     round_index=round_index,
@@ -450,6 +512,7 @@ class DecentralizedGame:
     # ------------------------------------------------------------------
     def _on_crash(self, slave_id: str) -> None:
         """A scheduled crash fired: the slave process loses its memory."""
+        active_recorder(self.recorder).event("dg.crash", slave=slave_id)
         self._slaves_by_id[slave_id].crash()
 
     def _recover_slave(self, slave_id: str) -> float:
@@ -464,6 +527,7 @@ class DecentralizedGame:
         in :attr:`recovery_compute_seconds` (wall-clock measurements
         must never steer the deterministic backoff schedule).
         """
+        active_recorder(self.recorder).event("dg.restart", slave=slave_id)
         slave = self._slaves_by_id[slave_id]
         assert isinstance(self.network, FaultyNetwork)
         seconds = 0.0
@@ -508,6 +572,10 @@ class DecentralizedGame:
         )
         self.network.bulk_transfer(shard_bytes, "reshard", slave_id)
         target.absorb_shard(dead)
+        active_recorder(self.recorder).event(
+            "dg.reshard", dead=slave_id, target=target.slave_id,
+            bytes=shard_bytes,
+        )
 
         if self._gsv is not None:
             target.resync(self._query, self._gsv, self._cn)

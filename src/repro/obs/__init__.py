@@ -1,0 +1,85 @@
+"""Zero-dependency solver observability: spans, metrics, exporters.
+
+The package gives every solver in the reproduction a common telemetry
+surface without perturbing the hot path:
+
+* :class:`~repro.obs.recorder.Recorder` — the interface the solvers talk
+  to.  The default :data:`NULL_RECORDER` is a no-op (a handful of cheap
+  method dispatches per *round*, never per player), so instrumented code
+  costs nothing unless a recorder is attached.
+* :class:`~repro.obs.recorder.TraceRecorder` — collects hierarchical
+  spans (``solve`` > ``round``), a metrics registry (counters, gauges,
+  fixed-boundary histograms) and per-round solver telemetry (frontier
+  size, moves, Eq. 3 cost evaluations, potential delta).
+* :mod:`~repro.obs.exporters` — JSONL trace files (``repro-trace/v1``),
+  Prometheus-style text dumps and a human summary tree.
+* :mod:`~repro.obs.schema` — validation for the JSONL schema (also
+  runnable: ``python -m repro.obs.schema trace.jsonl``).
+
+Opt-in is either explicit (``SolveOptions(recorder=...)`` /
+``recorder=`` kwargs) or ambient via the context manager::
+
+    with obs.recording() as rec:
+        repro.partition(instance, solver="gt")
+    print(obs.summary_tree(rec))
+    obs.write_jsonl(rec, "trace.jsonl")
+
+Instrumentation never touches solver randomness or state: assignments
+are byte-identical with tracing on or off.
+"""
+
+from repro.obs.clock import ManualClock, MonotonicClock
+from repro.obs.exporters import (
+    SCHEMA_VERSION,
+    jsonl_lines,
+    prometheus_text,
+    summary_tree,
+    trace_records,
+    write_jsonl,
+)
+from repro.obs.metrics import (
+    DEFAULT_BOUNDARIES,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.recorder import (
+    NULL_RECORDER,
+    NullRecorder,
+    Recorder,
+    TraceRecorder,
+    active_recorder,
+    current_recorder,
+    recording,
+    use_recorder,
+)
+from repro.obs.schema import validate_records, validate_trace_file
+from repro.obs.spans import Span
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BOUNDARIES",
+    "Gauge",
+    "Histogram",
+    "ManualClock",
+    "MetricsRegistry",
+    "MonotonicClock",
+    "NULL_RECORDER",
+    "NullRecorder",
+    "Recorder",
+    "SCHEMA_VERSION",
+    "Span",
+    "TraceRecorder",
+    "active_recorder",
+    "current_recorder",
+    "jsonl_lines",
+    "prometheus_text",
+    "recording",
+    "summary_tree",
+    "trace_records",
+    "use_recorder",
+    "validate_records",
+    "validate_trace_file",
+    "write_jsonl",
+]

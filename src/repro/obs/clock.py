@@ -1,0 +1,36 @@
+"""Clock sources for span timing.
+
+Recorders time spans through a zero-argument callable returning seconds.
+:class:`MonotonicClock` wraps ``time.perf_counter`` (wall profiling);
+:class:`ManualClock` is advanced explicitly — deterministic tests and
+simulated-time traces (the distributed game, bench replays) use it so
+span durations are exact by construction.
+"""
+
+from __future__ import annotations
+
+import time
+
+
+class MonotonicClock:
+    """Real time: ``clock()`` returns ``time.perf_counter()``."""
+
+    def __call__(self) -> float:
+        return time.perf_counter()
+
+
+class ManualClock:
+    """Simulated time: ``clock()`` returns whatever was advanced so far."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    def __call__(self) -> float:
+        return self._now
+
+    def advance(self, seconds: float) -> float:
+        """Move the clock forward; returns the new time."""
+        if seconds < 0:
+            raise ValueError(f"cannot advance by negative time ({seconds})")
+        self._now += float(seconds)
+        return self._now

@@ -1,0 +1,195 @@
+"""Trace exporters: JSONL file, Prometheus-style text, summary tree.
+
+All exporters read from a :class:`~repro.obs.recorder.TraceRecorder`;
+the JSONL schema (``repro-trace/v1``) is shared by the solver
+instrumentation, the bench harness and the CLI, so figures and profiles
+flow through one data path.  :mod:`repro.obs.schema` validates it.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING, Any, Dict, Iterator, List
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.recorder import TraceRecorder
+
+#: Version tag stamped into every trace's leading ``meta`` record.
+SCHEMA_VERSION = "repro-trace/v1"
+
+
+def trace_records(recorder: "TraceRecorder") -> Iterator[Dict[str, Any]]:
+    """All schema records of one recorder, ``meta`` first."""
+    meta: Dict[str, Any] = {"type": "meta", "schema": SCHEMA_VERSION}
+    meta.update(recorder.meta)
+    yield meta
+    for root in recorder.spans:
+        for span, depth in root.walk():
+            yield {
+                "type": "span",
+                "id": span.span_id,
+                "parent": span.parent_id,
+                "name": span.name,
+                "depth": depth,
+                "start": span.start,
+                "end": span.end if span.end is not None else span.start,
+                "attrs": _plain(span.attrs),
+            }
+            for event in span.events:
+                yield {
+                    "type": "event",
+                    "span": span.span_id,
+                    "name": event.name,
+                    "time": event.time,
+                    "attrs": _plain(event.attrs),
+                }
+    for instrument in recorder.metrics:
+        record: Dict[str, Any] = {
+            "type": instrument.kind,
+            "name": instrument.name,
+            "labels": dict(instrument.labels),
+        }
+        if isinstance(instrument, Histogram):
+            record["boundaries"] = list(instrument.boundaries)
+            record["counts"] = list(instrument.bucket_counts)
+            record["sum"] = instrument.sum
+            record["count"] = instrument.count
+        else:
+            record["value"] = instrument.value
+        yield record
+
+
+def jsonl_lines(recorder: "TraceRecorder") -> List[str]:
+    """The trace as JSONL strings (no trailing newlines)."""
+    return [
+        json.dumps(record, sort_keys=True, default=str)
+        for record in trace_records(recorder)
+    ]
+
+
+def write_jsonl(recorder: "TraceRecorder", path: str) -> int:
+    """Write the trace to ``path``; returns the number of records."""
+    lines = jsonl_lines(recorder)
+    with open(path, "w", encoding="utf-8") as handle:
+        for line in lines:
+            handle.write(line + "\n")
+    return len(lines)
+
+
+# ----------------------------------------------------------------------
+def prometheus_text(registry: MetricsRegistry) -> str:
+    """Prometheus exposition-style text dump of a metrics registry."""
+    lines: List[str] = []
+    seen_types = set()
+    for instrument in registry:
+        name = _prom_name(instrument.name)
+        if name not in seen_types:
+            lines.append(f"# TYPE {name} {instrument.kind}")
+            seen_types.add(name)
+        labels = dict(instrument.labels)
+        if isinstance(instrument, Histogram):
+            cumulative = 0
+            for boundary, count in zip(
+                instrument.boundaries, instrument.bucket_counts
+            ):
+                cumulative += count
+                lines.append(
+                    f"{name}_bucket"
+                    f"{_prom_labels({**labels, 'le': _fmt(boundary)})}"
+                    f" {cumulative}"
+                )
+            cumulative += instrument.bucket_counts[-1]
+            lines.append(
+                f"{name}_bucket{_prom_labels({**labels, 'le': '+Inf'})}"
+                f" {cumulative}"
+            )
+            lines.append(f"{name}_sum{_prom_labels(labels)} {_fmt(instrument.sum)}")
+            lines.append(f"{name}_count{_prom_labels(labels)} {instrument.count}")
+        else:
+            lines.append(f"{name}{_prom_labels(labels)} {_fmt(instrument.value)}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _prom_name(name: str) -> str:
+    return "repro_" + name.replace(".", "_").replace("-", "_")
+
+
+def _prom_labels(labels: Dict[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{key}="{str(value)}"' for key, value in sorted(labels.items())
+    )
+    return "{" + inner + "}"
+
+
+def _fmt(value: float) -> str:
+    value = float(value)
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+# ----------------------------------------------------------------------
+def summary_tree(recorder: "TraceRecorder", max_depth: int = 6) -> str:
+    """Human-readable span tree with durations and key attributes."""
+    lines: List[str] = []
+    for root in recorder.spans:
+        for span, depth in root.walk():
+            if depth > max_depth:
+                continue
+            indent = "  " * depth
+            label = span.name
+            highlights = ", ".join(
+                f"{key}={_fmt_attr(value)}"
+                for key, value in span.attrs.items()
+                if key in _SUMMARY_ATTRS
+            )
+            suffix = f"  [{highlights}]" if highlights else ""
+            lines.append(
+                f"{indent}{label}: {span.duration * 1e3:.3f} ms{suffix}"
+            )
+            for event in span.events:
+                lines.append(f"{indent}  ! {event.name}")
+    if len(recorder.metrics):
+        lines.append("metrics:")
+        for instrument in recorder.metrics:
+            labels = _prom_labels(dict(instrument.labels))
+            if isinstance(instrument, Histogram):
+                lines.append(
+                    f"  {instrument.name}{labels}: count={instrument.count} "
+                    f"sum={_fmt(instrument.sum)}"
+                )
+            else:
+                lines.append(
+                    f"  {instrument.name}{labels}: {_fmt(instrument.value)}"
+                )
+    return "\n".join(lines)
+
+
+#: Span attributes surfaced in the summary tree.
+_SUMMARY_ATTRS = (
+    "solver", "round", "deviations", "players_examined", "frontier",
+    "potential_delta", "n", "k", "bytes", "messages", "label",
+)
+
+
+def _fmt_attr(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    return str(value)
+
+
+def _plain(attrs: Dict[str, Any]) -> Dict[str, Any]:
+    """JSON-safe copy of span/event attributes."""
+    plain: Dict[str, Any] = {}
+    for key, value in attrs.items():
+        if isinstance(value, (str, int, float, bool)) or value is None:
+            plain[key] = value
+        elif hasattr(value, "item"):  # numpy scalars
+            plain[key] = value.item()
+        else:
+            plain[key] = str(value)
+    return plain

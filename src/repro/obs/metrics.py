@@ -1,0 +1,147 @@
+"""Metrics registry: counters, gauges, fixed-boundary histograms.
+
+Instruments are keyed by ``(name, labels)`` — labels are an optional
+small mapping (e.g. ``{"solver": "RMGP_gt"}``) so one registry can hold
+the same metric for several solver runs.  Histogram buckets use
+Prometheus ``le`` semantics: bucket ``i`` counts observations
+``<= boundaries[i]``, with one implicit ``+inf`` overflow bucket, and
+boundaries are *fixed at creation* so merged/exported histograms always
+line up.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, Dict, Iterable, Iterator, Mapping, Optional, Sequence, Tuple
+
+#: Default histogram boundaries — a 1-2-5 ladder wide enough for both
+#: per-round counts (frontier sizes, moves) and millisecond timings.
+DEFAULT_BOUNDARIES: Tuple[float, ...] = (
+    1, 2, 5, 10, 25, 50, 100, 250, 500, 1_000, 2_500, 5_000,
+    10_000, 25_000, 50_000, 100_000, 250_000, 1_000_000,
+)
+
+LabelKey = Tuple[Tuple[str, str], ...]
+
+
+def _label_key(labels: Optional[Mapping[str, Any]]) -> LabelKey:
+    if not labels:
+        return ()
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """Monotonically increasing value (moves, bytes, retries...)."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, labels: LabelKey = ()) -> None:
+        self.name = name
+        self.labels = labels
+        self.value: float = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease")
+        self.value += amount
+
+
+class Gauge:
+    """Last-write-wins value (table bytes, recovery seconds...)."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, labels: LabelKey = ()) -> None:
+        self.name = name
+        self.labels = labels
+        self.value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+class Histogram:
+    """Fixed-boundary distribution (frontier sizes, round bytes...)."""
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        labels: LabelKey = (),
+        boundaries: Sequence[float] = DEFAULT_BOUNDARIES,
+    ) -> None:
+        bounds = tuple(float(b) for b in boundaries)
+        if not bounds:
+            raise ValueError(f"histogram {name!r} needs at least one boundary")
+        if any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+            raise ValueError(
+                f"histogram {name!r} boundaries must be strictly increasing"
+            )
+        self.name = name
+        self.labels = labels
+        self.boundaries = bounds
+        self.bucket_counts = [0] * (len(bounds) + 1)
+        self.sum: float = 0.0
+        self.count: int = 0
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        # Prometheus `le` buckets: first boundary >= value.
+        self.bucket_counts[bisect.bisect_left(self.boundaries, value)] += 1
+        self.sum += value
+        self.count += 1
+
+
+class MetricsRegistry:
+    """Create-or-fetch store for all instruments of one recorder."""
+
+    def __init__(self) -> None:
+        self._instruments: Dict[Tuple[str, LabelKey], Any] = {}
+
+    def _get(self, cls, name: str, labels, **kwargs):
+        key = (name, _label_key(labels))
+        instrument = self._instruments.get(key)
+        if instrument is None:
+            instrument = cls(name, key[1], **kwargs)
+            self._instruments[key] = instrument
+        elif not isinstance(instrument, cls):
+            raise ValueError(
+                f"metric {name!r} already registered as {instrument.kind}"
+            )
+        return instrument
+
+    def counter(
+        self, name: str, labels: Optional[Mapping[str, Any]] = None
+    ) -> Counter:
+        return self._get(Counter, name, labels)
+
+    def gauge(
+        self, name: str, labels: Optional[Mapping[str, Any]] = None
+    ) -> Gauge:
+        return self._get(Gauge, name, labels)
+
+    def histogram(
+        self,
+        name: str,
+        labels: Optional[Mapping[str, Any]] = None,
+        boundaries: Sequence[float] = DEFAULT_BOUNDARIES,
+    ) -> Histogram:
+        histogram = self._get(Histogram, name, labels, boundaries=boundaries)
+        if histogram.boundaries != tuple(float(b) for b in boundaries):
+            raise ValueError(
+                f"histogram {name!r} re-registered with different boundaries"
+            )
+        return histogram
+
+    def __iter__(self) -> Iterator[Any]:
+        """Instruments in name order (stable export order)."""
+        return iter(
+            sorted(self._instruments.values(), key=lambda m: (m.name, m.labels))
+        )
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def instruments(self) -> Iterable[Any]:
+        return list(self)

@@ -1,0 +1,136 @@
+"""Validation for the ``repro-trace/v1`` JSONL schema.
+
+Usable as a library (:func:`validate_records`, :func:`validate_trace_file`)
+and as a command — the CI trace-artifact gate::
+
+    python -m repro.obs.schema trace.jsonl
+
+Exit status 0 means every record conforms; 1 lists the violations.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import Any, Dict, Iterable, List, Optional
+
+from repro.obs.exporters import SCHEMA_VERSION
+
+#: Required keys (and permissive types) per record type.
+_SPEC: Dict[str, Dict[str, tuple]] = {
+    "meta": {"schema": (str,)},
+    "span": {
+        "id": (int,),
+        "parent": (int, type(None)),
+        "name": (str,),
+        "depth": (int,),
+        "start": (int, float),
+        "end": (int, float),
+        "attrs": (dict,),
+    },
+    "event": {
+        "span": (int,),
+        "name": (str,),
+        "time": (int, float),
+        "attrs": (dict,),
+    },
+    "counter": {"name": (str,), "labels": (dict,), "value": (int, float)},
+    "gauge": {"name": (str,), "labels": (dict,), "value": (int, float)},
+    "histogram": {
+        "name": (str,),
+        "labels": (dict,),
+        "boundaries": (list,),
+        "counts": (list,),
+        "sum": (int, float),
+        "count": (int,),
+    },
+}
+
+
+def validate_records(records: Iterable[Dict[str, Any]]) -> List[str]:
+    """Schema violations of an iterable of parsed records (empty = valid)."""
+    errors: List[str] = []
+    span_ids: set = set()
+    saw_meta = False
+    for index, record in enumerate(records):
+        where = f"record {index}"
+        if not isinstance(record, dict):
+            errors.append(f"{where}: not a JSON object")
+            continue
+        kind = record.get("type")
+        if index == 0:
+            saw_meta = kind == "meta"
+            if not saw_meta:
+                errors.append(f"{where}: first record must be type 'meta'")
+            elif record.get("schema") != SCHEMA_VERSION:
+                errors.append(
+                    f"{where}: schema {record.get('schema')!r} != "
+                    f"{SCHEMA_VERSION!r}"
+                )
+        if kind not in _SPEC:
+            errors.append(f"{where}: unknown type {kind!r}")
+            continue
+        for key, types in _SPEC[kind].items():
+            if key not in record:
+                errors.append(f"{where} ({kind}): missing key {key!r}")
+            elif not isinstance(record[key], types):
+                errors.append(
+                    f"{where} ({kind}): {key!r} has type "
+                    f"{type(record[key]).__name__}"
+                )
+        if kind == "span" and all(
+            key in record for key in ("id", "parent", "start", "end")
+        ):
+            if record["end"] < record["start"]:
+                errors.append(f"{where} (span): end precedes start")
+            parent = record["parent"]
+            if parent is not None and parent not in span_ids:
+                errors.append(
+                    f"{where} (span): parent {parent} not seen before child"
+                )
+            span_ids.add(record["id"])
+        if kind == "event" and record.get("span") not in span_ids:
+            errors.append(f"{where} (event): unknown span {record.get('span')}")
+        if kind == "histogram" and "boundaries" in record and "counts" in record:
+            if len(record["counts"]) != len(record["boundaries"]) + 1:
+                errors.append(
+                    f"{where} (histogram): need len(boundaries)+1 counts"
+                )
+    if not saw_meta:
+        errors.append("trace is empty (no meta record)")
+    return errors
+
+
+def validate_trace_file(path: str) -> List[str]:
+    """Schema violations of a JSONL trace file (empty list = valid)."""
+    records: List[Dict[str, Any]] = []
+    errors: List[str] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError as exc:
+                errors.append(f"line {line_number}: invalid JSON ({exc})")
+    return errors + validate_records(records)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if len(argv) != 1:
+        print("usage: python -m repro.obs.schema TRACE.jsonl", file=sys.stderr)
+        return 2
+    errors = validate_trace_file(argv[0])
+    if errors:
+        print(f"{argv[0]}: {len(errors)} schema violation(s)")
+        for error in errors:
+            print(f"  - {error}")
+        return 1
+    print(f"{argv[0]}: valid {SCHEMA_VERSION} trace")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CI
+    sys.exit(main())

@@ -1,0 +1,53 @@
+"""Hierarchical spans: named, timed, attributed intervals.
+
+A span covers one unit of solver work (a whole ``solve``, one ``round``,
+one distributed exchange).  Spans nest: the recorder keeps a stack, and
+every span opened while another is active becomes its child.  Point
+events (a retry, a crash, an FaE transfer) attach to the span they
+happened inside.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+
+@dataclass
+class SpanEvent:
+    """A point-in-time annotation inside a span."""
+
+    name: str
+    time: float
+    attrs: Dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class Span:
+    """One timed interval in the trace tree."""
+
+    name: str
+    start: float
+    span_id: int
+    parent_id: Optional[int] = None
+    end: Optional[float] = None
+    attrs: Dict[str, Any] = field(default_factory=dict)
+    children: List["Span"] = field(default_factory=list)
+    events: List[SpanEvent] = field(default_factory=list)
+
+    @property
+    def duration(self) -> float:
+        """Seconds covered (0.0 while the span is still open)."""
+        if self.end is None:
+            return 0.0
+        return self.end - self.start
+
+    def finish(self, end: float) -> None:
+        """Close the span at clock time ``end``."""
+        self.end = end
+
+    def walk(self, depth: int = 0) -> Iterator[Tuple["Span", int]]:
+        """Depth-first traversal yielding ``(span, depth)``."""
+        yield self, depth
+        for child in self.children:
+            yield from child.walk(depth + 1)

@@ -1,0 +1,117 @@
+"""End-to-end instrumentation of the engines beyond the plain solvers:
+the incremental engine and the distributed master loop."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.obs import TraceRecorder, jsonl_lines, recording, validate_records
+
+
+def _records(recorder):
+    return [json.loads(line) for line in jsonl_lines(recorder)]
+
+
+class TestIncrementalTracing:
+    def test_updates_and_resolves_are_traced(self):
+        from repro.core import IncrementalRMGP
+        from tests.core.conftest import random_instance
+
+        instance = random_instance(num_players=30, num_classes=3, seed=4)
+        recorder = TraceRecorder()
+        engine = IncrementalRMGP(instance, seed=0, recorder=recorder)
+        node = instance.graph.nodes()[0]
+        engine.update_player_costs(node, [0.0] * instance.k)
+        engine.resolve()
+
+        resolve_spans = [s for s in recorder.all_spans() if s.name == "resolve"]
+        assert len(resolve_spans) == 2  # construction + explicit resolve
+        assert resolve_spans[1].attrs["initial_frontier"] >= 1
+        updates = recorder.metrics.counter(
+            "incremental.updates", {"kind": "costs"}
+        )
+        assert updates.value == 1
+        assert validate_records(_records(recorder)) == []
+
+    def test_tracing_does_not_change_results(self):
+        from repro.core import IncrementalRMGP
+        from tests.core.conftest import random_instance
+
+        instance = random_instance(num_players=30, num_classes=3, seed=4)
+        plain = IncrementalRMGP(instance, seed=0)
+        traced = IncrementalRMGP(
+            random_instance(num_players=30, num_classes=3, seed=4),
+            seed=0,
+            recorder=TraceRecorder(),
+        )
+        assert np.array_equal(plain.assignment, traced.assignment)
+
+
+class TestDistributedTracing:
+    @pytest.fixture(scope="class")
+    def dataset(self):
+        from repro.datasets import gowalla_like
+
+        return gowalla_like(num_users=60, num_events=3, seed=1)
+
+    def test_dg_rounds_and_traffic_are_traced(self, dataset):
+        from repro.distributed import DGQuery, build_cluster
+
+        query = DGQuery(events=dataset.events, alpha=0.5, seed=0)
+        cluster = build_cluster(dataset, num_slaves=2)
+        recorder = TraceRecorder()
+        cluster.game.recorder = recorder
+        result = cluster.game.run(query)
+
+        (root,) = recorder.spans
+        assert root.name == "dg.solve"
+        assert root.attrs["slaves"] == 2
+        round_spans = [s for s in root.children if s.name == "dg.round"]
+        assert len(round_spans) == result.num_rounds + 1  # + round 0
+        assert round_spans[0].attrs["phase"] == "init"
+        assert recorder.metrics.counter("dg.bytes").value == result.total_bytes
+        assert (
+            recorder.metrics.counter("dg.messages").value
+            == result.total_messages
+        )
+        assert validate_records(_records(recorder)) == []
+
+    def test_ambient_recorder_is_picked_up(self, dataset):
+        from repro.distributed import DGQuery, build_cluster
+
+        query = DGQuery(events=dataset.events, alpha=0.5, seed=0)
+        with recording() as recorder:
+            build_cluster(dataset, num_slaves=2).game.run(query)
+        assert any(s.name == "dg.solve" for s in recorder.all_spans())
+
+    def test_tracing_does_not_change_assignment(self, dataset):
+        from repro.distributed import DGQuery, build_cluster
+
+        query = DGQuery(events=dataset.events, alpha=0.5, seed=0)
+        plain = build_cluster(dataset, num_slaves=2).game.run(query)
+        with recording():
+            traced = build_cluster(dataset, num_slaves=2).game.run(query)
+        assert plain.assignment == traced.assignment
+
+    def test_crash_and_recovery_events(self, dataset):
+        from repro.distributed import DGQuery, build_cluster
+        from repro.distributed.faults import CrashEvent, FaultPlan
+
+        plan = FaultPlan(
+            crashes=(CrashEvent("slave-0", 1, 0, downtime=0.01),)
+        )
+        query = DGQuery(events=dataset.events, alpha=0.5, seed=0)
+        cluster = build_cluster(dataset, num_slaves=2, fault_plan=plan)
+        recorder = TraceRecorder()
+        cluster.game.recorder = recorder
+        cluster.game.run(query)
+        events = [
+            event.name
+            for span in recorder.all_spans()
+            for event in span.events
+        ]
+        assert "dg.crash" in events
+        assert ("dg.restart" in events) or ("dg.reshard" in events)

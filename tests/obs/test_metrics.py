@@ -1,0 +1,94 @@
+"""Metrics registry: counters, gauges, histogram bucketing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import DEFAULT_BOUNDARIES, Histogram, MetricsRegistry
+
+
+class TestCounter:
+    def test_accumulates(self):
+        registry = MetricsRegistry()
+        registry.counter("solver.moves").inc(3)
+        registry.counter("solver.moves").inc()
+        assert registry.counter("solver.moves").value == 4
+
+    def test_rejects_negative(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError, match="cannot decrease"):
+            registry.counter("solver.moves").inc(-1)
+
+    def test_labels_separate_series(self):
+        registry = MetricsRegistry()
+        registry.counter("solver.moves", {"solver": "a"}).inc(1)
+        registry.counter("solver.moves", {"solver": "b"}).inc(2)
+        assert registry.counter("solver.moves", {"solver": "a"}).value == 1
+        assert registry.counter("solver.moves", {"solver": "b"}).value == 2
+
+    def test_label_order_is_irrelevant(self):
+        registry = MetricsRegistry()
+        registry.counter("m", {"a": 1, "b": 2}).inc()
+        assert registry.counter("m", {"b": 2, "a": 1}).value == 1
+
+
+class TestGauge:
+    def test_last_write_wins(self):
+        registry = MetricsRegistry()
+        registry.gauge("solver.table_bytes").set(10)
+        registry.gauge("solver.table_bytes").set(7)
+        assert registry.gauge("solver.table_bytes").value == 7
+
+
+class TestHistogram:
+    def test_le_bucketing(self):
+        # Boundaries [1, 2, 5]: buckets are <=1, <=2, <=5, +inf.
+        histogram = Histogram("h", boundaries=(1, 2, 5))
+        for value in (0, 1, 1.5, 2, 5, 6):
+            histogram.observe(value)
+        assert histogram.bucket_counts == [2, 2, 1, 1]
+        assert histogram.count == 6
+        assert histogram.sum == pytest.approx(15.5)
+
+    def test_boundary_value_lands_in_its_bucket(self):
+        # Prometheus `le` semantics: an observation equal to a boundary
+        # counts in that boundary's bucket, not the next one.
+        histogram = Histogram("h", boundaries=(10, 20))
+        histogram.observe(10)
+        histogram.observe(20)
+        assert histogram.bucket_counts == [1, 1, 0]
+
+    def test_default_boundaries_cover_counts_and_micros(self):
+        histogram = Histogram("h")
+        assert len(histogram.bucket_counts) == len(DEFAULT_BOUNDARIES) + 1
+        histogram.observe(0)
+        histogram.observe(10**9)  # overflow bucket
+        assert histogram.bucket_counts[0] == 1
+        assert histogram.bucket_counts[-1] == 1
+
+    def test_rejects_non_increasing_boundaries(self):
+        with pytest.raises(ValueError, match="strictly increasing"):
+            Histogram("h", boundaries=(1, 1, 2))
+        with pytest.raises(ValueError, match="at least one"):
+            Histogram("h", boundaries=())
+
+
+class TestRegistry:
+    def test_kind_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("m")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.gauge("m")
+
+    def test_histogram_boundary_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.histogram("h", boundaries=(1, 2))
+        with pytest.raises(ValueError, match="different boundaries"):
+            registry.histogram("h", boundaries=(1, 2, 3))
+
+    def test_iteration_is_name_ordered(self):
+        registry = MetricsRegistry()
+        registry.counter("z")
+        registry.counter("a")
+        registry.gauge("m")
+        assert [m.name for m in registry] == ["a", "m", "z"]

@@ -1,0 +1,125 @@
+"""Span lifecycle: nesting, the ambient stack, manual clocks."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import (
+    NULL_RECORDER,
+    ManualClock,
+    TraceRecorder,
+    current_recorder,
+    recording,
+    use_recorder,
+)
+
+
+class TestSpanNesting:
+    def test_children_attach_to_open_parent(self):
+        rec = TraceRecorder()
+        with rec.span("solve", solver="x") as root:
+            with rec.span("round", round=1) as child:
+                with rec.span("build_table") as grandchild:
+                    pass
+        assert child in root.children
+        assert grandchild in child.children
+        assert root.parent_id is None
+        assert child.parent_id == root.span_id
+        assert grandchild.parent_id == child.span_id
+
+    def test_siblings_share_parent(self):
+        rec = TraceRecorder()
+        with rec.span("solve") as root:
+            with rec.span("round", round=1):
+                pass
+            with rec.span("round", round=2):
+                pass
+        assert [s.name for s in root.children] == ["round", "round"]
+        assert [s.attrs["round"] for s in root.children] == [1, 2]
+
+    def test_walk_is_depth_first(self):
+        rec = TraceRecorder()
+        with rec.span("a"):
+            with rec.span("b"):
+                with rec.span("c"):
+                    pass
+            with rec.span("d"):
+                pass
+        (root,) = rec.spans
+        assert [s.name for s, _ in root.walk()] == ["a", "b", "c", "d"]
+
+    def test_close_pops_leftover_children(self):
+        rec = TraceRecorder()
+        parent = rec.open_span("parent")
+        rec.open_span("leftover")  # never closed explicitly
+        rec.close_span(parent)
+        assert rec.current_span is None
+        (root,) = rec.spans
+        assert root.end is not None
+        assert root.children[0].end is not None  # closed with its parent
+
+    def test_span_ids_unique(self):
+        rec = TraceRecorder()
+        with rec.span("a"):
+            with rec.span("b"):
+                pass
+        with rec.span("c"):
+            pass
+        ids = [s.span_id for s in rec.all_spans()]
+        assert len(ids) == len(set(ids))
+
+
+class TestManualClock:
+    def test_durations_are_exact(self):
+        clock = ManualClock()
+        rec = TraceRecorder(clock=clock)
+        with rec.span("solve") as root:
+            clock.advance(1.5)
+            with rec.span("round") as child:
+                clock.advance(0.25)
+        assert root.duration == pytest.approx(1.75)
+        assert child.duration == pytest.approx(0.25)
+        assert child.start == pytest.approx(1.5)
+
+    def test_events_are_timestamped(self):
+        clock = ManualClock()
+        rec = TraceRecorder(clock=clock)
+        with rec.span("solve") as root:
+            clock.advance(2.0)
+            rec.event("cancel", klass=3)
+        (event,) = root.events
+        assert event.name == "cancel"
+        assert event.time == pytest.approx(2.0)
+        assert event.attrs == {"klass": 3}
+
+
+class TestAmbientStack:
+    def test_default_is_null_recorder(self):
+        assert current_recorder() is NULL_RECORDER
+        assert not current_recorder().enabled
+
+    def test_use_recorder_pushes_and_pops(self):
+        rec = TraceRecorder()
+        with use_recorder(rec):
+            assert current_recorder() is rec
+        assert current_recorder() is NULL_RECORDER
+
+    def test_recording_yields_trace_recorder(self):
+        with recording() as rec:
+            assert isinstance(rec, TraceRecorder)
+            assert current_recorder() is rec
+            with rec.span("x"):
+                pass
+        assert len(rec.spans) == 1
+
+    def test_null_recorder_span_yields_none(self):
+        with NULL_RECORDER.span("anything", key="value") as span:
+            assert span is None
+        NULL_RECORDER.count("c", 1)
+        NULL_RECORDER.observe("h", 2.0)
+        NULL_RECORDER.event("e")
+        NULL_RECORDER.round_end(
+            None, "s", 1, deviations=0, examined=0,
+            frontier_fn=lambda: 1 / 0,  # must never be called
+            potential_fn=lambda: 1 / 0,
+        )

@@ -88,3 +88,51 @@ class TestCommands:
         output = capsys.readouterr().out
         assert f"DG[{protocol}]" in output
         assert "FaE" in output
+
+    def test_solve_json(self, capsys):
+        import json
+
+        code = main([
+            "solve", "--users", "100", "--events", "4", "--method", "gt",
+            "--json",
+        ])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["solver"] == "RMGP_gt"
+        assert payload["converged"] is True
+        assert len(payload["assignment_sha256"]) == 64
+        assert payload["round_trace"][0]["round"] == 0
+
+    def test_profile_paper_example(self, tmp_path, capsys):
+        from repro.obs import validate_trace_file
+
+        jsonl = str(tmp_path / "trace.jsonl")
+        metrics = str(tmp_path / "metrics.txt")
+        code = main([
+            "profile", "--dataset", "paper",
+            "--jsonl", jsonl, "--metrics", metrics,
+        ])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "solve:" in output  # summary tree root span
+        assert "round:" in output
+        assert validate_trace_file(jsonl) == []
+        with open(metrics, encoding="utf-8") as handle:
+            assert "repro_solver_rounds" in handle.read()
+
+    def test_trace_jsonl(self, tmp_path, capsys):
+        from repro.obs import validate_trace_file
+
+        jsonl = str(tmp_path / "table1.jsonl")
+        assert main(["trace", "--jsonl", jsonl]) == 0
+        output = capsys.readouterr().out
+        assert "Table 1" in output
+        assert validate_trace_file(jsonl) == []
+
+    def test_figure_trace(self, tmp_path, capsys):
+        from repro.obs import validate_trace_file
+
+        jsonl = str(tmp_path / "fig.jsonl")
+        assert main(["figure", "table1", "--trace", jsonl]) == 0
+        assert "Table 1" in capsys.readouterr().out
+        assert validate_trace_file(jsonl) == []
