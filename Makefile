@@ -23,11 +23,15 @@ bench-output:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt
 
 # Solver perf-regression check against benchmarks/BENCH_core.json.
+# Stale bytecode must never leak into a timing run: purge cached
+# benchmark bytecode first and run with -B so none is written back.
 bench-perf:
-	$(PYTHON) benchmarks/bench_perf_regression.py --check --profile core
+	find benchmarks -name __pycache__ -type d -exec rm -rf {} +
+	$(PYTHON) -B benchmarks/bench_perf_regression.py --check --profile core
 
 bench-perf-update:
-	$(PYTHON) benchmarks/bench_perf_regression.py --update
+	find benchmarks -name __pycache__ -type d -exec rm -rf {} +
+	$(PYTHON) -B benchmarks/bench_perf_regression.py --update
 
 examples:
 	for script in examples/*.py; do echo "== $$script"; $(PYTHON) $$script; done

@@ -55,6 +55,9 @@ Sub-packages
     simulated cluster.
 ``repro.bench``
     Workloads and reporting used by the figure-by-figure benchmarks.
+``repro.runtime``
+    Real-time execution layer: deadlines, cooperative cancellation and
+    checkpoint/resume for every solver.
 """
 
 from repro.api import SolveOptions, partition
@@ -68,16 +71,26 @@ from repro.core import (
     potential,
 )
 from repro.graph import SocialGraph
+from repro.runtime import (
+    CancelToken,
+    RuntimeBudget,
+    SolveCheckpoint,
+    SteppingClock,
+)
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "CancelToken",
     "ObjectiveValue",
     "PartitionResult",
     "RMGPGame",
     "RMGPInstance",
+    "RuntimeBudget",
     "SocialGraph",
+    "SolveCheckpoint",
     "SolveOptions",
+    "SteppingClock",
     "is_nash_equilibrium",
     "objective",
     "partition",

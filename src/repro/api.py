@@ -33,6 +33,8 @@ from repro.core.registry import SOLVERS, canonical_solver_name
 from repro.core.result import PartitionResult
 from repro.errors import ConfigurationError
 from repro.obs.recorder import Recorder
+from repro.runtime.budget import RuntimeBudget
+from repro.runtime.token import CancelToken
 
 if False:  # pragma: no cover - typing only, avoids an import cycle
     from repro.core.instance import RMGPInstance
@@ -60,6 +62,24 @@ class SolveOptions:
         An :class:`repro.obs.Recorder` receiving spans/metrics; leave
         ``None`` for the ambient recorder (a no-op unless inside
         ``obs.recording()``).
+    deadline_seconds / round_budget_seconds / cancel_token:
+        Real-time knobs.  ``partition`` assembles them into a
+        :class:`repro.runtime.RuntimeBudget` handed to the solver, which
+        then stops at the first round boundary past the deadline (or
+        once the token is cancelled) and returns its best-so-far valid
+        assignment with ``converged=False`` and ``stop_reason`` set.
+        Mutually exclusive with an explicit ``budget``.
+    budget:
+        A pre-built :class:`~repro.runtime.RuntimeBudget` (e.g. one on a
+        manual :class:`~repro.runtime.SteppingClock` for tests).
+    checkpoint_every / checkpoint_path:
+        Write a :class:`~repro.runtime.SolveCheckpoint` to
+        ``checkpoint_path`` every ``checkpoint_every`` rounds (and once
+        more on interrupt).
+    resume_from:
+        A checkpoint path or :class:`~repro.runtime.SolveCheckpoint` to
+        resume from; the solve replays the interrupted trajectory
+        byte-identically.
     """
 
     alpha: Optional[float] = None
@@ -69,17 +89,86 @@ class SolveOptions:
     max_rounds: Optional[int] = None
     warm_start: Optional[np.ndarray] = None
     recorder: Optional[Recorder] = None
+    deadline_seconds: Optional[float] = None
+    round_budget_seconds: Optional[float] = None
+    cancel_token: Optional[CancelToken] = None
+    budget: Optional[RuntimeBudget] = None
+    checkpoint_every: Optional[int] = None
+    checkpoint_path: Optional[str] = None
+    resume_from: Optional[Any] = None
+
+    # Assembled into a RuntimeBudget by partition(); never forwarded to
+    # the solver as keyword arguments themselves.
+    _BUDGET_FIELDS = ("deadline_seconds", "round_budget_seconds", "cancel_token")
 
     def solver_kwargs(self) -> Dict[str, Any]:
         """The explicitly-set per-solver knobs (everything but alpha)."""
         set_values = {}
         for field in fields(self):
-            if field.name == "alpha":
+            if field.name == "alpha" or field.name in self._BUDGET_FIELDS:
                 continue
             value = getattr(self, field.name)
             if value is not None:
                 set_values[field.name] = value
         return set_values
+
+
+def _validate_warm_start(warm_start: Any, instance: "RMGPInstance") -> np.ndarray:
+    """Check a warm start is a usable assignment before dispatch.
+
+    The kernels index arrays with the warm start unchecked, so a bad one
+    would surface as an obscure ``IndexError`` (or worse, silently wrap
+    with negative classes) deep inside a solver.
+    """
+    arr = np.asarray(warm_start)
+    if arr.shape != (instance.n,):
+        raise ConfigurationError(
+            f"warm_start must have shape ({instance.n},) to cover every "
+            f"player; got {arr.shape}"
+        )
+    if not np.issubdtype(arr.dtype, np.integer):
+        raise ConfigurationError(
+            f"warm_start must be an integer class assignment; got dtype "
+            f"{arr.dtype}"
+        )
+    if arr.size and (arr.min() < 0 or arr.max() >= instance.k):
+        raise ConfigurationError(
+            f"warm_start classes must lie in [0, {instance.k}); got values "
+            f"in [{int(arr.min())}, {int(arr.max())}]"
+        )
+    return arr
+
+
+def _assemble_budget(
+    options: SolveOptions, solver_kwargs: Dict[str, Any]
+) -> Optional[RuntimeBudget]:
+    """Merge the scalar real-time knobs into one RuntimeBudget (or None)."""
+    scalars: Dict[str, Any] = {}
+    for name in SolveOptions._BUDGET_FIELDS:
+        from_options = getattr(options, name)
+        from_kwargs = solver_kwargs.pop(name, None)
+        if from_options is not None and from_kwargs is not None:
+            raise ConfigurationError(
+                f"[{name!r}] given both in options and as keyword arguments"
+            )
+        value = from_kwargs if from_kwargs is not None else from_options
+        if value is not None:
+            scalars[name] = value
+    if not scalars:
+        return None
+    explicit = options.budget if options.budget is not None else (
+        solver_kwargs.get("budget")
+    )
+    if explicit is not None:
+        raise ConfigurationError(
+            "pass either an explicit budget or the scalar knobs "
+            f"({sorted(scalars)}), not both"
+        )
+    return RuntimeBudget(
+        deadline_seconds=scalars.get("deadline_seconds"),
+        round_budget_seconds=scalars.get("round_budget_seconds"),
+        token=scalars.get("cancel_token"),
+    )
 
 
 _SIGNATURES: Dict[Any, frozenset] = {}
@@ -133,6 +222,8 @@ def partition(
     if options.alpha is not None and options.alpha != instance.alpha:
         instance = instance.with_alpha(options.alpha)
 
+    budget = _assemble_budget(options, solver_kwargs)
+
     accepted = _accepted_parameters(impl)
     kwargs: Dict[str, Any] = {}
     for name, value in options.solver_kwargs().items():
@@ -155,4 +246,15 @@ def partition(
             f"{sorted(unknown)}"
         )
     kwargs.update(solver_kwargs)
+    if budget is not None:
+        if "budget" not in accepted:
+            raise ConfigurationError(
+                f"solver {canonical_solver_name(solver)!r} does not support "
+                "real-time budgets"
+            )
+        kwargs["budget"] = budget
+    if kwargs.get("warm_start") is not None:
+        kwargs["warm_start"] = _validate_warm_start(
+            kwargs["warm_start"], instance
+        )
     return impl(instance, **kwargs)

@@ -67,6 +67,29 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="emit the result as JSON (result.to_dict()) instead of text",
     )
+    solve.add_argument(
+        "--deadline", type=float, metavar="SECONDS",
+        help="real-time budget: stop at the first round boundary past "
+             "this wall-clock deadline and report the best-so-far "
+             "assignment (stop_reason='deadline')",
+    )
+    solve.add_argument(
+        "--round-budget", type=float, metavar="SECONDS",
+        help="per-round budget: stop once a round exceeds this",
+    )
+    solve.add_argument(
+        "--checkpoint", metavar="PATH",
+        help="write a resumable checkpoint here (periodically with "
+             "--checkpoint-every, and always on interrupt)",
+    )
+    solve.add_argument(
+        "--checkpoint-every", type=int, metavar="N",
+        help="checkpoint every N rounds (requires --checkpoint)",
+    )
+    solve.add_argument(
+        "--resume", metavar="PATH",
+        help="resume a previously interrupted solve from this checkpoint",
+    )
 
     profile = commands.add_parser(
         "profile", help="run one query under a trace recorder"
@@ -189,8 +212,20 @@ def _run_solve(arguments) -> int:
         data.graph, data.event_ids, data.cost_matrix(), alpha=arguments.alpha
     )
     normalize = None if arguments.normalize == "none" else arguments.normalize
+    realtime_kwargs = {}
+    if arguments.deadline is not None:
+        realtime_kwargs["deadline_seconds"] = arguments.deadline
+    if arguments.round_budget is not None:
+        realtime_kwargs["round_budget_seconds"] = arguments.round_budget
+    if arguments.checkpoint is not None:
+        realtime_kwargs["checkpoint_path"] = arguments.checkpoint
+    if arguments.checkpoint_every is not None:
+        realtime_kwargs["checkpoint_every"] = arguments.checkpoint_every
+    if arguments.resume is not None:
+        realtime_kwargs["resume_from"] = arguments.resume
     result = game.solve(
-        method=arguments.method, normalize_method=normalize, seed=arguments.seed
+        method=arguments.method, normalize_method=normalize,
+        seed=arguments.seed, **realtime_kwargs,
     )
     if arguments.json:
         import json
@@ -207,6 +242,12 @@ def _run_solve(arguments) -> int:
         return 0
     print(f"dataset: {data.stats()}")
     print(result.summary())
+    if not result.converged and result.stop_reason in ("deadline", "cancelled"):
+        hint = (
+            f" — resume with --resume {arguments.checkpoint}"
+            if arguments.checkpoint else ""
+        )
+        print(f"interrupted: {result.stop_reason}{hint}")
     if game.normalization is not None:
         print(f"normalization: {game.normalization}")
     print(f"equilibrium: {game.verify(result)}")

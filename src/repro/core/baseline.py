@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import random
 import warnings
-from typing import List, Optional
+from typing import List, Optional, Union
 
 import numpy as np
 
@@ -27,6 +27,9 @@ from repro.core.instance import RMGPInstance
 from repro.core.objective import player_strategy_costs, potential
 from repro.core.result import PartitionResult, RoundStats, make_result
 from repro.obs.recorder import Recorder, active_recorder
+from repro.runtime.budget import RuntimeBudget
+from repro.runtime.checkpoint import SolveCheckpoint, rounds_to_payload
+from repro.runtime.executor import SolveRuntime, load_resume
 
 
 def _solve_baseline(
@@ -40,6 +43,10 @@ def _solve_baseline(
     track_potential: bool = False,
     solver_name: Optional[str] = None,
     recorder: Optional[Recorder] = None,
+    budget: Optional[RuntimeBudget] = None,
+    checkpoint_every: Optional[int] = None,
+    checkpoint_path: Optional[str] = None,
+    resume_from: Union[None, str, SolveCheckpoint] = None,
 ) -> PartitionResult:
     """Run RMGP_b on ``instance``.
 
@@ -65,6 +72,18 @@ def _solve_baseline(
     recorder:
         Telemetry sink; ``None`` uses the ambient recorder (a no-op
         unless inside :func:`repro.obs.recording`).
+    budget:
+        Optional :class:`~repro.runtime.budget.RuntimeBudget` checked at
+        every round boundary; on a trip the solve returns its current
+        (valid, anytime) assignment with ``stop_reason`` set instead of
+        raising.
+    checkpoint_every / checkpoint_path:
+        Write a resumable :class:`~repro.runtime.checkpoint.SolveCheckpoint`
+        to ``checkpoint_path`` every N completed rounds and at any
+        interrupt point.
+    resume_from:
+        A checkpoint (path or object) to continue from; the resumed
+        trajectory is byte-identical to the uninterrupted run.
 
     Returns
     -------
@@ -77,27 +96,59 @@ def _solve_baseline(
     clock = dynamics.RoundClock()
 
     name = solver_name or _variant_name(init, order)
+    runtime = SolveRuntime.create(
+        budget=budget,
+        checkpoint_every=checkpoint_every,
+        checkpoint_path=checkpoint_path,
+        recorder=rec,
+    )
+    restored = load_resume(resume_from, instance, name, rec)
     with rec.span("solve", solver=name, n=instance.n, k=instance.k):
-        with rec.span("round", round=0, phase="init"):
-            assignment = dynamics.initial_assignment(
-                instance, init, rng, warm_start
-            )
-            sweep = dynamics.player_order(instance, order, rng)
-        rounds: List[RoundStats] = [
-            RoundStats(
-                round_index=0,
-                deviations=0,
-                seconds=clock.lap(),
-                potential=(
-                    potential(instance, assignment) if track_potential else None
-                ),
-            )
-        ]
+        if restored is not None:
+            assignment = restored.assignment
+            sweep = [int(p) for p in restored.state["sweep"]]
+            active = dynamics.ActiveSet(instance.n, dirty=restored.frontier)
+            if restored.rng_state is not None:
+                rng.setstate(restored.rng_state)
+            rounds: List[RoundStats] = restored.restored_rounds()
+            round_index = restored.round_index
+        else:
+            with rec.span("round", round=0, phase="init"):
+                assignment = dynamics.initial_assignment(
+                    instance, init, rng, warm_start
+                )
+                sweep = dynamics.player_order(instance, order, rng)
+            rounds = [
+                RoundStats(
+                    round_index=0,
+                    deviations=0,
+                    seconds=clock.lap(),
+                    potential=(
+                        potential(instance, assignment)
+                        if track_potential
+                        else None
+                    ),
+                )
+            ]
+            active = dynamics.ActiveSet(instance.n)
+            round_index = 0
 
-        active = dynamics.ActiveSet(instance.n)
+        def make_checkpoint() -> SolveCheckpoint:
+            return SolveCheckpoint(
+                solver=name,
+                round_index=round_index,
+                assignment=assignment.copy(),
+                frontier=active.flags.copy(),
+                rng_state=rng.getstate(),
+                rounds=rounds_to_payload(rounds),
+                state={"sweep": [int(p) for p in sweep]},
+                fingerprint=SolveCheckpoint.fingerprint_of(instance),
+            )
+
         converged = False
-        round_index = 0
         while not converged:
+            if runtime is not None and runtime.check(round_index + 1):
+                break
             round_index += 1
             dynamics.check_round_budget(round_index, max_rounds, name)
             if reshuffle_each_round and order == "random":
@@ -128,15 +179,23 @@ def _solve_baseline(
                 )
             )
             converged = deviations == 0
+            if runtime is not None and not converged:
+                runtime.note_round(round_index, make_checkpoint)
+        if runtime is not None:
+            runtime.finalize(make_checkpoint)
 
+    extra = {"init": init, "order": order}
+    if not converged:
+        extra["remaining_frontier"] = active.count()
     return make_result(
         solver=name,
         instance=instance,
         assignment=assignment,
         rounds=rounds,
-        converged=True,
+        converged=converged,
         wall_seconds=clock.total(),
-        extra={"init": init, "order": order},
+        extra=extra,
+        stop_reason=runtime.stop_reason if runtime is not None else None,
     )
 
 

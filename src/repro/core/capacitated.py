@@ -35,8 +35,11 @@ from repro.core import dynamics
 from repro.core.instance import RMGPInstance
 from repro.core.objective import player_strategy_costs, potential
 from repro.core.result import PartitionResult, RoundStats, make_result
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, DataError
 from repro.obs.recorder import Recorder, active_recorder
+from repro.runtime.budget import RuntimeBudget
+from repro.runtime.checkpoint import SolveCheckpoint, rounds_to_payload
+from repro.runtime.executor import SolveRuntime, load_resume
 
 
 def validate_capacities(
@@ -97,6 +100,12 @@ def _solve_capacitated(
     seed: Optional[int] = None,
     max_rounds: int = dynamics.DEFAULT_MAX_ROUNDS,
     recorder: Optional[Recorder] = None,
+    budget: Optional[RuntimeBudget] = None,
+    checkpoint_every: Optional[int] = None,
+    checkpoint_path: Optional[str] = None,
+    resume_from=None,
+    _checkpoint_solver: str = "RMGP_cap",
+    _extra_state: Optional[dict] = None,
 ) -> PartitionResult:
     """Best-response dynamics under per-class maximum capacities.
 
@@ -105,25 +114,74 @@ def _solve_capacitated(
     a "clean" player's best response can change when someone else frees
     a seat in a class he wants.  ``players_examined == n`` is therefore
     the true per-round work, not an unexamined assumption.
+
+    ``_checkpoint_solver``/``_extra_state`` are internal hooks for
+    :func:`solve_with_minimums`, which labels the checkpoints of its
+    current stage as ``RMGP_minpart`` and rides its outer loop state
+    (canceled classes, stage counters) along in them.
     """
     caps = validate_capacities(instance, capacities)
     rec = active_recorder(recorder)
     rng = random.Random(seed)
     clock = dynamics.RoundClock()
 
+    runtime = SolveRuntime.create(
+        budget=budget,
+        checkpoint_every=checkpoint_every,
+        checkpoint_path=checkpoint_path,
+        recorder=rec,
+    )
+    restored = load_resume(resume_from, instance, _checkpoint_solver, rec)
     with rec.span("solve", solver="RMGP_cap", n=instance.n, k=instance.k):
-        with rec.span("round", round=0, phase="init"):
-            assignment = feasible_initial_assignment(
-                instance, caps, rng, init
+        if restored is not None:
+            stored_caps = np.asarray(
+                restored.state["capacities"], dtype=np.int64
             )
+            if not np.array_equal(stored_caps, caps):
+                raise DataError(
+                    "checkpoint was taken under different capacities "
+                    f"({stored_caps.tolist()} vs {caps.tolist()})"
+                )
+            assignment = restored.assignment
             load = np.bincount(assignment, minlength=instance.k)
-            sweep = dynamics.player_order(instance, order, rng)
-        rounds: List[RoundStats] = [RoundStats(0, 0, clock.lap())]
+            sweep = [int(p) for p in restored.state["sweep"]]
+            if restored.rng_state is not None:
+                rng.setstate(restored.rng_state)
+            rounds: List[RoundStats] = restored.restored_rounds()
+            round_index = restored.round_index
+        else:
+            with rec.span("round", round=0, phase="init"):
+                assignment = feasible_initial_assignment(
+                    instance, caps, rng, init
+                )
+                load = np.bincount(assignment, minlength=instance.k)
+                sweep = dynamics.player_order(instance, order, rng)
+            rounds = [RoundStats(0, 0, clock.lap())]
+            round_index = 0
+
+        def make_checkpoint() -> SolveCheckpoint:
+            state = {
+                "sweep": [int(p) for p in sweep],
+                "capacities": caps.copy(),
+            }
+            if _extra_state:
+                state.update(_extra_state)
+            return SolveCheckpoint(
+                solver=_checkpoint_solver,
+                round_index=round_index,
+                assignment=assignment.copy(),
+                frontier=np.zeros(0, dtype=bool),
+                rng_state=rng.getstate(),
+                rounds=rounds_to_payload(rounds),
+                state=state,
+                fingerprint=SolveCheckpoint.fingerprint_of(instance),
+            )
 
         tol = dynamics.DEVIATION_TOLERANCE
         converged = False
-        round_index = 0
         while not converged:
+            if runtime is not None and runtime.check(round_index + 1):
+                break
             round_index += 1
             dynamics.check_round_budget(round_index, max_rounds, "RMGP_cap")
             deviations = 0
@@ -161,18 +219,23 @@ def _solve_capacitated(
                 )
             )
             converged = deviations == 0
+            if runtime is not None and not converged:
+                runtime.note_round(round_index, make_checkpoint)
+        if runtime is not None:
+            runtime.finalize(make_checkpoint)
 
     return make_result(
         solver="RMGP_cap",
         instance=instance,
         assignment=assignment,
         rounds=rounds,
-        converged=True,
+        converged=converged,
         wall_seconds=clock.total(),
         extra={
             "capacities": caps.tolist(),
             "loads": np.bincount(assignment, minlength=instance.k).tolist(),
         },
+        stop_reason=runtime.stop_reason if runtime is not None else None,
     )
 
 
@@ -210,6 +273,10 @@ def _solve_with_minimums(
     order: str = "degree",
     seed: Optional[int] = None,
     recorder: Optional[Recorder] = None,
+    budget: Optional[RuntimeBudget] = None,
+    checkpoint_every: Optional[int] = None,
+    checkpoint_path: Optional[str] = None,
+    resume_from=None,
 ) -> PartitionResult:
     """RMGP with *minimum* participation: undersubscribed events cancel.
 
@@ -230,6 +297,12 @@ def _solve_with_minimums(
     cancel-and-resolve loop and ``extra["rounds_total"]`` sums the rounds
     of every re-solve; ``rounds`` (the per-round stats) describe the
     final re-solve only.
+
+    Real-time semantics: the ``budget`` spans the whole cancel-and-
+    resolve composition (each stage polls it at its round boundaries),
+    and checkpoints are written by the *current stage* with the outer
+    loop state riding along — resuming restarts mid-stage exactly where
+    the interrupt landed.
     """
     if min_participants < 0:
         raise ConfigurationError("min_participants must be non-negative")
@@ -240,9 +313,18 @@ def _solve_with_minimums(
 
     rec = active_recorder(recorder)
     loop_clock = dynamics.RoundClock()
-    active = np.ones(instance.k, dtype=bool)
-    canceled: List[int] = []
-    rounds_total = 0
+    restored = load_resume(resume_from, instance, "RMGP_minpart", rec)
+    if restored is not None:
+        active = np.asarray(
+            restored.state["minpart_active"], dtype=bool
+        ).copy()
+        canceled = [int(klass) for klass in restored.state["minpart_canceled"]]
+        rounds_total = int(restored.state["minpart_rounds_total"])
+    else:
+        active = np.ones(instance.k, dtype=bool)
+        canceled = []
+        rounds_total = 0
+    stage_resume = restored
     clock_rng_seed = seed
     with rec.span(
         "solve", solver="RMGP_minpart", n=instance.n, k=instance.k
@@ -258,8 +340,27 @@ def _solve_with_minimums(
             result = _solve_capacitated(
                 instance, effective, init=init, order=order,
                 seed=clock_rng_seed, recorder=rec,
+                budget=budget,
+                checkpoint_every=checkpoint_every,
+                checkpoint_path=checkpoint_path,
+                resume_from=stage_resume,
+                _checkpoint_solver="RMGP_minpart",
+                _extra_state={
+                    "minpart_active": active.copy(),
+                    "minpart_canceled": list(canceled),
+                    "minpart_rounds_total": rounds_total,
+                },
             )
+            stage_resume = None
             rounds_total += result.num_rounds
+            if result.stop_reason in ("deadline", "cancelled"):
+                # Budget tripped mid-stage: degrade gracefully with the
+                # stage's current (valid, capacity-feasible) assignment.
+                result.extra["canceled"] = canceled
+                result.extra["rounds_total"] = rounds_total
+                result.solver = "RMGP_minpart"
+                result.wall_seconds = loop_clock.total()
+                return result
             loads = np.bincount(result.assignment, minlength=instance.k)
             under = [
                 klass
@@ -281,7 +382,7 @@ def _solve_with_minimums(
             rec.event(
                 "class_canceled", klass=weakest, load=int(loads[weakest])
             )
-            rec.count("solver.cancellations", 1, solver="RMGP_minpart")
+            rec.count("class.cancellations", 1, solver="RMGP_minpart")
 
 
 def solve_with_minimums(

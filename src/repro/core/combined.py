@@ -32,6 +32,9 @@ from repro.core.strategy_elimination import (
     build_elimination_plan,
 )
 from repro.obs.recorder import Recorder, active_recorder
+from repro.runtime.budget import RuntimeBudget
+from repro.runtime.checkpoint import SolveCheckpoint, rounds_to_payload
+from repro.runtime.executor import SolveRuntime, load_resume
 
 
 def build_pruned_table(
@@ -64,64 +67,110 @@ def _solve_all(
     coloring: Optional[Dict] = None,
     plan: Optional[EliminationPlan] = None,
     recorder: Optional[Recorder] = None,
+    budget: Optional[RuntimeBudget] = None,
+    checkpoint_every: Optional[int] = None,
+    checkpoint_path: Optional[str] = None,
+    resume_from=None,
 ) -> PartitionResult:
     """Run RMGP_all on ``instance``.
 
     Round 0 covers ordering, initial assignment, valid-region computation
     and pruned-table construction, matching the paper's accounting of the
-    expensive initialization step (Figure 12(c)).
+    expensive initialization step (Figure 12(c)).  Like RMGP_gt, the
+    checkpoint serializes the (incrementally-updated) pruned table;
+    ``+inf`` pruned entries survive the raw-buffer encoding unchanged.
+    The elimination plan is deterministic and rebuilt on resume.
     """
     rec = active_recorder(recorder)
     rng = random.Random(seed)
     clock = dynamics.RoundClock()
 
+    runtime = SolveRuntime.create(
+        budget=budget,
+        checkpoint_every=checkpoint_every,
+        checkpoint_path=checkpoint_path,
+        recorder=rec,
+    )
+    restored = load_resume(resume_from, instance, "RMGP_all", rec)
     with rec.span("solve", solver="RMGP_all", n=instance.n, k=instance.k):
-        with rec.span("round", round=0, phase="init") as init_span:
+        if restored is not None:
             if plan is None:
-                with rec.span("build_plan"):
-                    plan = build_elimination_plan(instance)
-            assignment = dynamics.initial_assignment(
-                instance, init, rng, warm_start
-            )
+                plan = build_elimination_plan(instance)
             fixed_mask = plan.fixed_class >= 0
-            assignment[fixed_mask] = plan.fixed_class[fixed_mask]
-
-            groups = groups_from_coloring(instance, coloring)
-            rank = {
-                p: i
-                for i, p in enumerate(
-                    dynamics.player_order(instance, order, rng)
-                )
-            }
+            assignment = restored.assignment
             groups = [
-                sorted(
-                    (p for p in group if not fixed_mask[p]),
-                    key=rank.__getitem__,
-                )
-                for group in groups
+                [int(p) for p in group]
+                for group in restored.state["groups"]
             ]
-            groups = [g for g in groups if g]
-
-            with rec.span("build_table"):
-                table = build_pruned_table(instance, assignment, plan)
-            happy = happiness(table, assignment)
-            happy[fixed_mask] = True
-            if init_span is not None:
-                init_span.attrs.update(
-                    num_groups=len(groups), num_fixed=plan.num_fixed,
-                    table_bytes=int(table.nbytes),
+            table = restored.state["table"]
+            happy = ~restored.frontier
+            if restored.rng_state is not None:
+                rng.setstate(restored.rng_state)
+            rounds: List[RoundStats] = restored.restored_rounds()
+            round_index = restored.round_index
+        else:
+            with rec.span("round", round=0, phase="init") as init_span:
+                if plan is None:
+                    with rec.span("build_plan"):
+                        plan = build_elimination_plan(instance)
+                assignment = dynamics.initial_assignment(
+                    instance, init, rng, warm_start
                 )
+                fixed_mask = plan.fixed_class >= 0
+                assignment[fixed_mask] = plan.fixed_class[fixed_mask]
+
+                groups = groups_from_coloring(instance, coloring)
+                rank = {
+                    p: i
+                    for i, p in enumerate(
+                        dynamics.player_order(instance, order, rng)
+                    )
+                }
+                groups = [
+                    sorted(
+                        (p for p in group if not fixed_mask[p]),
+                        key=rank.__getitem__,
+                    )
+                    for group in groups
+                ]
+                groups = [g for g in groups if g]
+
+                with rec.span("build_table"):
+                    table = build_pruned_table(instance, assignment, plan)
+                happy = happiness(table, assignment)
+                happy[fixed_mask] = True
+                if init_span is not None:
+                    init_span.attrs.update(
+                        num_groups=len(groups), num_fixed=plan.num_fixed,
+                        table_bytes=int(table.nbytes),
+                    )
+            rounds = [
+                RoundStats(round_index=0, deviations=0, seconds=clock.lap())
+            ]
+            round_index = 0
         rec.gauge("solver.table_bytes", table.nbytes, solver="RMGP_all")
 
-        rounds: List[RoundStats] = [
-            RoundStats(round_index=0, deviations=0, seconds=clock.lap())
-        ]
+        def make_checkpoint() -> SolveCheckpoint:
+            return SolveCheckpoint(
+                solver="RMGP_all",
+                round_index=round_index,
+                assignment=assignment.copy(),
+                frontier=(~happy).copy(),
+                rng_state=rng.getstate(),
+                rounds=rounds_to_payload(rounds),
+                state={
+                    "groups": [[int(p) for p in g] for g in groups],
+                    "table": table.copy(),
+                },
+                fingerprint=SolveCheckpoint.fingerprint_of(instance),
+            )
 
         half = (1.0 - instance.alpha) * 0.5
         tol = dynamics.DEVIATION_TOLERANCE
         converged = False
-        round_index = 0
         while not converged:
+            if runtime is not None and runtime.check(round_index + 1):
+                break
             round_index += 1
             dynamics.check_round_budget(round_index, max_rounds, "RMGP_all")
             deviations = 0
@@ -174,19 +223,27 @@ def _solve_all(
                 )
             )
             converged = deviations == 0
+            if runtime is not None and not converged:
+                runtime.note_round(round_index, make_checkpoint)
+        if runtime is not None:
+            runtime.finalize(make_checkpoint)
 
+    extra = {
+        "num_fixed": plan.num_fixed,
+        "num_groups": len(groups),
+        "strategies_remaining": plan.strategies_remaining(),
+    }
+    if not converged:
+        extra["remaining_frontier"] = int((~happy).sum())
     return make_result(
         solver="RMGP_all",
         instance=instance,
         assignment=assignment,
         rounds=rounds,
-        converged=True,
+        converged=converged,
         wall_seconds=clock.total(),
-        extra={
-            "num_fixed": plan.num_fixed,
-            "num_groups": len(groups),
-            "strategies_remaining": plan.strategies_remaining(),
-        },
+        extra=extra,
+        stop_reason=runtime.stop_reason if runtime is not None else None,
     )
 
 

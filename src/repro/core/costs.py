@@ -26,7 +26,7 @@ from typing import Callable, Optional, Sequence
 
 import numpy as np
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, DataError
 
 
 class CostProvider:
@@ -112,6 +112,14 @@ class FunctionCost(CostProvider):
         if row.shape != (self.num_classes,):
             raise ConfigurationError(
                 f"row callback returned shape {row.shape}, expected ({self.num_classes},)"
+            )
+        if not np.isfinite(row).all():
+            raise DataError(
+                f"cost row for player {player} contains NaN/inf"
+            )
+        if row.size and row.min() < 0:
+            raise DataError(
+                f"cost row for player {player} contains negative costs"
             )
         return row
 

@@ -29,6 +29,9 @@ from repro.core.instance import RMGPInstance
 from repro.core.objective import potential
 from repro.core.result import PartitionResult, RoundStats, make_result
 from repro.obs.recorder import Recorder, active_recorder
+from repro.runtime.budget import RuntimeBudget
+from repro.runtime.checkpoint import SolveCheckpoint, rounds_to_payload
+from repro.runtime.executor import SolveRuntime, load_resume
 
 
 def build_global_table(
@@ -112,36 +115,80 @@ def _solve_global_table(
     warm_start: Optional[np.ndarray] = None,
     max_rounds: int = dynamics.DEFAULT_MAX_ROUNDS,
     recorder: Optional[Recorder] = None,
+    budget: Optional[RuntimeBudget] = None,
+    checkpoint_every: Optional[int] = None,
+    checkpoint_path: Optional[str] = None,
+    resume_from=None,
 ) -> PartitionResult:
-    """Run RMGP_gt on ``instance`` (Figure 5)."""
+    """Run RMGP_gt on ``instance`` (Figure 5).
+
+    The checkpoint serializes the global table itself: rebuilding it
+    from the checkpointed assignment would sum the bincount scatter in
+    a different order than the incremental ±½·w updates, and a last-ulp
+    difference can flip a later argmin — resuming from the stored table
+    keeps the trajectory byte-identical.
+    """
     rec = active_recorder(recorder)
     rng = random.Random(seed)
     clock = dynamics.RoundClock()
 
+    runtime = SolveRuntime.create(
+        budget=budget,
+        checkpoint_every=checkpoint_every,
+        checkpoint_path=checkpoint_path,
+        recorder=rec,
+    )
+    restored = load_resume(resume_from, instance, "RMGP_gt", rec)
     with rec.span("solve", solver="RMGP_gt", n=instance.n, k=instance.k):
-        with rec.span("round", round=0, phase="init") as init_span:
-            assignment = dynamics.initial_assignment(
-                instance, init, rng, warm_start
-            )
-            sweep = dynamics.player_order(instance, order, rng)
-            with rec.span("build_table"):
-                table = build_global_table(instance, assignment)
-            # Initially dirty = not provably happy, matching Figure 5's
-            # first pass.
-            active = dynamics.ActiveSet(
-                instance.n, dirty=~happiness(table, assignment)
-            )
-            if init_span is not None:
-                init_span.attrs["table_bytes"] = int(table.nbytes)
+        if restored is not None:
+            assignment = restored.assignment
+            sweep = [int(p) for p in restored.state["sweep"]]
+            table = restored.state["table"]
+            active = dynamics.ActiveSet(instance.n, dirty=restored.frontier)
+            if restored.rng_state is not None:
+                rng.setstate(restored.rng_state)
+            rounds: List[RoundStats] = restored.restored_rounds()
+            round_index = restored.round_index
+        else:
+            with rec.span("round", round=0, phase="init") as init_span:
+                assignment = dynamics.initial_assignment(
+                    instance, init, rng, warm_start
+                )
+                sweep = dynamics.player_order(instance, order, rng)
+                with rec.span("build_table"):
+                    table = build_global_table(instance, assignment)
+                # Initially dirty = not provably happy, matching Figure 5's
+                # first pass.
+                active = dynamics.ActiveSet(
+                    instance.n, dirty=~happiness(table, assignment)
+                )
+                if init_span is not None:
+                    init_span.attrs["table_bytes"] = int(table.nbytes)
+            rounds = [
+                RoundStats(round_index=0, deviations=0, seconds=clock.lap())
+            ]
+            round_index = 0
         rec.gauge("solver.table_bytes", table.nbytes, solver="RMGP_gt")
 
-        rounds: List[RoundStats] = [
-            RoundStats(round_index=0, deviations=0, seconds=clock.lap())
-        ]
+        def make_checkpoint() -> SolveCheckpoint:
+            return SolveCheckpoint(
+                solver="RMGP_gt",
+                round_index=round_index,
+                assignment=assignment.copy(),
+                frontier=active.flags.copy(),
+                rng_state=rng.getstate(),
+                rounds=rounds_to_payload(rounds),
+                state={
+                    "sweep": [int(p) for p in sweep],
+                    "table": table.copy(),
+                },
+                fingerprint=SolveCheckpoint.fingerprint_of(instance),
+            )
 
         converged = False
-        round_index = 0
         while not converged:
+            if runtime is not None and runtime.check(round_index + 1):
+                break
             round_index += 1
             dynamics.check_round_budget(round_index, max_rounds, "RMGP_gt")
             with rec.span("round", round=round_index) as round_span:
@@ -167,15 +214,23 @@ def _solve_global_table(
                 )
             )
             converged = deviations == 0
+            if runtime is not None and not converged:
+                runtime.note_round(round_index, make_checkpoint)
+        if runtime is not None:
+            runtime.finalize(make_checkpoint)
 
+    extra = {"table_bytes": table.nbytes}
+    if not converged:
+        extra["remaining_frontier"] = active.count()
     return make_result(
         solver="RMGP_gt",
         instance=instance,
         assignment=assignment,
         rounds=rounds,
-        converged=True,
+        converged=converged,
         wall_seconds=clock.total(),
-        extra={"table_bytes": table.nbytes},
+        extra=extra,
+        stop_reason=runtime.stop_reason if runtime is not None else None,
     )
 
 

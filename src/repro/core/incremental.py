@@ -36,6 +36,9 @@ from repro.core.result import PartitionResult, RoundStats, make_result
 from repro.errors import ConfigurationError
 from repro.graph.social_graph import NodeId
 from repro.obs.recorder import Recorder, active_recorder
+from repro.runtime.budget import RuntimeBudget
+from repro.runtime.checkpoint import SolveCheckpoint
+from repro.runtime.executor import SolveRuntime, load_resume
 
 
 class IncrementalRMGP:
@@ -125,11 +128,22 @@ class IncrementalRMGP:
         self,
         max_rounds: int = dynamics.DEFAULT_MAX_ROUNDS,
         recorder: Optional[Recorder] = None,
+        budget: Optional[RuntimeBudget] = None,
     ) -> PartitionResult:
-        """Run localized best responses until the frontier is quiet."""
+        """Run localized best responses until the frontier is quiet.
+
+        With a ``budget``, the drain stops at the first round boundary
+        past the deadline (or once the token is cancelled) and returns
+        the current — valid, partially re-converged — assignment with
+        ``converged=False`` and ``stop_reason`` set; the dirty frontier
+        survives in the engine, so a later :meth:`resolve` (or a
+        :meth:`to_checkpoint` / :meth:`from_checkpoint` round trip)
+        finishes the propagation exactly where it stopped.
+        """
         rec = active_recorder(
             recorder if recorder is not None else self._recorder
         )
+        runtime = SolveRuntime.create(budget=budget, recorder=rec)
         clock = dynamics.RoundClock()
         rounds: List[RoundStats] = [RoundStats(0, 0, clock.lap())]
         # Sweep in player order over the dirty frontier — the exact
@@ -144,6 +158,8 @@ class IncrementalRMGP:
             if resolve_span is not None:
                 resolve_span.attrs["initial_frontier"] = self._active.count()
             while self._active.any_dirty():
+                if runtime is not None and runtime.check(round_index + 1):
+                    break
                 round_index += 1
                 dynamics.check_round_budget(
                     round_index, max_rounds, "IncrementalRMGP"
@@ -171,19 +187,81 @@ class IncrementalRMGP:
                 if deviations == 0:
                     break
         self.resolve_count += 1
+        converged = not self._active.any_dirty()
+        extra = {"resolve_count": self.resolve_count}
+        if not converged:
+            extra["remaining_frontier"] = self._active.count()
         return make_result(
             solver="RMGP_incremental",
             instance=self.instance,
             assignment=self.assignment,
             rounds=rounds,
-            converged=True,
+            converged=converged,
             wall_seconds=clock.total(),
-            extra={"resolve_count": self.resolve_count},
+            extra=extra,
+            stop_reason=runtime.stop_reason if runtime is not None else None,
         )
 
     def current_value(self):
         """Equation 1 breakdown of the current assignment."""
         return objective(self.instance, self.assignment)
+
+    # ------------------------------------------------------------------
+    # Checkpoint / restore
+    # ------------------------------------------------------------------
+    def to_checkpoint(self) -> SolveCheckpoint:
+        """Snapshot the full engine state (serializable via
+        :func:`repro.core.serialize.save_checkpoint`).
+
+        The snapshot captures the solver state — assignment, global
+        table, mutated cost matrix, dirty frontier, resolve counter —
+        but **not** the graph topology: :meth:`from_checkpoint` must be
+        given an instance whose graph matches the one the checkpoint was
+        taken under (enforced via the fingerprint's CSR slot count).
+        """
+        return SolveCheckpoint(
+            solver="RMGP_incremental",
+            round_index=self.resolve_count,
+            assignment=self.assignment.copy(),
+            frontier=self._active.flags.copy(),
+            state={
+                "table": self._table.copy(),
+                "cost_matrix": self._matrix.copy(),
+                "resolve_count": self.resolve_count,
+            },
+            fingerprint=SolveCheckpoint.fingerprint_of(self.instance),
+        )
+
+    @classmethod
+    def from_checkpoint(
+        cls,
+        instance: RMGPInstance,
+        checkpoint,
+        recorder: Optional[Recorder] = None,
+    ) -> "IncrementalRMGP":
+        """Rebuild an engine from a checkpoint (path or object).
+
+        The restored engine continues the interrupted trajectory
+        byte-for-byte: same table, same frontier, same assignment.  The
+        checkpoint's cost matrix (which accumulates every
+        :meth:`update_player_costs`) overrides the instance's.
+        """
+        restored = load_resume(checkpoint, instance, "RMGP_incremental",
+                               recorder)
+        if restored is None:
+            raise ConfigurationError("from_checkpoint() requires a checkpoint")
+        engine = cls.__new__(cls)
+        engine._recorder = recorder
+        matrix = np.array(restored.state["cost_matrix"], dtype=np.float64)
+        engine.instance = instance.with_cost(MatrixCost(matrix))
+        engine._matrix = engine.instance.cost._matrix  # type: ignore[attr-defined]
+        engine.assignment = restored.assignment.copy()
+        engine._table = np.array(restored.state["table"], dtype=np.float64)
+        engine._active = dynamics.ActiveSet(
+            engine.instance.n, dirty=restored.frontier.copy()
+        )
+        engine.resolve_count = int(restored.state["resolve_count"])
+        return engine
 
     # ------------------------------------------------------------------
     def _index(self, node: NodeId) -> int:

@@ -31,6 +31,9 @@ from repro.core.result import PartitionResult, RoundStats, make_result
 from repro.errors import ConfigurationError
 from repro.graph.coloring import color_groups, greedy_coloring, is_proper_coloring
 from repro.obs.recorder import Recorder, active_recorder
+from repro.runtime.budget import RuntimeBudget
+from repro.runtime.checkpoint import SolveCheckpoint, rounds_to_payload
+from repro.runtime.executor import SolveRuntime, load_resume
 
 
 def groups_from_coloring(
@@ -63,6 +66,10 @@ def _solve_independent_sets(
     coloring: Optional[Dict] = None,
     threads: int = 1,
     recorder: Optional[Recorder] = None,
+    budget: Optional[RuntimeBudget] = None,
+    checkpoint_every: Optional[int] = None,
+    checkpoint_path: Optional[str] = None,
+    resume_from=None,
 ) -> PartitionResult:
     """Run RMGP_is: best-response rounds sweeping color groups.
 
@@ -83,36 +90,77 @@ def _solve_independent_sets(
     rng = random.Random(seed)
     clock = dynamics.RoundClock()
 
+    runtime = SolveRuntime.create(
+        budget=budget,
+        checkpoint_every=checkpoint_every,
+        checkpoint_path=checkpoint_path,
+        recorder=rec,
+    )
+    restored = load_resume(resume_from, instance, "RMGP_is", rec)
     with rec.span(
         "solve", solver="RMGP_is", n=instance.n, k=instance.k, threads=threads
     ):
-        with rec.span("round", round=0, phase="init") as init_span:
-            groups = groups_from_coloring(instance, coloring)
-            # Within each group keep the requested ordering (degree/random).
-            rank = {
-                p: i
-                for i, p in enumerate(
-                    dynamics.player_order(instance, order, rng)
+        if restored is not None:
+            # The coloring is checkpointed (a caller-supplied coloring or
+            # greedy tie-breaks need not be rebuilt identically).
+            groups = [
+                [int(p) for p in group]
+                for group in restored.state["groups"]
+            ]
+            assignment = restored.assignment
+            if restored.rng_state is not None:
+                rng.setstate(restored.rng_state)
+            rounds: List[RoundStats] = restored.restored_rounds()
+            round_index = restored.round_index
+        else:
+            with rec.span("round", round=0, phase="init") as init_span:
+                groups = groups_from_coloring(instance, coloring)
+                # Within each group keep the requested ordering
+                # (degree/random).
+                rank = {
+                    p: i
+                    for i, p in enumerate(
+                        dynamics.player_order(instance, order, rng)
+                    )
+                }
+                groups = [
+                    sorted(group, key=rank.__getitem__) for group in groups
+                ]
+                assignment = dynamics.initial_assignment(
+                    instance, init, rng, warm_start
                 )
-            }
-            groups = [sorted(group, key=rank.__getitem__) for group in groups]
-            assignment = dynamics.initial_assignment(
-                instance, init, rng, warm_start
-            )
-            if init_span is not None:
-                init_span.attrs["num_groups"] = len(groups)
-        rounds: List[RoundStats] = [
-            RoundStats(round_index=0, deviations=0, seconds=clock.lap())
-        ]
+                if init_span is not None:
+                    init_span.attrs["num_groups"] = len(groups)
+            rounds = [
+                RoundStats(round_index=0, deviations=0, seconds=clock.lap())
+            ]
+            round_index = 0
 
         executor = (
             ThreadPoolExecutor(max_workers=threads) if threads > 1 else None
         )
-        active = dynamics.ActiveSet(instance.n)
+        if restored is not None:
+            active = dynamics.ActiveSet(instance.n, dirty=restored.frontier)
+        else:
+            active = dynamics.ActiveSet(instance.n)
+
+        def make_checkpoint() -> SolveCheckpoint:
+            return SolveCheckpoint(
+                solver="RMGP_is",
+                round_index=round_index,
+                assignment=assignment.copy(),
+                frontier=active.flags.copy(),
+                rng_state=rng.getstate(),
+                rounds=rounds_to_payload(rounds),
+                state={"groups": [[int(p) for p in g] for g in groups]},
+                fingerprint=SolveCheckpoint.fingerprint_of(instance),
+            )
+
         try:
             converged = False
-            round_index = 0
             while not converged:
+                if runtime is not None and runtime.check(round_index + 1):
+                    break
                 round_index += 1
                 dynamics.check_round_budget(round_index, max_rounds, "RMGP_is")
                 deviations = 0
@@ -148,25 +196,33 @@ def _solve_independent_sets(
                     )
                 )
                 converged = deviations == 0
+                if runtime is not None and not converged:
+                    runtime.note_round(round_index, make_checkpoint)
+            if runtime is not None:
+                runtime.finalize(make_checkpoint)
         finally:
             if executor is not None:
                 executor.shutdown(wait=True)
 
     critical_path = sum(math.ceil(len(g) / threads) for g in groups)
+    extra = {
+        "num_groups": len(groups),
+        "threads": threads,
+        "model_players_per_round": critical_path,
+        "sequential_players_per_round": instance.n,
+        "model_speedup": (instance.n / critical_path) if critical_path else 1.0,
+    }
+    if not converged:
+        extra["remaining_frontier"] = active.count()
     return make_result(
         solver="RMGP_is",
         instance=instance,
         assignment=assignment,
         rounds=rounds,
-        converged=True,
+        converged=converged,
         wall_seconds=clock.total(),
-        extra={
-            "num_groups": len(groups),
-            "threads": threads,
-            "model_players_per_round": critical_path,
-            "sequential_players_per_round": instance.n,
-            "model_speedup": (instance.n / critical_path) if critical_path else 1.0,
-        },
+        extra=extra,
+        stop_reason=runtime.stop_reason if runtime is not None else None,
     )
 
 

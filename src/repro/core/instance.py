@@ -14,7 +14,7 @@ from typing import Callable, Dict, Hashable, Iterable, List, Optional, Sequence
 import numpy as np
 
 from repro.core.costs import CostProvider, as_cost_provider
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, GraphError
 from repro.graph.social_graph import NodeId, SocialGraph
 
 
@@ -106,7 +106,6 @@ class RMGPInstance:
             raise ConfigurationError(
                 f"cost has {self.cost.num_classes} classes, P has {len(classes)}"
             )
-
         self._build_adjacency()
 
     # ------------------------------------------------------------------
@@ -138,13 +137,24 @@ class RMGPInstance:
         for node in node_ids:
             neighbors = graph.neighbors(node)
             count = len(neighbors)
-            indices[pos : pos + count] = np.fromiter(
-                (index_of[f] for f in neighbors), dtype=np.int64, count=count
-            )
+            try:
+                indices[pos : pos + count] = np.fromiter(
+                    (index_of[f] for f in neighbors), dtype=np.int64,
+                    count=count,
+                )
+            except KeyError as exc:
+                raise GraphError(
+                    f"edge {node!r} -> {exc.args[0]!r} dangles: the "
+                    "endpoint is not a node of the graph"
+                ) from exc
             weights[pos : pos + count] = np.fromiter(
                 neighbors.values(), dtype=np.float64, count=count
             )
             pos += count
+        if not np.isfinite(weights).all():
+            raise GraphError("edge weights must be finite (found NaN/inf)")
+        if weights.size and weights.min() < 0:
+            raise GraphError("edge weights must be non-negative")
 
         self.indptr = indptr
         self.indices = indices

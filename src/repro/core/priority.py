@@ -29,6 +29,9 @@ from repro.core.instance import RMGPInstance
 from repro.core.result import PartitionResult, RoundStats, make_result
 from repro.errors import ConvergenceError
 from repro.obs.recorder import Recorder, active_recorder
+from repro.runtime.budget import RuntimeBudget
+from repro.runtime.checkpoint import SolveCheckpoint, rounds_to_payload
+from repro.runtime.executor import SolveRuntime, load_resume
 
 
 def _solve_max_gain(
@@ -38,6 +41,10 @@ def _solve_max_gain(
     warm_start: Optional[np.ndarray] = None,
     max_moves: Optional[int] = None,
     recorder: Optional[Recorder] = None,
+    budget: Optional[RuntimeBudget] = None,
+    checkpoint_every: Optional[int] = None,
+    checkpoint_path: Optional[str] = None,
+    resume_from=None,
 ) -> PartitionResult:
     """Run max-gain dynamics to a pure Nash equilibrium.
 
@@ -50,43 +57,97 @@ def _solve_max_gain(
     real unit of work of best-improvement dynamics — there is no
     full-sweep round here.  Round 0's count is the heap build, which
     evaluates every player's gain once.
+
+    The real-time layer treats a *batch* as the round unit: budget
+    checks and checkpoints happen only at batch boundaries, keeping the
+    hot pop-and-move loop free of per-move overhead.  Checkpoints
+    serialize the table and the heap list verbatim (entry order is the
+    binary-heap layout), so a resume pops in the exact same sequence.
     """
     rec = active_recorder(recorder)
     rng = random.Random(seed)
     clock = dynamics.RoundClock()
 
+    runtime = SolveRuntime.create(
+        budget=budget,
+        checkpoint_every=checkpoint_every,
+        checkpoint_path=checkpoint_path,
+        recorder=rec,
+    )
+    restored = load_resume(resume_from, instance, "RMGP_mg", rec)
     with rec.span("solve", solver="RMGP_mg", n=instance.n, k=instance.k):
-        with rec.span("round", round=0, phase="init"):
-            assignment = dynamics.initial_assignment(
-                instance, init, rng, warm_start
-            )
-            with rec.span("build_table"):
-                table = build_global_table(instance, assignment)
-            if max_moves is None:
-                max_moves = max(1000, instance.n * instance.k * 1000)
+        if max_moves is None:
+            max_moves = max(1000, instance.n * instance.k * 1000)
+        tol = dynamics.DEVIATION_TOLERANCE
+        half = (1.0 - instance.alpha) * 0.5
 
-            tol = dynamics.DEVIATION_TOLERANCE
-            half = (1.0 - instance.alpha) * 0.5
+        if restored is not None:
+            assignment = restored.assignment
+            table = restored.state["table"]
 
             def gain_of(player: int) -> float:
                 row = table[player]
                 return float(row[assignment[player]] - row.min())
 
-            # Max-heap entries: (-gain, player).  Lazy invalidation: an
-            # entry is acted on only if its gain still matches the
-            # player's current gain.
-            heap: List[tuple] = []
-            for player in range(instance.n):
-                gain = gain_of(player)
-                if gain > tol:
-                    heapq.heappush(heap, (-gain, player))
+            heap: List[tuple] = [
+                (float(key), int(player))
+                for key, player in zip(
+                    restored.state["heap_keys"],
+                    restored.state["heap_players"],
+                )
+            ]
+            moves = int(restored.state["moves"])
+            if restored.rng_state is not None:
+                rng.setstate(restored.rng_state)
+            rounds: List[RoundStats] = restored.restored_rounds()
+        else:
+            with rec.span("round", round=0, phase="init"):
+                assignment = dynamics.initial_assignment(
+                    instance, init, rng, warm_start
+                )
+                with rec.span("build_table"):
+                    table = build_global_table(instance, assignment)
 
-        rounds: List[RoundStats] = [
-            RoundStats(0, 0, clock.lap(), players_examined=instance.n)
-        ]
-        moves = 0
+                def gain_of(player: int) -> float:
+                    row = table[player]
+                    return float(row[assignment[player]] - row.min())
+
+                # Max-heap entries: (-gain, player).  Lazy invalidation:
+                # an entry is acted on only if its gain still matches the
+                # player's current gain.
+                heap = []
+                for player in range(instance.n):
+                    gain = gain_of(player)
+                    if gain > tol:
+                        heapq.heappush(heap, (-gain, player))
+
+            rounds = [
+                RoundStats(0, 0, clock.lap(), players_examined=instance.n)
+            ]
+            moves = 0
         batch_moves = 0
         batch_examined = 0
+
+        def make_checkpoint() -> SolveCheckpoint:
+            return SolveCheckpoint(
+                solver="RMGP_mg",
+                round_index=len(rounds) - 1,
+                assignment=assignment.copy(),
+                frontier=np.zeros(0, dtype=bool),
+                rng_state=rng.getstate(),
+                rounds=rounds_to_payload(rounds),
+                state={
+                    "table": table.copy(),
+                    "heap_keys": np.array(
+                        [entry[0] for entry in heap], dtype=np.float64
+                    ),
+                    "heap_players": np.array(
+                        [entry[1] for entry in heap], dtype=np.int64
+                    ),
+                    "moves": moves,
+                },
+                fingerprint=SolveCheckpoint.fingerprint_of(instance),
+            )
 
         def flush_batch() -> None:
             nonlocal batch_moves, batch_examined
@@ -108,7 +169,18 @@ def _solve_max_gain(
             batch_moves = 0
             batch_examined = 0
 
+        interrupted = False
         while heap:
+            # One budget check per batch boundary (both counters reset
+            # only at a flush), never per heap pop.
+            if (
+                runtime is not None
+                and batch_moves == 0
+                and batch_examined == 0
+                and runtime.check(len(rounds))
+            ):
+                interrupted = True
+                break
             negative_gain, player = heapq.heappop(heap)
             batch_examined += 1
             current_gain = gain_of(player)
@@ -135,17 +207,27 @@ def _solve_max_gain(
                     heapq.heappush(heap, (-friend_gain, int(friend)))
             if batch_moves >= 1000:
                 flush_batch()
-        if batch_moves or batch_examined or len(rounds) == 1:
+                if runtime is not None:
+                    runtime.note_round(len(rounds) - 1, make_checkpoint)
+        if not interrupted and (
+            batch_moves or batch_examined or len(rounds) == 1
+        ):
             flush_batch()
+        if runtime is not None:
+            runtime.finalize(make_checkpoint)
 
+    extra = {"total_moves": moves}
+    if interrupted:
+        extra["remaining_frontier"] = len(heap)
     return make_result(
         solver="RMGP_mg",
         instance=instance,
         assignment=assignment,
         rounds=rounds,
-        converged=True,
+        converged=not interrupted,
         wall_seconds=clock.total(),
-        extra={"total_moves": moves},
+        extra=extra,
+        stop_reason=runtime.stop_reason if runtime is not None else None,
     )
 
 

@@ -69,8 +69,7 @@ class PartitionResult:
     converged:
         True when the solver reached a round without deviations (a Nash
         equilibrium, or the variant's weaker solution concept); False
-        only if the round budget was exhausted (possible only for the
-        synchronous ablation — every other variant raises instead).
+        when it stopped early — see ``stop_reason`` for why.
     wall_seconds:
         Wall-clock seconds for the **entire call**, round 0 and any
         internal re-solves included.
@@ -78,6 +77,14 @@ class PartitionResult:
         Solver-specific diagnostics (players eliminated, colors used,
         bytes transferred, ...).  Keys here are the only place variants
         may differ.
+    stop_reason:
+        Why the solve stopped: ``"converged"``, ``"max_rounds"`` (the
+        synchronous ablation's non-raising budget exhaustion),
+        ``"deadline"`` or ``"cancelled"``.  The last two come from the
+        real-time layer (:mod:`repro.runtime`); the assignment they
+        accompany is still valid and — for the potential-game dynamics —
+        no worse than where the solve was interrupted (anytime
+        property).
     """
 
     solver: str
@@ -88,6 +95,7 @@ class PartitionResult:
     converged: bool
     wall_seconds: float
     extra: Dict[str, Any] = field(default_factory=dict)
+    stop_reason: str = "converged"
 
     @property
     def num_rounds(self) -> int:
@@ -105,7 +113,11 @@ class PartitionResult:
 
     def summary(self) -> str:
         """One-line human-readable description."""
-        status = "converged" if self.converged else "NOT converged"
+        status = (
+            "converged"
+            if self.converged
+            else f"NOT converged ({self.stop_reason})"
+        )
         return (
             f"{self.solver}: {status} in {self.num_rounds} rounds, "
             f"{self.value}, {self.wall_seconds * 1e3:.1f} ms"
@@ -124,6 +136,7 @@ class PartitionResult:
             "solver": self.solver,
             "n": int(self.assignment.size),
             "converged": bool(self.converged),
+            "stop_reason": self.stop_reason,
             "rounds": self.num_rounds,
             "total_deviations": int(self.total_deviations),
             "wall_seconds": float(self.wall_seconds),
@@ -164,8 +177,16 @@ def make_result(
     converged: bool,
     wall_seconds: float,
     extra: Optional[Dict[str, Any]] = None,
+    stop_reason: Optional[str] = None,
 ) -> PartitionResult:
-    """Assemble a :class:`PartitionResult`, evaluating Equation 1 once."""
+    """Assemble a :class:`PartitionResult`, evaluating Equation 1 once.
+
+    ``stop_reason`` defaults from ``converged`` (``"converged"`` /
+    ``"max_rounds"``); interrupted solves pass ``"deadline"`` or
+    ``"cancelled"`` explicitly.
+    """
+    if stop_reason is None:
+        stop_reason = "converged" if converged else "max_rounds"
     instance.validate_assignment(assignment)
     return PartitionResult(
         solver=solver,
@@ -176,4 +197,5 @@ def make_result(
         converged=converged,
         wall_seconds=wall_seconds,
         extra=dict(extra or {}),
+        stop_reason=stop_reason,
     )

@@ -89,3 +89,51 @@ def load_labels(path: str) -> Dict[str, str]:
     if not isinstance(labels, dict):
         raise DataError(f"{path!r} has no labels section")
     return labels
+
+
+# ----------------------------------------------------------------------
+# Solve checkpoints (repro.runtime)
+# ----------------------------------------------------------------------
+#: File-format version wrapping a checkpoint payload
+#: (:data:`repro.runtime.checkpoint.CHECKPOINT_VERSION` versions the
+#: payload itself).
+CHECKPOINT_FORMAT_VERSION = 1
+
+
+def save_checkpoint(checkpoint, path: str) -> None:
+    """Persist a :class:`~repro.runtime.checkpoint.SolveCheckpoint`.
+
+    The write is atomic (temp file + ``os.replace``) so a crash mid-write
+    never corrupts the previous checkpoint — the whole point of periodic
+    checkpointing is surviving exactly that crash.
+    """
+    payload = {
+        "format_version": CHECKPOINT_FORMAT_VERSION,
+        "checkpoint": checkpoint.to_payload(),
+    }
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    tmp_path = path + ".tmp"
+    with open(tmp_path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, sort_keys=True)
+    os.replace(tmp_path, path)
+
+
+def load_checkpoint(path: str):
+    """Load a checkpoint written by :func:`save_checkpoint`."""
+    from repro.runtime.checkpoint import SolveCheckpoint
+
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        raise DataError(f"cannot read checkpoint file {path!r}: {exc}") from exc
+    if payload.get("format_version") != CHECKPOINT_FORMAT_VERSION:
+        raise DataError(
+            f"{path!r} has format version {payload.get('format_version')}, "
+            f"expected {CHECKPOINT_FORMAT_VERSION}"
+        )
+    body = payload.get("checkpoint")
+    if not isinstance(body, dict):
+        raise DataError(f"{path!r} has no checkpoint section")
+    return SolveCheckpoint.from_payload(body)

@@ -30,6 +30,9 @@ from repro.core.instance import RMGPInstance
 from repro.core.objective import player_strategy_costs, potential
 from repro.core.result import PartitionResult, RoundStats, make_result
 from repro.obs.recorder import Recorder, active_recorder
+from repro.runtime.budget import RuntimeBudget
+from repro.runtime.checkpoint import SolveCheckpoint, rounds_to_payload
+from repro.runtime.executor import SolveRuntime, load_resume
 
 
 def _solve_simultaneous(
@@ -40,6 +43,10 @@ def _solve_simultaneous(
     max_rounds: int = 200,
     damping: float = 1.0,
     recorder: Optional[Recorder] = None,
+    budget: Optional[RuntimeBudget] = None,
+    checkpoint_every: Optional[int] = None,
+    checkpoint_path: Optional[str] = None,
+    resume_from=None,
 ) -> PartitionResult:
     """Synchronous best-response dynamics.
 
@@ -53,6 +60,12 @@ def _solve_simultaneous(
     dynamics best-respond against a full snapshot, so every player is
     re-evaluated each round — it is not a full-sweep *assumption*, it is
     the algorithm.
+
+    Because Φ is *not* monotone here, an interrupted solve reports the
+    **best assignment by Φ seen so far** (round 0 included) rather than
+    the current state — that is the strongest anytime guarantee the
+    synchronous ablation can offer.  The checkpoint still stores the
+    current state, so a resume replays the exact trajectory.
     """
     if not 0.0 < damping <= 1.0:
         from repro.errors import ConfigurationError
@@ -62,27 +75,73 @@ def _solve_simultaneous(
     rng = random.Random(seed)
     clock = dynamics.RoundClock()
 
+    runtime = SolveRuntime.create(
+        budget=budget,
+        checkpoint_every=checkpoint_every,
+        checkpoint_path=checkpoint_path,
+        recorder=rec,
+    )
+    restored = load_resume(resume_from, instance, "RMGP_sync", rec)
     with rec.span(
         "solve", solver="RMGP_sync", n=instance.n, k=instance.k,
         damping=damping,
     ):
-        with rec.span("round", round=0, phase="init"):
-            assignment = dynamics.initial_assignment(
-                instance, init, rng, warm_start
-            )
-        rounds: List[RoundStats] = [
-            RoundStats(
-                0, 0, clock.lap(), potential=potential(instance, assignment)
-            )
-        ]
-
-        seen_states = {assignment.tobytes()}
-        potential_increases = 0
+        if restored is not None:
+            assignment = restored.assignment
+            rounds: List[RoundStats] = restored.restored_rounds()
+            seen_states = {
+                bytes.fromhex(state) for state in restored.state["seen"]
+            }
+            potential_increases = int(restored.state["potential_increases"])
+            last_potential = float(restored.state["last_potential"])
+            best_assignment = restored.state["best_assignment"]
+            best_potential = float(restored.state["best_potential"])
+            if restored.rng_state is not None:
+                rng.setstate(restored.rng_state)
+            completed_round = restored.round_index
+        else:
+            with rec.span("round", round=0, phase="init"):
+                assignment = dynamics.initial_assignment(
+                    instance, init, rng, warm_start
+                )
+            rounds = [
+                RoundStats(
+                    0, 0, clock.lap(),
+                    potential=potential(instance, assignment),
+                )
+            ]
+            seen_states = {assignment.tobytes()}
+            potential_increases = 0
+            last_potential = rounds[0].potential or 0.0
+            best_assignment = assignment.copy()
+            best_potential = last_potential
+            completed_round = 0
         cycle_detected = False
         converged = False
-        last_potential = rounds[0].potential or 0.0
 
-        for round_index in range(1, max_rounds + 1):
+        def make_checkpoint() -> SolveCheckpoint:
+            return SolveCheckpoint(
+                solver="RMGP_sync",
+                round_index=completed_round,
+                assignment=assignment.copy(),
+                frontier=np.zeros(0, dtype=bool),
+                rng_state=rng.getstate(),
+                rounds=rounds_to_payload(rounds),
+                state={
+                    "seen": [state.hex() for state in seen_states],
+                    "potential_increases": potential_increases,
+                    "last_potential": last_potential,
+                    "best_assignment": best_assignment.copy(),
+                    "best_potential": best_potential,
+                },
+                fingerprint=SolveCheckpoint.fingerprint_of(instance),
+            )
+
+        interrupted = False
+        for round_index in range(completed_round + 1, max_rounds + 1):
+            if runtime is not None and runtime.check(round_index):
+                interrupted = True
+                break
             # Everyone computes a best response against the same snapshot.
             # "deviations" counts players who *want* to move; damping only
             # suppresses the execution, never the convergence test —
@@ -130,6 +189,10 @@ def _solve_simultaneous(
                     players_examined=instance.n,
                 )
             )
+            completed_round = round_index
+            if phi < best_potential:
+                best_potential = phi
+                best_assignment = assignment.copy()
             if deviations == 0:
                 converged = True
                 break
@@ -143,19 +206,31 @@ def _solve_simultaneous(
                     rec.event("cycle_detected", round=round_index)
                     break
                 seen_states.add(state)
+            if runtime is not None:
+                runtime.note_round(round_index, make_checkpoint)
+        if runtime is not None:
+            runtime.finalize(make_checkpoint)
 
+    extra = {
+        "potential_increases": potential_increases,
+        "cycle_detected": cycle_detected,
+        "damping": damping,
+    }
+    if interrupted:
+        # Report the best-by-Φ state, not wherever the oscillation was.
+        extra["reported_best_potential"] = best_potential
+        final_assignment = best_assignment
+    else:
+        final_assignment = assignment
     return make_result(
         solver="RMGP_sync",
         instance=instance,
-        assignment=assignment,
+        assignment=final_assignment,
         rounds=rounds,
         converged=converged,
         wall_seconds=clock.total(),
-        extra={
-            "potential_increases": potential_increases,
-            "cycle_detected": cycle_detected,
-            "damping": damping,
-        },
+        extra=extra,
+        stop_reason=runtime.stop_reason if runtime is not None else None,
     )
 
 

@@ -27,6 +27,9 @@ from repro.core.instance import RMGPInstance
 from repro.core.objective import potential
 from repro.core.result import PartitionResult, RoundStats, make_result
 from repro.obs.recorder import Recorder, active_recorder
+from repro.runtime.budget import RuntimeBudget
+from repro.runtime.checkpoint import SolveCheckpoint, rounds_to_payload
+from repro.runtime.executor import SolveRuntime, load_resume
 
 
 @dataclass
@@ -86,49 +89,88 @@ def _solve_strategy_elimination(
     max_rounds: int = dynamics.DEFAULT_MAX_ROUNDS,
     plan: Optional[EliminationPlan] = None,
     recorder: Optional[Recorder] = None,
+    budget: Optional[RuntimeBudget] = None,
+    checkpoint_every: Optional[int] = None,
+    checkpoint_path: Optional[str] = None,
+    resume_from=None,
 ) -> PartitionResult:
     """Run RMGP_se: Figure 3 dynamics over reduced strategy spaces.
 
     ``plan`` may be supplied to reuse a pre-computed
     :class:`EliminationPlan` across repeated queries on the same
     instance; by default it is built during round 0 (and its time is
-    charged there, as in Figure 12(c)).
+    charged there, as in Figure 12(c)).  Checkpoints do not serialize
+    the plan — it is a pure, deterministic function of the instance and
+    is rebuilt on resume.
     """
     rec = active_recorder(recorder)
     rng = random.Random(seed)
     clock = dynamics.RoundClock()
 
+    runtime = SolveRuntime.create(
+        budget=budget,
+        checkpoint_every=checkpoint_every,
+        checkpoint_path=checkpoint_path,
+        recorder=rec,
+    )
+    restored = load_resume(resume_from, instance, "RMGP_se", rec)
     with rec.span("solve", solver="RMGP_se", n=instance.n, k=instance.k):
-        with rec.span("round", round=0, phase="init") as init_span:
+        if restored is not None:
             if plan is None:
-                with rec.span("build_plan"):
-                    plan = build_elimination_plan(instance)
-            assignment = dynamics.initial_assignment(
-                instance, init, rng, warm_start
-            )
-            # Fixed players are assigned immediately and leave the game.
+                plan = build_elimination_plan(instance)
             fixed_mask = plan.fixed_class >= 0
-            assignment[fixed_mask] = plan.fixed_class[fixed_mask]
-            sweep = [
-                p
-                for p in dynamics.player_order(instance, order, rng)
-                if not fixed_mask[p]
+            assignment = restored.assignment
+            sweep = [int(p) for p in restored.state["sweep"]]
+            active = dynamics.ActiveSet(instance.n, dirty=restored.frontier)
+            if restored.rng_state is not None:
+                rng.setstate(restored.rng_state)
+            rounds: List[RoundStats] = restored.restored_rounds()
+            round_index = restored.round_index
+        else:
+            with rec.span("round", round=0, phase="init") as init_span:
+                if plan is None:
+                    with rec.span("build_plan"):
+                        plan = build_elimination_plan(instance)
+                assignment = dynamics.initial_assignment(
+                    instance, init, rng, warm_start
+                )
+                # Fixed players are assigned immediately and leave the game.
+                fixed_mask = plan.fixed_class >= 0
+                assignment[fixed_mask] = plan.fixed_class[fixed_mask]
+                sweep = [
+                    p
+                    for p in dynamics.player_order(instance, order, rng)
+                    if not fixed_mask[p]
+                ]
+                # Frontier scheduling over the free players only: fixed
+                # players never move, so they never need re-examination, and
+                # a mover's clean neighbors are re-marked exactly as in
+                # RMGP_b — the move sequence is identical to the full sweep.
+                active = dynamics.ActiveSet(instance.n)
+                active.flags[fixed_mask] = False
+                if init_span is not None:
+                    init_span.attrs["num_fixed"] = plan.num_fixed
+            rounds = [
+                RoundStats(round_index=0, deviations=0, seconds=clock.lap())
             ]
-            # Frontier scheduling over the free players only: fixed
-            # players never move, so they never need re-examination, and
-            # a mover's clean neighbors are re-marked exactly as in
-            # RMGP_b — the move sequence is identical to the full sweep.
-            active = dynamics.ActiveSet(instance.n)
-            active.flags[fixed_mask] = False
-            if init_span is not None:
-                init_span.attrs["num_fixed"] = plan.num_fixed
-        rounds: List[RoundStats] = [
-            RoundStats(round_index=0, deviations=0, seconds=clock.lap())
-        ]
+            round_index = 0
+
+        def make_checkpoint() -> SolveCheckpoint:
+            return SolveCheckpoint(
+                solver="RMGP_se",
+                round_index=round_index,
+                assignment=assignment.copy(),
+                frontier=active.flags.copy(),
+                rng_state=rng.getstate(),
+                rounds=rounds_to_payload(rounds),
+                state={"sweep": [int(p) for p in sweep]},
+                fingerprint=SolveCheckpoint.fingerprint_of(instance),
+            )
 
         converged = False
-        round_index = 0
         while not converged:
+            if runtime is not None and runtime.check(round_index + 1):
+                break
             round_index += 1
             dynamics.check_round_budget(round_index, max_rounds, "RMGP_se")
             with rec.span("round", round=round_index) as round_span:
@@ -156,19 +198,27 @@ def _solve_strategy_elimination(
                 )
             )
             converged = deviations == 0
+            if runtime is not None and not converged:
+                runtime.note_round(round_index, make_checkpoint)
+        if runtime is not None:
+            runtime.finalize(make_checkpoint)
 
+    extra = {
+        "num_fixed": plan.num_fixed,
+        "strategies_remaining": plan.strategies_remaining(),
+        "strategies_total": instance.n * instance.k,
+    }
+    if not converged:
+        extra["remaining_frontier"] = active.count()
     return make_result(
         solver="RMGP_se",
         instance=instance,
         assignment=assignment,
         rounds=rounds,
-        converged=True,
+        converged=converged,
         wall_seconds=clock.total(),
-        extra={
-            "num_fixed": plan.num_fixed,
-            "strategies_remaining": plan.strategies_remaining(),
-            "strategies_total": instance.n * instance.k,
-        },
+        extra=extra,
+        stop_reason=runtime.stop_reason if runtime is not None else None,
     )
 
 

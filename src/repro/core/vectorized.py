@@ -38,6 +38,9 @@ from repro.core.instance import RMGPInstance, concat_ranges
 from repro.core.objective import potential
 from repro.core.result import PartitionResult, RoundStats, make_result
 from repro.obs.recorder import Recorder, active_recorder
+from repro.runtime.budget import RuntimeBudget
+from repro.runtime.checkpoint import SolveCheckpoint, rounds_to_payload
+from repro.runtime.executor import SolveRuntime, load_resume
 
 
 @dataclass
@@ -151,34 +154,74 @@ def _solve_vectorized(
     max_rounds: int = dynamics.DEFAULT_MAX_ROUNDS,
     coloring: Optional[Dict] = None,
     recorder: Optional[Recorder] = None,
+    budget: Optional[RuntimeBudget] = None,
+    checkpoint_every: Optional[int] = None,
+    checkpoint_path: Optional[str] = None,
+    resume_from=None,
 ) -> PartitionResult:
     """Run the vectorized group-batched dynamics.
 
     Parameters mirror :func:`repro.core.independent_sets.solve_independent_sets`;
     player ordering inside a group is irrelevant (the batch is committed
-    atomically), so there is no ``order`` knob.
+    atomically), so there is no ``order`` knob.  Checkpoints store only
+    the groups: batch arrays and per-round costs are pure functions of
+    (instance, groups), so a resume rebuilds them bit-identically.
     """
     rec = active_recorder(recorder)
     rng = random.Random(seed)
     clock = dynamics.RoundClock()
 
+    runtime = SolveRuntime.create(
+        budget=budget,
+        checkpoint_every=checkpoint_every,
+        checkpoint_path=checkpoint_path,
+        recorder=rec,
+    )
+    restored = load_resume(resume_from, instance, "RMGP_vec", rec)
     with rec.span("solve", solver="RMGP_vec", n=instance.n, k=instance.k):
-        with rec.span("round", round=0, phase="init") as init_span:
-            groups = groups_from_coloring(instance, coloring)
-            assignment = dynamics.initial_assignment(
-                instance, init, rng, warm_start
+        if restored is not None:
+            groups = [
+                [int(p) for p in group]
+                for group in restored.state["groups"]
+            ]
+            assignment = restored.assignment
+            batches = _build_batches(instance, groups)
+            active = dynamics.ActiveSet(instance.n, dirty=restored.frontier)
+            if restored.rng_state is not None:
+                rng.setstate(restored.rng_state)
+            rounds: List[RoundStats] = restored.restored_rounds()
+            round_index = restored.round_index
+        else:
+            with rec.span("round", round=0, phase="init") as init_span:
+                groups = groups_from_coloring(instance, coloring)
+                assignment = dynamics.initial_assignment(
+                    instance, init, rng, warm_start
+                )
+                with rec.span("build_batches"):
+                    batches = _build_batches(instance, groups)
+                active = dynamics.ActiveSet(instance.n)
+                if init_span is not None:
+                    init_span.attrs["num_groups"] = len(groups)
+            rounds = [RoundStats(0, 0, clock.lap())]
+            round_index = 0
+
+        def make_checkpoint() -> SolveCheckpoint:
+            return SolveCheckpoint(
+                solver="RMGP_vec",
+                round_index=round_index,
+                assignment=assignment.copy(),
+                frontier=active.flags.copy(),
+                rng_state=rng.getstate(),
+                rounds=rounds_to_payload(rounds),
+                state={"groups": [[int(p) for p in g] for g in groups]},
+                fingerprint=SolveCheckpoint.fingerprint_of(instance),
             )
-            with rec.span("build_batches"):
-                batches = _build_batches(instance, groups)
-            active = dynamics.ActiveSet(instance.n)
-            if init_span is not None:
-                init_span.attrs["num_groups"] = len(groups)
-        rounds: List[RoundStats] = [RoundStats(0, 0, clock.lap())]
 
         tol = dynamics.DEVIATION_TOLERANCE
         converged = False
-        round_index = 0
         while not converged:
+            if runtime is not None and runtime.check(round_index + 1):
+                break
             round_index += 1
             dynamics.check_round_budget(round_index, max_rounds, "RMGP_vec")
             deviations = 0
@@ -209,15 +252,23 @@ def _solve_vectorized(
                 )
             )
             converged = deviations == 0
+            if runtime is not None and not converged:
+                runtime.note_round(round_index, make_checkpoint)
+        if runtime is not None:
+            runtime.finalize(make_checkpoint)
 
+    extra = {"num_groups": len(groups)}
+    if not converged:
+        extra["remaining_frontier"] = active.count()
     return make_result(
         solver="RMGP_vec",
         instance=instance,
         assignment=assignment,
         rounds=rounds,
-        converged=True,
+        converged=converged,
         wall_seconds=clock.total(),
-        extra={"num_groups": len(groups)},
+        extra=extra,
+        stop_reason=runtime.stop_reason if runtime is not None else None,
     )
 
 

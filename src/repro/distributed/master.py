@@ -33,6 +33,7 @@ from repro.distributed.slave import SlaveNode
 from repro.errors import ConfigurationError, ProtocolError, SlaveUnreachableError
 from repro.graph.social_graph import NodeId
 from repro.obs.recorder import Recorder, active_recorder
+from repro.runtime.token import CancelToken
 
 #: Safety valve mirroring the centralized solvers.
 MAX_DG_ROUNDS = 10_000
@@ -204,6 +205,9 @@ class DGResult:
     num_participants: int
     cn: float = 1.0
     extra: Dict = field(default_factory=dict)
+    #: Why the protocol stopped: ``"converged"``, ``"deadline"`` or
+    #: ``"cancelled"`` (mirrors ``PartitionResult.stop_reason``).
+    stop_reason: str = "converged"
 
     @property
     def num_rounds(self) -> int:
@@ -268,13 +272,33 @@ class DecentralizedGame:
             return self.network.parallel_exchange(messages)
         return self.transport.exchange(messages)
 
-    def run(self, query: DGQuery) -> DGResult:
-        """Execute the full Figure 6 protocol for ``query``."""
+    def run(
+        self,
+        query: DGQuery,
+        deadline_seconds: Optional[float] = None,
+        cancel_token: Optional[CancelToken] = None,
+    ) -> DGResult:
+        """Execute the full Figure 6 protocol for ``query``.
+
+        ``deadline_seconds`` bounds the *simulated* processing time
+        (compute plus transfer — the Figure 14 quantity): the master
+        stops launching color phases once the budget is spent and
+        returns the current — valid, monotonically improved — GSV with
+        ``converged=False`` and ``stop_reason="deadline"``.  The
+        remaining budget rides along with every COMPUTE_COLOR message so
+        slaves can refuse work on their own; a round with skipped
+        (*degraded*) phases never counts as convergence even when it
+        reports zero deviations.  ``cancel_token`` is polled at round
+        and phase boundaries and stops the protocol the same way with
+        ``stop_reason="cancelled"``.
+        """
+        if deadline_seconds is not None and deadline_seconds <= 0:
+            raise ConfigurationError("deadline_seconds must be positive")
         rec = active_recorder(self.recorder)
         with rec.span(
             "dg.solve", solver="DG", slaves=len(self.slaves), k=query.k
         ):
-            result = self._run(query, rec)
+            result = self._run(query, rec, deadline_seconds, cancel_token)
             rec.count("dg.bytes", result.total_bytes)
             rec.count("dg.messages", result.total_messages)
             if self.transport is not None:
@@ -293,7 +317,26 @@ class DecentralizedGame:
                 )
         return result
 
-    def _run(self, query: DGQuery, rec: Recorder) -> DGResult:
+    @staticmethod
+    def _interrupt_reason(
+        cancel_token: Optional[CancelToken],
+        deadline_seconds: Optional[float],
+        sim_elapsed: float,
+    ) -> Optional[str]:
+        """Real-time stop test at a round/phase boundary (token first)."""
+        if cancel_token is not None and cancel_token.cancelled:
+            return "cancelled"
+        if deadline_seconds is not None and sim_elapsed >= deadline_seconds:
+            return "deadline"
+        return None
+
+    def _run(
+        self,
+        query: DGQuery,
+        rec: Recorder,
+        deadline_seconds: Optional[float] = None,
+        cancel_token: Optional[CancelToken] = None,
+    ) -> DGResult:
         rounds: List[DGRoundStats] = []
         start_bytes = self.network.total_bytes()
         start_msgs = self.network.total_messages()
@@ -403,7 +446,15 @@ class DecentralizedGame:
         color_order = sorted(colors)
         round_index = 0
         converged = False
+        stop_reason: Optional[str] = None
+        sim_elapsed = rounds[0].total_seconds
+        degraded_rounds = 0
         while not converged:
+            stop_reason = self._interrupt_reason(
+                cancel_token, deadline_seconds, sim_elapsed
+            )
+            if stop_reason is not None:
+                break
             round_index += 1
             if round_index > MAX_DG_ROUNDS:
                 raise ProtocolError(f"DG exceeded {MAX_DG_ROUNDS} rounds")
@@ -412,15 +463,36 @@ class DecentralizedGame:
                 round_compute = 0.0
                 round_transfer = 0.0
                 round_deviations = 0
+                degraded = False
                 for color in color_order:
+                    phase_elapsed = sim_elapsed + round_compute + round_transfer
+                    reason = self._interrupt_reason(
+                        cancel_token, deadline_seconds, phase_elapsed
+                    )
+                    if reason is not None:
+                        # Budget ran out mid-round: the remaining colors
+                        # are skipped, leaving their players dirty — a
+                        # degraded round.
+                        stop_reason = reason
+                        degraded = True
+                        break
+                    remaining = (
+                        None if deadline_seconds is None
+                        else deadline_seconds - phase_elapsed
+                    )
                     round_transfer += self._exchange(
-                        msg.compute_color_message("M", s.slave_id)
+                        msg.compute_color_message(
+                            "M", s.slave_id,
+                            with_deadline=deadline_seconds is not None,
+                        )
                         for s in self._active
                     )
                     computed = []
                     phase_compute = 0.0
                     for slave in list(self._active):
-                        changes, seconds = slave.compute_color(color)
+                        changes, seconds = slave.compute_color(
+                            color, remaining_seconds=remaining
+                        )
                         phase_compute = max(phase_compute, seconds)
                         computed.append((slave, changes))
                     round_compute += phase_compute
@@ -478,12 +550,29 @@ class DecentralizedGame:
             )
             if self.round_listener:
                 self.round_listener(round_index, dict(gsv))
-            converged = round_deviations == 0
+            sim_elapsed += rounds[-1].total_seconds
+            if degraded:
+                degraded_rounds += 1
+            # A degraded round may report zero deviations only because
+            # phases were skipped — never count it as convergence.
+            converged = round_deviations == 0 and not degraded
+            if stop_reason is not None:
+                break
 
         self.network.begin_round(round_index + 1)
         self._exchange(
             msg.terminate_message("M", s.slave_id) for s in self._active
         )
+
+        if not converged:
+            if stop_reason == "deadline":
+                rec.count("solver.deadline_hits", 1, solver="DG")
+            elif stop_reason == "cancelled":
+                rec.count("solver.cancellations", 1, solver="DG")
+            rec.event(
+                "solver.interrupted", solver="DG", reason=stop_reason,
+                round=round_index,
+            )
 
         extra = {
             "num_colors": len(color_order),
@@ -492,19 +581,28 @@ class DecentralizedGame:
                 r.distance_computations for r in self._reports.values()
             ),
         }
+        if deadline_seconds is not None or cancel_token is not None:
+            extra["degraded_rounds"] = degraded_rounds
+        if not converged:
+            extra["remaining_dirty"] = sum(
+                s._active.count()
+                for s in self._active
+                if s._active is not None
+            )
         if self.transport is not None:
             extra["fault_plan"] = self.network.plan.describe()
             extra["recovery_compute_seconds"] = self.recovery_compute_seconds
         return DGResult(
             assignment=dict(gsv),
             rounds=rounds,
-            converged=True,
+            converged=converged,
             total_seconds=sum(r.total_seconds for r in rounds),
             total_bytes=self.network.total_bytes() - start_bytes,
             total_messages=self.network.total_messages() - start_msgs,
             num_participants=len(gsv),
             cn=cn,
             extra=extra,
+            stop_reason=stop_reason if stop_reason is not None else "converged",
         )
 
     # ------------------------------------------------------------------

@@ -92,9 +92,20 @@ def ack_message(sender: str, recipient: str) -> Message:
     return Message(MessageType.ACK, sender, recipient, 0)
 
 
-def compute_color_message(sender: str, recipient: str) -> Message:
-    """M -> slave: "compute best responses for color c" (one int)."""
-    return Message(MessageType.COMPUTE_COLOR, sender, recipient, INT_BYTES)
+def compute_color_message(
+    sender: str, recipient: str, with_deadline: bool = False
+) -> Message:
+    """M -> slave: "compute best responses for color c" (one int).
+
+    Under a real-time deadline the remaining budget rides along as one
+    extra float so slaves can refuse work on their own; without a
+    deadline the wire size is unchanged, keeping fault-free ledgers
+    byte-identical to the pre-deadline protocol.
+    """
+    payload = INT_BYTES
+    if with_deadline:
+        payload += FLOAT_BYTES
+    return Message(MessageType.COMPUTE_COLOR, sender, recipient, payload)
 
 
 def strategy_changes_message(

@@ -243,7 +243,9 @@ class SlaveNode:
     # ------------------------------------------------------------------
     # Figure 6 lines 17-19: best responses for one color
     # ------------------------------------------------------------------
-    def compute_color(self, color: int) -> Tuple[Dict[NodeId, int], float]:
+    def compute_color(
+        self, color: int, remaining_seconds: Optional[float] = None
+    ) -> Tuple[Dict[NodeId, int], float]:
         """Deviations of local dirty players with ``color``.
 
         Returns ``(changes, compute seconds)``.  Changes are *not*
@@ -252,9 +254,17 @@ class SlaveNode:
         best response turns out to be his current strategy is cleared
         here; a deviating player stays dirty until his change comes back
         through :meth:`apply_changes`.
+
+        ``remaining_seconds`` is the master's remaining real-time budget
+        (shipped with the COMPUTE_COLOR message).  A slave whose budget
+        has run out skips the sweep entirely — a *degraded* phase: no
+        dirty flag is cleared, so the skipped players are retried by a
+        later round or a resumed solve.
         """
         if self._table is None or self._active is None:
             raise ProtocolError(f"slave {self.slave_id}: compute before GSV")
+        if remaining_seconds is not None and remaining_seconds <= 0.0:
+            return {}, 0.0
         start = time.perf_counter()
         changes: Dict[NodeId, int] = {}
         flags = self._active.flags

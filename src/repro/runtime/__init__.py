@@ -1,0 +1,42 @@
+"""Real-time execution layer: deadlines, cancellation, checkpoint/resume.
+
+The paper's headline claim is *real-time* partitioning: queries arrive
+with ``P`` and ``α`` at runtime and must be answered promptly.  Because
+best-response dynamics are *anytime* — every move strictly decreases the
+exact potential Φ (Eq. 4), so the assignment is valid and monotonically
+improving after every round — a solve can be stopped at any round
+boundary and still return a useful answer.  This package provides the
+machinery every registry solver threads through its round loop:
+
+* :class:`CancelToken` — cooperative cancellation, polled at round
+  boundaries (:class:`CountdownToken` is its deterministic test double);
+* :class:`RuntimeBudget` — wall-clock deadline and per-round budget on a
+  pluggable clock (:class:`SteppingClock` makes deadline tests
+  wall-clock-free), producing a typed :class:`SolveInterrupted`;
+* :class:`SolveCheckpoint` — assignment + frontier + round index + RNG
+  state (+ solver-specific tables), enough to resume a solve and replay
+  the exact trajectory byte-for-byte;
+* :class:`SolveRuntime` — the per-solve driver the kernels call at round
+  boundaries (budget check, periodic checkpoint writes, obs counters).
+
+Interrupted solves return a normal
+:class:`~repro.core.result.PartitionResult` with ``converged=False`` and
+``stop_reason`` set to ``"deadline"`` or ``"cancelled"`` — they never
+raise.
+"""
+
+from repro.runtime.budget import RuntimeBudget, SolveInterrupted, SteppingClock
+from repro.runtime.checkpoint import SolveCheckpoint
+from repro.runtime.executor import SolveRuntime, load_resume
+from repro.runtime.token import CancelToken, CountdownToken
+
+__all__ = [
+    "CancelToken",
+    "CountdownToken",
+    "RuntimeBudget",
+    "SolveCheckpoint",
+    "SolveInterrupted",
+    "SolveRuntime",
+    "SteppingClock",
+    "load_resume",
+]

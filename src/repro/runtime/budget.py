@@ -1,0 +1,142 @@
+"""Deadline and per-round budgets on a pluggable clock.
+
+:class:`RuntimeBudget` is checked once per round boundary: a single
+clock read per check, so deterministic clocks (:class:`SteppingClock`,
+:class:`~repro.obs.clock.ManualClock`) make deadline behavior exactly
+reproducible in tests — no sleeps, no wall-clock races.
+
+Semantics (all observed *before* starting a round, never mid-round):
+
+* ``deadline_seconds`` — total budget for the solve, measured from the
+  first check (which the kernels issue before round 0's work begins).
+  A round in flight always completes; the anytime property of
+  best-response dynamics guarantees the assignment it leaves behind is
+  valid and no worse than the round before.
+* ``round_budget_seconds`` — two guards in one: stop when the *previous*
+  round overran the budget (the next one would too), and — when a
+  deadline is also set — stop when the remaining time is smaller than
+  one round budget ("don't start a round you cannot finish").
+* ``token`` — a :class:`~repro.runtime.token.CancelToken`, polled once
+  per check.
+
+A tripped budget yields a :class:`SolveInterrupted` value; the solver
+translates it into a ``PartitionResult`` with ``converged=False`` and
+``stop_reason`` set — budgets never raise out of a solve.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.errors import ConfigurationError
+from repro.runtime.token import CancelToken
+
+
+@dataclass(frozen=True)
+class SolveInterrupted:
+    """Typed description of why and where a solve stopped early.
+
+    Attributes
+    ----------
+    reason:
+        ``"deadline"`` or ``"cancelled"``.
+    round_index:
+        The round that was *about to start* when the budget tripped;
+        rounds ``0 .. round_index - 1`` completed normally.
+    elapsed_seconds:
+        Elapsed time on the budget's clock at the interrupt.
+    """
+
+    reason: str
+    round_index: int
+    elapsed_seconds: float
+
+
+class SteppingClock:
+    """A clock advancing by a fixed step on every read.
+
+    Budgets read their clock exactly once per check (plus once at
+    :meth:`RuntimeBudget.start`), so with ``step=1.0`` every round
+    boundary "costs" one simulated second — deadline expiry becomes a
+    pure function of the round count, which is what the wall-clock-free
+    conformance tests pin.
+    """
+
+    def __init__(self, start: float = 0.0, step: float = 1.0) -> None:
+        if step < 0:
+            raise ConfigurationError(f"step must be non-negative, got {step}")
+        self._now = float(start)
+        self._step = float(step)
+
+    def __call__(self) -> float:
+        now = self._now
+        self._now += self._step
+        return now
+
+
+class RuntimeBudget:
+    """Per-solve deadline/cancellation budget.
+
+    One budget instance drives one solve (it pins its start time at the
+    first :meth:`start`); sharing an instance across the stages of a
+    composite solve (``minpart``'s cancel-and-resolve loop) is
+    intentional — the deadline then covers the whole composition.
+    """
+
+    def __init__(
+        self,
+        deadline_seconds: Optional[float] = None,
+        round_budget_seconds: Optional[float] = None,
+        token: Optional[CancelToken] = None,
+        clock: Optional[Callable[[], float]] = None,
+    ) -> None:
+        if deadline_seconds is not None and deadline_seconds <= 0:
+            raise ConfigurationError(
+                f"deadline_seconds must be positive, got {deadline_seconds}"
+            )
+        if round_budget_seconds is not None and round_budget_seconds <= 0:
+            raise ConfigurationError(
+                "round_budget_seconds must be positive, got "
+                f"{round_budget_seconds}"
+            )
+        self.deadline_seconds = deadline_seconds
+        self.round_budget_seconds = round_budget_seconds
+        self.token = token
+        self.clock = clock if clock is not None else time.perf_counter
+        self._start: Optional[float] = None
+        self._last_check: Optional[float] = None
+
+    def start(self) -> None:
+        """Pin the budget's epoch (idempotent; kernels call it on entry)."""
+        if self._start is None:
+            self._start = self.clock()
+            self._last_check = self._start
+
+    def check(self, next_round_index: int) -> Optional[SolveInterrupted]:
+        """One round-boundary check; returns the interrupt or ``None``.
+
+        Reads the clock exactly once.  The time between two consecutive
+        checks is the duration of the round in between — the quantity
+        ``round_budget_seconds`` bounds.
+        """
+        self.start()
+        now = self.clock()
+        elapsed = now - self._start  # type: ignore[operator]
+        last_round = (
+            now - self._last_check if self._last_check is not None else 0.0
+        )
+        self._last_check = now
+
+        if self.token is not None and self.token.cancelled:
+            return SolveInterrupted("cancelled", next_round_index, elapsed)
+        deadline = self.deadline_seconds
+        per_round = self.round_budget_seconds
+        if deadline is not None:
+            reserve = per_round if per_round is not None else 0.0
+            if elapsed >= deadline or elapsed + reserve > deadline:
+                return SolveInterrupted("deadline", next_round_index, elapsed)
+        if per_round is not None and last_round > per_round:
+            return SolveInterrupted("deadline", next_round_index, elapsed)
+        return None

@@ -1,0 +1,73 @@
+"""Cooperative cancellation tokens.
+
+A solve never kills itself mid-round: the caller hands a
+:class:`CancelToken` to the solver (``SolveOptions(cancel_token=...)`` or
+``budget=RuntimeBudget(token=...)``) and the round loop polls
+``token.cancelled`` at every round boundary.  Any thread may call
+:meth:`CancelToken.cancel` — the flag is a ``threading.Event``, so the
+pattern is safe for "serve the query on a worker, cancel from the request
+handler" deployments.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.errors import ConfigurationError
+
+
+class CancelToken:
+    """Thread-safe cooperative cancellation flag.
+
+    ``cancel()`` may be called from any thread, any number of times;
+    the solve observes it at its next round boundary and returns its
+    best-so-far assignment with ``stop_reason="cancelled"``.
+    """
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+
+    def cancel(self) -> None:
+        """Request cancellation (idempotent)."""
+        self._event.set()
+
+    @property
+    def cancelled(self) -> bool:
+        """True once :meth:`cancel` has been called."""
+        return self._event.is_set()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "live"
+        return f"CancelToken({state})"
+
+
+class CountdownToken(CancelToken):
+    """A token that cancels itself after a fixed number of polls.
+
+    The deterministic interrupt source for tests: budgets poll the token
+    exactly once per round boundary, so ``CountdownToken(r)`` lets
+    exactly ``r`` rounds run and cancels before round ``r + 1`` —
+    no wall clock involved.  ``CountdownToken(0)`` cancels at the first
+    boundary (before round 1), returning the round-0 initialization
+    assignment.
+    """
+
+    def __init__(self, polls: int) -> None:
+        super().__init__()
+        if polls < 0:
+            raise ConfigurationError(
+                f"polls must be non-negative, got {polls}"
+            )
+        self._remaining = int(polls)
+        self._lock = threading.Lock()
+
+    @property
+    def cancelled(self) -> bool:
+        if self._event.is_set():
+            return True
+        with self._lock:
+            if self._remaining <= 0:
+                self._event.set()
+                return True
+            self._remaining -= 1
+        return False

@@ -1,0 +1,82 @@
+"""Input hardening: RMGPInstance rejects malformed costs and graphs."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import RMGPInstance
+from repro.core.costs import FunctionCost
+from repro.errors import ConfigurationError, DataError, GraphError
+from repro.graph import SocialGraph
+
+
+def make_graph():
+    return SocialGraph.from_edges([(0, 1, 1.0), (1, 2, 2.0)])
+
+
+class TestCostMatrixHardening:
+    def test_nan_cost_rejected(self):
+        cost = np.zeros((3, 2))
+        cost[1, 0] = np.nan
+        with pytest.raises(ConfigurationError, match="finite"):
+            RMGPInstance(make_graph(), ["a", "b"], cost)
+
+    def test_inf_cost_rejected(self):
+        cost = np.zeros((3, 2))
+        cost[2, 1] = np.inf
+        with pytest.raises(ConfigurationError, match="finite"):
+            RMGPInstance(make_graph(), ["a", "b"], cost)
+
+    def test_negative_cost_rejected(self):
+        cost = np.zeros((3, 2))
+        cost[0, 1] = -0.25
+        with pytest.raises(ConfigurationError, match="non-negative"):
+            RMGPInstance(make_graph(), ["a", "b"], cost)
+
+    def test_lazy_cost_row_nan_rejected(self):
+        instance = RMGPInstance(
+            make_graph(), ["a", "b"],
+            FunctionCost(lambda p: [np.nan, 0.0] if p == 1 else [0.0, 0.0],
+                         num_players=3, num_classes=2),
+        )
+        with pytest.raises(DataError, match="NaN"):
+            instance.cost.row(1)
+
+    def test_lazy_cost_row_negative_rejected(self):
+        instance = RMGPInstance(
+            make_graph(), ["a", "b"],
+            FunctionCost(lambda p: [-1.0, 0.0],
+                         num_players=3, num_classes=2),
+        )
+        with pytest.raises(DataError, match="negative"):
+            instance.cost.row(0)
+
+
+class TestGraphHardening:
+    def test_nan_edge_weight_rejected(self):
+        # add_edge's positivity check cannot see NaN (NaN <= 0 is False),
+        # so the instance-level finite sweep must catch it.
+        graph = make_graph()
+        graph.add_edge(0, 2, float("nan"))
+        with pytest.raises(GraphError, match="finite"):
+            RMGPInstance(graph, ["a", "b"], np.zeros((3, 2)))
+
+    def test_inf_edge_weight_rejected(self):
+        graph = make_graph()
+        graph.add_edge(0, 2, float("inf"))
+        with pytest.raises(GraphError, match="finite"):
+            RMGPInstance(graph, ["a", "b"], np.zeros((3, 2)))
+
+    def test_dangling_endpoint_rejected(self):
+        # Simulate a corrupted adjacency table: node 1 lists a friend
+        # that is not a node of the graph.
+        graph = make_graph()
+        graph._adj[1]["ghost"] = 1.0
+        with pytest.raises(GraphError, match="dangles"):
+            RMGPInstance(graph, ["a", "b"], np.zeros((3, 2)))
+
+    def test_clean_instance_constructs(self):
+        instance = RMGPInstance(make_graph(), ["a", "b"], np.zeros((3, 2)))
+        assert instance.n == 3
+        assert instance.k == 2

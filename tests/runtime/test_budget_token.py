@@ -1,0 +1,111 @@
+"""Unit tests for the real-time primitives: tokens, clocks, budgets."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.runtime import (
+    CancelToken,
+    CountdownToken,
+    RuntimeBudget,
+    SteppingClock,
+)
+
+
+class TestCancelToken:
+    def test_starts_live(self):
+        token = CancelToken()
+        assert not token.cancelled
+
+    def test_cancel_is_sticky(self):
+        token = CancelToken()
+        token.cancel()
+        assert token.cancelled
+        token.cancel()  # idempotent
+        assert token.cancelled
+
+
+class TestCountdownToken:
+    def test_fires_after_exact_poll_count(self):
+        token = CountdownToken(3)
+        observed = [token.cancelled for _ in range(5)]
+        assert observed == [False, False, False, True, True]
+
+    def test_zero_polls_fires_immediately(self):
+        assert CountdownToken(0).cancelled
+
+    def test_negative_polls_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CountdownToken(-1)
+
+
+class TestSteppingClock:
+    def test_advances_one_step_per_read(self):
+        clock = SteppingClock(start=10.0, step=2.5)
+        assert [clock() for _ in range(3)] == [10.0, 12.5, 15.0]
+
+    def test_default_unit_step(self):
+        clock = SteppingClock()
+        assert [clock() for _ in range(3)] == [0.0, 1.0, 2.0]
+
+
+class TestRuntimeBudget:
+    def test_rejects_non_positive_deadline(self):
+        with pytest.raises(ConfigurationError):
+            RuntimeBudget(deadline_seconds=0.0)
+        with pytest.raises(ConfigurationError):
+            RuntimeBudget(round_budget_seconds=-1.0)
+
+    def test_deadline_on_manual_clock(self):
+        budget = RuntimeBudget(deadline_seconds=2.5, clock=SteppingClock())
+        budget.start()  # t=0
+        assert budget.check(1) is None  # t=1
+        assert budget.check(2) is None  # t=2
+        interrupt = budget.check(3)  # t=3 >= 2.5
+        assert interrupt is not None
+        assert interrupt.reason == "deadline"
+        assert interrupt.round_index == 3
+        assert interrupt.elapsed_seconds == 3.0
+
+    def test_start_is_idempotent(self):
+        budget = RuntimeBudget(deadline_seconds=5.0, clock=SteppingClock())
+        budget.start()
+        budget.start()  # must not re-read the clock as a new origin
+        assert budget.check(1) is None
+
+    def test_token_beats_deadline(self):
+        token = CancelToken()
+        token.cancel()
+        budget = RuntimeBudget(
+            deadline_seconds=0.5, token=token, clock=SteppingClock()
+        )
+        budget.start()
+        interrupt = budget.check(1)
+        assert interrupt is not None and interrupt.reason == "cancelled"
+
+    def test_round_budget_trips_on_slow_round(self):
+        # Steps of 3 simulated seconds per read: every round "takes" 3s.
+        budget = RuntimeBudget(
+            round_budget_seconds=2.0, clock=SteppingClock(step=3.0)
+        )
+        budget.start()
+        interrupt = budget.check(1)
+        assert interrupt is not None and interrupt.reason == "deadline"
+
+    def test_round_budget_reserve_against_deadline(self):
+        # 1s rounds, deadline 10, per-round reserve 5: while the reserve
+        # still fits the remaining time another round may start, but once
+        # elapsed + reserve crosses the deadline the budget refuses to
+        # start a round it cannot finish.
+        budget = RuntimeBudget(
+            deadline_seconds=10.0,
+            round_budget_seconds=5.0,
+            clock=SteppingClock(),
+        )
+        budget.start()
+        assert budget.check(1) is None  # elapsed 1: 1 + 5 <= 10
+        for _ in range(4):
+            budget.clock()  # burn simulated time
+        interrupt = budget.check(2)  # elapsed 6: 6 + 5 > 10 -> refuse
+        assert interrupt is not None and interrupt.reason == "deadline"

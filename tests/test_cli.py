@@ -103,6 +103,56 @@ class TestCommands:
         assert len(payload["assignment_sha256"]) == 64
         assert payload["round_trace"][0]["round"] == 0
 
+    def test_solve_deadline_checkpoint_resume(self, tmp_path, capsys):
+        import json
+
+        checkpoint = str(tmp_path / "solve.ckpt.json")
+        base = [
+            "solve", "--users", "150", "--events", "4", "--seed", "2",
+            "--method", "gt",
+        ]
+        # An (effectively) zero deadline leaves a degraded result and a
+        # checkpoint on disk, plus a resume hint.
+        code = main(base + [
+            "--deadline", "0.000001",
+            "--checkpoint", checkpoint, "--checkpoint-every", "1",
+        ])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "NOT converged (deadline)" in output
+        assert f"resume with --resume {checkpoint}" in output
+
+        code = main(base + ["--resume", checkpoint, "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["converged"] is True
+
+        reference = main(base + ["--json"])
+        assert reference == 0
+        assert json.loads(capsys.readouterr().out)["converged"] is True
+
+    def test_solve_generous_deadline_converges(self, capsys):
+        code = main([
+            "solve", "--users", "100", "--events", "4", "--method", "all",
+            "--deadline", "3600",
+        ])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "Nash equilibrium" in output
+        assert "interrupted" not in output
+
+    def test_solve_resume_flag_parsed(self):
+        arguments = build_parser().parse_args(
+            ["solve", "--deadline", "1.5", "--round-budget", "0.5",
+             "--checkpoint", "c.json", "--checkpoint-every", "3",
+             "--resume", "c.json"]
+        )
+        assert arguments.deadline == 1.5
+        assert arguments.round_budget == 0.5
+        assert arguments.checkpoint == "c.json"
+        assert arguments.checkpoint_every == 3
+        assert arguments.resume == "c.json"
+
     def test_profile_paper_example(self, tmp_path, capsys):
         from repro.obs import validate_trace_file
 
