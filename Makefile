@@ -41,6 +41,10 @@ figures:
 		$(PYTHON) -m repro figure $$fig; \
 	done
 
+# -prune stops find from descending into directories it is about to
+# delete (silences spurious "No such file or directory" noise) and the
+# explicit src/repro pass catches bytecode landed by PYTHONPATH=src runs.
 clean:
 	rm -rf benchmarks/results .pytest_cache .hypothesis
-	find . -name __pycache__ -type d -exec rm -rf {} +
+	rm -f benchmarks/history/*.tmp
+	find src/repro tests benchmarks . -name __pycache__ -type d -prune -exec rm -rf {} + 2>/dev/null || true

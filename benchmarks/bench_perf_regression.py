@@ -21,6 +21,15 @@ are compared exactly — a hash mismatch is reported as a warning by
 default (cross-platform float differences can legitimately flip an
 argmin tie) and as a failure under ``--strict``.
 
+Every ``--check`` run is also appended to the bench-history store
+(``benchmarks/history/<profile>.jsonl`` — commit SHA, calibration time,
+normalized ratios; see :mod:`repro.bench.history`) and compared against
+the accumulated history with a statistical gate: a key whose normalized
+time exceeds mean + 3*stdev *and* 1.2x the historical mean is reported
+(a warning by default, a failure under ``--history-check``).  Runs that
+trip the gate are not appended, so a regression cannot drag the
+baseline up; ``--no-history`` skips the store entirely.
+
 Run via ``make bench-perf`` or directly::
 
     python benchmarks/bench_perf_regression.py --check --profile core
@@ -42,6 +51,7 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 if str(REPO_ROOT / "src") not in sys.path:
     sys.path.insert(0, str(REPO_ROOT / "src"))
 
+from repro.bench import history as bench_history  # noqa: E402
 from repro.bench.workloads import instance_for, small_uml_dataset  # noqa: E402
 from repro.core.baseline import _solve_baseline as solve_baseline  # noqa: E402
 from repro.core.global_table import (  # noqa: E402
@@ -193,6 +203,7 @@ def run_check(args) -> int:
     )
     failures = []
     warnings = []
+    run_results = {}
     for instance_name in PROFILES[args.profile]:
         instance = build_instance(instance_name)
         for solver in SOLVERS:
@@ -203,6 +214,10 @@ def run_check(args) -> int:
                 continue
             expected = entry["after"]
             measured = measure(solver, instance, args.repeats)
+            run_results[key] = {
+                "wall_ms": measured["wall_ms"],
+                "rounds": measured["rounds"],
+            }
             ratio_now = measured["wall_ms"] / cal
             ratio_committed = expected["wall_ms"] / committed_cal
             slowdown = ratio_now / ratio_committed
@@ -236,6 +251,25 @@ def run_check(args) -> int:
                 f"(committed {expected['wall_ms']:8.3f} ms, "
                 f"norm slowdown {slowdown:4.2f}x)  {status}"
             )
+    history_messages = []
+    if not args.no_history:
+        record = bench_history.make_record(
+            args.profile, cal, run_results, repo_root=REPO_ROOT
+        )
+        past = bench_history.load_history(args.history_dir, args.profile)
+        history_messages = bench_history.regression_messages(
+            past, record, min_samples=args.min_history
+        )
+        sink = failures if args.history_check else warnings
+        for message in history_messages:
+            sink.append(f"history regression: {message}")
+        if not history_messages:
+            path = bench_history.append_run(
+                args.history_dir, args.profile, record
+            )
+            print(f"history: appended run to {path}")
+        else:
+            print("history: run NOT appended (regression suspected)")
     for message in warnings:
         print(f"warning: {message}")
     if failures:
@@ -277,6 +311,28 @@ def main(argv=None) -> int:
         "--strict",
         action="store_true",
         help="treat assignment-hash drift as a failure, not a warning",
+    )
+    parser.add_argument(
+        "--history-dir",
+        type=Path,
+        default=REPO_ROOT / "benchmarks" / "history",
+        help="bench-history store location",
+    )
+    parser.add_argument(
+        "--no-history",
+        action="store_true",
+        help="skip the bench-history store entirely",
+    )
+    parser.add_argument(
+        "--history-check",
+        action="store_true",
+        help="fail (not just warn) on a statistical history regression",
+    )
+    parser.add_argument(
+        "--min-history",
+        type=int,
+        default=3,
+        help="history samples needed before the statistical gate arms",
     )
     args = parser.parse_args(argv)
     return run_update(args) if args.update else run_check(args)

@@ -12,6 +12,14 @@ from repro.bench.fig_decentralized import run_fig13, run_fig14
 from repro.bench.fig_normalization import run_fig9, run_fig9_cn_values
 from repro.bench.fig_table1 import run_table1
 from repro.bench.harness import Measurement, Table, full_scale, time_call
+from repro.bench.history import (
+    HISTORY_SCHEMA,
+    append_run,
+    git_revision,
+    load_history,
+    make_record,
+    regression_messages,
+)
 from repro.bench.workloads import (
     event_sweep,
     foursquare_dataset,
@@ -21,13 +29,19 @@ from repro.bench.workloads import (
 )
 
 __all__ = [
+    "HISTORY_SCHEMA",
     "Measurement",
     "Table",
+    "append_run",
     "event_sweep",
     "foursquare_dataset",
     "full_scale",
+    "git_revision",
     "gowalla_dataset",
     "instance_for",
+    "load_history",
+    "make_record",
+    "regression_messages",
     "run_fig10",
     "run_fig11",
     "run_fig12_per_round",

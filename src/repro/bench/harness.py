@@ -41,6 +41,13 @@ class Measurement:
     def mean(self) -> float:
         return statistics.fmean(self.seconds)
 
+    @property
+    def stdev(self) -> float:
+        """Run-to-run spread (0.0 for a single repetition)."""
+        if len(self.seconds) < 2:
+            return 0.0
+        return statistics.stdev(self.seconds)
+
 
 def time_call(
     fn: Callable[[], Any],

@@ -7,17 +7,25 @@ Commands
     (``--json`` for a machine-readable summary).
 ``profile``
     Run one query under a trace recorder and print the span tree;
-    optionally export the ``repro-trace/v1`` JSONL and Prometheus text.
+    optionally export the ``repro-trace/v2`` JSONL, a Chrome
+    (Perfetto-loadable) trace, and Prometheus text.  ``--memory``
+    switches to the ``tracemalloc``-backed recorder and reports the
+    top spans by peak heap allocation.
 ``trace``
-    Print the paper's Table 1 best-response trace (``--jsonl`` also
-    writes the recorded trace).
+    Print the paper's Table 1 best-response trace (``--jsonl`` /
+    ``--chrome`` also write the recorded trace).
+``analyze``
+    Critical-path / straggler report of an exported JSONL trace
+    (see :mod:`repro.obs.analysis`).
 ``figure``
     Regenerate one of the paper's evaluation figures as a text table.
 ``dataset``
     Generate a synthetic dataset, print its statistics, and optionally
     write the edge list / check-ins to disk.
 ``distributed``
-    Run the decentralized game against fetch-and-execute once.
+    Run the decentralized game against fetch-and-execute once;
+    ``--trace`` / ``--chrome`` export the causally-stitched
+    cross-node trace, ``--analyze`` prints its critical path.
 """
 
 from __future__ import annotations
@@ -110,11 +118,20 @@ def build_parser() -> argparse.ArgumentParser:
     )
     profile.add_argument(
         "--jsonl", metavar="PATH",
-        help="write the repro-trace/v1 JSONL trace here",
+        help="write the repro-trace/v2 JSONL trace here",
     )
     profile.add_argument(
         "--metrics", metavar="PATH",
         help="write Prometheus-style metrics text here",
+    )
+    profile.add_argument(
+        "--chrome", metavar="PATH",
+        help="write a Chrome trace-event (Perfetto) JSON file here",
+    )
+    profile.add_argument(
+        "--memory",
+        action="store_true",
+        help="profile heap allocation per span (tracemalloc; slower)",
     )
 
     trace = commands.add_parser("trace", help="print the Table 1 trace")
@@ -122,6 +139,19 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument(
         "--jsonl", metavar="PATH",
         help="also record the run and write the JSONL trace here",
+    )
+    trace.add_argument(
+        "--chrome", metavar="PATH",
+        help="also record the run and write a Chrome trace here",
+    )
+
+    analyze = commands.add_parser(
+        "analyze", help="critical-path report of a JSONL trace"
+    )
+    analyze.add_argument("trace", help="repro-trace JSONL file to analyze")
+    analyze.add_argument(
+        "--top", type=int, default=12,
+        help="critical-path steps to show (slowest first)",
     )
 
     figure = commands.add_parser("figure", help="regenerate a paper figure")
@@ -157,6 +187,19 @@ def build_parser() -> argparse.ArgumentParser:
     distributed.add_argument(
         "--protocol", default="relayed", choices=["relayed", "peer"]
     )
+    distributed.add_argument(
+        "--trace", metavar="PATH",
+        help="record the DG run and write the cross-node JSONL trace",
+    )
+    distributed.add_argument(
+        "--chrome", metavar="PATH",
+        help="record the DG run and write a Chrome trace-event file",
+    )
+    distributed.add_argument(
+        "--analyze",
+        action="store_true",
+        help="print the critical-path / straggler report of the run",
+    )
 
     stream = commands.add_parser(
         "stream", help="simulate the online (hourly) recommendation loop"
@@ -184,6 +227,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "solve": _run_solve,
         "profile": _run_profile,
         "trace": _run_trace,
+        "analyze": _run_analyze,
         "figure": _run_figure,
         "dataset": _run_dataset,
         "distributed": _run_distributed,
@@ -265,6 +309,7 @@ def _run_profile(arguments) -> int:
     from repro.api import partition
     from repro.obs import recording, summary_tree
     from repro.obs.exporters import prometheus_text, write_jsonl
+    from repro.obs.memory import memory_recording, memory_summary
 
     if arguments.dataset == "paper":
         from repro.datasets import paper_example_instance
@@ -282,13 +327,17 @@ def _run_profile(arguments) -> int:
             alpha=arguments.alpha,
         )
         instance, _ = normalize(instance, "pessimistic")
-    with recording() as recorder:
+    record = memory_recording if arguments.memory else recording
+    with record() as recorder:
         result = partition(
             instance, solver=arguments.method, seed=arguments.seed
         )
     print(result.summary())
     print()
     print(summary_tree(recorder))
+    if arguments.memory:
+        print()
+        print(memory_summary(recorder))
     if arguments.jsonl:
         count = write_jsonl(recorder, arguments.jsonl)
         print(f"trace: {count} records written to {arguments.jsonl}")
@@ -296,23 +345,51 @@ def _run_profile(arguments) -> int:
         with open(arguments.metrics, "w", encoding="utf-8") as handle:
             handle.write(prometheus_text(recorder.metrics))
         print(f"metrics written to {arguments.metrics}")
+    if arguments.chrome:
+        from repro.obs.chrome import write_chrome_trace
+
+        count = write_chrome_trace(recorder, arguments.chrome)
+        print(f"chrome trace: {count} events written to {arguments.chrome}")
     return 0
 
 
 def _run_trace(arguments) -> int:
     from repro.bench.fig_table1 import run_table1
 
-    if arguments.jsonl:
+    if arguments.jsonl or arguments.chrome:
         from repro.obs import recording
         from repro.obs.exporters import write_jsonl
 
         with recording() as recorder:
             table = run_table1(init=arguments.init)
         print(table)
-        count = write_jsonl(recorder, arguments.jsonl)
-        print(f"trace: {count} records written to {arguments.jsonl}")
+        if arguments.jsonl:
+            count = write_jsonl(recorder, arguments.jsonl)
+            print(f"trace: {count} records written to {arguments.jsonl}")
+        if arguments.chrome:
+            from repro.obs.chrome import write_chrome_trace
+
+            count = write_chrome_trace(recorder, arguments.chrome)
+            print(
+                f"chrome trace: {count} events written to {arguments.chrome}"
+            )
         return 0
     print(run_table1(init=arguments.init))
+    return 0
+
+
+def _run_analyze(arguments) -> int:
+    from repro.obs.analysis import analyze_trace_file, format_report
+    from repro.obs.schema import validate_trace_file
+
+    errors = validate_trace_file(arguments.trace)
+    if errors:
+        print(f"{arguments.trace}: {len(errors)} schema violation(s)")
+        for error in errors:
+            print(f"  - {error}")
+        return 1
+    report = analyze_trace_file(arguments.trace)
+    print(format_report(report, max_path=arguments.top))
     return 0
 
 
@@ -385,12 +462,34 @@ def _run_distributed(arguments) -> int:
         data, num_slaves=arguments.slaves, shards=shards,
         protocol=arguments.protocol,
     )
-    dg = cluster.game.run(query)
+    tracing = arguments.trace or arguments.chrome or arguments.analyze
+    if tracing:
+        from repro.obs import recording
+
+        with recording() as recorder:
+            dg = cluster.game.run(query)
+    else:
+        dg = cluster.game.run(query)
     print(
         f"DG[{arguments.protocol}]: rounds={dg.num_rounds} "
         f"time={dg.total_seconds:.3f}s bytes={dg.total_bytes:,} "
         f"messages={dg.total_messages}"
     )
+    if arguments.trace:
+        from repro.obs.exporters import write_jsonl
+
+        count = write_jsonl(recorder, arguments.trace)
+        print(f"trace: {count} records written to {arguments.trace}")
+    if arguments.chrome:
+        from repro.obs.chrome import write_chrome_trace
+
+        count = write_chrome_trace(recorder, arguments.chrome)
+        print(f"chrome trace: {count} events written to {arguments.chrome}")
+    if arguments.analyze:
+        from repro.obs.analysis import analyze_recorder, format_report
+
+        print()
+        print(format_report(analyze_recorder(recorder)))
     fae = run_fae(data.graph, data.checkins, shards, query, seed=arguments.seed)
     print(
         f"FaE: transfer={fae.transfer_seconds:.3f}s "

@@ -32,7 +32,9 @@ from repro.distributed.query import DGQuery
 from repro.distributed.slave import SlaveNode
 from repro.errors import ConfigurationError, ProtocolError, SlaveUnreachableError
 from repro.graph.social_graph import NodeId
+from repro.obs.context import SpanCollector, TraceContext
 from repro.obs.recorder import Recorder, active_recorder
+from repro.obs.spans import Span, SpanEvent
 from repro.runtime.token import CancelToken
 
 #: Safety valve mirroring the centralized solvers.
@@ -112,13 +114,20 @@ class ReliableTransport:
         self.on_dead = on_dead
         self.channels: Dict[str, ChannelState] = {}
         self.dead: Set[str] = set()
+        #: Sink for per-delivery ``net.deliver`` spans; set by the
+        #: coordinator only while a recorder traces the run.
+        self.collector: Optional[SpanCollector] = None
 
-    def exchange(self, messages: Iterable[msg.Message]) -> float:
+    def exchange(
+        self, messages: Iterable[msg.Message], trace_base: float = 0.0
+    ) -> float:
         """Reliable counterpart of ``parallel_exchange``.
 
         Messages travel concurrently (slowest chain is charged), each
         one retried independently until delivered or the budget runs
         out.  Returns the exchange's wall time on the simulated clock.
+        ``trace_base`` anchors per-delivery trace spans on the shared
+        simulated timeline (ignored without a collector).
         """
         net = self.network
         net.next_step()
@@ -134,7 +143,7 @@ class ReliableTransport:
             if peer in self.dead:  # died earlier in this very batch
                 continue
             try:
-                slowest = max(slowest, self._deliver(message, peer))
+                slowest = max(slowest, self._deliver(message, peer, trace_base))
             except SlaveUnreachableError:
                 if self.on_dead is not None and self.on_dead(peer):
                     self.dead.add(peer)
@@ -143,21 +152,46 @@ class ReliableTransport:
         net.advance(slowest)
         return slowest
 
-    def _deliver(self, message: msg.Message, peer: str) -> float:
+    def _deliver(
+        self, message: msg.Message, peer: str, trace_base: float = 0.0
+    ) -> float:
         """Deliver one message, retrying on drops and down peers."""
         net, policy = self.network, self.policy
         channel = self.channels.setdefault(peer, ChannelState())
         message = msg.with_seq(message, channel.next_seq)
         channel.next_seq += 1
+        ctx = message.trace if self.collector is not None else None
+        events: List[SpanEvent] = []
         elapsed = 0.0
         for attempt in range(policy.max_attempts):
             if attempt:
                 channel.retries += 1
+            fault_mark = len(net.injected)
             outcome = net.attempt(message, attempt, at=net.clock + elapsed)
             elapsed += outcome.seconds
+            if ctx is not None:
+                # Injected faults (drop/delay/duplicate/unreachable)
+                # become point events on the delivery span.
+                for fault in net.injected[fault_mark:]:
+                    events.append(
+                        SpanEvent(
+                            name=f"net.{fault.kind}",
+                            time=trace_base + elapsed,
+                            attrs={"attempt": attempt, "detail": fault.detail},
+                        )
+                    )
             if outcome.delivered:
                 if net.consume_recovery(peer) and self.on_restart:
-                    elapsed += self.on_restart(peer)
+                    resync_seconds = self.on_restart(peer)
+                    elapsed += resync_seconds
+                    if ctx is not None:
+                        events.append(
+                            SpanEvent(
+                                name="net.resync",
+                                time=trace_base + elapsed,
+                                attrs={"peer": peer, "seconds": resync_seconds},
+                            )
+                        )
                 # Idempotence: the receiver keeps delivered seqs, so a
                 # duplicated frame is recognized and discarded.
                 if outcome.duplicated:
@@ -167,12 +201,57 @@ class ReliableTransport:
                 # through this seq; M→slave deliveries are confirmed by
                 # the slave's next response over the same channel.
                 channel.acked_through = max(channel.acked_through, message.seq)
+                self._trace_delivery(
+                    ctx, message, peer, trace_base, elapsed, attempt + 1,
+                    True, events,
+                )
                 return elapsed
             elapsed += policy.timeout_after(attempt, net.jitter_fraction())
+            if ctx is not None and attempt + 1 < policy.max_attempts:
+                events.append(
+                    SpanEvent(
+                        name="net.retry",
+                        time=trace_base + elapsed,
+                        attrs={"attempt": attempt + 1},
+                    )
+                )
+        self._trace_delivery(
+            ctx, message, peer, trace_base, elapsed, policy.max_attempts,
+            False, events,
+        )
         raise SlaveUnreachableError(
             peer,
             f"slave {peer!r} unreachable after {policy.max_attempts} attempts "
             f"({message.msg_type.value} seq={message.seq})",
+        )
+
+    def _trace_delivery(
+        self,
+        ctx: Optional[TraceContext],
+        message: msg.Message,
+        peer: str,
+        trace_base: float,
+        elapsed: float,
+        attempts: int,
+        delivered: bool,
+        events: List[SpanEvent],
+    ) -> None:
+        """Record one ``net.deliver`` span for a traced delivery."""
+        if ctx is None:
+            return
+        ctx.collector.record(
+            "net.deliver",
+            node="net",
+            start=trace_base,
+            end=trace_base + elapsed,
+            parent_span_id=ctx.parent_span_id,
+            events=events,
+            msg_type=message.msg_type.value,
+            peer=peer,
+            bytes=message.total_bytes,
+            attempts=attempts,
+            delivered=delivered,
+            seq=message.seq,
         )
 
 
@@ -264,13 +343,64 @@ class DecentralizedGame:
         self._query: Optional[DGQuery] = None
         self._gsv: Optional[Dict[NodeId, int]] = None
         self._cn: float = 1.0
+        # Causal-tracing state, populated per run() only when a recorder
+        # is attached (the only-when-set rule: with tracing off none of
+        # this exists and the protocol is byte-identical to untraced).
+        self._collector: Optional[SpanCollector] = None
+        self._trace_id: str = ""
+        self._trace_offset: float = 0.0
+        self._rec: Optional[Recorder] = None
+        #: Running position on the simulated timeline (transfer + max
+        #: parallel compute) used to anchor remote trace spans.
+        self._sim_now: float = 0.0
 
     # ------------------------------------------------------------------
-    def _exchange(self, messages: Iterable[msg.Message]) -> float:
-        """Send one parallel exchange, reliably when faults can fire."""
+    def _ctx(self, parent_span: Optional[Span]) -> Optional[TraceContext]:
+        """Trace context anchored at the current simulated time."""
+        if self._collector is None or parent_span is None:
+            return None
+        return TraceContext(
+            trace_id=self._trace_id,
+            parent_span_id=parent_span.span_id,
+            sim_time=self._sim_now,
+            collector=self._collector,
+        )
+
+    def _exchange(
+        self,
+        messages: Iterable[msg.Message],
+        ctx: Optional[TraceContext] = None,
+        label: str = "",
+    ) -> float:
+        """Send one parallel exchange, reliably when faults can fire.
+
+        ``ctx`` (tracing only) is stamped onto every message — zero wire
+        bytes — and the exchange is recorded on the simulated timeline:
+        an aggregate ``net.exchange`` span on a plain network, per-
+        delivery ``net.deliver`` spans through the reliable transport.
+        """
+        if ctx is not None:
+            messages = [msg.with_trace(m, ctx) for m in messages]
         if self.transport is None:
-            return self.network.parallel_exchange(messages)
-        return self.transport.exchange(messages)
+            if ctx is None:
+                seconds = self.network.parallel_exchange(messages)
+            else:
+                bytes_before = self.network.total_bytes()
+                msgs_before = self.network.total_messages()
+                seconds = self.network.parallel_exchange(messages)
+                ctx.record(
+                    "net.exchange",
+                    node="net",
+                    start=self._sim_now,
+                    end=self._sim_now + seconds,
+                    label=label,
+                    bytes=self.network.total_bytes() - bytes_before,
+                    messages=self.network.total_messages() - msgs_before,
+                )
+        else:
+            seconds = self.transport.exchange(messages, trace_base=self._sim_now)
+        self._sim_now += seconds
+        return seconds
 
     def run(
         self,
@@ -348,6 +478,19 @@ class DecentralizedGame:
         self._live = list(self.slaves)
         self._active = []
         self.recovery_compute_seconds = 0.0
+        self._rec = rec
+        self._sim_now = 0.0
+        if rec.enabled:
+            # Only-when-set: context exists solely under a recorder, so
+            # the untraced protocol runs the exact pre-tracing code.
+            self._collector = SpanCollector()
+            self._trace_id = rec.new_trace_id()
+            clock = getattr(rec, "clock", None)
+            self._trace_offset = float(clock()) if callable(clock) else 0.0
+        else:
+            self._collector = None
+            self._trace_id = ""
+            self._trace_offset = 0.0
         if isinstance(self.network, FaultyNetwork):
             self.transport = ReliableTransport(
                 self.network,
@@ -356,6 +499,7 @@ class DecentralizedGame:
                 on_restart=self._recover_slave,
                 on_dead=self._absorb_dead_slave if self.degrade else None,
             )
+            self.transport.collector = self._collector
         else:
             self.transport = None
 
@@ -363,23 +507,34 @@ class DecentralizedGame:
         with rec.span("dg.round", round=0, phase="init") as init_span:
             self.network.begin_round(0)
             transfer = self._exchange(
-                msg.init_message(
-                    "M", s.slave_id, query.k, query.area is not None
-                )
-                for s in self._live
+                (
+                    msg.init_message(
+                        "M", s.slave_id, query.k, query.area is not None
+                    )
+                    for s in self._live
+                ),
+                self._ctx(init_span),
+                label="init",
             )
+            init_ctx = self._ctx(init_span)
             self._reports = {
-                s.slave_id: s.initialize(query) for s in self._live
+                s.slave_id: s.initialize(query, ctx=init_ctx)
+                for s in self._live
             }
             compute = max(r.compute_seconds for r in self._reports.values())
+            self._sim_now += compute
             transfer += self._exchange(
-                msg.lsv_message(
-                    s.slave_id,
-                    "M",
-                    self._reports[s.slave_id].num_participants,
-                    len(self._reports[s.slave_id].colors),
-                )
-                for s in self._live
+                (
+                    msg.lsv_message(
+                        s.slave_id,
+                        "M",
+                        self._reports[s.slave_id].num_participants,
+                        len(self._reports[s.slave_id].colors),
+                    )
+                    for s in self._live
+                ),
+                self._ctx(init_span),
+                label="lsv",
             )
 
             gsv: Dict[NodeId, int] = {}
@@ -410,14 +565,24 @@ class DecentralizedGame:
                 if self._reports[s.slave_id].num_participants > 0
             ]
             transfer += self._exchange(
-                msg.gsv_message("M", s.slave_id, len(gsv))
-                for s in self._active
+                (
+                    msg.gsv_message("M", s.slave_id, len(gsv))
+                    for s in self._active
+                ),
+                self._ctx(init_span),
+                label="gsv",
             )
-            compute += max(
-                (s.receive_gsv(gsv, cn) for s in self._active), default=0.0
+            gsv_ctx = self._ctx(init_span)
+            gsv_compute = max(
+                (s.receive_gsv(gsv, cn, ctx=gsv_ctx) for s in self._active),
+                default=0.0,
             )
+            compute += gsv_compute
+            self._sim_now += gsv_compute
             transfer += self._exchange(
-                msg.ack_message(s.slave_id, "M") for s in self._active
+                (msg.ack_message(s.slave_id, "M") for s in self._active),
+                self._ctx(init_span),
+                label="ack",
             )
             for slave in self._active:
                 slave.checkpoint(0)
@@ -427,6 +592,8 @@ class DecentralizedGame:
                     participants=len(gsv),
                     bytes=ledger0.bytes_sent,
                     messages=ledger0.messages,
+                    compute_seconds=compute,
+                    transfer_seconds=transfer,
                 )
         rec.count("dg.rounds", 1)
         rec.observe("dg.round_bytes", ledger0.bytes_sent)
@@ -480,50 +647,86 @@ class DecentralizedGame:
                         None if deadline_seconds is None
                         else deadline_seconds - phase_elapsed
                     )
-                    round_transfer += self._exchange(
-                        msg.compute_color_message(
-                            "M", s.slave_id,
-                            with_deadline=deadline_seconds is not None,
+                    with rec.span(
+                        "dg.phase", color=color, round=round_index
+                    ) as phase_span:
+                        round_transfer += self._exchange(
+                            (
+                                msg.compute_color_message(
+                                    "M", s.slave_id,
+                                    with_deadline=deadline_seconds is not None,
+                                )
+                                for s in self._active
+                            ),
+                            self._ctx(phase_span),
+                            label="compute_color",
                         )
-                        for s in self._active
-                    )
-                    computed = []
-                    phase_compute = 0.0
-                    for slave in list(self._active):
-                        changes, seconds = slave.compute_color(
-                            color, remaining_seconds=remaining
+                        compute_ctx = self._ctx(phase_span)
+                        computed = []
+                        phase_compute = 0.0
+                        for slave in list(self._active):
+                            changes, seconds = slave.compute_color(
+                                color,
+                                remaining_seconds=remaining,
+                                ctx=compute_ctx,
+                            )
+                            phase_compute = max(phase_compute, seconds)
+                            computed.append((slave, changes))
+                        round_compute += phase_compute
+                        self._sim_now += phase_compute
+                        round_transfer += self._exchange(
+                            (
+                                msg.strategy_changes_message(
+                                    s.slave_id, "M", len(changes)
+                                )
+                                for s, changes in computed
+                            ),
+                            self._ctx(phase_span),
+                            label="changes_up",
                         )
-                        phase_compute = max(phase_compute, seconds)
-                        computed.append((slave, changes))
-                    round_compute += phase_compute
-                    round_transfer += self._exchange(
-                        msg.strategy_changes_message(
-                            s.slave_id, "M", len(changes)
-                        )
-                        for s, changes in computed
-                    )
 
-                    # Changes from a slave that died before its report got
-                    # through are discarded — its players re-deviate later.
-                    all_changes: Dict[NodeId, int] = {}
-                    for slave, changes in computed:
-                        if slave in self._active:
-                            all_changes.update(changes)
-                    gsv.update(all_changes)
-                    round_deviations += len(all_changes)
-                    round_transfer += self._exchange(
-                        msg.strategy_changes_message(
-                            "M", s.slave_id, len(all_changes)
+                        # Changes from a slave that died before its report
+                        # got through are discarded — its players
+                        # re-deviate later.
+                        all_changes: Dict[NodeId, int] = {}
+                        for slave, changes in computed:
+                            if slave in self._active:
+                                all_changes.update(changes)
+                        gsv.update(all_changes)
+                        round_deviations += len(all_changes)
+                        round_transfer += self._exchange(
+                            (
+                                msg.strategy_changes_message(
+                                    "M", s.slave_id, len(all_changes)
+                                )
+                                for s in self._active
+                            ),
+                            self._ctx(phase_span),
+                            label="changes_down",
                         )
-                        for s in self._active
-                    )
-                    round_compute += max(
-                        (s.apply_changes(all_changes) for s in self._active),
-                        default=0.0,
-                    )
-                    round_transfer += self._exchange(
-                        msg.ack_message(s.slave_id, "M") for s in self._active
-                    )
+                        apply_ctx = self._ctx(phase_span)
+                        apply_compute = max(
+                            (
+                                s.apply_changes(all_changes, ctx=apply_ctx)
+                                for s in self._active
+                            ),
+                            default=0.0,
+                        )
+                        round_compute += apply_compute
+                        self._sim_now += apply_compute
+                        round_transfer += self._exchange(
+                            (
+                                msg.ack_message(s.slave_id, "M")
+                                for s in self._active
+                            ),
+                            self._ctx(phase_span),
+                            label="ack",
+                        )
+                        if phase_span is not None:
+                            phase_span.attrs.update(
+                                deviations=len(all_changes),
+                                compute_seconds=phase_compute,
+                            )
                 for slave in self._active:
                     slave.checkpoint(round_index)
                 ledger = self.network.round_ledgers()[-1]
@@ -561,7 +764,9 @@ class DecentralizedGame:
 
         self.network.begin_round(round_index + 1)
         self._exchange(
-            msg.terminate_message("M", s.slave_id) for s in self._active
+            (msg.terminate_message("M", s.slave_id) for s in self._active),
+            self._ctx(rec.current_span),
+            label="terminate",
         )
 
         if not converged:
@@ -592,6 +797,10 @@ class DecentralizedGame:
         if self.transport is not None:
             extra["fault_plan"] = self.network.plan.describe()
             extra["recovery_compute_seconds"] = self.recovery_compute_seconds
+        if self._collector is not None:
+            # Stitch slave- and network-side spans into the master's
+            # trace, shifted onto the recorder's clock origin.
+            rec.adopt(self._collector.drain(), offset=self._trace_offset)
         return DGResult(
             assignment=dict(gsv),
             rounds=rounds,
@@ -633,8 +842,12 @@ class DecentralizedGame:
             seconds += self.network.record_extra(
                 msg.gsv_message("M", slave_id, len(self._gsv))
             )
+        ctx = (
+            self._ctx(self._rec.current_span)
+            if self._rec is not None else None
+        )
         self.recovery_compute_seconds += slave.resync(
-            self._query, self._gsv, self._cn
+            self._query, self._gsv, self._cn, ctx=ctx
         )
         if self._gsv is None:
             # Crash during round 0, before the GSV existed: the re-run
@@ -676,7 +889,11 @@ class DecentralizedGame:
         )
 
         if self._gsv is not None:
-            target.resync(self._query, self._gsv, self._cn)
+            ctx = (
+                self._ctx(self._rec.current_span)
+                if self._rec is not None else None
+            )
+            target.resync(self._query, self._gsv, self._cn, ctx=ctx)
         elif self._reports:
             # Death after initialization but before the GSV: regenerate
             # the survivor's report so the merge below sees the adopted

@@ -11,6 +11,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 from enum import Enum
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.context import TraceContext
 
 HEADER_BYTES = 24
 INT_BYTES = 4
@@ -38,6 +42,11 @@ class Message:
     rides inside the fixed :data:`HEADER_BYTES` header, so stamping it
     never changes a message's wire size.  ``-1`` means unsequenced (the
     fault-free fast path never stamps).
+
+    ``trace`` is the causal :class:`~repro.obs.context.TraceContext`
+    stamped by the master **only when a recorder is attached** — like
+    ``seq`` it rides in the fixed header and never contributes wire
+    bytes, so byte ledgers are identical with tracing on or off.
     """
 
     msg_type: MessageType
@@ -45,6 +54,7 @@ class Message:
     recipient: str
     payload_bytes: int
     seq: int = -1
+    trace: "Optional[TraceContext]" = None
 
     @property
     def total_bytes(self) -> int:
@@ -55,6 +65,11 @@ class Message:
 def with_seq(message: Message, seq: int) -> Message:
     """Copy of ``message`` stamped with sequence number ``seq``."""
     return replace(message, seq=seq)
+
+
+def with_trace(message: Message, ctx: "TraceContext") -> Message:
+    """Copy of ``message`` carrying trace context ``ctx`` (0 wire bytes)."""
+    return replace(message, trace=ctx)
 
 
 def init_message(

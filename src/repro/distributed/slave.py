@@ -45,6 +45,7 @@ from repro.core.dynamics import DEVIATION_TOLERANCE
 from repro.distributed.query import DGQuery
 from repro.errors import ProtocolError
 from repro.graph.social_graph import NodeId, SocialGraph
+from repro.obs.context import TraceContext
 
 
 @dataclass
@@ -103,8 +104,15 @@ class SlaveNode:
     # ------------------------------------------------------------------
     # Figure 6 lines 2-5: local initialization and the LSV
     # ------------------------------------------------------------------
-    def initialize(self, query: DGQuery) -> SlaveInitReport:
-        """Select participants, compute distance rows, init strategies."""
+    def initialize(
+        self, query: DGQuery, ctx: Optional[TraceContext] = None
+    ) -> SlaveInitReport:
+        """Select participants, compute distance rows, init strategies.
+
+        ``ctx`` (set only while a recorder traces the run) records the
+        initialization as a ``slave.init`` span on the shared simulated
+        timeline, causally under the master's round-0 span.
+        """
         start = time.perf_counter()
         self._query = query
         rng = random.Random(query.seed)
@@ -142,6 +150,15 @@ class SlaveNode:
         }
 
         elapsed = time.perf_counter() - start
+        if ctx is not None:
+            ctx.record(
+                "slave.init",
+                node=self.slave_id,
+                start=ctx.sim_time,
+                end=ctx.sim_time + elapsed,
+                participants=n,
+                distance_computations=n * k,
+            )
         return SlaveInitReport(
             local_strategies=dict(self._assignment),
             colors={self._coloring[u] for u in self._participants},
@@ -155,12 +172,18 @@ class SlaveNode:
     # ------------------------------------------------------------------
     # Figure 6 lines 10-13: store the GSV and build the global table
     # ------------------------------------------------------------------
-    def receive_gsv(self, gsv: Dict[NodeId, int], cn: float = 1.0) -> float:
+    def receive_gsv(
+        self,
+        gsv: Dict[NodeId, int],
+        cn: float = 1.0,
+        ctx: Optional[TraceContext] = None,
+    ) -> float:
         """Store the global strategic vector; build the local RMGP_gt state.
 
         ``cn`` is the master-estimated normalization constant scaling the
         assignment costs (1.0 = no normalization).  Returns the compute
-        time spent (for the master's parallel accounting).
+        time spent (for the master's parallel accounting).  ``ctx``
+        records the table build as a ``slave.build_table`` span.
         """
         if self._query is None or self._raw_rows is None:
             raise ProtocolError(f"slave {self.slave_id}: GSV before INIT")
@@ -238,13 +261,26 @@ class SlaveNode:
             self._active = dynamics.ActiveSet(n, dirty=~happy)
         else:
             self._active = dynamics.ActiveSet(0)
-        return time.perf_counter() - start
+        elapsed = time.perf_counter() - start
+        if ctx is not None:
+            ctx.record(
+                "slave.build_table",
+                node=self.slave_id,
+                start=ctx.sim_time,
+                end=ctx.sim_time + elapsed,
+                participants=n,
+                initial_dirty=int(self._active.count()),
+            )
+        return elapsed
 
     # ------------------------------------------------------------------
     # Figure 6 lines 17-19: best responses for one color
     # ------------------------------------------------------------------
     def compute_color(
-        self, color: int, remaining_seconds: Optional[float] = None
+        self,
+        color: int,
+        remaining_seconds: Optional[float] = None,
+        ctx: Optional[TraceContext] = None,
     ) -> Tuple[Dict[NodeId, int], float]:
         """Deviations of local dirty players with ``color``.
 
@@ -264,13 +300,26 @@ class SlaveNode:
         if self._table is None or self._active is None:
             raise ProtocolError(f"slave {self.slave_id}: compute before GSV")
         if remaining_seconds is not None and remaining_seconds <= 0.0:
+            if ctx is not None:
+                ctx.record(
+                    "slave.compute",
+                    node=self.slave_id,
+                    start=ctx.sim_time,
+                    end=ctx.sim_time,
+                    color=color,
+                    examined=0,
+                    changes=0,
+                    skipped=True,
+                )
             return {}, 0.0
         start = time.perf_counter()
         changes: Dict[NodeId, int] = {}
+        examined = 0
         flags = self._active.flags
         for i in self._by_color.get(color, ()):
             if not flags[i]:
                 continue
+            examined += 1
             user = self._participants[i]
             row = self._table[i]
             current = self._assignment[user]
@@ -279,12 +328,27 @@ class SlaveNode:
                 changes[user] = best
             else:
                 flags[i] = False
-        return changes, time.perf_counter() - start
+        elapsed = time.perf_counter() - start
+        if ctx is not None:
+            ctx.record(
+                "slave.compute",
+                node=self.slave_id,
+                start=ctx.sim_time,
+                end=ctx.sim_time + elapsed,
+                color=color,
+                examined=examined,
+                changes=len(changes),
+            )
+        return changes, elapsed
 
     # ------------------------------------------------------------------
     # Figure 6 lines 22-24: apply redistributed changes
     # ------------------------------------------------------------------
-    def apply_changes(self, changes: Dict[NodeId, int]) -> float:
+    def apply_changes(
+        self,
+        changes: Dict[NodeId, int],
+        ctx: Optional[TraceContext] = None,
+    ) -> float:
         """Update the local GSV, tables and dirty frontier; returns seconds.
 
         Each change is one vectorized fancy-index update over the
@@ -317,7 +381,16 @@ class SlaveNode:
                 self._table[locals_, new_class] -= deltas
                 self._table[locals_, old_class] += deltas
                 self._active.mark(locals_)
-        return time.perf_counter() - start
+        elapsed = time.perf_counter() - start
+        if ctx is not None:
+            ctx.record(
+                "slave.apply",
+                node=self.slave_id,
+                start=ctx.sim_time,
+                end=ctx.sim_time + elapsed,
+                changes=len(changes),
+            )
+        return elapsed
 
     # ------------------------------------------------------------------
     # Fault tolerance: checkpoint / crash / resync / shard adoption
@@ -364,6 +437,7 @@ class SlaveNode:
         query: DGQuery,
         gsv: Optional[Dict[NodeId, int]],
         cn: float = 1.0,
+        ctx: Optional[TraceContext] = None,
     ) -> float:
         """Rebuild volatile state after a restart (or shard adoption).
 
@@ -386,6 +460,17 @@ class SlaveNode:
                 if user in gsv:
                     self._assignment[user] = gsv[user]
             seconds += self.receive_gsv(gsv, cn)
+        if ctx is not None:
+            ctx.record(
+                "slave.resync",
+                node=self.slave_id,
+                start=ctx.sim_time,
+                end=ctx.sim_time + seconds,
+                participants=len(self._participants),
+                from_checkpoint=(
+                    self._checkpoint["round"] if self._checkpoint else None
+                ),
+            )
         return seconds
 
     def absorb_shard(self, dead: "SlaveNode") -> None:

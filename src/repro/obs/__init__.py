@@ -11,10 +11,18 @@ surface without perturbing the hot path:
   spans (``solve`` > ``round``), a metrics registry (counters, gauges,
   fixed-boundary histograms) and per-round solver telemetry (frontier
   size, moves, Eq. 3 cost evaluations, potential delta).
-* :mod:`~repro.obs.exporters` — JSONL trace files (``repro-trace/v1``),
+* :mod:`~repro.obs.exporters` — JSONL trace files (``repro-trace/v2``),
   Prometheus-style text dumps and a human summary tree.
 * :mod:`~repro.obs.schema` — validation for the JSONL schema (also
   runnable: ``python -m repro.obs.schema trace.jsonl``).
+* :mod:`~repro.obs.context` — causal trace propagation across the
+  simulated cluster (master, slaves, network) for the DG framework.
+* :mod:`~repro.obs.analysis` — critical-path / straggler / retry
+  analysis of distributed traces.
+* :mod:`~repro.obs.chrome` — Chrome trace-event (Perfetto-loadable)
+  export, also runnable as a validator.
+* :mod:`~repro.obs.memory` — ``tracemalloc``-backed memory recorder
+  attaching peak/net heap allocation to every span.
 
 Opt-in is either explicit (``SolveOptions(recorder=...)`` /
 ``recorder=`` kwargs) or ambient via the context manager::
@@ -28,9 +36,23 @@ Instrumentation never touches solver randomness or state: assignments
 are byte-identical with tracing on or off.
 """
 
+from repro.obs.analysis import (
+    TraceReport,
+    analyze_recorder,
+    analyze_records,
+    analyze_trace_file,
+    format_report,
+)
+from repro.obs.chrome import (
+    chrome_trace,
+    validate_chrome_file,
+    write_chrome_trace,
+)
 from repro.obs.clock import ManualClock, MonotonicClock
+from repro.obs.context import RemoteSpan, SpanCollector, TraceContext
 from repro.obs.exporters import (
     SCHEMA_VERSION,
+    SCHEMA_VERSIONS,
     jsonl_lines,
     prometheus_text,
     summary_tree,
@@ -43,6 +65,11 @@ from repro.obs.metrics import (
     Gauge,
     Histogram,
     MetricsRegistry,
+)
+from repro.obs.memory import (
+    MemoryRecorder,
+    memory_recording,
+    memory_summary,
 )
 from repro.obs.recorder import (
     NULL_RECORDER,
@@ -63,23 +90,38 @@ __all__ = [
     "Gauge",
     "Histogram",
     "ManualClock",
+    "MemoryRecorder",
     "MetricsRegistry",
     "MonotonicClock",
     "NULL_RECORDER",
     "NullRecorder",
     "Recorder",
+    "RemoteSpan",
     "SCHEMA_VERSION",
+    "SCHEMA_VERSIONS",
     "Span",
+    "SpanCollector",
+    "TraceContext",
     "TraceRecorder",
+    "TraceReport",
     "active_recorder",
+    "analyze_recorder",
+    "analyze_records",
+    "analyze_trace_file",
+    "chrome_trace",
     "current_recorder",
+    "format_report",
     "jsonl_lines",
+    "memory_recording",
+    "memory_summary",
     "prometheus_text",
     "recording",
     "summary_tree",
     "trace_records",
     "use_recorder",
+    "validate_chrome_file",
     "validate_records",
     "validate_trace_file",
+    "write_chrome_trace",
     "write_jsonl",
 ]

@@ -1,0 +1,138 @@
+"""Causal trace propagation across the simulated cluster.
+
+The decentralized framework runs master, slaves and the network as
+separate actors; a flat per-process recorder cannot link a master round
+to the messages it fanned out and the slave compute they triggered.
+This module supplies the glue:
+
+* :class:`TraceContext` — the (trace id, parent span id, causal time)
+  triple the master stamps onto DG messages and slave calls.  It is
+  created **only when a recorder is attached** (the same only-when-set
+  rule the real-time budgets use), so fault-free byte ledgers stay
+  byte-identical with tracing off: context never contributes wire
+  bytes, and no context means no code runs.
+* :class:`RemoteSpan` — a span recorded *away* from the master recorder
+  (on a slave, or inside the network transport), carrying explicit
+  start/end times on the shared **simulated** timeline plus the master
+  span id it is causally a child of.
+* :class:`SpanCollector` — the buffer remote actors append to.  The
+  master drains it at the end of a run and grafts the spans into its
+  recorder via :meth:`~repro.obs.recorder.TraceRecorder.adopt`,
+  producing one causally-linked trace.
+
+Timebase: remote spans live on the deterministic simulated clock
+(transfer + max-parallel compute, the Figure 14 quantity); adoption
+shifts them by a constant offset so they share the master recorder's
+origin.  Durations are therefore exact simulated seconds, which is what
+the critical-path analysis (:mod:`repro.obs.analysis`) consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.obs.spans import SpanEvent
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """Causal coordinates carried by one DG message or slave call.
+
+    ``parent_span_id`` names a span in the *master's* recorder;
+    ``sim_time`` anchors the receiver's work on the shared simulated
+    timeline; ``collector`` is where the receiver records its spans.
+    The context is deliberately weightless on the wire — stamping it
+    onto a :class:`~repro.distributed.messages.Message` never changes
+    ``payload_bytes`` or ``total_bytes``.
+    """
+
+    trace_id: str
+    parent_span_id: Optional[int]
+    sim_time: float
+    collector: "SpanCollector"
+
+    def record(
+        self,
+        name: str,
+        node: str,
+        start: float,
+        end: float,
+        events: Optional[List[SpanEvent]] = None,
+        **attrs: Any,
+    ) -> "RemoteSpan":
+        """Record one remote span under this context's parent."""
+        return self.collector.record(
+            name,
+            node=node,
+            start=start,
+            end=end,
+            parent_span_id=self.parent_span_id,
+            events=events,
+            **attrs,
+        )
+
+
+@dataclass
+class RemoteSpan:
+    """One span produced away from the master recorder.
+
+    Times are explicit (no clock callback): remote actors know exactly
+    when their work happened on the simulated timeline, and adoption
+    must not re-time them.
+    """
+
+    name: str
+    node: str
+    start: float
+    end: float
+    parent_span_id: Optional[int] = None
+    attrs: Dict[str, Any] = field(default_factory=dict)
+    events: List[SpanEvent] = field(default_factory=list)
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+class SpanCollector:
+    """Append-only buffer of :class:`RemoteSpan` records.
+
+    One collector is shared by every actor of a traced run; the master
+    drains it once and adopts the spans in record order (which is causal
+    order, because the protocol is lockstep).
+    """
+
+    def __init__(self) -> None:
+        self.spans: List[RemoteSpan] = []
+
+    def record(
+        self,
+        name: str,
+        node: str,
+        start: float,
+        end: float,
+        parent_span_id: Optional[int] = None,
+        events: Optional[List[SpanEvent]] = None,
+        **attrs: Any,
+    ) -> RemoteSpan:
+        """Append one remote span; returns it for attr updates."""
+        span = RemoteSpan(
+            name=name,
+            node=node,
+            start=start,
+            end=end,
+            parent_span_id=parent_span_id,
+            attrs=dict(attrs),
+            events=list(events) if events else [],
+        )
+        self.spans.append(span)
+        return span
+
+    def drain(self) -> List[RemoteSpan]:
+        """All recorded spans; the buffer is emptied."""
+        spans, self.spans = self.spans, []
+        return spans
+
+    def __len__(self) -> int:
+        return len(self.spans)

@@ -1,9 +1,16 @@
 """Trace exporters: JSONL file, Prometheus-style text, summary tree.
 
 All exporters read from a :class:`~repro.obs.recorder.TraceRecorder`;
-the JSONL schema (``repro-trace/v1``) is shared by the solver
+the JSONL schema (``repro-trace/v2``) is shared by the solver
 instrumentation, the bench harness and the CLI, so figures and profiles
-flow through one data path.  :mod:`repro.obs.schema` validates it.
+flow through one data path.  :mod:`repro.obs.schema` validates it (and
+still accepts v1 traces — v2 only *adds* the optional ``node`` key that
+names the actor a span ran on).  For the Perfetto-loadable flavor see
+:mod:`repro.obs.chrome`.
+
+The Prometheus text dump follows the exposition format: counters carry
+the ``_total`` suffix and label values escape backslash, double quote
+and newline, so standard parsers can round-trip the output.
 """
 
 from __future__ import annotations
@@ -17,7 +24,10 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.obs.recorder import TraceRecorder
 
 #: Version tag stamped into every trace's leading ``meta`` record.
-SCHEMA_VERSION = "repro-trace/v1"
+SCHEMA_VERSION = "repro-trace/v2"
+
+#: Versions the validator accepts (v2 = v1 plus optional span ``node``).
+SCHEMA_VERSIONS = ("repro-trace/v1", "repro-trace/v2")
 
 
 def trace_records(recorder: "TraceRecorder") -> Iterator[Dict[str, Any]]:
@@ -27,7 +37,7 @@ def trace_records(recorder: "TraceRecorder") -> Iterator[Dict[str, Any]]:
     yield meta
     for root in recorder.spans:
         for span, depth in root.walk():
-            yield {
+            record = {
                 "type": "span",
                 "id": span.span_id,
                 "parent": span.parent_id,
@@ -37,6 +47,9 @@ def trace_records(recorder: "TraceRecorder") -> Iterator[Dict[str, Any]]:
                 "end": span.end if span.end is not None else span.start,
                 "attrs": _plain(span.attrs),
             }
+            if span.node is not None:
+                record["node"] = span.node
+            yield record
             for event in span.events:
                 yield {
                     "type": "event",
@@ -85,6 +98,8 @@ def prometheus_text(registry: MetricsRegistry) -> str:
     seen_types = set()
     for instrument in registry:
         name = _prom_name(instrument.name)
+        if instrument.kind == "counter" and not name.endswith("_total"):
+            name += "_total"
         if name not in seen_types:
             lines.append(f"# TYPE {name} {instrument.kind}")
             seen_types.add(name)
@@ -120,9 +135,20 @@ def _prom_labels(labels: Dict[str, str]) -> str:
     if not labels:
         return ""
     inner = ",".join(
-        f'{key}="{str(value)}"' for key, value in sorted(labels.items())
+        f'{key}="{_prom_escape(value)}"'
+        for key, value in sorted(labels.items())
     )
     return "{" + inner + "}"
+
+
+def _prom_escape(value: Any) -> str:
+    """Exposition-format label value escaping (\\, \", newline)."""
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
 
 
 def _fmt(value: float) -> str:
@@ -142,6 +168,8 @@ def summary_tree(recorder: "TraceRecorder", max_depth: int = 6) -> str:
                 continue
             indent = "  " * depth
             label = span.name
+            if span.node is not None:
+                label += f" @{span.node}"
             highlights = ", ".join(
                 f"{key}={_fmt_attr(value)}"
                 for key, value in span.attrs.items()
@@ -173,6 +201,7 @@ def summary_tree(recorder: "TraceRecorder", max_depth: int = 6) -> str:
 _SUMMARY_ATTRS = (
     "solver", "round", "deviations", "players_examined", "frontier",
     "potential_delta", "n", "k", "bytes", "messages", "label",
+    "color", "attempts", "mem_peak_bytes", "mem_net_bytes",
 )
 
 

@@ -1,0 +1,131 @@
+"""Memory profiling: ``tracemalloc``-backed span allocation telemetry.
+
+:class:`MemoryRecorder` extends the tracing recorder so every span
+carries the peak and net Python heap allocation of the work it covers
+(``mem_peak_bytes`` / ``mem_net_bytes`` attrs, exported through the
+normal JSONL/summary paths).  Peaks are measured per span via
+``tracemalloc.reset_peak`` and propagated outward, so a parent's peak is
+never smaller than any child's — closing a child must not hide the high
+-water mark it set.
+
+Opt-in mirrors :func:`~repro.obs.recorder.recording`::
+
+    with memory_recording() as rec:
+        partition(graph, query)
+    print(summary_tree(rec))
+
+``tracemalloc`` slows allocation-heavy code noticeably, which is why
+memory profiling is a separate recorder instead of a flag on the default
+one — attach it only when asked (``repro profile --memory``).
+"""
+
+from __future__ import annotations
+
+import tracemalloc
+from contextlib import contextmanager
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+from repro.obs.recorder import TraceRecorder, use_recorder
+from repro.obs.spans import Span
+
+#: ``tracemalloc.reset_peak`` arrived in Python 3.9; degrade to
+#: whole-run peaks (still correct, less precise) without it.
+_HAS_RESET_PEAK = hasattr(tracemalloc, "reset_peak")
+
+
+class MemoryRecorder(TraceRecorder):
+    """Trace recorder that annotates spans with heap allocation.
+
+    Requires ``tracemalloc`` to be tracing (use
+    :func:`memory_recording`, which starts it); with tracing off the
+    recorder silently degrades to plain span timing.
+    """
+
+    def __init__(
+        self,
+        clock: Optional[Callable[[], float]] = None,
+        meta: Optional[dict] = None,
+    ) -> None:
+        super().__init__(clock=clock, meta=meta)
+        #: Per open span: heap size at open + peak seen so far.
+        self._mem_stack: List[Dict[str, int]] = []
+
+    def _on_open(self, span: Span) -> None:
+        if not tracemalloc.is_tracing():
+            return
+        current, _ = tracemalloc.get_traced_memory()
+        if _HAS_RESET_PEAK:
+            tracemalloc.reset_peak()
+        self._mem_stack.append({"start": current, "peak": current})
+
+    def _on_close(self, span: Span) -> None:
+        if not self._mem_stack or not tracemalloc.is_tracing():
+            return
+        current, peak = tracemalloc.get_traced_memory()
+        frame = self._mem_stack.pop()
+        span_peak = max(frame["peak"], peak)
+        span.attrs["mem_net_bytes"] = current - frame["start"]
+        span.attrs["mem_peak_bytes"] = max(span_peak - frame["start"], 0)
+        if self._mem_stack:
+            parent = self._mem_stack[-1]
+            parent["peak"] = max(parent["peak"], span_peak)
+        if _HAS_RESET_PEAK:
+            tracemalloc.reset_peak()
+
+
+@contextmanager
+def memory_recording(
+    clock: Optional[Callable[[], float]] = None,
+    meta: Optional[dict] = None,
+) -> Iterator[MemoryRecorder]:
+    """Ambient :class:`MemoryRecorder` with ``tracemalloc`` running.
+
+    Starts ``tracemalloc`` only if it is not already tracing, and stops
+    it only if this context started it.
+    """
+    started = not tracemalloc.is_tracing()
+    if started:
+        tracemalloc.start()
+    try:
+        with use_recorder(
+            MemoryRecorder(clock=clock, meta=meta)
+        ) as recorder:
+            yield recorder
+    finally:
+        if started:
+            tracemalloc.stop()
+
+
+def memory_summary(recorder: TraceRecorder, top: int = 10) -> str:
+    """The ``top`` spans by peak allocation, largest first."""
+    ranked = sorted(
+        (
+            span
+            for span in recorder.all_spans()
+            if "mem_peak_bytes" in span.attrs
+        ),
+        key=lambda span: span.attrs["mem_peak_bytes"],
+        reverse=True,
+    )[:top]
+    if not ranked:
+        return "no memory telemetry recorded (tracemalloc was off?)"
+    lines = ["top spans by peak allocation:"]
+    for span in ranked:
+        peak = span.attrs["mem_peak_bytes"]
+        net = span.attrs.get("mem_net_bytes", 0)
+        lines.append(
+            f"  {_fmt_bytes(peak):>10}  peak"
+            f"  ({_fmt_bytes(net)} net)  {span.name}"
+        )
+    return "\n".join(lines)
+
+
+def _fmt_bytes(value: Any) -> str:
+    size = float(value)
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if abs(size) < 1024.0 or unit == "GiB":
+            return (
+                f"{size:.0f} {unit}" if unit == "B" else f"{size:.1f} {unit}"
+            )
+        size /= 1024.0
+    return f"{size:.1f} GiB"

@@ -54,9 +54,19 @@ class Recorder:
     #: False when recording is free to skip (lazy callables never run).
     enabled: bool = False
 
+    #: The innermost open span (None on the null recorder).
+    current_span = None
+
     def span(self, name: str, **attrs: Any):
         """Context manager timing one unit of work (yields the Span)."""
         return _NULL_SPAN
+
+    def new_trace_id(self) -> str:
+        """Fresh trace id for one distributed run ("" = not tracing)."""
+        return ""
+
+    def adopt(self, remote_spans, offset: float = 0.0) -> None:
+        """Graft remote spans into the trace (no-op when not collecting)."""
 
     def count(
         self, name: str, value: float = 1.0, **labels: Any
@@ -117,6 +127,8 @@ class TraceRecorder(Recorder):
         self.meta = dict(meta or {})
         self._stack: List[Span] = []
         self._next_id = 0
+        self._next_trace = 0
+        self._spans_by_id: dict = {}
         self._last_potential: dict = {}
 
     # -- spans ----------------------------------------------------------
@@ -139,11 +151,13 @@ class TraceRecorder(Recorder):
             attrs=dict(attrs),
         )
         self._next_id += 1
+        self._spans_by_id[span.span_id] = span
         if parent is not None:
             parent.children.append(span)
         else:
             self.spans.append(span)
         self._stack.append(span)
+        self._on_open(span)
         return span
 
     def close_span(self, span: Span) -> None:
@@ -151,9 +165,58 @@ class TraceRecorder(Recorder):
         while self._stack:
             top = self._stack.pop()
             top.finish(self.clock())
+            self._on_close(top)
             if top is span:
                 return
         raise ValueError(f"span {span.name!r} is not open")
+
+    def _on_open(self, span: Span) -> None:
+        """Subclass hook fired after a span opens (memory profiling)."""
+
+    def _on_close(self, span: Span) -> None:
+        """Subclass hook fired after a span closes."""
+
+    # -- cross-node stitching ------------------------------------------
+    def new_trace_id(self) -> str:
+        """Deterministic fresh trace id for one distributed run."""
+        trace_id = f"trace-{self._next_trace}"
+        self._next_trace += 1
+        return trace_id
+
+    def adopt(self, remote_spans, offset: float = 0.0) -> None:
+        """Graft :class:`~repro.obs.context.RemoteSpan` records in.
+
+        Each remote span becomes a child of the (master-side) span its
+        ``parent_span_id`` names — or a new root when the parent is
+        unknown — shifted by ``offset`` so the simulated timeline shares
+        this recorder's clock origin.  Record order is preserved, which
+        is causal order for the lockstep protocol.
+        """
+        for remote in remote_spans:
+            parent = self._spans_by_id.get(remote.parent_span_id)
+            span = Span(
+                name=remote.name,
+                start=remote.start + offset,
+                span_id=self._next_id,
+                parent_id=parent.span_id if parent is not None else None,
+                end=remote.end + offset,
+                attrs=dict(remote.attrs),
+                node=remote.node,
+            )
+            self._next_id += 1
+            self._spans_by_id[span.span_id] = span
+            span.events = [
+                SpanEvent(
+                    name=event.name,
+                    time=event.time + offset,
+                    attrs=dict(event.attrs),
+                )
+                for event in remote.events
+            ]
+            if parent is not None:
+                parent.children.append(span)
+            else:
+                self.spans.append(span)
 
     @property
     def current_span(self) -> Optional[Span]:
@@ -177,13 +240,18 @@ class TraceRecorder(Recorder):
 
     def event(self, name: str, **attrs: Any) -> None:
         current = self.current_span
-        event = SpanEvent(name=name, time=self.clock(), attrs=dict(attrs))
         if current is not None:
-            current.events.append(event)
+            current.events.append(
+                SpanEvent(name=name, time=self.clock(), attrs=dict(attrs))
+            )
         else:
-            # Eventless root: wrap in a zero-length span so nothing is lost.
+            # Eventless root: wrap in a zero-length span so nothing is
+            # lost.  The timestamp is taken *inside* the wrapper so the
+            # event stays within its span (schema v2 enforces this).
             span = self.open_span(name, orphan_event=True)
-            span.events.append(event)
+            span.events.append(
+                SpanEvent(name=name, time=self.clock(), attrs=dict(attrs))
+            )
             self.close_span(span)
 
     # -- per-round solver telemetry ------------------------------------

@@ -1,11 +1,21 @@
-"""Validation for the ``repro-trace/v1`` JSONL schema.
+"""Validation for the ``repro-trace`` JSONL schema (v1 and v2).
+
+v2 adds the optional ``node`` key on spans — the actor the work ran on
+(master = absent, a slave id, or ``"net"``) — and tightens the checks:
+duplicate span ids, malformed parent ids, orphan spans, non-monotonic
+span timestamps and events outside their span all fail with a message
+naming the offending record.  Parent/child *time containment* is
+deliberately not enforced: master spans run on the recorder's wall
+clock while adopted remote spans live on the shifted simulated
+timeline, so a child may legitimately extend past its parent.
 
 Usable as a library (:func:`validate_records`, :func:`validate_trace_file`)
 and as a command — the CI trace-artifact gate::
 
     python -m repro.obs.schema trace.jsonl
 
-Exit status 0 means every record conforms; 1 lists the violations.
+Exit status 0 means every record conforms; 1 lists the violations; 2 is
+a usage error.
 """
 
 from __future__ import annotations
@@ -14,7 +24,10 @@ import json
 import sys
 from typing import Any, Dict, Iterable, List, Optional
 
-from repro.obs.exporters import SCHEMA_VERSION
+from repro.obs.exporters import SCHEMA_VERSION, SCHEMA_VERSIONS
+
+#: Tolerance for event-inside-span checks (clock rounding).
+_TIME_EPSILON = 1e-6
 
 #: Required keys (and permissive types) per record type.
 _SPEC: Dict[str, Dict[str, tuple]] = {
@@ -46,11 +59,16 @@ _SPEC: Dict[str, Dict[str, tuple]] = {
     },
 }
 
+#: Optional keys (v2) checked for type when present.
+_OPTIONAL: Dict[str, Dict[str, tuple]] = {
+    "span": {"node": (str,)},
+}
+
 
 def validate_records(records: Iterable[Dict[str, Any]]) -> List[str]:
     """Schema violations of an iterable of parsed records (empty = valid)."""
     errors: List[str] = []
-    span_ids: set = set()
+    span_times: Dict[int, tuple] = {}
     saw_meta = False
     for index, record in enumerate(records):
         where = f"record {index}"
@@ -62,10 +80,10 @@ def validate_records(records: Iterable[Dict[str, Any]]) -> List[str]:
             saw_meta = kind == "meta"
             if not saw_meta:
                 errors.append(f"{where}: first record must be type 'meta'")
-            elif record.get("schema") != SCHEMA_VERSION:
+            elif record.get("schema") not in SCHEMA_VERSIONS:
                 errors.append(
-                    f"{where}: schema {record.get('schema')!r} != "
-                    f"{SCHEMA_VERSION!r}"
+                    f"{where}: schema {record.get('schema')!r} not one of "
+                    f"{list(SCHEMA_VERSIONS)}"
                 )
         if kind not in _SPEC:
             errors.append(f"{where}: unknown type {kind!r}")
@@ -78,19 +96,47 @@ def validate_records(records: Iterable[Dict[str, Any]]) -> List[str]:
                     f"{where} ({kind}): {key!r} has type "
                     f"{type(record[key]).__name__}"
                 )
+        for key, types in _OPTIONAL.get(kind, {}).items():
+            if key in record and not isinstance(record[key], types):
+                errors.append(
+                    f"{where} ({kind}): optional {key!r} has type "
+                    f"{type(record[key]).__name__}"
+                )
         if kind == "span" and all(
-            key in record for key in ("id", "parent", "start", "end")
+            isinstance(record.get(key), _SPEC["span"][key])
+            for key in ("id", "parent", "start", "end")
         ):
             if record["end"] < record["start"]:
-                errors.append(f"{where} (span): end precedes start")
-            parent = record["parent"]
-            if parent is not None and parent not in span_ids:
                 errors.append(
-                    f"{where} (span): parent {parent} not seen before child"
+                    f"{where} (span): non-monotonic timestamps — end "
+                    f"{record['end']} precedes start {record['start']}"
                 )
-            span_ids.add(record["id"])
-        if kind == "event" and record.get("span") not in span_ids:
-            errors.append(f"{where} (event): unknown span {record.get('span')}")
+            parent = record["parent"]
+            if parent is not None and parent not in span_times:
+                errors.append(
+                    f"{where} (span): orphan — parent {parent} not seen "
+                    f"before child {record['id']}"
+                )
+            if record["id"] in span_times:
+                errors.append(
+                    f"{where} (span): duplicate span id {record['id']}"
+                )
+            span_times[record["id"]] = (record["start"], record["end"])
+        if kind == "event":
+            span_id = record.get("span")
+            if span_id not in span_times:
+                errors.append(f"{where} (event): unknown span {span_id}")
+            elif isinstance(record.get("time"), (int, float)):
+                start, end = span_times[span_id]
+                if not (
+                    start - _TIME_EPSILON
+                    <= record["time"]
+                    <= end + _TIME_EPSILON
+                ):
+                    errors.append(
+                        f"{where} (event): time {record['time']} outside "
+                        f"span {span_id} [{start}, {end}]"
+                    )
         if kind == "histogram" and "boundaries" in record and "counts" in record:
             if len(record["counts"]) != len(record["boundaries"]) + 1:
                 errors.append(

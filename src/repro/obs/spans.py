@@ -24,7 +24,12 @@ class SpanEvent:
 
 @dataclass
 class Span:
-    """One timed interval in the trace tree."""
+    """One timed interval in the trace tree.
+
+    ``node`` names the actor the work ran on — ``None`` for the local
+    process, a slave id (``"slave-0"``) or the network (``"net"``) for
+    spans adopted from the distributed framework.
+    """
 
     name: str
     start: float
@@ -34,6 +39,7 @@ class Span:
     attrs: Dict[str, Any] = field(default_factory=dict)
     children: List["Span"] = field(default_factory=list)
     events: List[SpanEvent] = field(default_factory=list)
+    node: Optional[str] = None
 
     @property
     def duration(self) -> float:

@@ -1,0 +1,107 @@
+"""Bench-history store: records, atomic appends, statistical gate."""
+
+from __future__ import annotations
+
+import json
+
+from repro.bench.history import (
+    HISTORY_SCHEMA,
+    append_run,
+    git_revision,
+    history_file,
+    load_history,
+    make_record,
+    regression_messages,
+)
+
+
+def record_with(normalized, key="fig8-tiny/RMGP_gt"):
+    return {
+        "schema": HISTORY_SCHEMA,
+        "timestamp": 0.0,
+        "git_sha": "abc",
+        "profile": "smoke",
+        "calibration_ms": 10.0,
+        "results": {key: {"wall_ms": normalized * 10.0,
+                          "normalized": normalized}},
+    }
+
+
+class TestRecords:
+    def test_make_record_derives_normalized_ratio(self):
+        record = make_record(
+            "smoke", 20.0, {"a/b": {"wall_ms": 5.0, "rounds": 3}},
+            timestamp=123.0,
+        )
+        assert record["schema"] == HISTORY_SCHEMA
+        assert record["profile"] == "smoke"
+        assert record["timestamp"] == 123.0
+        assert record["results"]["a/b"]["normalized"] == 0.25
+        assert record["results"]["a/b"]["rounds"] == 3
+
+    def test_git_revision_inside_repo(self):
+        from pathlib import Path
+
+        sha = git_revision(Path(__file__).resolve().parents[2])
+        assert sha == "unknown" or len(sha) == 40
+
+    def test_git_revision_outside_repo(self, tmp_path):
+        assert git_revision(tmp_path) == "unknown"
+
+
+class TestStore:
+    def test_append_and_load_round_trip(self, tmp_path):
+        for value in (1.0, 1.1):
+            append_run(tmp_path, "smoke", record_with(value))
+        records = load_history(tmp_path, "smoke")
+        assert len(records) == 2
+        assert records[0]["results"]["fig8-tiny/RMGP_gt"][
+            "normalized"
+        ] == 1.0
+
+    def test_append_leaves_no_tmp_file(self, tmp_path):
+        append_run(tmp_path, "smoke", record_with(1.0))
+        assert list(tmp_path.glob("*.tmp")) == []
+        assert history_file(tmp_path, "smoke").exists()
+
+    def test_profiles_are_isolated(self, tmp_path):
+        append_run(tmp_path, "smoke", record_with(1.0))
+        append_run(tmp_path, "core", record_with(2.0))
+        assert len(load_history(tmp_path, "smoke")) == 1
+        assert len(load_history(tmp_path, "core")) == 1
+
+    def test_corrupt_lines_are_skipped(self, tmp_path):
+        append_run(tmp_path, "smoke", record_with(1.0))
+        with open(history_file(tmp_path, "smoke"), "a") as handle:
+            handle.write("{broken\n")
+            handle.write(json.dumps({"schema": "other/v1"}) + "\n")
+        assert len(load_history(tmp_path, "smoke")) == 1
+
+    def test_missing_history_is_empty(self, tmp_path):
+        assert load_history(tmp_path, "smoke") == []
+
+
+class TestRegressionGate:
+    def test_flags_significant_regression(self):
+        history = [record_with(v) for v in (1.0, 1.01, 0.99, 1.0)]
+        messages = regression_messages(history, record_with(2.0))
+        assert len(messages) == 1
+        assert "fig8-tiny/RMGP_gt" in messages[0]
+        assert "mean" in messages[0]
+
+    def test_in_line_run_passes(self):
+        history = [record_with(v) for v in (1.0, 1.02, 0.98, 1.0)]
+        assert regression_messages(history, record_with(1.03)) == []
+
+    def test_gate_stays_disarmed_below_min_samples(self):
+        history = [record_with(1.0), record_with(1.0)]
+        assert regression_messages(history, record_with(50.0)) == []
+
+    def test_noisy_history_requires_ratio_threshold_too(self):
+        # Tight sigma band but below 1.2x the mean: not flagged.
+        history = [record_with(v) for v in (1.0, 1.0, 1.0, 1.0)]
+        assert regression_messages(history, record_with(1.1)) == []
+
+    def test_unknown_keys_are_ignored(self):
+        history = [record_with(1.0, key="other/solver")] * 4
+        assert regression_messages(history, record_with(9.0)) == []

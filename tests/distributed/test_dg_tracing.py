@@ -1,0 +1,181 @@
+"""Cross-node causal tracing of the decentralized game.
+
+Covers the only-when-set guarantee (tracing off ⇒ byte-identical
+ledgers and assignments), the stitched trace shape (slave / network
+spans adopted under the master's round and phase spans with ``node``
+set), straggler detection via the critical-path analysis on a chaos
+run, and Chrome trace export of a distributed run.
+"""
+
+import json
+
+import pytest
+
+from repro.datasets import gowalla_like
+from repro.distributed import DGQuery, FaultPlan, build_cluster
+from repro.obs import recording
+from repro.obs.analysis import analyze_recorder, format_report
+from repro.obs.chrome import chrome_trace, validate_chrome
+from repro.obs.exporters import jsonl_lines
+from repro.obs.schema import validate_records
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return gowalla_like(num_users=200, num_events=5, seed=11)
+
+
+@pytest.fixture(scope="module")
+def query(dataset):
+    return DGQuery(events=dataset.events, alpha=0.5, seed=2)
+
+
+def ledgers(cluster):
+    return [
+        (l.round_index, l.bytes_sent, l.messages)
+        for l in cluster.network.round_ledgers()
+    ]
+
+
+class TestOnlyWhenSet:
+    def test_tracing_never_changes_ledgers_or_assignment(
+        self, dataset, query
+    ):
+        plain_cluster = build_cluster(dataset, num_slaves=3)
+        plain = plain_cluster.game.run(query)
+        traced_cluster = build_cluster(dataset, num_slaves=3)
+        with recording():
+            traced = traced_cluster.game.run(query)
+        assert ledgers(plain_cluster) == ledgers(traced_cluster)
+        assert plain.assignment == traced.assignment
+        assert plain.total_bytes == traced.total_bytes
+        assert plain.total_messages == traced.total_messages
+
+    def test_faulty_run_is_trace_invariant_too(self, dataset, query):
+        plan = FaultPlan(seed=7, drop_rate=0.2, max_consecutive_drops=2)
+        plain_cluster = build_cluster(dataset, num_slaves=2, fault_plan=plan)
+        plain = plain_cluster.game.run(query)
+        traced_cluster = build_cluster(
+            dataset, num_slaves=2, fault_plan=plan
+        )
+        with recording():
+            traced = traced_cluster.game.run(query)
+        assert ledgers(plain_cluster) == ledgers(traced_cluster)
+        assert plain.assignment == traced.assignment
+
+    def test_messages_carry_no_context_without_recorder(
+        self, dataset, query
+    ):
+        cluster = build_cluster(dataset, num_slaves=2)
+        cluster.game.run(query)
+        assert cluster.game._collector is None
+
+
+class TestStitchedTrace:
+    @pytest.fixture(scope="class")
+    def traced(self, dataset, query):
+        cluster = build_cluster(dataset, num_slaves=3)
+        with recording() as rec:
+            result = cluster.game.run(query)
+        return rec, result
+
+    def test_slave_spans_are_adopted_with_node(self, traced):
+        rec, _ = traced
+        by_name = {}
+        for span in rec.all_spans():
+            by_name.setdefault(span.name, []).append(span)
+        for name in ("slave.init", "slave.build_table", "slave.compute",
+                     "slave.apply"):
+            assert by_name.get(name), f"missing {name} spans"
+            for span in by_name[name]:
+                assert span.node is not None and span.node.startswith(
+                    "slave-"
+                )
+        assert by_name.get("net.exchange")
+        for span in by_name["net.exchange"]:
+            assert span.node == "net"
+
+    def test_phase_spans_nest_inside_rounds(self, traced):
+        rec, _ = traced
+        (solve,) = [s for s in rec.spans if s.name == "dg.solve"]
+        rounds = [c for c in solve.children if c.name == "dg.round"]
+        assert rounds
+        phases = [
+            g for r in rounds for g in r.children if g.name == "dg.phase"
+        ]
+        assert phases
+        for phase in phases:
+            assert "color" in phase.attrs
+            assert any(c.name == "slave.compute" for c in phase.children)
+
+    def test_remote_spans_inherit_the_trace_offset(self, traced):
+        rec, _ = traced
+        (solve,) = [s for s in rec.spans if s.name == "dg.solve"]
+        adopted = [
+            span for span in rec.all_spans() if span.node is not None
+        ]
+        assert adopted
+        # Adoption shifts the simulated timeline to the recorder's
+        # origin: no adopted span may start before the solve span.
+        assert all(span.start >= solve.start for span in adopted)
+
+    def test_exported_trace_validates_as_v2(self, traced):
+        rec, _ = traced
+        records = [json.loads(line) for line in jsonl_lines(rec)]
+        assert validate_records(records) == []
+        assert records[0]["schema"] == "repro-trace/v2"
+        assert any(r.get("node") == "net" for r in records)
+
+    def test_chrome_export_validates(self, traced):
+        rec, _ = traced
+        trace = chrome_trace(rec)
+        assert validate_chrome(trace) == []
+        names = {
+            e["args"]["name"]
+            for e in trace["traceEvents"]
+            if e["ph"] == "M"
+        }
+        assert "master" in names
+        assert any(name.startswith("slave-") for name in names)
+
+
+class TestStragglerAnalysis:
+    def test_overloaded_slave_is_named_straggler_under_chaos(
+        self, dataset, query
+    ):
+        # Chaos run with one deliberately overloaded slave: the skewed
+        # shard makes slave-2 do most of the table building and best
+        # responses, so the critical-path analysis must name it.
+        users = dataset.graph.nodes()
+        shards = [users[:25], users[25:50], users[50:]]
+        plan = FaultPlan(seed=3, drop_rate=0.15, max_consecutive_drops=2)
+        cluster = build_cluster(
+            dataset, num_slaves=3, shards=shards, fault_plan=plan
+        )
+        with recording() as rec:
+            cluster.game.run(query)
+        report = analyze_recorder(rec)
+        assert report.rounds
+        assert report.straggler == "slave-2"
+        busy = {}
+        for round_report in report.rounds:
+            for node, seconds in round_report.slave_busy.items():
+                busy[node] = busy.get(node, 0.0) + seconds
+        assert busy["slave-2"] > busy["slave-0"]
+        assert busy["slave-2"] > busy["slave-1"]
+        # Injected drops force redeliveries: amplification above 1.
+        assert report.retry_amplification > 1.0
+        text = format_report(report)
+        assert "slave-2" in text
+        assert "critical path" in text
+
+    def test_balanced_run_reports_low_imbalance(self, dataset, query):
+        cluster = build_cluster(dataset, num_slaves=2)
+        with recording() as rec:
+            cluster.game.run(query)
+        report = analyze_recorder(rec)
+        assert report.rounds
+        assert report.retry_amplification == 1.0
+        for round_report in report.rounds:
+            assert round_report.idle_seconds >= 0.0
+            assert round_report.imbalance >= 1.0

@@ -40,7 +40,7 @@ class TestJsonl:
     def test_meta_record_comes_first(self):
         records = list(trace_records(sample_recorder()))
         assert records[0]["type"] == "meta"
-        assert records[0]["schema"] == "repro-trace/v1"
+        assert records[0]["schema"] == "repro-trace/v2"
         assert records[0]["run"] == "test"
 
     def test_lines_are_valid_json(self):
@@ -85,8 +85,8 @@ class TestJsonl:
 class TestPrometheus:
     def test_counter_and_gauge_lines(self):
         text = prometheus_text(sample_recorder().metrics)
-        assert '# TYPE repro_solver_moves counter' in text
-        assert 'repro_solver_moves{solver="RMGP_gt"} 2' in text
+        assert '# TYPE repro_solver_moves_total counter' in text
+        assert 'repro_solver_moves_total{solver="RMGP_gt"} 2' in text
         assert 'repro_solver_table_bytes{solver="RMGP_gt"} 240' in text
 
     def test_histogram_buckets_are_cumulative(self):

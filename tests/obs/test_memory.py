@@ -1,0 +1,99 @@
+"""Memory recorder: per-span peak/net heap attrs via tracemalloc."""
+
+from __future__ import annotations
+
+import tracemalloc
+
+from repro.obs.memory import (
+    MemoryRecorder,
+    memory_recording,
+    memory_summary,
+)
+
+
+class TestMemoryRecording:
+    def test_spans_gain_memory_attrs(self):
+        with memory_recording() as rec:
+            with rec.span("allocate"):
+                block = bytearray(512 * 1024)
+            del block
+        (span,) = [s for s in rec.all_spans() if s.name == "allocate"]
+        assert span.attrs["mem_peak_bytes"] >= 500 * 1024
+        assert "mem_net_bytes" in span.attrs
+
+    def test_net_reflects_released_memory(self):
+        with memory_recording() as rec:
+            with rec.span("transient"):
+                block = bytearray(512 * 1024)
+                del block
+        (span,) = [s for s in rec.all_spans() if s.name == "transient"]
+        # The block is gone by span close: peak sees it, net does not.
+        assert span.attrs["mem_peak_bytes"] >= 500 * 1024
+        assert span.attrs["mem_net_bytes"] < 500 * 1024
+
+    def test_child_peak_propagates_to_parent(self):
+        with memory_recording() as rec:
+            with rec.span("parent"):
+                with rec.span("child"):
+                    block = bytearray(1024 * 1024)
+                    del block
+        spans = {s.name: s for s in rec.all_spans()}
+        child_peak = spans["child"].attrs["mem_peak_bytes"]
+        assert child_peak >= 1000 * 1024
+        # Closing the child must not hide its high-water mark.
+        assert spans["parent"].attrs["mem_peak_bytes"] >= child_peak
+
+    def test_degrades_gracefully_without_tracemalloc(self):
+        assert not tracemalloc.is_tracing()
+        rec = MemoryRecorder()
+        with rec.span("untracked"):
+            pass
+        (span,) = rec.spans
+        assert "mem_peak_bytes" not in span.attrs
+        assert "no memory telemetry" in memory_summary(rec)
+
+    def test_context_manager_stops_tracemalloc_it_started(self):
+        assert not tracemalloc.is_tracing()
+        with memory_recording():
+            assert tracemalloc.is_tracing()
+        assert not tracemalloc.is_tracing()
+
+    def test_preexisting_tracemalloc_is_left_running(self):
+        tracemalloc.start()
+        try:
+            with memory_recording():
+                pass
+            assert tracemalloc.is_tracing()
+        finally:
+            tracemalloc.stop()
+
+    def test_summary_ranks_by_peak(self):
+        with memory_recording() as rec:
+            with rec.span("big"):
+                block = bytearray(2 * 1024 * 1024)
+                del block
+            with rec.span("small"):
+                block = bytearray(64 * 1024)
+                del block
+        text = memory_summary(rec, top=2)
+        lines = text.splitlines()
+        assert "big" in lines[1]
+        assert "small" in lines[2]
+
+    def test_attrs_survive_jsonl_export(self):
+        import json
+
+        from repro.obs.exporters import jsonl_lines
+        from repro.obs.schema import validate_records
+
+        with memory_recording() as rec:
+            with rec.span("work"):
+                block = bytearray(128 * 1024)
+                del block
+        records = [json.loads(line) for line in jsonl_lines(rec)]
+        assert validate_records(records) == []
+        (span,) = [
+            r for r in records
+            if r["type"] == "span" and r["name"] == "work"
+        ]
+        assert span["attrs"]["mem_peak_bytes"] >= 120 * 1024

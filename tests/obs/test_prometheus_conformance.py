@@ -1,0 +1,126 @@
+"""Prometheus exposition-format conformance of the text exporter.
+
+Checks the format rules a standard scraper relies on — ``_total``
+counter suffixes, a ``+Inf`` histogram bucket, label value escaping —
+and round-trips the output through a small exposition-format parser to
+prove the text is machine-readable, not merely eyeballable.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.obs import TraceRecorder
+from repro.obs.exporters import prometheus_text
+
+_SAMPLE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r" (?P<value>[^ ]+)$"
+)
+_LABEL = re.compile(r'(?P<key>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>(?:[^"\\]|\\.)*)"')
+
+
+def parse_exposition(text: str):
+    """Minimal exposition-format parser: {(name, labels): value}."""
+    types = {}
+    samples = {}
+    for line in text.splitlines():
+        if not line:
+            continue
+        if line.startswith("# TYPE "):
+            _, _, name, kind = line.split(" ", 3)
+            types[name] = kind
+            continue
+        if line.startswith("#"):
+            continue
+        match = _SAMPLE.match(line)
+        assert match, f"unparseable sample line: {line!r}"
+        labels = {}
+        if match.group("labels"):
+            matched_len = 0
+            for label in _LABEL.finditer(match.group("labels")):
+                value = label.group("value")
+                value = (
+                    value.replace("\\n", "\n")
+                    .replace('\\"', '"')
+                    .replace("\\\\", "\\")
+                )
+                labels[label.group("key")] = value
+                matched_len = label.end()
+            rest = match.group("labels")[matched_len:]
+            assert rest.strip(",") == "", f"trailing junk: {rest!r}"
+        samples[(match.group("name"), tuple(sorted(labels.items())))] = (
+            float(match.group("value"))
+        )
+    return types, samples
+
+
+class TestCounterSuffix:
+    def test_counters_carry_the_total_suffix(self):
+        rec = TraceRecorder()
+        rec.count("solver.moves", 2, solver="RMGP_gt")
+        text = prometheus_text(rec.metrics)
+        assert "# TYPE repro_solver_moves_total counter" in text
+        assert 'repro_solver_moves_total{solver="RMGP_gt"} 2' in text
+        assert "repro_solver_moves{" not in text
+
+    def test_gauges_and_histograms_are_unsuffixed(self):
+        rec = TraceRecorder()
+        rec.gauge("solver.table_bytes", 99)
+        rec.observe("solver.frontier", 1.0)
+        text = prometheus_text(rec.metrics)
+        assert "repro_solver_table_bytes 99" in text
+        assert "repro_solver_table_bytes_total" not in text
+        assert "repro_solver_frontier_bucket" in text
+
+
+class TestLabelEscaping:
+    def test_special_characters_are_escaped(self):
+        rec = TraceRecorder()
+        rec.count("events", 1, detail='quote " slash \\ line\nbreak')
+        text = prometheus_text(rec.metrics)
+        (sample_line,) = [
+            line for line in text.splitlines()
+            if line.startswith("repro_events_total{")
+        ]
+        assert '\\"' in sample_line
+        assert "\\\\" in sample_line
+        assert "\\n" in sample_line
+        assert "\n" not in sample_line[1:]
+
+    def test_escaped_labels_round_trip(self):
+        original = 'quote " slash \\ line\nbreak'
+        rec = TraceRecorder()
+        rec.count("events", 1, detail=original)
+        _, samples = parse_exposition(prometheus_text(rec.metrics))
+        ((_, labels),) = [key for key in samples]
+        assert dict(labels)["detail"] == original
+
+
+class TestRoundTrip:
+    def test_full_registry_parses_back(self):
+        rec = TraceRecorder()
+        rec.count("solver.moves", 5, solver="gt")
+        rec.count("solver.moves", 2, solver="b")
+        rec.gauge("solver.table_bytes", 1024, solver="gt")
+        histogram = rec.metrics.histogram("lat", boundaries=(1.0, 2.0))
+        histogram.observe(0.5)
+        histogram.observe(1.5)
+        histogram.observe(9.0)
+        types, samples = parse_exposition(prometheus_text(rec.metrics))
+        assert types["repro_solver_moves_total"] == "counter"
+        assert types["repro_solver_table_bytes"] == "gauge"
+        assert types["repro_lat"] == "histogram"
+        assert samples[
+            ("repro_solver_moves_total", (("solver", "gt"),))
+        ] == 5
+        assert samples[
+            ("repro_solver_moves_total", (("solver", "b"),))
+        ] == 2
+        # +Inf bucket equals the total count (cumulative semantics).
+        assert samples[("repro_lat_bucket", (("le", "+Inf"),))] == 3
+        assert samples[("repro_lat_bucket", (("le", "1"),))] == 1
+        assert samples[("repro_lat_bucket", (("le", "2"),))] == 2
+        assert samples[("repro_lat_count", ())] == 3
+        assert samples[("repro_lat_sum", ())] == 11.0

@@ -186,3 +186,60 @@ class TestCommands:
         assert main(["figure", "table1", "--trace", jsonl]) == 0
         assert "Table 1" in capsys.readouterr().out
         assert validate_trace_file(jsonl) == []
+
+    def test_profile_memory_and_chrome(self, tmp_path, capsys):
+        from repro.obs import validate_chrome_file
+
+        chrome = str(tmp_path / "trace.json")
+        code = main([
+            "profile", "--dataset", "paper", "--memory",
+            "--chrome", chrome,
+        ])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "top spans by peak allocation" in output
+        assert "peak" in output
+        assert validate_chrome_file(chrome) == []
+
+    def test_trace_chrome(self, tmp_path, capsys):
+        from repro.obs import validate_chrome_file
+
+        chrome = str(tmp_path / "table1.json")
+        assert main(["trace", "--chrome", chrome]) == 0
+        assert "Table 1" in capsys.readouterr().out
+        assert validate_chrome_file(chrome) == []
+
+    def test_distributed_trace_chrome_analyze(self, tmp_path, capsys):
+        from repro.obs import validate_chrome_file, validate_trace_file
+
+        jsonl = str(tmp_path / "dg.jsonl")
+        chrome = str(tmp_path / "dg.json")
+        code = main([
+            "distributed", "--users", "100", "--events", "4",
+            "--slaves", "2", "--trace", jsonl, "--chrome", chrome,
+            "--analyze",
+        ])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "straggler" in output
+        assert "critical path" in output
+        assert validate_trace_file(jsonl) == []
+        assert validate_chrome_file(chrome) == []
+
+    def test_analyze_reads_exported_trace(self, tmp_path, capsys):
+        jsonl = str(tmp_path / "dg.jsonl")
+        assert main([
+            "distributed", "--users", "100", "--events", "4",
+            "--slaves", "2", "--trace", jsonl,
+        ]) == 0
+        capsys.readouterr()
+        assert main(["analyze", jsonl]) == 0
+        output = capsys.readouterr().out
+        assert "rounds:" in output
+        assert "straggler" in output
+
+    def test_analyze_rejects_invalid_trace(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"type": "span"}\n')
+        assert main(["analyze", str(bad)]) == 1
+        assert "schema violation" in capsys.readouterr().out
