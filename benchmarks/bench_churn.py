@@ -1,0 +1,127 @@
+#!/usr/bin/env python3
+"""Churn benchmark runner: sustained mutation throughput under churn.
+
+Runs the :mod:`repro.bench.churn` workload (incremental engine vs
+re-solve-from-scratch over a seeded mutation stream) and appends the
+measured numbers — sustained mutations/sec for both paths, per-batch
+vertex-movement counts, cumulative migration cost and equilibrium
+quality drift — to the bench-history store
+(``benchmarks/history/churn.jsonl``), calibration-normalized like the
+perf-regression harness.
+
+Run directly or via CI::
+
+    python benchmarks/bench_churn.py                  # measure + append
+    python benchmarks/bench_churn.py --no-history     # measure only
+    python benchmarks/bench_churn.py --check          # smoke invariants
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.bench import history as bench_history  # noqa: E402
+from repro.bench.churn import run_churn  # noqa: E402
+
+HISTORY_DIR = REPO_ROOT / "benchmarks" / "history"
+PROFILE = "churn"
+
+
+def calibration_ms(repeats: int = 3) -> float:
+    """Machine-speed probe (same primitive mix as the perf harness)."""
+    import time
+
+    rng = np.random.default_rng(0)
+    values = rng.standard_normal(200_000)
+    idx = rng.integers(0, 200_000, 200_000)
+    best = float("inf")
+    for _ in range(max(repeats, 3) + 1):
+        start = time.perf_counter()
+        acc = values.copy()
+        for _ in range(6):
+            acc = np.sqrt(np.abs(acc[idx])) + 0.5
+            np.bincount(idx % 512, weights=acc, minlength=512)
+        acc.argsort(kind="stable")
+        best = min(best, time.perf_counter() - start)
+    return best * 1e3
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--users", type=int, default=120)
+    parser.add_argument("--events", type=int, default=6)
+    parser.add_argument("--batches", type=int, default=6)
+    parser.add_argument("--batch-size", type=int, default=10)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--alpha", type=float, default=0.5)
+    parser.add_argument("--solver", default="gt",
+                        help="from-scratch reference solver")
+    parser.add_argument("--movement-penalty", type=float, default=None)
+    parser.add_argument("--no-history", action="store_true",
+                        help="do not append to benchmarks/history/")
+    parser.add_argument(
+        "--check", action="store_true",
+        help="fail unless the run produced sane movement accounting "
+             "(CI smoke gate)",
+    )
+    args = parser.parse_args(argv)
+
+    run = run_churn(
+        num_users=args.users,
+        num_events=args.events,
+        num_batches=args.batches,
+        batch_size=args.batch_size,
+        seed=args.seed,
+        alpha=args.alpha,
+        scratch_solver=args.solver,
+        movement_penalty=args.movement_penalty,
+    )
+    print(run)
+
+    summary = run.results["churn/summary"]
+    if not args.no_history:
+        record = bench_history.make_record(
+            PROFILE, calibration_ms(), run.results, repo_root=REPO_ROOT
+        )
+        path = bench_history.append_run(HISTORY_DIR, PROFILE, record)
+        print(f"\nhistory: appended to {path}")
+
+    if args.check:
+        failures = []
+        moved = summary["moved_per_batch"]
+        if len(moved) != args.batches:
+            failures.append(
+                f"expected {args.batches} per-batch movement counts, "
+                f"got {len(moved)}"
+            )
+        if summary["moved_total"] != sum(moved):
+            failures.append(
+                f"cumulative moved {summary['moved_total']} != "
+                f"sum of per-batch counts {sum(moved)}"
+            )
+        if summary["mutations_per_sec_incremental"] <= 0:
+            failures.append("non-positive incremental throughput")
+        for key, entry in run.results.items():
+            if key.startswith("churn/batch") and entry["drift"] <= 0:
+                failures.append(f"{key}: non-positive quality drift")
+        if failures:
+            print("\nCHECK FAILED:")
+            for failure in failures:
+                print(f"  - {failure}")
+            return 1
+        print("\ncheck ok: movement accounting consistent, "
+              f"{summary['mutations_per_sec_incremental']:.0f} mut/s "
+              "incremental")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

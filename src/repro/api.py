@@ -205,7 +205,12 @@ def partition(
     solver_kwargs:
         Variant-specific arguments forwarded verbatim (``capacities=``,
         ``min_participants=``, ``threads=``, ``coloring=``, ``plan=``,
-        ``damping=``, ``track_potential=``, ...).
+        ``damping=``, ``track_potential=``, ...).  ``mutations=`` (a
+        sequence from :mod:`repro.streaming.mutations`) is understood
+        for *every* solver: the incremental solver (``"inc"``) replays
+        them live against its warm engine, any other variant solves the
+        pure-mutated instance from scratch — both compose with
+        ``resume_from`` and the deadline/cancel knobs.
 
     Returns
     -------
@@ -225,6 +230,17 @@ def partition(
     budget = _assemble_budget(options, solver_kwargs)
 
     accepted = _accepted_parameters(impl)
+    mutations = solver_kwargs.pop("mutations", None)
+    if mutations is not None and "mutations" not in accepted:
+        # Non-incremental variants solve the pure-mutated instance from
+        # scratch; lazy import keeps core/api free of streaming unless
+        # the knob is actually used.
+        from repro.streaming.mutations import apply_mutations
+
+        instance = apply_mutations(instance, mutations)
+        mutations = None
+    if mutations is not None:
+        solver_kwargs["mutations"] = mutations
     kwargs: Dict[str, Any] = {}
     for name, value in options.solver_kwargs().items():
         if name not in accepted:

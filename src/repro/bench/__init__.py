@@ -7,6 +7,7 @@ from repro.bench.fig_centralized import (
     run_fig12_vs_alpha,
     run_fig12_vs_k,
 )
+from repro.bench.churn import ChurnRun, run_churn
 from repro.bench.fig_comparison import run_fig7, run_fig8
 from repro.bench.fig_decentralized import run_fig13, run_fig14
 from repro.bench.fig_normalization import run_fig9, run_fig9_cn_values
@@ -29,6 +30,7 @@ from repro.bench.workloads import (
 )
 
 __all__ = [
+    "ChurnRun",
     "HISTORY_SCHEMA",
     "Measurement",
     "Table",
@@ -42,6 +44,7 @@ __all__ = [
     "load_history",
     "make_record",
     "regression_messages",
+    "run_churn",
     "run_fig10",
     "run_fig11",
     "run_fig12_per_round",

@@ -26,6 +26,12 @@ Commands
     Run the decentralized game against fetch-and-execute once;
     ``--trace`` / ``--chrome`` export the causally-stitched
     cross-node trace, ``--analyze`` prints its critical path.
+``churn``
+    Feed a seeded random mutation stream through the incremental
+    engine and compare sustained throughput, per-batch vertex
+    movement, and equilibrium quality against re-solving from
+    scratch; ``--differential`` additionally cross-checks every
+    batch with the differential harness.
 """
 
 from __future__ import annotations
@@ -208,6 +214,33 @@ def build_parser() -> argparse.ArgumentParser:
     stream.add_argument("--epochs", type=int, default=5)
     stream.add_argument("--checkins-per-epoch", type=int, default=25)
     stream.add_argument("--movement-km", type=float, default=25.0)
+
+    churn = commands.add_parser(
+        "churn",
+        help="run a mutation stream through the incremental engine and "
+             "compare against re-solving from scratch",
+    )
+    churn.add_argument("--users", type=int, default=80)
+    churn.add_argument("--events", type=int, default=6)
+    churn.add_argument("--batches", type=int, default=5)
+    churn.add_argument("--batch-size", type=int, default=8)
+    churn.add_argument("--seed", type=int, default=0)
+    churn.add_argument("--alpha", type=float, default=0.5)
+    churn.add_argument(
+        "--solver", default="gt", choices=_CLI_METHODS,
+        help="from-scratch reference solver (default: gt)",
+    )
+    churn.add_argument(
+        "--movement-penalty", type=float, metavar="W",
+        help="switching-cost penalty: tax each shard move by W to trade "
+             "equilibrium quality for less migration",
+    )
+    churn.add_argument(
+        "--differential",
+        action="store_true",
+        help="also run the differential harness on the stream and "
+             "report per-batch equivalence",
+    )
     return parser
 
 
@@ -232,6 +265,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "dataset": _run_dataset,
         "distributed": _run_distributed,
         "stream": _run_stream,
+        "churn": _run_churn,
     }[arguments.command]
     return handler(arguments)
 
@@ -521,6 +555,46 @@ def _run_stream(arguments) -> int:
             f"{stats.deviations:10d}  {stats.rounds:6d}  "
             f"{stats.users_reassigned:10d}  {stats.objective_total:9.1f}"
         )
+    return 0
+
+
+def _run_churn(arguments) -> int:
+    from repro.bench.churn import churn_instance, run_churn
+
+    run = run_churn(
+        num_users=arguments.users,
+        num_events=arguments.events,
+        num_batches=arguments.batches,
+        batch_size=arguments.batch_size,
+        seed=arguments.seed,
+        alpha=arguments.alpha,
+        scratch_solver=arguments.solver,
+        movement_penalty=arguments.movement_penalty,
+    )
+    print(run)
+    if arguments.differential:
+        from repro.streaming import differential_check, random_mutation_stream
+
+        base = churn_instance(
+            arguments.users, arguments.events,
+            seed=arguments.seed, alpha=arguments.alpha,
+        )
+        stream = random_mutation_stream(
+            base, arguments.batches * arguments.batch_size,
+            seed=arguments.seed,
+        )
+        batches = [
+            stream[i * arguments.batch_size : (i + 1) * arguments.batch_size]
+            for i in range(arguments.batches)
+        ]
+        report = differential_check(
+            base, batches, solver=arguments.solver, seed=arguments.seed,
+            movement_penalty=arguments.movement_penalty,
+        )
+        print()
+        print(f"differential: {report}")
+        if not report.ok:
+            return 1
     return 0
 
 

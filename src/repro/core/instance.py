@@ -109,6 +109,26 @@ class RMGPInstance:
         self._build_adjacency()
 
     # ------------------------------------------------------------------
+    def _csr_buffer(self, name: str, size: int, dtype) -> np.ndarray:
+        """A length-``size`` view into a capacity-managed scratch buffer.
+
+        Mutation feeds rebuild the CSR layout once per batch; reallocating
+        every flat array each time would dominate sustained churn.  Each
+        named buffer therefore grows geometrically (1.5x + slack) and is
+        never shrunk, so a long run of same-scale rebuilds performs zero
+        allocations — the "bounded reallocation" contract of the
+        streaming layer.  The returned view aliases the buffer: treat the
+        published arrays as read-only snapshots that are refreshed (in
+        place) by :meth:`rebuild_adjacency`.
+        """
+        buffers = self.__dict__.setdefault("_csr_scratch", {})
+        buffer = buffers.get(name)
+        if buffer is None or buffer.size < size:
+            capacity = max(size + (size >> 1), 8)
+            buffer = np.empty(capacity, dtype=dtype)
+            buffers[name] = buffer
+        return buffer[:size]
+
     def _build_adjacency(self) -> None:
         """Build the shared CSR adjacency layout (plus compatibility views).
 
@@ -118,7 +138,9 @@ class RMGPInstance:
         ``edge_owner`` records the owning player row of each CSR slot, so
         whole-table scatters can run as one ``np.bincount``.  The ragged
         ``neighbor_indices``/``neighbor_weights`` lists stay available as
-        zero-copy views into the flat arrays.
+        zero-copy views into the flat arrays.  Flat arrays live in
+        capacity-managed buffers (:meth:`_csr_buffer`), so repeated
+        rebuilds under churn do not reallocate.
         """
         graph, node_ids = self.graph, self.node_ids
         n = len(node_ids)
@@ -130,15 +152,15 @@ class RMGPInstance:
         indptr = np.zeros(n + 1, dtype=np.int64)
         np.cumsum(degrees, out=indptr[1:])
         num_slots = int(indptr[-1])
-        indices = np.empty(num_slots, dtype=np.int64)
-        weights = np.empty(num_slots, dtype=np.float64)
+        indices = self._csr_buffer("indices", num_slots, np.int64)
+        weights = self._csr_buffer("weights", num_slots, np.float64)
         index_of = self.index_of
         pos = 0
         for node in node_ids:
             neighbors = graph.neighbors(node)
             count = len(neighbors)
             try:
-                indices[pos : pos + count] = np.fromiter(
+                row_indices = np.fromiter(
                     (index_of[f] for f in neighbors), dtype=np.int64,
                     count=count,
                 )
@@ -147,9 +169,20 @@ class RMGPInstance:
                     f"edge {node!r} -> {exc.args[0]!r} dangles: the "
                     "endpoint is not a node of the graph"
                 ) from exc
-            weights[pos : pos + count] = np.fromiter(
+            row_weights = np.fromiter(
                 neighbors.values(), dtype=np.float64, count=count
             )
+            # Canonical slot order (ascending neighbor index): the CSR
+            # layout is then a pure function of the node order and edge
+            # *set*, independent of adjacency-dict insertion history —
+            # what lets a mutation stream and its inverse round-trip the
+            # flat arrays byte-identically.
+            if count > 1:
+                order = np.argsort(row_indices, kind="stable")
+                row_indices = row_indices[order]
+                row_weights = row_weights[order]
+            indices[pos : pos + count] = row_indices
+            weights[pos : pos + count] = row_weights
             pos += count
         if not np.isfinite(weights).all():
             raise GraphError("edge weights must be finite (found NaN/inf)")
@@ -159,7 +192,10 @@ class RMGPInstance:
         self.indptr = indptr
         self.indices = indices
         self.weights = weights
-        self.half_weights = 0.5 * weights
+        self.half_weights = np.multiply(
+            weights, 0.5, out=self._csr_buffer("half_weights", num_slots,
+                                               np.float64)
+        )
         self.edge_owner = np.repeat(np.arange(n, dtype=np.int64), degrees)
         self._degrees = degrees
 
@@ -188,6 +224,40 @@ class RMGPInstance:
         """
         del nodes  # the flat rebuild refreshes every player
         self._build_adjacency()
+
+    def update_edge_weight(self, u: NodeId, v: NodeId, weight: float) -> None:
+        """Patch the weight of an *existing* edge without a layout rebuild.
+
+        Degrees are unchanged by a weight overwrite, so the CSR slices
+        stay valid: only the two slots of the edge (one per direction),
+        the pre-halved copies, and both endpoints' ``half_strength`` /
+        ``max_social_cost`` entries are touched — O(deg(u) + deg(v))
+        against the O(|V| + |E|) of :meth:`rebuild_adjacency`.  The
+        underlying :class:`SocialGraph` is updated too, keeping its
+        stored totals exact.
+        """
+        weight = float(weight)
+        if not np.isfinite(weight) or weight <= 0:
+            raise GraphError(
+                f"edge ({u!r}, {v!r}) weight must be positive and finite, "
+                f"got {weight}"
+            )
+        if not self.graph.has_edge(u, v):
+            raise GraphError(f"edge ({u!r}, {v!r}) does not exist")
+        iu, iv = self.index_of[u], self.index_of[v]
+        old = self.graph.weight(u, v)
+        self.graph.add_edge(u, v, weight)  # overwrite keeps totals exact
+        for me, other in ((iu, iv), (iv, iu)):
+            row = slice(int(self.indptr[me]), int(self.indptr[me + 1]))
+            slot = row.start + int(
+                np.nonzero(self.indices[row] == other)[0][0]
+            )
+            self.weights[slot] = weight
+            self.half_weights[slot] = 0.5 * weight
+            self._half_strength[me] += 0.5 * (weight - old)
+            self.max_social_cost[me] = (
+                (1.0 - self.alpha) * self._half_strength[me]
+            )
 
     def neighbors_of(self, players: np.ndarray) -> np.ndarray:
         """Flat neighbor indices of ``players`` (CSR slice concatenation).

@@ -19,6 +19,7 @@ from repro.core.baseline import _solve_baseline
 from repro.core.capacitated import _solve_capacitated, _solve_with_minimums
 from repro.core.combined import _solve_all
 from repro.core.global_table import _solve_global_table
+from repro.core.incremental import _solve_incremental
 from repro.core.independent_sets import _solve_independent_sets
 from repro.core.priority import _solve_max_gain
 from repro.core.result import PartitionResult
@@ -48,6 +49,8 @@ SOLVERS: Dict[str, Callable[..., PartitionResult]] = {
     "capacitated": _solve_capacitated,
     "minpart": _solve_with_minimums,
     "with_minimums": _solve_with_minimums,
+    "inc": _solve_incremental,
+    "incremental": _solve_incremental,
 }
 
 _CANONICAL: Dict[str, str] = {
@@ -60,6 +63,7 @@ _CANONICAL: Dict[str, str] = {
     "sync": "simultaneous",
     "cap": "capacitated",
     "minpart": "with_minimums",
+    "inc": "incremental",
 }
 
 

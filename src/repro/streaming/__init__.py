@@ -1,0 +1,59 @@
+"""Graph mutation streams: incremental equilibria under churn.
+
+The paper motivates *real-time* partitioning because social graphs are
+never static — queries arrive against a graph mutating under them
+(Section 1), and SPAR (PAPERS.md) argues that under churn the metric
+that matters next to Eq. 1 cost is how many vertices change shard per
+mutation batch.  This package supplies the three layers of that story:
+
+* :mod:`repro.streaming.mutations` — the typed mutation algebra
+  (edge/vertex add/remove, cost-row update, α drift), invertible and
+  applicable both to a live :class:`~repro.core.incremental.IncrementalRMGP`
+  engine and, purely, to an :class:`~repro.core.instance.RMGPInstance`.
+* :mod:`repro.streaming.feed` — :class:`MutationFeed` /
+  :class:`MutationLog`: batched application with dirty-frontier seeding
+  and SPAR-style movement accounting.
+* :mod:`repro.streaming.harness` — the differential harness pinning
+  incremental-vs-from-scratch equivalence (the CI-gated invariant of
+  ISSUE 6).
+"""
+
+from repro.streaming.feed import BatchStats, MutationFeed, MutationLog
+from repro.streaming.harness import (
+    DIFFERENTIAL_COST_RATIO,
+    BatchCheck,
+    DifferentialReport,
+    differential_check,
+)
+from repro.streaming.mutations import (
+    AddEdge,
+    AddVertex,
+    AlphaDrift,
+    Mutation,
+    RemoveEdge,
+    RemoveVertex,
+    UpdateCostRow,
+    apply_mutations,
+    invert_stream,
+    random_mutation_stream,
+)
+
+__all__ = [
+    "AddEdge",
+    "AddVertex",
+    "AlphaDrift",
+    "BatchCheck",
+    "BatchStats",
+    "DIFFERENTIAL_COST_RATIO",
+    "DifferentialReport",
+    "Mutation",
+    "MutationFeed",
+    "MutationLog",
+    "RemoveEdge",
+    "RemoveVertex",
+    "UpdateCostRow",
+    "apply_mutations",
+    "differential_check",
+    "invert_stream",
+    "random_mutation_stream",
+]

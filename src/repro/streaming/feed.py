@@ -1,0 +1,181 @@
+"""Mutation feeds: batched churn against a live incremental engine.
+
+:class:`MutationFeed` is the operational layer between a stream of
+:class:`~repro.streaming.mutations.Mutation` objects and an
+:class:`~repro.core.incremental.IncrementalRMGP`: it applies each batch
+inside one :meth:`~repro.core.incremental.IncrementalRMGP.batch` (so the
+CSR layout is rebuilt once per batch, not once per mutation), seeds the
+dirty frontier from the touched vertices' neighborhoods, resolves, and
+keeps SPAR-style movement accounting per batch and cumulatively.
+
+:class:`MutationLog` is the durable record: every applied batch is
+appended, so the exact instance the engine has converged on can be
+reproduced from the pre-stream instance at any time
+(:meth:`MutationLog.replay`) — which is precisely what the differential
+harness compares against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from repro.core.incremental import IncrementalRMGP
+from repro.core.instance import RMGPInstance
+from repro.core.result import PartitionResult
+from repro.obs.recorder import Recorder, active_recorder
+from repro.runtime.budget import RuntimeBudget
+from repro.streaming.mutations import Mutation, apply_mutations
+
+
+@dataclass(frozen=True)
+class BatchStats:
+    """Per-batch churn accounting (the SPAR metrics of PAPERS.md).
+
+    ``baseline`` maps each post-mutation player to its class label just
+    before the resolve — ``vertices_moved`` is exactly the diff between
+    it and the post-resolve labels, and the differential harness
+    recomputes that diff independently.
+    """
+
+    batch_index: int
+    size: int
+    vertices_moved: int
+    migration_cost: float
+    moved_total: int
+    migration_cost_total: float
+    rounds: int
+    converged: bool
+    cost_total: float
+    n: int
+    baseline: dict = field(repr=False, default_factory=dict)
+
+
+class MutationLog:
+    """Append-only record of applied mutation batches.
+
+    Indexable (``log[i]`` is batch ``i``), iterable, and replayable:
+    :meth:`replay` pure-applies every logged mutation to a base instance,
+    reproducing the stream's net effect without an engine.
+    """
+
+    def __init__(self) -> None:
+        self._batches: List[Tuple[Mutation, ...]] = []
+
+    def append(self, batch: Sequence[Mutation]) -> None:
+        self._batches.append(tuple(batch))
+
+    def __len__(self) -> int:
+        return len(self._batches)
+
+    def __getitem__(self, index: int) -> Tuple[Mutation, ...]:
+        return self._batches[index]
+
+    def __iter__(self) -> Iterator[Tuple[Mutation, ...]]:
+        return iter(self._batches)
+
+    @property
+    def num_mutations(self) -> int:
+        return sum(len(batch) for batch in self._batches)
+
+    def flattened(self) -> List[Mutation]:
+        """Every logged mutation, in application order."""
+        return [m for batch in self._batches for m in batch]
+
+    def replay(
+        self, instance: RMGPInstance, upto: Optional[int] = None
+    ) -> RMGPInstance:
+        """Pure-apply the first ``upto`` batches (default: all) to
+        ``instance`` — the from-scratch reference of the differential
+        harness."""
+        batches = self._batches if upto is None else self._batches[:upto]
+        return apply_mutations(
+            instance, [m for batch in batches for m in batch]
+        )
+
+
+class MutationFeed:
+    """Drive an incremental engine with batches of mutations.
+
+    Parameters
+    ----------
+    engine:
+        The live engine; construct with ``IncrementalRMGP(instance)`` or
+        pass one already warmed by previous work.
+    recorder:
+        Optional recorder for ``churn.*`` metrics; defaults to the
+        engine's recorder / the ambient one.
+    """
+
+    def __init__(
+        self,
+        engine: IncrementalRMGP,
+        recorder: Optional[Recorder] = None,
+    ) -> None:
+        self.engine = engine
+        self.log = MutationLog()
+        self.history: List[BatchStats] = []
+        self._recorder = recorder
+        if engine.resolve_count == 0:
+            # Movement accounting needs an initial placement to diff
+            # against (engines built with auto_resolve=False).
+            engine.resolve()
+
+    def apply(
+        self,
+        batch: Sequence[Mutation],
+        movement_penalty: Optional[float] = None,
+        budget: Optional[RuntimeBudget] = None,
+    ) -> Tuple[PartitionResult, BatchStats]:
+        """Apply one batch and re-converge.
+
+        The whole batch runs inside one engine ``batch()`` (single CSR
+        rebuild); afterwards the dirty frontier is widened to the
+        touched vertices' neighborhoods
+        (:meth:`IncrementalRMGP.seed_frontier` — the per-mutation table
+        patches already guarantee correctness, the widening is the
+        conservative ISSUE-6 seeding rule), and one
+        :meth:`~repro.core.incremental.IncrementalRMGP.resolve` drains
+        it.  Returns the resolve's :class:`PartitionResult` and the
+        batch's :class:`BatchStats` (also appended to :attr:`history`).
+        """
+        batch = tuple(batch)
+        engine = self.engine
+        rec = active_recorder(
+            self._recorder if self._recorder is not None
+            else engine._recorder
+        )
+        touched: List = []
+        with engine.batch():
+            for mutation in batch:
+                mutation.apply_to(engine)
+                touched.extend(mutation.touched())
+        alive = [
+            node for node in dict.fromkeys(touched)
+            if node in engine.instance.index_of
+        ]
+        engine.seed_frontier(alive)
+        baseline = engine.instance.assignment_to_labels(engine.assignment)
+        result = engine.resolve(
+            movement_penalty=movement_penalty, budget=budget
+        )
+        stats = BatchStats(
+            batch_index=len(self.history),
+            size=len(batch),
+            vertices_moved=int(result.extra.get("vertices_moved", 0)),
+            migration_cost=float(result.extra.get("migration_cost", 0.0)),
+            moved_total=engine.moved_total,
+            migration_cost_total=engine.migration_cost_total,
+            rounds=result.num_rounds,
+            converged=result.converged,
+            cost_total=result.value.total,
+            n=engine.instance.n,
+            baseline=baseline,
+        )
+        self.log.append(batch)
+        self.history.append(stats)
+        rec.count("churn.mutations", len(batch))
+        rec.count("churn.batches", 1)
+        rec.gauge("churn.batch_size", len(batch))
+        rec.gauge("churn.n", engine.instance.n)
+        return result, stats

