@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install test test-output bench bench-full bench-output bench-perf bench-perf-update examples figures clean
+.PHONY: install test test-output bench bench-full bench-output bench-perf bench-perf-update bench-parallel examples figures clean
 
 install:
 	pip install -e '.[dev]'
@@ -32,6 +32,12 @@ bench-perf:
 bench-perf-update:
 	find benchmarks -name __pycache__ -type d -exec rm -rf {} +
 	$(PYTHON) -B benchmarks/bench_perf_regression.py --update
+
+# Shared-memory backend: speedup-vs-workers curve + byte-identity gate,
+# recorded into benchmarks/history/parallel.jsonl.
+bench-parallel:
+	find benchmarks -name __pycache__ -type d -exec rm -rf {} +
+	$(PYTHON) -B benchmarks/bench_parallel.py
 
 examples:
 	for script in examples/*.py; do echo "== $$script"; $(PYTHON) $$script; done

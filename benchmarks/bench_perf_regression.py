@@ -76,6 +76,11 @@ INSTANCES = {
 PROFILES = {
     "smoke": ["fig8-tiny"],
     "core": ["fig8-tiny", "fig8-medium"],
+    # The parallel-backend acceptance profile: the shm keys on the
+    # medium instance, against the same calibration normalization.  The
+    # speedup-vs-workers *curve* lives in bench_parallel.py; this keeps
+    # the shm path inside the statistical regression gate.
+    "parallel": ["fig8-medium"],
 }
 
 SOLVERS = {
@@ -91,6 +96,16 @@ SOLVERS = {
     ),
     "RMGP_b_rand": lambda inst: solve_baseline(
         inst, init="random", order="random", seed=0
+    ),
+    # Shared-memory worker-pool backend.  Assignments are byte-identical
+    # to the serial keys, so the committed assignment_sha256 for the
+    # _shm4 keys must match RMGP_vec / RMGP_is — drift here means the
+    # merge order broke, not a platform-float wobble.
+    "RMGP_vec_shm4": lambda inst: solve_vectorized(
+        inst, init="closest", seed=0, backend="shm", workers=4
+    ),
+    "RMGP_is_shm4": lambda inst: solve_independent_sets(
+        inst, init="closest", order="given", seed=0, backend="shm", workers=4
     ),
 }
 

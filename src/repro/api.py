@@ -80,6 +80,16 @@ class SolveOptions:
         A checkpoint path or :class:`~repro.runtime.SolveCheckpoint` to
         resume from; the solve replays the interrupted trajectory
         byte-identically.
+    backend / workers:
+        Parallel execution backend (``"pure"``/``"shm"``/``"numba"``)
+        and shm worker-pool size for the solvers that support them
+        (``is``/``vec``/``gt``/``sync``).  ``workers`` defaults to the
+        ``REPRO_WORKERS`` environment variable, then ``os.cpu_count()``;
+        ``workers=1`` is a documented serial fallback (the pure path
+        runs, ``extra`` records why).  Validated at construction:
+        ``workers < 1`` or an unknown backend raises
+        :class:`ConfigurationError`.  Assignments are byte-identical to
+        the pure path on every backend.
     """
 
     alpha: Optional[float] = None
@@ -96,10 +106,32 @@ class SolveOptions:
     checkpoint_every: Optional[int] = None
     checkpoint_path: Optional[str] = None
     resume_from: Optional[Any] = None
+    backend: Optional[str] = None
+    workers: Optional[int] = None
+    exact_scale: Optional[int] = None
 
     # Assembled into a RuntimeBudget by partition(); never forwarded to
     # the solver as keyword arguments themselves.
     _BUDGET_FIELDS = ("deadline_seconds", "round_budget_seconds", "cancel_token")
+
+    def __post_init__(self) -> None:
+        # Validate the parallel knobs eagerly — a typo'd backend or a
+        # nonsensical worker count should fail at construction, not deep
+        # inside a solve after the instance was built.  resolve_backend
+        # is the single source of truth for both rules.
+        if self.backend is not None or self.workers is not None:
+            from repro.parallel.backend import resolve_backend
+
+            resolve_backend(self.backend, self.workers)
+        if self.exact_scale is not None and (
+            isinstance(self.exact_scale, bool)
+            or not isinstance(self.exact_scale, int)
+            or self.exact_scale < 1
+        ):
+            raise ConfigurationError(
+                f"exact_scale must be a positive integer; got "
+                f"{self.exact_scale!r}"
+            )
 
     def solver_kwargs(self) -> Dict[str, Any]:
         """The explicitly-set per-solver knobs (everything but alpha)."""

@@ -29,6 +29,7 @@ from repro.core.instance import RMGPInstance
 from repro.core.objective import potential
 from repro.core.result import PartitionResult, RoundStats, make_result
 from repro.obs.recorder import Recorder, active_recorder
+from repro.parallel.engine import LocalEngine, ShmEngine, make_engine
 from repro.runtime.budget import RuntimeBudget
 from repro.runtime.checkpoint import SolveCheckpoint, rounds_to_payload
 from repro.runtime.executor import SolveRuntime, load_resume
@@ -114,6 +115,8 @@ def _solve_global_table(
     seed: Optional[int] = None,
     warm_start: Optional[np.ndarray] = None,
     max_rounds: int = dynamics.DEFAULT_MAX_ROUNDS,
+    backend: Optional[str] = None,
+    workers: Optional[int] = None,
     recorder: Optional[Recorder] = None,
     budget: Optional[RuntimeBudget] = None,
     checkpoint_every: Optional[int] = None,
@@ -127,6 +130,13 @@ def _solve_global_table(
     a different order than the incremental ±½·w updates, and a last-ulp
     difference can flip a later argmin — resuming from the stored table
     keeps the trajectory byte-identical.
+
+    ``backend``/``workers``: the ``shm`` backend parallelizes the table
+    *build* (the per-row scatter chunks are byte-identical to the full
+    scatter); the sweep itself is inherently sequential (each move edits
+    friends' rows), so the pool is released right after the build.  The
+    ``numba`` backend jits the sweep loop instead.  Either way the
+    trajectory is byte-identical to the pure path.
     """
     rec = active_recorder(recorder)
     rng = random.Random(seed)
@@ -139,6 +149,42 @@ def _solve_global_table(
         recorder=rec,
     )
     restored = load_resume(resume_from, instance, "RMGP_gt", rec)
+    engine = None
+    backend_info = {}
+    if backend is not None or workers is not None:
+        engine, backend_info = make_engine(
+            instance,
+            backend=backend,
+            workers=workers,
+            recorder=rec,
+            with_table=True,
+            tol=dynamics.DEVIATION_TOLERANCE,
+        )
+    try:
+        return _run_global_table(
+            instance, init, order, rng, warm_start, max_rounds, rec,
+            runtime, restored, engine, backend_info, clock,
+        )
+    finally:
+        if engine is not None:
+            engine.shutdown()
+
+
+def _run_global_table(
+    instance: RMGPInstance,
+    init: str,
+    order: str,
+    rng: random.Random,
+    warm_start: Optional[np.ndarray],
+    max_rounds: int,
+    rec: Recorder,
+    runtime,
+    restored,
+    engine,
+    backend_info: dict,
+    clock: dynamics.RoundClock,
+) -> PartitionResult:
+    sweep_engine = engine if isinstance(engine, LocalEngine) else None
     with rec.span("solve", solver="RMGP_gt", n=instance.n, k=instance.k):
         if restored is not None:
             assignment = restored.assignment
@@ -156,7 +202,13 @@ def _solve_global_table(
                 )
                 sweep = dynamics.player_order(instance, order, rng)
                 with rec.span("build_table"):
-                    table = build_global_table(instance, assignment)
+                    if isinstance(engine, ShmEngine):
+                        table = engine.build_table(assignment)
+                        # The sweep is inherently serial; release the
+                        # workers (and the segment) right away.
+                        engine.shutdown()
+                    else:
+                        table = build_global_table(instance, assignment)
                 # Initially dirty = not provably happy, matching Figure 5's
                 # first pass.
                 active = dynamics.ActiveSet(
@@ -185,6 +237,11 @@ def _solve_global_table(
                 fingerprint=SolveCheckpoint.fingerprint_of(instance),
             )
 
+        sweep_array = (
+            np.asarray(sweep, dtype=np.int64)
+            if sweep_engine is not None
+            else None
+        )
         converged = False
         while not converged:
             if runtime is not None and runtime.check(round_index + 1):
@@ -192,9 +249,14 @@ def _solve_global_table(
             round_index += 1
             dynamics.check_round_budget(round_index, max_rounds, "RMGP_gt")
             with rec.span("round", round=round_index) as round_span:
-                deviations, examined = table_round(
-                    instance, table, assignment, active, sweep
-                )
+                if sweep_engine is not None:
+                    deviations, examined = sweep_engine.table_sweep(
+                        table, assignment, active.flags, sweep_array
+                    )
+                else:
+                    deviations, examined = table_round(
+                        instance, table, assignment, active, sweep
+                    )
             rec.round_end(
                 round_span, "RMGP_gt", round_index,
                 deviations=deviations,
@@ -220,6 +282,7 @@ def _solve_global_table(
             runtime.finalize(make_checkpoint)
 
     extra = {"table_bytes": table.nbytes}
+    extra.update(backend_info)
     if not converged:
         extra["remaining_frontier"] = active.count()
     return make_result(

@@ -31,6 +31,7 @@ from repro.core.result import PartitionResult, RoundStats, make_result
 from repro.errors import ConfigurationError
 from repro.graph.coloring import color_groups, greedy_coloring, is_proper_coloring
 from repro.obs.recorder import Recorder, active_recorder
+from repro.parallel.engine import make_engine
 from repro.runtime.budget import RuntimeBudget
 from repro.runtime.checkpoint import SolveCheckpoint, rounds_to_payload
 from repro.runtime.executor import SolveRuntime, load_resume
@@ -65,6 +66,9 @@ def _solve_independent_sets(
     max_rounds: int = dynamics.DEFAULT_MAX_ROUNDS,
     coloring: Optional[Dict] = None,
     threads: int = 1,
+    backend: Optional[str] = None,
+    workers: Optional[int] = None,
+    exact_scale: Optional[int] = None,
     recorder: Optional[Recorder] = None,
     budget: Optional[RuntimeBudget] = None,
     checkpoint_every: Optional[int] = None,
@@ -78,7 +82,16 @@ def _solve_independent_sets(
     threads:
         Maximum simultaneously running threads ``T`` (Figure 4).  With
         ``threads=1`` groups are processed sequentially — the result is
-        identical, only wall time differs.
+        identical, only wall time differs.  GIL-bound; superseded by
+        ``backend=``/``workers=`` and mutually exclusive with them.
+    backend / workers:
+        Parallel execution backend (``"pure"``/``"shm"``/``"numba"``)
+        and shm worker count; see :mod:`repro.parallel`.  Assignments
+        stay byte-identical to the pure path for every backend.
+    exact_scale:
+        When set, best responses use Lemma 2 integer fixed-point
+        arithmetic at this scale (exact, order-free; changes the
+        trajectory vs. the float path but not across backends).
     coloring:
         Optional pre-computed proper coloring (user id -> color).
     recorder:
@@ -86,6 +99,15 @@ def _solve_independent_sets(
     """
     if threads < 1:
         raise ConfigurationError("threads must be >= 1")
+    wants_engine = (
+        backend is not None or workers is not None or exact_scale is not None
+    )
+    if wants_engine and threads > 1:
+        raise ConfigurationError(
+            "threads (the GIL-bound thread pool) cannot be combined with "
+            "backend=/workers=/exact_scale=; use workers= for real "
+            "parallelism"
+        )
     rec = active_recorder(recorder)
     rng = random.Random(seed)
     clock = dynamics.RoundClock()
@@ -139,6 +161,16 @@ def _solve_independent_sets(
         executor = (
             ThreadPoolExecutor(max_workers=threads) if threads > 1 else None
         )
+        engine = None
+        if wants_engine:
+            engine, backend_info = make_engine(
+                instance,
+                backend=backend,
+                workers=workers,
+                recorder=rec,
+                exact_scale=exact_scale,
+                tol=dynamics.DEVIATION_TOLERANCE,
+            )
         if restored is not None:
             active = dynamics.ActiveSet(instance.n, dirty=restored.frontier)
         else:
@@ -177,7 +209,7 @@ def _solve_independent_sets(
                         active.clear(pending)
                         deviations += _process_group(
                             instance, assignment, pending, executor, threads,
-                            active,
+                            active, engine,
                         )
                 rec.round_end(
                     round_span, "RMGP_is", round_index,
@@ -203,6 +235,8 @@ def _solve_independent_sets(
         finally:
             if executor is not None:
                 executor.shutdown(wait=True)
+            if engine is not None:
+                engine.shutdown()
 
     critical_path = sum(math.ceil(len(g) / threads) for g in groups)
     extra = {
@@ -212,6 +246,8 @@ def _solve_independent_sets(
         "sequential_players_per_round": instance.n,
         "model_speedup": (instance.n / critical_path) if critical_path else 1.0,
     }
+    if wants_engine:
+        extra.update(backend_info)
     if not converged:
         extra["remaining_frontier"] = active.count()
     return make_result(
@@ -262,6 +298,7 @@ def _process_group(
     executor: Optional[ThreadPoolExecutor],
     threads: int,
     active: dynamics.ActiveSet,
+    engine=None,
 ) -> int:
     """Best responses for one color group's frontier; returns deviations.
 
@@ -270,8 +307,18 @@ def _process_group(
     writes are committed after computation, mirroring Figure 4's
     "wait for all threads to finish".  Each committed move marks the
     mover's CSR neighbor slice dirty for the following groups/rounds.
+
+    With an ``engine`` the same compute/commit split runs on the
+    parallel backend: the engine returns the group's deviating
+    ``(player, best)`` pairs in member order (chunks are merged in chunk
+    order), so the commit loop below is untouched.
     """
-    if executor is None or len(group) <= threads:
+    if engine is not None:
+        players, bests = engine.scalar_moves(
+            assignment, np.asarray(group, dtype=np.int64)
+        )
+        moves = list(zip(players.tolist(), bests.tolist()))
+    elif executor is None or len(group) <= threads:
         moves = _chunk_best_classes(instance, assignment, group)
     else:
         chunk = math.ceil(len(group) / threads)

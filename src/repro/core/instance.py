@@ -259,6 +259,23 @@ class RMGPInstance:
                 (1.0 - self.alpha) * self._half_strength[me]
             )
 
+    def csr_arrays(self) -> Dict[str, np.ndarray]:
+        """The CSR adjacency arrays the parallel backends ship to workers.
+
+        Name -> array for ``indptr``/``indices``/``weights``/
+        ``half_weights`` — exactly the read-only graph state a
+        :class:`repro.parallel.shm.ShmArena` maps once per solve.  The
+        arrays are the live instance buffers, not copies; treat them as
+        read-only (mutate via :meth:`update_edge_weight` /
+        :meth:`rebuild_adjacency` so the derived state stays coherent).
+        """
+        return {
+            "indptr": self.indptr,
+            "indices": self.indices,
+            "weights": self.weights,
+            "half_weights": self.half_weights,
+        }
+
     def neighbors_of(self, players: np.ndarray) -> np.ndarray:
         """Flat neighbor indices of ``players`` (CSR slice concatenation).
 

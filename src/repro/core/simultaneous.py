@@ -30,6 +30,7 @@ from repro.core.instance import RMGPInstance
 from repro.core.objective import player_strategy_costs, potential
 from repro.core.result import PartitionResult, RoundStats, make_result
 from repro.obs.recorder import Recorder, active_recorder
+from repro.parallel.engine import engine_scope, make_engine
 from repro.runtime.budget import RuntimeBudget
 from repro.runtime.checkpoint import SolveCheckpoint, rounds_to_payload
 from repro.runtime.executor import SolveRuntime, load_resume
@@ -42,6 +43,8 @@ def _solve_simultaneous(
     warm_start: Optional[np.ndarray] = None,
     max_rounds: int = 200,
     damping: float = 1.0,
+    backend: Optional[str] = None,
+    workers: Optional[int] = None,
     recorder: Optional[Recorder] = None,
     budget: Optional[RuntimeBudget] = None,
     checkpoint_every: Optional[int] = None,
@@ -82,7 +85,21 @@ def _solve_simultaneous(
         recorder=rec,
     )
     restored = load_resume(resume_from, instance, "RMGP_sync", rec)
-    with rec.span(
+    engine = None
+    backend_info = {}
+    if backend is not None or workers is not None:
+        # Synchronous dynamics best-respond against a frozen snapshot, so
+        # the whole population parallelizes trivially; the serial rng
+        # draws (deviators in player order) stay with the master.
+        engine, backend_info = make_engine(
+            instance,
+            backend=backend,
+            workers=workers,
+            recorder=rec,
+            tol=dynamics.DEVIATION_TOLERANCE,
+        )
+    all_players = np.arange(instance.n, dtype=np.int64)
+    with engine_scope(engine), rec.span(
         "solve", solver="RMGP_sync", n=instance.n, k=instance.k,
         damping=damping,
     ):
@@ -150,20 +167,33 @@ def _solve_simultaneous(
             with rec.span("round", round=round_index) as round_span:
                 proposals = assignment.copy()
                 deviations = 0
-                for player in range(instance.n):
-                    costs = player_strategy_costs(
-                        instance, assignment, player
+                if engine is not None:
+                    movers, bests = engine.scalar_moves(
+                        assignment, all_players
                     )
-                    current = int(assignment[player])
-                    best = int(costs.argmin())
-                    if (
-                        best != current
-                        and costs[best]
-                        < costs[current] - dynamics.DEVIATION_TOLERANCE
+                    # Same rng stream as the serial loop: draws happen
+                    # for deviators only, in ascending player order.
+                    deviations = int(movers.size)
+                    for player, best in zip(
+                        movers.tolist(), bests.tolist()
                     ):
-                        deviations += 1
                         if rng.random() < damping:
                             proposals[player] = best
+                else:
+                    for player in range(instance.n):
+                        costs = player_strategy_costs(
+                            instance, assignment, player
+                        )
+                        current = int(assignment[player])
+                        best = int(costs.argmin())
+                        if (
+                            best != current
+                            and costs[best]
+                            < costs[current] - dynamics.DEVIATION_TOLERANCE
+                        ):
+                            deviations += 1
+                            if rng.random() < damping:
+                                proposals[player] = best
                 assignment = proposals
                 phi = potential(instance, assignment)
             rec.round_end(
@@ -216,6 +246,7 @@ def _solve_simultaneous(
         "cycle_detected": cycle_detected,
         "damping": damping,
     }
+    extra.update(backend_info)
     if interrupted:
         # Report the best-by-Φ state, not wherever the oscillation was.
         extra["reported_best_potential"] = best_potential

@@ -38,6 +38,7 @@ from repro.core.instance import RMGPInstance, concat_ranges
 from repro.core.objective import potential
 from repro.core.result import PartitionResult, RoundStats, make_result
 from repro.obs.recorder import Recorder, active_recorder
+from repro.parallel.engine import make_engine
 from repro.runtime.budget import RuntimeBudget
 from repro.runtime.checkpoint import SolveCheckpoint, rounds_to_payload
 from repro.runtime.executor import SolveRuntime, load_resume
@@ -96,6 +97,18 @@ def _build_batches(
     return batches
 
 
+def _make_batches(
+    instance: RMGPInstance, groups: List[List[int]], engine
+) -> List:
+    """Batches for the round loop: prebuilt incidence arrays on the pure
+    path, bare member arrays when an engine runs the scatter (workers
+    read the CSR arrays from shared memory, so prebuilding per-group
+    incidence copies would be pure overhead)."""
+    if engine is not None:
+        return [np.asarray(group, dtype=np.int64) for group in groups]
+    return _build_batches(instance, groups)
+
+
 def _batch_frontier_round(
     instance: RMGPInstance,
     batch: _GroupBatch,
@@ -146,6 +159,33 @@ def _batch_frontier_round(
     return moved, int(sel.size)
 
 
+def _engine_frontier_round(
+    instance: RMGPInstance,
+    members: np.ndarray,
+    assignment: np.ndarray,
+    active: dynamics.ActiveSet,
+    engine,
+) -> tuple:
+    """One group's dirty members evaluated on a parallel backend.
+
+    Same frontier selection and commit protocol as
+    :func:`_batch_frontier_round`; only the batch evaluation moves to the
+    engine, whose chunked scatter is byte-identical to the bincount path
+    (chunk keys never mix rows).  No prebuilt ``_GroupBatch`` is needed —
+    the workers read the CSR arrays from shared memory.
+    """
+    sel = np.flatnonzero(active.flags[members])
+    if sel.size == 0:
+        return 0, 0
+    chosen = members if sel.size == len(members) else members[sel]
+    movers, best = engine.batched_moves(assignment, chosen)
+    active.clear(chosen)
+    if movers.size:
+        assignment[movers] = best
+        active.mark(instance.neighbors_of(movers))
+    return int(movers.size), int(sel.size)
+
+
 def _solve_vectorized(
     instance: RMGPInstance,
     init: str = "closest",
@@ -153,6 +193,9 @@ def _solve_vectorized(
     warm_start: Optional[np.ndarray] = None,
     max_rounds: int = dynamics.DEFAULT_MAX_ROUNDS,
     coloring: Optional[Dict] = None,
+    backend: Optional[str] = None,
+    workers: Optional[int] = None,
+    exact_scale: Optional[int] = None,
     recorder: Optional[Recorder] = None,
     budget: Optional[RuntimeBudget] = None,
     checkpoint_every: Optional[int] = None,
@@ -166,18 +209,65 @@ def _solve_vectorized(
     atomically), so there is no ``order`` knob.  Checkpoints store only
     the groups: batch arrays and per-round costs are pure functions of
     (instance, groups), so a resume rebuilds them bit-identically.
+
+    ``backend``/``workers`` select a parallel execution backend
+    (byte-identical assignments; see :mod:`repro.parallel`) and
+    ``exact_scale`` switches the scatter to Lemma 2 integer fixed point.
     """
     rec = active_recorder(recorder)
+    wants_engine = (
+        backend is not None or workers is not None or exact_scale is not None
+    )
     rng = random.Random(seed)
     clock = dynamics.RoundClock()
 
+    restored = load_resume(resume_from, instance, "RMGP_vec", rec)
+    engine = None
+    backend_info: Dict = {}
+    if wants_engine:
+        engine, backend_info = make_engine(
+            instance,
+            backend=backend,
+            workers=workers,
+            recorder=rec,
+            exact_scale=exact_scale,
+            tol=dynamics.DEVIATION_TOLERANCE,
+        )
+    try:
+        return _run_vectorized(
+            instance, init, rng, warm_start, max_rounds, coloring, rec,
+            restored, engine, backend_info, clock,
+            budget=budget,
+            checkpoint_every=checkpoint_every,
+            checkpoint_path=checkpoint_path,
+        )
+    finally:
+        if engine is not None:
+            engine.shutdown()
+
+
+def _run_vectorized(
+    instance: RMGPInstance,
+    init: str,
+    rng: random.Random,
+    warm_start: Optional[np.ndarray],
+    max_rounds: int,
+    coloring: Optional[Dict],
+    rec: Recorder,
+    restored,
+    engine,
+    backend_info: Dict,
+    clock: dynamics.RoundClock,
+    budget: Optional[RuntimeBudget] = None,
+    checkpoint_every: Optional[int] = None,
+    checkpoint_path: Optional[str] = None,
+) -> PartitionResult:
     runtime = SolveRuntime.create(
         budget=budget,
         checkpoint_every=checkpoint_every,
         checkpoint_path=checkpoint_path,
         recorder=rec,
     )
-    restored = load_resume(resume_from, instance, "RMGP_vec", rec)
     with rec.span("solve", solver="RMGP_vec", n=instance.n, k=instance.k):
         if restored is not None:
             groups = [
@@ -185,7 +275,7 @@ def _solve_vectorized(
                 for group in restored.state["groups"]
             ]
             assignment = restored.assignment
-            batches = _build_batches(instance, groups)
+            batches = _make_batches(instance, groups, engine)
             active = dynamics.ActiveSet(instance.n, dirty=restored.frontier)
             if restored.rng_state is not None:
                 rng.setstate(restored.rng_state)
@@ -198,7 +288,7 @@ def _solve_vectorized(
                     instance, init, rng, warm_start
                 )
                 with rec.span("build_batches"):
-                    batches = _build_batches(instance, groups)
+                    batches = _make_batches(instance, groups, engine)
                 active = dynamics.ActiveSet(instance.n)
                 if init_span is not None:
                     init_span.attrs["num_groups"] = len(groups)
@@ -228,11 +318,18 @@ def _solve_vectorized(
             examined = 0
             with rec.span("round", round=round_index) as round_span:
                 for batch in batches:
-                    if batch.members.size == 0:
-                        continue
-                    moved, seen = _batch_frontier_round(
-                        instance, batch, assignment, active, tol
-                    )
+                    if engine is not None:
+                        if batch.size == 0:
+                            continue
+                        moved, seen = _engine_frontier_round(
+                            instance, batch, assignment, active, engine
+                        )
+                    else:
+                        if batch.members.size == 0:
+                            continue
+                        moved, seen = _batch_frontier_round(
+                            instance, batch, assignment, active, tol
+                        )
                     deviations += moved
                     examined += seen
             rec.round_end(
@@ -258,6 +355,7 @@ def _solve_vectorized(
             runtime.finalize(make_checkpoint)
 
     extra = {"num_groups": len(groups)}
+    extra.update(backend_info)
     if not converged:
         extra["remaining_frontier"] = active.count()
     return make_result(

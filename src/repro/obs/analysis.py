@@ -13,6 +13,13 @@ is the causal chain of per-step maxima: for each group of sibling spans
 with the same name (one per slave, or one per delivery) the slowest
 member is on the path and everyone else idles for the difference.
 
+The same machinery covers the shared-memory backend
+(:mod:`repro.parallel`): solver ``round`` spans whose subtree contains
+adopted ``worker.compute`` spans are analyzed exactly like DG rounds —
+per-worker busy time, idle-behind-the-slowest-chunk, and an overall
+straggler named ``worker-N`` — so ``repro analyze`` answers "which
+worker is slow" for a parallel solve with no extra flags.
+
 Works on exported JSONL records as well as live recorders, so the CLI
 (``repro analyze trace.jsonl``) and tests share one implementation.
 """
@@ -27,8 +34,9 @@ from typing import TYPE_CHECKING, Any, Dict, Iterable, List, Optional, Tuple
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.obs.recorder import TraceRecorder
 
-#: Spans counted as slave-side compute work.
-_SLAVE_PREFIX = "slave."
+#: Spans counted as parallel compute work, grouped per node: DG
+#: slave-side phases and shm-backend worker chunks (repro.parallel).
+_WORK_PREFIXES = ("slave.", "worker.")
 #: Spans counted as network time.
 _NET_NAMES = ("net.deliver", "net.exchange")
 
@@ -76,7 +84,7 @@ class TraceReport:
 
     @property
     def straggler(self) -> Optional[str]:
-        """Slave with the most total busy time across all rounds."""
+        """Node (DG slave or shm worker) with the most total busy time."""
         busy: Dict[str, float] = defaultdict(float)
         for report in self.rounds:
             for node, seconds in report.slave_busy.items():
@@ -110,11 +118,20 @@ def analyze_records(records: Iterable[Dict[str, Any]]) -> TraceReport:
 
     report = TraceReport()
     for span in spans:
-        if span.get("name") != "dg.round":
+        name = span.get("name")
+        if name not in ("dg.round", "round"):
             continue
         attrs = span.get("attrs") or {}
         round_report = RoundReport(round_index=int(attrs.get("round", -1)))
         _walk_round(span, children, round_report, report.critical_path)
+        if (
+            name == "round"
+            and not round_report.slave_busy
+            and not round_report.deliveries
+        ):
+            # A plain solver round with no adopted worker spans under it
+            # — nothing parallel happened, so there is nothing to digest.
+            continue
         busy = round_report.slave_busy
         if busy:
             straggler = max(busy, key=lambda node: (busy[node], node))
@@ -147,7 +164,7 @@ def _walk_round(
         for child in children.get(parent.get("id"), []):
             stack.append(child)
             name = child.get("name", "")
-            if name.startswith(_SLAVE_PREFIX) or name in _NET_NAMES:
+            if name.startswith(_WORK_PREFIXES) or name in _NET_NAMES:
                 groups[name].append(child)
         for name in sorted(groups):
             group = groups[name]
@@ -156,7 +173,7 @@ def _walk_round(
             )
             charged = durations[0]
             slowest = max(group, key=_duration)
-            if name.startswith(_SLAVE_PREFIX):
+            if name.startswith(_WORK_PREFIXES):
                 report.compute_seconds += charged
                 report.idle_seconds += sum(charged - d for d in durations[1:])
                 for member in group:
@@ -213,7 +230,7 @@ def format_report(report: TraceReport, max_path: int = 12) -> str:
     """Human-readable critical-path / straggler report."""
     lines: List[str] = []
     if not report.rounds:
-        return "no distributed rounds in trace (nothing to analyze)"
+        return "no distributed or parallel rounds in trace (nothing to analyze)"
     lines.append(
         f"rounds: {len(report.rounds)}  "
         f"compute {report.total_compute_seconds:.6f}s  "

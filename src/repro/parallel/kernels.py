@@ -1,0 +1,464 @@
+"""Best-response chunk kernels shared by every parallel backend.
+
+Each kernel exists in up to three forms that are *proven interchangeable*
+by the conformance suite:
+
+* a numpy form (used by the shm workers and the in-process engines) that
+  replicates, operation for operation, the arithmetic of the matching
+  pure solver path — ``player_strategy_costs`` for the scalar kernels,
+  ``_batch_frontier_round`` for the batched kernel,
+  ``build_global_table``/``table_round`` for the table kernels — so the
+  produced floats are byte-identical to the pure path;
+* a loop form written in numba-compatible Python.  When numba is
+  importable the loop is jitted at import time; when it is not, the
+  plain-Python function remains (slow but testable), and the ``numba``
+  backend falls back to ``pure`` anyway.  The loop forms reproduce the
+  numpy forms' accumulation *order* (sequential ``subtract.at`` order
+  for the scalar kernel, per-key bincount order for the batched/table
+  kernels), which is what makes them byte-identical rather than merely
+  close;
+* a Lemma 2 integer-scaled exact form: costs are quantized once to
+  ``int64`` fixed point (``exact_payload``), after which accumulation is
+  associative and *no* ordering — thread, process, or vector — can
+  perturb an equilibrium.  Comparisons are strict (no float tolerance).
+
+Why the float forms agree across layouts, briefly (full argument in
+DESIGN.md §4.5): ``(1−α)·half_weights`` and ``((1−α)·0.5)·weights`` are
+single roundings of the same real product; ``np.bincount`` accumulates
+weights in array order and CSR rows occupy contiguous slot ranges, so a
+per-row chunk of the scatter sums each (row, class) key in exactly the
+order the whole-array scatter does; and slicing a precomputed
+``α·C.dense()`` matrix is elementwise identical to scaling a row.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.instance import RMGPInstance, concat_ranges
+from repro.errors import ConfigurationError
+
+try:  # numba is optional; the loop kernels below work without it
+    from numba import njit as _njit
+
+    HAVE_NUMBA = True
+except Exception:  # pragma: no cover - depends on environment
+    HAVE_NUMBA = False
+    _njit = None
+
+
+def _maybe_jit(fn):
+    if HAVE_NUMBA:  # pragma: no cover - numba absent in CI baseline
+        return _njit(cache=True)(fn)
+    return fn
+
+
+# ---------------------------------------------------------------------------
+# Shared float arrays
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class KernelArrays:
+    """Read-only float inputs every float kernel consumes.
+
+    ``scaled_dense`` is ``α·C`` (the same precomputation
+    ``_build_batches`` does once per solve) and ``refunds`` is
+    ``(1−α)·half_weights`` — both computed exactly once so every chunk,
+    every worker, and the pure path slice the *same* floats.
+    """
+
+    indptr: np.ndarray
+    indices: np.ndarray
+    weights: np.ndarray
+    half_weights: np.ndarray
+    scaled_dense: np.ndarray
+    maxsc: np.ndarray
+    refunds: np.ndarray
+    k: int
+
+
+def kernel_arrays(instance: RMGPInstance) -> KernelArrays:
+    """Materialize the shared float inputs from an instance."""
+
+    alpha = instance.alpha
+    return KernelArrays(
+        indptr=instance.indptr,
+        indices=instance.indices,
+        weights=instance.weights,
+        half_weights=instance.half_weights,
+        scaled_dense=alpha * instance.cost.dense(),
+        maxsc=instance.max_social_cost,
+        refunds=(1.0 - alpha) * instance.half_weights,
+        k=instance.k,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Float kernels — numpy forms
+# ---------------------------------------------------------------------------
+
+
+def scalar_moves(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    scaled_dense: np.ndarray,
+    maxsc: np.ndarray,
+    refunds: np.ndarray,
+    assignment: np.ndarray,
+    members: np.ndarray,
+    tol: float,
+):
+    """Per-player best responses for ``members`` against ``assignment``.
+
+    Replicates ``player_strategy_costs`` + ``best_response`` exactly:
+    per-member ``subtract.at`` in CSR slot order, first-minimum argmin,
+    tie keeps the current class.  Returns ``(players, bests)`` for the
+    members that deviate, in ``members`` order.
+    """
+
+    out_players = []
+    out_bests = []
+    for v in members:
+        v = int(v)
+        costs = scaled_dense[v] + maxsc[v]
+        lo, hi = indptr[v], indptr[v + 1]
+        if hi > lo:
+            np.subtract.at(costs, assignment[indices[lo:hi]], refunds[lo:hi])
+        best = int(costs.argmin())
+        current = int(assignment[v])
+        if costs[best] < costs[current] - tol:
+            out_players.append(v)
+            out_bests.append(best)
+    return (
+        np.asarray(out_players, dtype=np.int64),
+        np.asarray(out_bests, dtype=np.int64),
+    )
+
+
+def batched_moves(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    scaled_dense: np.ndarray,
+    maxsc: np.ndarray,
+    refunds: np.ndarray,
+    assignment: np.ndarray,
+    members: np.ndarray,
+    k: int,
+    tol: float,
+):
+    """Whole-chunk batched best responses (the RMGP_vec arithmetic).
+
+    Replicates ``_batch_frontier_round``'s gather + bincount scatter for
+    ``members`` (the dirty subset of a color group).  Chunking is safe:
+    bincount keys never mix rows, so each row's refund sum is
+    accumulated in the same (CSR slot) order no matter how the group is
+    split across workers.
+    """
+
+    members = np.asarray(members, dtype=np.int64)
+    if members.size == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty
+    counts = indptr[members + 1] - indptr[members]
+    slots = concat_ranges(indptr[members], counts)
+    rows = np.arange(members.size, dtype=np.int64)
+    row_positions = np.repeat(rows, counts)
+    costs = scaled_dense[members] + maxsc[members][:, None]
+    if slots.size:
+        keys = row_positions * k + assignment[indices[slots]]
+        costs -= np.bincount(
+            keys, weights=refunds[slots], minlength=members.size * k
+        ).reshape(members.size, k)
+    current = assignment[members]
+    best = costs.argmin(axis=1)
+    improves = (costs[rows, best] < costs[rows, current] - tol) & (
+        best != current
+    )
+    return members[improves], best[improves]
+
+
+def table_rows(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    scaled_dense: np.ndarray,
+    maxsc: np.ndarray,
+    refunds: np.ndarray,
+    assignment: np.ndarray,
+    row_start: int,
+    row_stop: int,
+    k: int,
+    out: np.ndarray,
+) -> None:
+    """Global-table rows ``[row_start, row_stop)`` into ``out`` (full table).
+
+    Byte-identical to the same rows of ``build_global_table``: CSR rows
+    occupy contiguous slot ranges, so the per-chunk bincount sums every
+    (row, class) key in the same order as the full scatter.
+    """
+
+    rows = slice(row_start, row_stop)
+    chunk = scaled_dense[rows] + maxsc[rows, None]
+    lo, hi = int(indptr[row_start]), int(indptr[row_stop])
+    if hi > lo:
+        owners = np.repeat(
+            np.arange(row_start, row_stop, dtype=np.int64),
+            indptr[row_start + 1 : row_stop + 1] - indptr[row_start:row_stop],
+        )
+        keys = (owners - row_start) * k + assignment[indices[lo:hi]]
+        chunk -= np.bincount(
+            keys, weights=refunds[lo:hi], minlength=(row_stop - row_start) * k
+        ).reshape(row_stop - row_start, k)
+    out[rows] = chunk
+
+
+# ---------------------------------------------------------------------------
+# Float kernels — numba-compatible loop forms
+# ---------------------------------------------------------------------------
+
+
+def _scalar_moves_loop(
+    indptr, indices, scaled_dense, maxsc, refunds, assignment, members, tol
+):
+    k = scaled_dense.shape[1]
+    out_players = np.empty(members.size, np.int64)
+    out_bests = np.empty(members.size, np.int64)
+    costs = np.empty(k, np.float64)
+    m = 0
+    for i in range(members.size):
+        v = members[i]
+        for j in range(k):
+            costs[j] = scaled_dense[v, j] + maxsc[v]
+        for s in range(indptr[v], indptr[v + 1]):
+            costs[assignment[indices[s]]] -= refunds[s]
+        best = 0
+        best_cost = costs[0]
+        for j in range(1, k):
+            if costs[j] < best_cost:
+                best_cost = costs[j]
+                best = j
+        current = assignment[v]
+        if best_cost < costs[current] - tol:
+            out_players[m] = v
+            out_bests[m] = best
+            m += 1
+    return out_players[:m], out_bests[:m]
+
+
+def _batched_moves_loop(
+    indptr, indices, scaled_dense, maxsc, refunds, assignment, members, tol
+):
+    # Matches the bincount form: refunds are *summed per class first*
+    # (in CSR slot order, like bincount) and subtracted once, not
+    # subtracted one by one — sequential subtraction would round
+    # differently in the last ulp.
+    k = scaled_dense.shape[1]
+    out_players = np.empty(members.size, np.int64)
+    out_bests = np.empty(members.size, np.int64)
+    acc = np.empty(k, np.float64)
+    costs = np.empty(k, np.float64)
+    m = 0
+    for i in range(members.size):
+        v = members[i]
+        for j in range(k):
+            acc[j] = 0.0
+        for s in range(indptr[v], indptr[v + 1]):
+            acc[assignment[indices[s]]] += refunds[s]
+        for j in range(k):
+            costs[j] = (scaled_dense[v, j] + maxsc[v]) - acc[j]
+        best = 0
+        best_cost = costs[0]
+        for j in range(1, k):
+            if costs[j] < best_cost:
+                best_cost = costs[j]
+                best = j
+        current = assignment[v]
+        if best != current and best_cost < costs[current] - tol:
+            out_players[m] = v
+            out_bests[m] = best
+            m += 1
+    return out_players[:m], out_bests[:m]
+
+
+def _table_sweep_loop(
+    table, assignment, flags, sweep, indptr, indices, refunds, tol
+):
+    # The RMGP_gt inner loop (table_round), loop for loop: examine dirty
+    # players in sweep order, deviate on strict improvement, push ±½·w
+    # to each friend's two affected entries (refunds[s] is bitwise equal
+    # to ((1−α)·0.5)·w — same real product, single rounding).
+    deviations = 0
+    examined = 0
+    k = table.shape[1]
+    for i in range(sweep.size):
+        player = sweep[i]
+        if not flags[player]:
+            continue
+        flags[player] = False
+        examined += 1
+        current = assignment[player]
+        best = 0
+        best_cost = table[player, 0]
+        for j in range(1, k):
+            if table[player, j] < best_cost:
+                best_cost = table[player, j]
+                best = j
+        if best_cost >= table[player, current] - tol:
+            continue
+        assignment[player] = best
+        deviations += 1
+        for s in range(indptr[player], indptr[player + 1]):
+            friend = indices[s]
+            delta = refunds[s]
+            table[friend, best] -= delta
+            table[friend, current] += delta
+            flags[friend] = True
+    return deviations, examined
+
+
+scalar_moves_loop = _maybe_jit(_scalar_moves_loop)
+batched_moves_loop = _maybe_jit(_batched_moves_loop)
+table_sweep_loop = _maybe_jit(_table_sweep_loop)
+
+
+# ---------------------------------------------------------------------------
+# Lemma 2 integer scaling — exact fixed-point kernels
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ExactPayload:
+    """Integer fixed-point quantization of one instance (Lemma 2).
+
+    ``int_cost[v][p] = rint(α·c(v,p)·scale)`` and
+    ``int_refund[e] = rint((1−α)·½·w_e·scale)``; ``int_maxsc`` is the
+    *integer* per-player refund sum, so a strategy's cost is an exact
+    ``int64`` and accumulation order cannot matter.  Comparisons are
+    strict — a player deviates iff some class is cheaper by at least one
+    fixed-point unit (1/scale in Equation 3 cost units).
+    """
+
+    int_cost: np.ndarray
+    int_refund: np.ndarray
+    int_maxsc: np.ndarray
+    scale: int
+
+
+def exact_payload(instance: RMGPInstance, scale: int) -> ExactPayload:
+    """Quantize ``instance`` at ``scale`` fixed-point units per cost unit."""
+
+    if isinstance(scale, bool) or not isinstance(scale, int) or scale < 1:
+        raise ConfigurationError(
+            f"exact_scale must be an int >= 1, got {scale!r}"
+        )
+    alpha = instance.alpha
+    float_cost = alpha * instance.cost.dense() * float(scale)
+    float_refund = (1.0 - alpha) * instance.half_weights * float(scale)
+    float_maxsc = np.zeros(instance.n, dtype=np.float64)
+    if float_refund.size:
+        np.add.at(float_maxsc, instance.edge_owner, float_refund)
+    # Guard BEFORE the int64 cast: a cast or accumulate that wraps would
+    # corrupt the very numbers the guard inspects.  Floats cannot wrap,
+    # and the 2**62 threshold leaves a full headroom bit against the
+    # real 2**63 limit, so float rounding cannot mask an overflow.
+    bound = float(np.abs(float_cost).max(initial=0.0)) + float(
+        float_maxsc.max(initial=0.0)
+    )
+    if not np.isfinite(bound) or bound >= 2.0**62:
+        raise ConfigurationError(
+            f"exact_scale={scale} overflows int64 fixed point for this "
+            f"instance (magnitude bound {bound:.3g}); use a smaller scale"
+        )
+    int_cost = np.rint(float_cost).astype(np.int64)
+    int_refund = np.rint(float_refund).astype(np.int64)
+    int_maxsc = np.zeros(instance.n, dtype=np.int64)
+    if int_refund.size:
+        np.add.at(int_maxsc, instance.edge_owner, int_refund)
+    return ExactPayload(
+        int_cost=int_cost,
+        int_refund=int_refund,
+        int_maxsc=int_maxsc,
+        scale=scale,
+    )
+
+
+def exact_scalar_moves(
+    indptr, indices, int_cost, int_maxsc, int_refund, assignment, members
+):
+    """Integer best responses, one member at a time (order-free exact)."""
+
+    out_players = []
+    out_bests = []
+    for v in members:
+        v = int(v)
+        costs = int_cost[v] + int_maxsc[v]
+        lo, hi = indptr[v], indptr[v + 1]
+        if hi > lo:
+            np.subtract.at(costs, assignment[indices[lo:hi]], int_refund[lo:hi])
+        best = int(costs.argmin())
+        current = int(assignment[v])
+        if costs[best] < costs[current]:
+            out_players.append(v)
+            out_bests.append(best)
+    return (
+        np.asarray(out_players, dtype=np.int64),
+        np.asarray(out_bests, dtype=np.int64),
+    )
+
+
+def exact_batched_moves(
+    indptr, indices, int_cost, int_maxsc, int_refund, assignment, members, k
+):
+    """Whole-chunk integer best responses; bitwise equal to the scalar
+    form because int64 accumulation is associative."""
+
+    members = np.asarray(members, dtype=np.int64)
+    if members.size == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty
+    counts = indptr[members + 1] - indptr[members]
+    slots = concat_ranges(indptr[members], counts)
+    rows = np.arange(members.size, dtype=np.int64)
+    costs = int_cost[members] + int_maxsc[members][:, None]
+    if slots.size:
+        keys = np.repeat(rows, counts) * k + assignment[indices[slots]]
+        acc = np.zeros(members.size * k, dtype=np.int64)
+        np.add.at(acc, keys, int_refund[slots])
+        costs -= acc.reshape(members.size, k)
+    current = assignment[members]
+    best = costs.argmin(axis=1)
+    improves = (costs[rows, best] < costs[rows, current]) & (best != current)
+    return members[improves], best[improves]
+
+
+def _exact_scalar_moves_loop(
+    indptr, indices, int_cost, int_maxsc, int_refund, assignment, members
+):
+    k = int_cost.shape[1]
+    out_players = np.empty(members.size, np.int64)
+    out_bests = np.empty(members.size, np.int64)
+    costs = np.empty(k, np.int64)
+    m = 0
+    for i in range(members.size):
+        v = members[i]
+        for j in range(k):
+            costs[j] = int_cost[v, j] + int_maxsc[v]
+        for s in range(indptr[v], indptr[v + 1]):
+            costs[assignment[indices[s]]] -= int_refund[s]
+        best = 0
+        best_cost = costs[0]
+        for j in range(1, k):
+            if costs[j] < best_cost:
+                best_cost = costs[j]
+                best = j
+        current = assignment[v]
+        if best_cost < costs[current]:
+            out_players[m] = v
+            out_bests[m] = best
+            m += 1
+    return out_players[:m], out_bests[:m]
+
+
+exact_scalar_moves_loop = _maybe_jit(_exact_scalar_moves_loop)

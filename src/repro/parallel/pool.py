@@ -1,0 +1,159 @@
+"""Persistent worker-process pool for the shm backend.
+
+One pool lives for the whole solve (the paper's §4.2 "pool of threads",
+finally with true concurrency): workers are started once, attach the
+arena once, and then every round's color classes are fanned out as chunk
+tasks.  Chunk ``j`` always goes to worker ``j % W`` and the parent
+reassembles results *in chunk order*, so the merged move list is a
+deterministic function of the inputs no matter how workers interleave.
+
+The default start method is ``fork`` where available (cheapest; the
+arrays travel via the arena, not via pickling) with a ``REPRO_MP_START``
+env override (``fork``/``spawn``/``forkserver``) for debugging.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import queue as queue_mod
+import time
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.parallel.shm import ShmArena
+from repro.parallel.worker import SHUTDOWN, worker_main
+
+START_METHOD_ENV = "REPRO_MP_START"
+
+_POLL_SECONDS = 5.0
+
+
+def start_method(override: Optional[str] = None) -> str:
+    """Resolve the multiprocessing start method for the pool."""
+
+    choice = override or os.environ.get(START_METHOD_ENV)
+    available = mp.get_all_start_methods()
+    if choice is not None:
+        if choice not in available:
+            raise ConfigurationError(
+                f"start method {choice!r} not available; have: "
+                + ", ".join(available)
+            )
+        return choice
+    return "fork" if "fork" in available else available[0]
+
+
+@dataclass
+class ChunkResult:
+    """One completed chunk: movers plus the worker's busy window."""
+
+    chunk_index: int
+    worker_id: int
+    players: Optional[np.ndarray]
+    bests: Optional[np.ndarray]
+    start: float
+    end: float
+
+
+class WorkerPool:
+    """Fixed set of daemon workers attached to one :class:`ShmArena`."""
+
+    def __init__(
+        self,
+        arena: ShmArena,
+        num_workers: int,
+        params: dict,
+        method: Optional[str] = None,
+    ) -> None:
+        if num_workers < 1:
+            raise ConfigurationError("worker pool needs num_workers >= 1")
+        ctx = mp.get_context(start_method(method))
+        self.num_workers = num_workers
+        self._tasks = [ctx.SimpleQueue() for _ in range(num_workers)]
+        self._results = ctx.Queue()
+        self._epoch = 0
+        self._procs = []
+        for worker_id in range(num_workers):
+            proc = ctx.Process(
+                target=worker_main,
+                args=(
+                    worker_id, arena.name, arena.layout, params,
+                    self._tasks[worker_id], self._results,
+                ),
+                daemon=True,
+                name=f"repro-shm-worker-{worker_id}",
+            )
+            proc.start()
+            self._procs.append(proc)
+
+    # -- dispatch ----------------------------------------------------------
+
+    def run(self, kind: str, payloads: Sequence) -> List[ChunkResult]:
+        """Fan ``payloads`` out and return results in chunk order."""
+
+        epoch = self._epoch
+        self._epoch += 1
+        for j, payload in enumerate(payloads):
+            self._tasks[j % self.num_workers].put((kind, epoch, j, payload))
+        collected = {}
+        while len(collected) < len(payloads):
+            try:
+                msg = self._results.get(timeout=_POLL_SECONDS)
+            except queue_mod.Empty:
+                self._check_alive()
+                continue
+            tag, msg_epoch, chunk_index = msg[0], msg[1], msg[2]
+            if msg_epoch != epoch:
+                # Stale result from an epoch a dead dispatch abandoned.
+                continue
+            if tag == "err":
+                raise RuntimeError(
+                    f"shm worker {msg[3]} failed:\n{msg[4]}"
+                )
+            collected[chunk_index] = ChunkResult(
+                chunk_index=chunk_index,
+                worker_id=msg[3],
+                players=msg[4],
+                bests=msg[5],
+                start=msg[6],
+                end=msg[7],
+            )
+        return [collected[j] for j in range(len(payloads))]
+
+    def _check_alive(self) -> None:
+        dead = [
+            proc.name
+            for proc in self._procs
+            if proc.exitcode is not None and proc.exitcode != 0
+        ]
+        if dead:
+            raise RuntimeError(
+                "shm worker process(es) died: " + ", ".join(dead)
+            )
+
+    # -- teardown ----------------------------------------------------------
+
+    def shutdown(self, timeout: float = 5.0) -> None:
+        """Stop all workers; escalate to terminate if they don't exit."""
+
+        for task_queue in self._tasks:
+            try:
+                task_queue.put(SHUTDOWN)
+            except Exception:
+                pass
+        deadline = time.monotonic() + timeout
+        for proc in self._procs:
+            proc.join(max(0.0, deadline - time.monotonic()))
+        for proc in self._procs:
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(1.0)
+        self._results.close()
+        self._results.join_thread()
+        for task_queue in self._tasks:
+            task_queue.close()
+        self._procs = []

@@ -1,0 +1,197 @@
+"""Shared-memory segment lifecycle for the shm backend.
+
+One :class:`ShmArena` holds every array a solve shares with its worker
+pool — the instance's CSR arrays, the precomputed cost/refund arrays,
+the strategy vector, and (for RMGP_gt) the global table — in a single
+``multiprocessing.shared_memory`` segment with a 64-byte-aligned offset
+table, so a solve maps exactly one segment no matter how many arrays it
+ships.
+
+Cleanup is belt and braces, because a leaked ``/dev/shm`` segment
+outlives the process that forgot it:
+
+* engines call :meth:`ShmArena.destroy` in ``finally`` — a deadline,
+  cancellation, or exception on the solve path still unlinks;
+* every owner arena registers in a module-level table reaped by an
+  ``atexit`` hook, so even a solve that dies without unwinding (e.g.
+  ``sys.exit`` from a signal handler) does not leak;
+* ``destroy()`` is idempotent and swallows the teardown races
+  (``BufferError`` from a still-live view must not stop the unlink).
+
+Workers attach by name and immediately detach the segment from their
+``resource_tracker`` — the child did not create it, and letting the
+tracker "clean up" on child exit would destroy the parent's segment
+(CPython issue 82300); Python 3.13 grew ``track=False`` for this, the
+``unregister`` call is the portable spelling.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import secrets
+from multiprocessing import resource_tracker, shared_memory
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+SEGMENT_PREFIX = "repro_shm_"
+
+_ALIGN = 64
+
+#: Owner arenas still alive in this process, reaped by the atexit guard.
+_LIVE: Dict[str, "ShmArena"] = {}
+
+_atexit_installed = False
+
+
+def _install_atexit() -> None:
+    global _atexit_installed
+    if not _atexit_installed:
+        atexit.register(_reap_live)
+        _atexit_installed = True
+
+
+def _reap_live() -> None:
+    for arena in list(_LIVE.values()):
+        arena.destroy()
+
+
+def live_segment_names() -> List[str]:
+    """Names of owner segments not yet destroyed (for leak checks)."""
+
+    return sorted(_LIVE)
+
+
+# Layout entries are (name, dtype string, shape tuple, byte offset) —
+# plain picklable types so a layout can ride a spawn-start argument list.
+LayoutEntry = Tuple[str, str, Tuple[int, ...], int]
+
+
+def _build_layout(
+    arrays: Dict[str, np.ndarray]
+) -> Tuple[List[LayoutEntry], int]:
+    layout: List[LayoutEntry] = []
+    offset = 0
+    for name, arr in arrays.items():
+        offset = (offset + _ALIGN - 1) // _ALIGN * _ALIGN
+        layout.append((name, arr.dtype.str, tuple(arr.shape), offset))
+        offset += arr.nbytes
+    return layout, max(offset, 1)
+
+
+class ShmArena:
+    """A named shared-memory segment holding a dict of numpy arrays."""
+
+    def __init__(
+        self,
+        shm: shared_memory.SharedMemory,
+        layout: Sequence[LayoutEntry],
+        owner: bool,
+    ) -> None:
+        self.shm: Optional[shared_memory.SharedMemory] = shm
+        self.name = shm.name
+        self.layout = list(layout)
+        self.owner = owner
+        self._views: Optional[Dict[str, np.ndarray]] = None
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def create(cls, arrays: Dict[str, np.ndarray]) -> "ShmArena":
+        """Allocate a segment and copy ``arrays`` into it (owner side)."""
+
+        layout, size = _build_layout(arrays)
+        name = f"{SEGMENT_PREFIX}{os.getpid()}_{secrets.token_hex(4)}"
+        shm = shared_memory.SharedMemory(name=name, create=True, size=size)
+        arena = cls(shm, layout, owner=True)
+        views = arena.views()
+        for key, arr in arrays.items():
+            np.copyto(views[key], arr)
+        _LIVE[arena.name] = arena
+        _install_atexit()
+        return arena
+
+    @classmethod
+    def attach(cls, name: str, layout: Sequence[LayoutEntry]) -> "ShmArena":
+        """Map an existing segment by name (worker side).
+
+        The attach must not be resource-tracked: the worker never owns
+        the segment, and tracking it would either destroy the parent's
+        segment on worker exit (spawn: the worker's own tracker unlinks
+        it) or cancel the parent's registration (fork: the tracker is
+        shared) — CPython issue 82300.  Python 3.13 grew ``track=False``
+        for exactly this; on older interpreters the registration is
+        suppressed for the duration of the constructor.
+        """
+
+        try:
+            shm = shared_memory.SharedMemory(name=name, track=False)
+        except TypeError:  # Python < 3.13
+            original = resource_tracker.register
+            resource_tracker.register = lambda *args, **kwargs: None
+            try:
+                shm = shared_memory.SharedMemory(name=name)
+            finally:
+                resource_tracker.register = original
+        return cls(shm, layout, owner=False)
+
+    # -- access ------------------------------------------------------------
+
+    def views(self) -> Dict[str, np.ndarray]:
+        """Name -> array views into the segment (cached)."""
+
+        if self.shm is None:
+            raise ValueError(f"arena {self.name} is closed")
+        if self._views is None:
+            self._views = {
+                name: np.ndarray(
+                    shape, dtype=np.dtype(dtype), buffer=self.shm.buf,
+                    offset=offset,
+                )
+                for name, dtype, shape, offset in self.layout
+            }
+        return self._views
+
+    # -- teardown ----------------------------------------------------------
+
+    def close(self) -> None:
+        """Drop the mapping (both sides). Idempotent."""
+
+        self._views = None
+        shm, self.shm = self.shm, None
+        if shm is None:
+            return
+        try:
+            shm.close()
+        except BufferError:
+            # A still-exported buffer can block the unmap on some
+            # interpreter versions; the owner unlinks in destroy()
+            # regardless, so nothing persists in /dev/shm.  Either way,
+            # outstanding views are dead after close() — the engine
+            # copies results out before tearing the arena down.
+            pass
+
+    def destroy(self) -> None:
+        """Unlink (owner) and close the segment. Idempotent."""
+
+        shm = self.shm
+        if shm is not None and self.owner:
+            # Unlink before close: shm_unlink works on a live mapping,
+            # and this order guarantees the name is gone even if close()
+            # hits a BufferError from an outstanding view.
+            try:
+                shm.unlink()
+            except FileNotFoundError:
+                pass
+        self.close()
+        _LIVE.pop(self.name, None)
+
+    def __enter__(self) -> "ShmArena":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        if self.owner:
+            self.destroy()
+        else:
+            self.close()

@@ -1,0 +1,102 @@
+"""Worker-process entry point for the shm backend.
+
+Each worker attaches the solve's :class:`~repro.parallel.shm.ShmArena`
+once, then loops on its private task queue running chunk kernels against
+the shared arrays.  Only chunk *descriptions* (member index arrays or
+row ranges) cross the queues — the graph, costs and strategy vector
+never leave shared memory.
+
+Results carry raw ``time.perf_counter()`` start/stop stamps.  The
+parent's :class:`~repro.obs.clock.MonotonicClock` is the same counter,
+system-wide on this platform, so the parent can adopt worker busy
+windows into its trace verbatim (the PR 5 straggler analysis then names
+a straggler *worker* the way it names a straggler slave).
+"""
+
+from __future__ import annotations
+
+import time
+import traceback
+
+from repro.parallel import kernels
+from repro.parallel.shm import ShmArena
+
+SHUTDOWN = None
+
+
+def worker_main(
+    worker_id: int,
+    arena_name: str,
+    layout,
+    params: dict,
+    task_queue,
+    result_queue,
+) -> None:
+    """Attach the arena and serve chunk tasks until a shutdown sentinel."""
+
+    arena = ShmArena.attach(arena_name, layout)
+    a = arena.views()
+    k = int(params["k"])
+    tol = float(params["tol"])
+    exact = bool(params.get("exact", False))
+    assignment = a["assignment"]
+    try:
+        while True:
+            task = task_queue.get()
+            if task is SHUTDOWN:
+                break
+            kind, epoch, chunk_index, payload = task
+            try:
+                start = time.perf_counter()
+                if kind == "scalar":
+                    if exact:
+                        players, bests = kernels.exact_scalar_moves(
+                            a["indptr"], a["indices"], a["int_cost"],
+                            a["int_maxsc"], a["int_refund"], assignment,
+                            payload,
+                        )
+                    else:
+                        players, bests = kernels.scalar_moves(
+                            a["indptr"], a["indices"], a["scaled_dense"],
+                            a["maxsc"], a["refunds"], assignment, payload,
+                            tol,
+                        )
+                elif kind == "batched":
+                    if exact:
+                        players, bests = kernels.exact_batched_moves(
+                            a["indptr"], a["indices"], a["int_cost"],
+                            a["int_maxsc"], a["int_refund"], assignment,
+                            payload, k,
+                        )
+                    else:
+                        players, bests = kernels.batched_moves(
+                            a["indptr"], a["indices"], a["scaled_dense"],
+                            a["maxsc"], a["refunds"], assignment, payload,
+                            k, tol,
+                        )
+                elif kind == "table":
+                    row_start, row_stop = payload
+                    kernels.table_rows(
+                        a["indptr"], a["indices"], a["scaled_dense"],
+                        a["maxsc"], a["refunds"], assignment, row_start,
+                        row_stop, k, a["table"],
+                    )
+                    players = bests = None
+                else:
+                    raise ValueError(f"unknown task kind {kind!r}")
+                end = time.perf_counter()
+            except Exception:
+                result_queue.put(
+                    ("err", epoch, chunk_index, worker_id,
+                     traceback.format_exc())
+                )
+            else:
+                result_queue.put(
+                    ("ok", epoch, chunk_index, worker_id, players, bests,
+                     start, end)
+                )
+    finally:
+        # Drop views before closing so close() does not hit BufferError.
+        a = None
+        assignment = None
+        arena.close()

@@ -1,0 +1,34 @@
+"""Fixtures for the parallel-backend suite.
+
+``shm_leak_check`` is autouse for the whole package: every test runs
+between two scans of the process's live-arena table *and* ``/dev/shm``
+itself, so a forgotten ``close()``/``unlink()`` anywhere in the suite
+fails the leaking test by name instead of silently filling the host's
+shared-memory filesystem.
+"""
+
+from __future__ import annotations
+
+import glob
+
+import pytest
+
+from repro.parallel.shm import SEGMENT_PREFIX, live_segment_names
+
+
+def _dev_shm_segments() -> set:
+    # /dev/shm is where Linux backs POSIX shared memory; on platforms
+    # without it the glob is simply empty and the in-process live table
+    # still covers the leak check.
+    return set(glob.glob(f"/dev/shm/{SEGMENT_PREFIX}*"))
+
+
+@pytest.fixture(autouse=True)
+def shm_leak_check():
+    before_live = set(live_segment_names())
+    before_fs = _dev_shm_segments()
+    yield
+    leaked_live = set(live_segment_names()) - before_live
+    leaked_fs = _dev_shm_segments() - before_fs
+    assert not leaked_live, f"leaked live arenas: {sorted(leaked_live)}"
+    assert not leaked_fs, f"leaked /dev/shm segments: {sorted(leaked_fs)}"

@@ -1,0 +1,99 @@
+"""Worker-pool robustness: dead workers, start methods, error relay."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import paper_example_instance
+from repro.errors import ConfigurationError
+from repro.parallel.engine import ShmEngine
+from repro.parallel.pool import start_method
+from repro.parallel.shm import live_segment_names
+
+
+def test_start_method_default_is_valid():
+    import multiprocessing as mp
+
+    assert start_method(None) in mp.get_all_start_methods()
+
+
+def test_start_method_rejects_unknown():
+    with pytest.raises(ConfigurationError, match="start method"):
+        start_method("osiris")
+
+
+def test_env_override_start_method(monkeypatch):
+    import multiprocessing as mp
+
+    methods = mp.get_all_start_methods()
+    monkeypatch.setenv("REPRO_MP_START", methods[-1])
+    assert start_method(None) == methods[-1]
+
+
+def test_dead_worker_is_detected_not_hung():
+    # Killing a worker mid-life must surface as a RuntimeError naming
+    # the dead worker at the next dispatch — never an indefinite hang —
+    # and the segment must still be unlinked by shutdown.
+    instance = paper_example_instance()
+    engine = ShmEngine(instance, workers=2)
+    try:
+        assignment = np.zeros(instance.n, dtype=np.int64)
+        members = np.arange(instance.n, dtype=np.int64)
+        engine.scalar_moves(assignment, members)  # pool is live
+        victim = engine.pool._procs[0]
+        victim.kill()
+        victim.join(10)
+        with pytest.raises(RuntimeError, match="worker"):
+            engine.scalar_moves(assignment, members)
+    finally:
+        engine.shutdown()
+    assert not live_segment_names()
+
+
+def test_worker_exception_is_relayed_with_traceback():
+    # A failing task must come back as a RuntimeError carrying the
+    # worker's traceback, not poison the queue or hang the parent.
+    instance = paper_example_instance()
+    engine = ShmEngine(instance, workers=1)
+    try:
+        with pytest.raises(RuntimeError, match="unknown task kind"):
+            engine.pool.run("no-such-kind", [np.arange(3, dtype=np.int64)])
+    finally:
+        engine.shutdown()
+    assert not live_segment_names()
+
+
+@pytest.mark.skipif(
+    "spawn" not in __import__("multiprocessing").get_all_start_methods(),
+    reason="spawn unavailable",
+)
+def test_spawn_start_method_round_trips():
+    # fork is the fast default; spawn must also work (it is the only
+    # option on some platforms) — layouts ride the argument list, so
+    # nothing depends on inherited memory.
+    instance = paper_example_instance()
+    engine = ShmEngine(instance, workers=2, start_method="spawn")
+    try:
+        rng = np.random.default_rng(0)
+        assignment = rng.integers(0, instance.k, instance.n).astype(np.int64)
+        members = np.arange(instance.n, dtype=np.int64)
+        players, bests = engine.scalar_moves(assignment, members)
+        from repro.parallel import kernels
+
+        ka = kernels.kernel_arrays(instance)
+        ref = kernels.scalar_moves(
+            ka.indptr, ka.indices, ka.scaled_dense, ka.maxsc, ka.refunds,
+            assignment, members, engine_tol(),
+        )
+        assert np.array_equal(players, ref[0])
+        assert np.array_equal(bests, ref[1])
+    finally:
+        engine.shutdown()
+    assert not live_segment_names()
+
+
+def engine_tol():
+    from repro.core.dynamics import DEVIATION_TOLERANCE
+
+    return DEVIATION_TOLERANCE

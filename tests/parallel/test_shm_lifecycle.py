@@ -1,0 +1,120 @@
+"""Satellite 2: shm segment lifecycle — cleanup on every exit path."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import paper_example_instance
+from repro.errors import ConfigurationError
+from repro.parallel.engine import ShmEngine, engine_scope, make_engine
+from repro.parallel.shm import ShmArena, _reap_live, live_segment_names
+
+
+def _arrays():
+    return {
+        "a": np.arange(10, dtype=np.int64),
+        "b": np.linspace(0.0, 1.0, 7),
+        "c": np.zeros((3, 4), dtype=np.float64),
+    }
+
+
+class TestArena:
+    def test_round_trip_preserves_values_and_dtypes(self):
+        arrays = _arrays()
+        arena = ShmArena.create(arrays)
+        try:
+            attached = ShmArena.attach(arena.name, arena.layout)
+            try:
+                for name, original in arrays.items():
+                    view = attached.views()[name]
+                    assert view.dtype == original.dtype
+                    assert view.shape == original.shape
+                    np.testing.assert_array_equal(view, original)
+            finally:
+                attached.close()
+        finally:
+            arena.destroy()
+
+    def test_attached_views_share_the_owner_buffer(self):
+        arena = ShmArena.create(_arrays())
+        try:
+            attached = ShmArena.attach(arena.name, arena.layout)
+            try:
+                arena.views()["a"][3] = 99
+                assert attached.views()["a"][3] == 99
+            finally:
+                attached.close()
+        finally:
+            arena.destroy()
+
+    def test_destroy_is_idempotent(self):
+        arena = ShmArena.create(_arrays())
+        arena.destroy()
+        arena.destroy()
+        assert arena.name not in live_segment_names()
+
+    def test_destroy_unlinks_despite_outstanding_view(self):
+        # Destroy must unlink even while a caller still holds a view:
+        # the name cannot persist in /dev/shm.  The view itself is dead
+        # after destroy — dereferencing it is use-after-unmap — so the
+        # test checks the filesystem, not the dangling array.
+        import glob
+
+        arena = ShmArena.create(_arrays())
+        view = arena.views()["a"]
+        assert view[0] == 0  # live before destroy
+        arena.destroy()
+        assert arena.name not in live_segment_names()
+        assert not glob.glob(f"/dev/shm/{arena.name}")
+        del view
+
+    def test_context_manager_owner_destroys(self):
+        with ShmArena.create(_arrays()) as arena:
+            name = arena.name
+            assert name in live_segment_names()
+        assert name not in live_segment_names()
+
+    def test_atexit_reaper_collects_forgotten_arenas(self):
+        arena = ShmArena.create(_arrays())
+        assert arena.name in live_segment_names()
+        _reap_live()  # what the atexit hook runs
+        assert arena.name not in live_segment_names()
+
+
+class TestEngineCleanup:
+    def test_shutdown_releases_segment_and_is_idempotent(self):
+        instance = paper_example_instance()
+        engine = ShmEngine(instance, workers=2)
+        name = engine.arena.name
+        assert name in live_segment_names()
+        engine.shutdown()
+        assert name not in live_segment_names()
+        engine.shutdown()  # second call must be a no-op
+
+    def test_engine_scope_releases_on_exception(self):
+        instance = paper_example_instance()
+        engine, _ = make_engine(instance, backend="shm", workers=2)
+        with pytest.raises(RuntimeError, match="boom"):
+            with engine_scope(engine):
+                assert live_segment_names()
+                raise RuntimeError("boom")
+        assert not live_segment_names()
+
+    def test_engine_scope_accepts_none(self):
+        with engine_scope(None):
+            pass
+
+    def test_solver_exception_does_not_leak(self):
+        # An exception on the solve path after the engine exists must
+        # still unwind through the solver's finally and unlink.
+        from repro.core.vectorized import _solve_vectorized
+
+        instance = paper_example_instance()
+        improper = {node: 0 for node in instance.node_ids}  # one color
+        with pytest.raises(ConfigurationError, match="coloring"):
+            _solve_vectorized(
+                instance, seed=0, backend="shm", workers=2,
+                coloring=improper,
+            )
+        assert not live_segment_names()

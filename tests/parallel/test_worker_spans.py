@@ -1,0 +1,79 @@
+"""Satellite 6: per-worker utilization spans feed the straggler analysis."""
+
+from __future__ import annotations
+
+import repro
+from repro.api import SolveOptions
+from repro.obs import recording
+from repro.obs.analysis import analyze_recorder, format_report
+from repro.parallel.engine import WORKER_SPAN
+
+from tests.streaming.conftest import INSTANCE_FAMILIES
+
+
+def _traced_solve(solver="vec", workers=2):
+    instance = INSTANCE_FAMILIES["barabasi_albert"](seed=3)
+    with recording() as recorder:
+        result = repro.partition(
+            instance, solver=solver,
+            options=SolveOptions(seed=7, backend="shm", workers=workers),
+        )
+    return recorder, result
+
+
+def test_worker_spans_are_adopted_under_round_spans():
+    recorder, _ = _traced_solve()
+    worker_spans = [
+        s for s in recorder.all_spans() if s.name == WORKER_SPAN
+    ]
+    assert worker_spans, "shm solve must emit worker.compute spans"
+    assert {s.node for s in worker_spans} <= {"worker-0", "worker-1"}
+    for span in worker_spans:
+        assert span.end >= span.start
+        assert "players" in span.attrs
+        assert span.parent_id is not None, (
+            "worker spans must graft under the solve's span tree"
+        )
+
+
+def test_utilization_counters_are_labeled_per_worker():
+    recorder, _ = _traced_solve()
+    tasks = [
+        m for m in recorder.metrics
+        if m.name == "parallel.tasks" and m.kind == "counter"
+    ]
+    busy = [
+        m for m in recorder.metrics
+        if m.name == "parallel.busy_seconds" and m.kind == "counter"
+    ]
+    assert tasks and busy
+    workers_seen = {dict(m.labels).get("worker") for m in tasks}
+    assert workers_seen  # chunk j -> worker j%W: worker 0 always works
+    assert all(m.value >= 0 for m in busy)
+
+
+def test_straggler_analysis_names_a_worker():
+    recorder, _ = _traced_solve()
+    report = analyze_recorder(recorder)
+    assert report.rounds, "parallel rounds must be analyzable"
+    assert report.straggler is not None
+    assert report.straggler.startswith("worker-")
+    text = format_report(report)
+    assert "worker-" in text
+    assert "critical path" in text
+
+
+def test_profile_cli_straggler_report(tmp_path, capsys):
+    # End to end: `repro profile --backend shm` exports a trace that
+    # `repro analyze` digests into a per-worker report.
+    from repro.cli import main
+
+    trace = str(tmp_path / "parallel.jsonl")
+    assert main([
+        "profile", "--dataset", "paper", "--method", "vec",
+        "--backend", "shm", "--workers", "2", "--jsonl", trace,
+    ]) == 0
+    capsys.readouterr()
+    assert main(["analyze", trace]) == 0
+    out = capsys.readouterr().out
+    assert "worker-" in out

@@ -1,0 +1,299 @@
+"""Property tests for the CSR scratch-buffer capacity contract.
+
+The streaming layer's "bounded reallocation" promise
+(:meth:`RMGPInstance._csr_buffer`): flat CSR arrays live in named
+scratch buffers that grow geometrically (1.5x + slack), never shrink,
+and are reused in place, so a long run of same-scale rebuilds performs
+zero allocations.  These tests drive the contract with
+hypothesis-generated edge-churn batches — the same shape of load the
+mutation streams apply — and additionally pin `update_edge_weight`
+behaviour when the published views sit *exactly* at buffer capacity,
+where an off-by-one in the growth test would silently alias stale
+memory.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import RMGPInstance
+
+from tests.streaming.conftest import INSTANCE_FAMILIES
+
+FAMILIES = sorted(INSTANCE_FAMILIES)
+
+# One churn step: endpoints are indices into node_ids; ``kind`` toggles
+# add vs remove; ``weight`` is used only by adds (and stays strictly
+# positive, as the graph substrate requires).
+_STEP = st.tuples(
+    st.integers(min_value=0, max_value=19),
+    st.integers(min_value=0, max_value=19),
+    st.sampled_from(["add", "remove"]),
+    st.floats(min_value=0.05, max_value=3.0, allow_nan=False,
+              allow_infinity=False),
+)
+
+
+def _apply_steps(instance: RMGPInstance, steps) -> int:
+    """Mutate the underlying graph; return how many steps took effect."""
+    applied = 0
+    for iu, iv, kind, weight in steps:
+        u, v = instance.node_ids[iu], instance.node_ids[iv]
+        if u == v:
+            continue
+        if kind == "add":
+            instance.graph.add_edge(u, v, weight)
+            applied += 1
+        elif instance.graph.has_edge(u, v):
+            instance.graph.remove_edge(u, v)
+            applied += 1
+    return applied
+
+
+def _fresh_twin(instance: RMGPInstance) -> RMGPInstance:
+    """A from-scratch instance over the same graph/cost/alpha.
+
+    Edge churn leaves the node set (hence the cost alignment) intact, so
+    the mutated instance's CSR arrays must match this twin's exactly —
+    the canonical-slot-order guarantee of ``_build_adjacency``.
+    """
+    return RMGPInstance(
+        instance.graph.copy(), instance.classes, instance.cost,
+        alpha=instance.alpha,
+    )
+
+
+def _assert_csr_equals_fresh(instance: RMGPInstance) -> None:
+    fresh = _fresh_twin(instance)
+    assert instance.indptr.tobytes() == fresh.indptr.tobytes()
+    assert instance.indices.tobytes() == fresh.indices.tobytes()
+    assert instance.weights.tobytes() == fresh.weights.tobytes()
+    assert instance.half_weights.tobytes() == fresh.half_weights.tobytes()
+    assert instance.edge_owner.tobytes() == fresh.edge_owner.tobytes()
+
+
+class TestCapacityGrowth:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        family=st.sampled_from(FAMILIES),
+        seed=st.integers(min_value=0, max_value=7),
+        batches=st.lists(
+            st.lists(_STEP, min_size=1, max_size=12),
+            min_size=1, max_size=6,
+        ),
+    )
+    def test_capacity_is_monotone_and_covers_slots(
+        self, family, seed, batches
+    ):
+        # Capacity never decreases across batched rebuilds, always covers
+        # the published view, and every growth lands on the documented
+        # geometric schedule max(size + size//2, 8).
+        instance = INSTANCE_FAMILIES[family](seed=seed)
+        capacity = instance._csr_scratch["indices"].size
+        assert capacity >= instance.indices.size
+        for batch in batches:
+            _apply_steps(instance, batch)
+            instance.rebuild_adjacency()
+            size = instance.indices.size
+            new_capacity = instance._csr_scratch["indices"].size
+            assert new_capacity >= capacity, "scratch buffers never shrink"
+            assert new_capacity >= size
+            if new_capacity != capacity:
+                assert new_capacity == max(size + (size >> 1), 8)
+            capacity = new_capacity
+        _assert_csr_equals_fresh(instance)
+
+    @pytest.mark.parametrize("family", FAMILIES)
+    def test_steady_state_rebuilds_do_not_reallocate(self, family):
+        # Same-scale rebuilds must reuse the very same buffer objects —
+        # zero allocations in steady state, and the published views alias
+        # the scratch storage rather than copies of it.
+        instance = INSTANCE_FAMILIES[family]()
+        before = {
+            name: buf for name, buf in instance._csr_scratch.items()
+        }
+        for _ in range(5):
+            instance.rebuild_adjacency()
+            for name, buf in before.items():
+                assert instance._csr_scratch[name] is buf
+        assert instance.indices.base is before["indices"] or (
+            instance.indices is before["indices"]
+        )
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=7),
+        removals=st.lists(_STEP, min_size=1, max_size=20),
+    )
+    def test_shrinking_churn_keeps_capacity(self, seed, removals):
+        # Removing edges shrinks the published views but never the
+        # backing buffers — capacity is a high-water mark.
+        instance = INSTANCE_FAMILIES["erdos_renyi"](seed=seed)
+        capacity = instance._csr_scratch["indices"].size
+        steps = [(iu, iv, "remove", w) for iu, iv, _, w in removals]
+        _apply_steps(instance, steps)
+        instance.rebuild_adjacency()
+        assert instance._csr_scratch["indices"].size == capacity
+        assert instance.indices.size <= capacity
+        _assert_csr_equals_fresh(instance)
+
+
+def _pin_buffers_at_capacity(instance: RMGPInstance) -> int:
+    """Trim scratch buffers so ``view.size == buffer.size`` exactly.
+
+    Reproduces the boundary a freshly attached (e.g. unpickled or
+    shm-round-tripped) instance can sit at: zero slack.  The rebuild
+    afterwards must accept the exact fit (``buffer.size < size`` is the
+    growth test, not ``<=``) without reallocating.
+    """
+    size = instance.indices.size
+    for name in ("indices", "weights", "half_weights"):
+        instance._csr_scratch[name] = (
+            instance._csr_scratch[name][:size].copy()
+        )
+    instance.rebuild_adjacency()
+    assert instance._csr_scratch["indices"].size == size
+    return size
+
+
+class TestCapacityBoundary:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        family=st.sampled_from(FAMILIES),
+        seed=st.integers(min_value=0, max_value=7),
+        picks=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=10 ** 6),
+                st.floats(min_value=0.05, max_value=3.0, allow_nan=False,
+                          allow_infinity=False),
+            ),
+            min_size=1, max_size=10,
+        ),
+    )
+    def test_update_edge_weight_at_exact_capacity(self, family, seed, picks):
+        # Weight patches touch existing slots only, so they must be safe
+        # with zero slack — and leave the CSR state byte-identical to a
+        # fresh build over the updated graph (no drift, no stale slots).
+        instance = INSTANCE_FAMILIES[family](seed=seed)
+        _pin_buffers_at_capacity(instance)
+        edges = [(u, v) for u, v, _ in instance.graph.edges()]
+        for pick, weight in picks:
+            u, v = edges[pick % len(edges)]
+            instance.update_edge_weight(u, v, weight)
+        _assert_csr_equals_fresh(instance)
+        fresh = _fresh_twin(instance)
+        # half_strength is maintained incrementally; agreement with the
+        # recomputed sum is the one place a (tiny) float tolerance is due.
+        np.testing.assert_allclose(
+            instance.max_social_cost, fresh.max_social_cost,
+            rtol=0, atol=1e-9,
+        )
+
+    def test_growth_from_exact_capacity(self):
+        # One added edge at zero slack must trigger a geometric grow and
+        # still produce a canonical layout.
+        instance = INSTANCE_FAMILIES["erdos_renyi"](seed=3)
+        size = _pin_buffers_at_capacity(instance)
+        nodes = instance.node_ids
+        added = False
+        for u in nodes:
+            for v in nodes:
+                if u != v and not instance.graph.has_edge(u, v):
+                    instance.graph.add_edge(u, v, 1.25)
+                    added = True
+                    break
+            if added:
+                break
+        assert added
+        instance.rebuild_adjacency()
+        new_size = instance.indices.size
+        assert new_size == size + 2
+        assert instance._csr_scratch["indices"].size == max(
+            new_size + (new_size >> 1), 8
+        )
+        _assert_csr_equals_fresh(instance)
+
+
+class TestChurnConsistency:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        family=st.sampled_from(FAMILIES),
+        seed=st.integers(min_value=0, max_value=7),
+        batches=st.lists(
+            st.lists(_STEP, min_size=1, max_size=10),
+            min_size=1, max_size=5,
+        ),
+        patches=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=10 ** 6),
+                st.floats(min_value=0.05, max_value=3.0, allow_nan=False,
+                          allow_infinity=False),
+            ),
+            max_size=6,
+        ),
+    )
+    def test_batched_churn_with_weight_patches_matches_fresh(
+        self, family, seed, batches, patches
+    ):
+        # The concurrent-batch shape of the streaming engine: structural
+        # edits land per batch followed by one rebuild, with O(deg)
+        # weight patches interleaved between batches.  At every
+        # settlement point the CSR arrays must equal a from-scratch
+        # build — layout is a pure function of node order + edge set.
+        instance = INSTANCE_FAMILIES[family](seed=seed)
+        patches = list(patches)
+        for batch in batches:
+            _apply_steps(instance, batch)
+            instance.rebuild_adjacency()
+            _assert_csr_equals_fresh(instance)
+            if patches and instance.graph.num_edges:
+                pick, weight = patches.pop()
+                edges = [(u, v) for u, v, _ in instance.graph.edges()]
+                u, v = edges[pick % len(edges)]
+                instance.update_edge_weight(u, v, weight)
+                _assert_csr_equals_fresh(instance)
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=7),
+        steps=st.lists(_STEP, min_size=1, max_size=25),
+    )
+    def test_mutation_and_inverse_round_trip_bytes(self, seed, steps):
+        # Applying a churn sequence and then undoing it restores the flat
+        # arrays byte-for-byte — the property the incremental engine's
+        # rollback path depends on.
+        instance = INSTANCE_FAMILIES["planted_partition"](seed=seed)
+        instance.rebuild_adjacency()
+        snapshot = {
+            "indptr": instance.indptr.tobytes(),
+            "indices": instance.indices.tobytes(),
+            "weights": instance.weights.tobytes(),
+            "half_weights": instance.half_weights.tobytes(),
+        }
+        undo = []
+        for iu, iv, kind, weight in steps:
+            u, v = instance.node_ids[iu], instance.node_ids[iv]
+            if u == v:
+                continue
+            if kind == "add":
+                if instance.graph.has_edge(u, v):
+                    undo.append(("add", u, v, instance.graph.weight(u, v)))
+                else:
+                    undo.append(("remove", u, v, None))
+                instance.graph.add_edge(u, v, weight)
+            elif instance.graph.has_edge(u, v):
+                undo.append(("add", u, v, instance.graph.weight(u, v)))
+                instance.graph.remove_edge(u, v)
+        for kind, u, v, weight in reversed(undo):
+            if kind == "add":
+                instance.graph.add_edge(u, v, weight)
+            else:
+                instance.graph.remove_edge(u, v)
+        instance.rebuild_adjacency()
+        assert instance.indptr.tobytes() == snapshot["indptr"]
+        assert instance.indices.tobytes() == snapshot["indices"]
+        assert instance.weights.tobytes() == snapshot["weights"]
+        assert instance.half_weights.tobytes() == snapshot["half_weights"]
