@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install test test-output bench bench-full bench-output bench-perf bench-perf-update bench-parallel examples figures clean
+.PHONY: install test test-output bench bench-full bench-output bench-perf bench-perf-update bench-parallel bench-serve serve examples figures clean
 
 install:
 	pip install -e '.[dev]'
@@ -38,6 +38,16 @@ bench-perf-update:
 bench-parallel:
 	find benchmarks -name __pycache__ -type d -exec rm -rf {} +
 	$(PYTHON) -B benchmarks/bench_parallel.py
+
+# Solve-service load generator: concurrent mixed-deadline HTTP traffic
+# + one cancelled job, p50/p99/req/s recorded into
+# benchmarks/history/serve.jsonl.
+bench-serve:
+	$(PYTHON) -B benchmarks/bench_serve.py --check
+
+# Run the HTTP/JSON partitioning service on the default port.
+serve:
+	$(PYTHON) -m repro serve
 
 examples:
 	for script in examples/*.py; do echo "== $$script"; $(PYTHON) $$script; done

@@ -1,0 +1,253 @@
+#!/usr/bin/env python3
+"""Load generator for the solve service: latency + throughput gate.
+
+Boots an embedded :class:`~repro.serve.server.SolveServer` on an
+ephemeral port, fires concurrent ``POST /v1/solve`` requests over real
+HTTP with a mixed deadline profile (unbounded solves interleaved with
+microsecond-deadline ones), cancels one in-flight job, and records
+client-observed p50/p99 latency and sustained request throughput into
+``benchmarks/history/serve.jsonl`` behind the statistical regression
+gate::
+
+    python benchmarks/bench_serve.py                  # measure + record
+    python benchmarks/bench_serve.py --check          # also gate on history
+    python benchmarks/bench_serve.py --p99-budget 2000
+
+Unconditional gates (exit 1, with or without ``--check``):
+
+* every microsecond-deadline request returns ``stop_reason="deadline"``
+  with a schema-valid best-so-far result;
+* the cancelled job finishes as ``cancelled`` (or ``done`` if it won
+  the race) without killing the server;
+* the server still answers ``/v1/health`` after the storm;
+* with ``--p99-budget MS``: client-observed p99 stays under it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import threading
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from bench_perf_regression import calibration_ms  # noqa: E402
+from repro.bench import history as bench_history  # noqa: E402
+from repro.core.result_schema import validate_result  # noqa: E402
+from repro.serve import EmbeddedServer, ServeConfig  # noqa: E402
+
+PROFILE = "serve"
+
+
+def _percentile(samples, q):
+    ordered = sorted(samples)
+    if not ordered:
+        return 0.0
+    index = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def _fire(client, body, latencies, failures, lock):
+    start = time.perf_counter()
+    try:
+        payload = client.solve(body)
+    except Exception as exc:  # noqa: BLE001 - collected and reported
+        with lock:
+            failures.append(f"request failed: {type(exc).__name__}: {exc}")
+        return None
+    elapsed_ms = (time.perf_counter() - start) * 1e3
+    with lock:
+        latencies.append(elapsed_ms)
+    return payload
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--requests", type=int, default=24,
+        help="total solve requests to fire (default: 24)",
+    )
+    parser.add_argument(
+        "--concurrency", type=int, default=8,
+        help="client threads firing requests (default: 8)",
+    )
+    parser.add_argument(
+        "--pool-size", type=int, default=4,
+        help="server worker threads (default: 4)",
+    )
+    parser.add_argument("--users", type=int, default=150)
+    parser.add_argument("--events", type=int, default=6)
+    parser.add_argument(
+        "--deadline-every", type=int, default=3,
+        help="every Nth request carries a 1µs deadline (default: 3)",
+    )
+    parser.add_argument(
+        "--p99-budget", type=float, metavar="MS",
+        help="fail when client-observed p99 exceeds this many ms",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="fail on a statistical history regression (the behavioral "
+             "gates always apply)",
+    )
+    parser.add_argument(
+        "--history-dir", type=Path,
+        default=REPO_ROOT / "benchmarks" / "history",
+    )
+    parser.add_argument("--no-history", action="store_true")
+    parser.add_argument(
+        "--repeats", type=int, default=3, help="calibration repeats"
+    )
+    args = parser.parse_args(argv)
+
+    cal = calibration_ms(args.repeats)
+    print(f"calibration: {cal:.3f} ms")
+
+    failures: list = []
+    latencies: list = []
+    deadline_results: list = []
+    lock = threading.Lock()
+
+    config = ServeConfig(port=0, pool_size=args.pool_size)
+    with EmbeddedServer(config) as client:
+        # Warm the instance store so the measured lanes hit the LRU.
+        client.solve(
+            {
+                "instance": {
+                    "dataset": "gowalla",
+                    "users": args.users,
+                    "events": args.events,
+                },
+                "solver": "gt",
+            }
+        )
+
+        # One in-flight cancellation riding along with the storm.
+        ticket = client.solve(
+            {
+                "instance": {
+                    "dataset": "gowalla",
+                    "users": args.users * 2,
+                    "events": args.events,
+                    "seed": 99,
+                },
+                "solver": "b",
+                "wait": False,
+            }
+        )
+        client.cancel(ticket["job"])
+
+        def _worker(indices):
+            for i in indices:
+                deadline_lane = i % args.deadline_every == 0
+                body = {
+                    "instance": {
+                        "dataset": "gowalla",
+                        "users": args.users,
+                        "events": args.events,
+                    },
+                    "solver": "gt",
+                    "options": (
+                        {"deadline_seconds": 1e-6} if deadline_lane else {}
+                    ),
+                }
+                payload = _fire(client, body, latencies, failures, lock)
+                if payload is None:
+                    continue
+                result = payload.get("result", {})
+                errors = validate_result(result)
+                if errors:
+                    with lock:
+                        failures.append(
+                            f"request {i}: invalid result payload: {errors[0]}"
+                        )
+                if deadline_lane:
+                    with lock:
+                        deadline_results.append(result.get("stop_reason"))
+
+        started = time.perf_counter()
+        threads = [
+            threading.Thread(
+                target=_worker,
+                args=(range(t, args.requests, args.concurrency),),
+            )
+            for t in range(args.concurrency)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        total_seconds = time.perf_counter() - started
+
+        cancelled = client.wait_for(ticket["job"], timeout=60)
+        if cancelled["state"] not in ("cancelled", "done"):
+            failures.append(
+                f"cancelled job ended as {cancelled['state']!r} "
+                "(expected cancelled, or done if it won the race)"
+            )
+        elif cancelled["state"] == "cancelled":
+            print(f"cancelled job: {ticket['job']} -> cancelled")
+
+        health = client.health()
+        if health.get("status") != "ok":
+            failures.append(f"server unhealthy after load: {health}")
+
+    wrong = [reason for reason in deadline_results if reason != "deadline"]
+    if wrong:
+        failures.append(
+            f"{len(wrong)}/{len(deadline_results)} microsecond-deadline "
+            f"requests did not stop on the deadline: {wrong[:5]}"
+        )
+
+    p50 = _percentile(latencies, 0.50)
+    p99 = _percentile(latencies, 0.99)
+    req_s = len(latencies) / total_seconds if total_seconds > 0 else 0.0
+    print(
+        f"requests={len(latencies)}/{args.requests} "
+        f"concurrency={args.concurrency} pool={args.pool_size}"
+    )
+    print(
+        f"latency: p50={p50:.2f} ms  p99={p99:.2f} ms  "
+        f"throughput={req_s:.1f} req/s"
+    )
+    if args.p99_budget is not None and p99 > args.p99_budget:
+        failures.append(
+            f"p99 {p99:.2f} ms exceeds budget {args.p99_budget:.2f} ms"
+        )
+
+    results = {
+        "serve/p50": {"wall_ms": p50, "req_s": req_s},
+        "serve/p99": {"wall_ms": p99, "req_s": req_s},
+    }
+    if not args.no_history:
+        record = bench_history.make_record(
+            PROFILE, cal, results, repo_root=REPO_ROOT
+        )
+        past = bench_history.load_history(args.history_dir, PROFILE)
+        messages = bench_history.regression_messages(past, record)
+        if messages and args.check:
+            failures.extend(f"history regression: {m}" for m in messages)
+        elif messages:
+            for message in messages:
+                print(f"warning: history regression: {message}")
+        if not messages and not failures:
+            path = bench_history.append_run(args.history_dir, PROFILE, record)
+            print(f"history: appended run to {path}")
+        else:
+            print("history: run NOT appended")
+
+    if failures:
+        print("\nSERVE BENCH FAILED:")
+        for message in failures:
+            print(f"  - {message}")
+        return 1
+    print("\nserve bench passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -23,13 +23,16 @@ migration table from the old signatures.
 
 from __future__ import annotations
 
-import inspect
 from dataclasses import dataclass, fields
 from typing import Any, Dict, Optional
 
 import numpy as np
 
-from repro.core.registry import SOLVERS, canonical_solver_name
+from repro.core.registry import (
+    SOLVERS,
+    accepted_parameters,
+    canonical_solver_name,
+)
 from repro.core.result import PartitionResult
 from repro.errors import ConfigurationError
 from repro.obs.recorder import Recorder
@@ -114,6 +117,30 @@ class SolveOptions:
     # the solver as keyword arguments themselves.
     _BUDGET_FIELDS = ("deadline_seconds", "round_budget_seconds", "cancel_token")
 
+    # Fields holding live in-process objects: they cannot ride the wire,
+    # a checkpoint, or a JSON config.  to_dict() rejects them when set.
+    _RUNTIME_ONLY_FIELDS = ("recorder", "cancel_token", "budget")
+
+    # Wire-safe fields and their JSON types.  bool is excluded from the
+    # numeric fields explicitly (it is an int subclass in Python).
+    # (No annotation: this is a class constant, not a dataclass field.)
+    _WIRE_TYPES = {
+        "alpha": (float, int),
+        "init": (str,),
+        "order": (str,),
+        "seed": (int,),
+        "max_rounds": (int,),
+        "warm_start": (list, tuple),
+        "deadline_seconds": (float, int),
+        "round_budget_seconds": (float, int),
+        "checkpoint_every": (int,),
+        "checkpoint_path": (str,),
+        "resume_from": (str,),
+        "backend": (str,),
+        "workers": (int,),
+        "exact_scale": (int,),
+    }
+
     def __post_init__(self) -> None:
         # Validate the parallel knobs eagerly — a typo'd backend or a
         # nonsensical worker count should fail at construction, not deep
@@ -132,6 +159,103 @@ class SolveOptions:
                 f"exact_scale must be a positive integer; got "
                 f"{self.exact_scale!r}"
             )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Lossless JSON-ready form of the explicitly-set wire fields.
+
+        The same schema everywhere: ``from_dict(to_dict(o))`` rebuilds
+        an equal options object for library callers, CLI ``--json``
+        payloads, checkpoints and the ``POST /v1/solve`` wire body.
+        Fields holding live objects (``recorder``, ``cancel_token``,
+        ``budget``) and non-path ``resume_from`` values cannot be
+        serialized — setting one raises :class:`ConfigurationError`
+        naming the field.
+        """
+        import os
+
+        payload: Dict[str, Any] = {}
+        for name in self._RUNTIME_ONLY_FIELDS:
+            if getattr(self, name) is not None:
+                raise ConfigurationError(
+                    f"options.{name}: holds a live in-process object and "
+                    "cannot be serialized; pass it only to in-process "
+                    "partition() calls"
+                )
+        for field in fields(self):
+            value = getattr(self, field.name)
+            if value is None or field.name in self._RUNTIME_ONLY_FIELDS:
+                continue
+            if field.name == "warm_start":
+                payload["warm_start"] = [
+                    int(x) for x in np.asarray(value).tolist()
+                ]
+            elif field.name == "resume_from":
+                if not isinstance(value, (str, os.PathLike)):
+                    raise ConfigurationError(
+                        "options.resume_from: only checkpoint *paths* are "
+                        f"serializable; got {type(value).__name__}"
+                    )
+                payload["resume_from"] = os.fspath(value)
+            elif field.name in ("alpha", "deadline_seconds",
+                                "round_budget_seconds"):
+                payload[field.name] = float(value)
+            else:
+                payload[field.name] = value
+        return payload
+
+    @classmethod
+    def from_dict(
+        cls, payload: Any, field_prefix: str = "options"
+    ) -> "SolveOptions":
+        """Rebuild :class:`SolveOptions` from :meth:`to_dict` output.
+
+        Strict by design — the wire must not silently drop a typo'd
+        knob: unknown keys and ill-typed values raise
+        :class:`ConfigurationError` with the offending field path
+        (``field_prefix`` lets callers report e.g.
+        ``request.options.seed``).
+        """
+        if not isinstance(payload, dict):
+            raise ConfigurationError(
+                f"{field_prefix}: expected an object/dict, got "
+                f"{type(payload).__name__}"
+            )
+        kwargs: Dict[str, Any] = {}
+        for key, value in payload.items():
+            path = f"{field_prefix}.{key}"
+            expected = cls._WIRE_TYPES.get(key)
+            if expected is None:
+                known = ", ".join(sorted(cls._WIRE_TYPES))
+                raise ConfigurationError(
+                    f"{path}: unknown field (expected one of: {known})"
+                )
+            if value is None:
+                continue
+            if isinstance(value, bool) or not isinstance(value, expected):
+                names = "/".join(
+                    t.__name__ for t in expected if t is not tuple
+                )
+                raise ConfigurationError(
+                    f"{path}: expected {names}, got "
+                    f"{type(value).__name__} ({value!r})"
+                )
+            if key == "warm_start":
+                if not all(
+                    isinstance(x, int) and not isinstance(x, bool)
+                    for x in value
+                ):
+                    raise ConfigurationError(
+                        f"{path}: expected a list of integers"
+                    )
+                kwargs["warm_start"] = np.asarray(value, dtype=np.int64)
+            elif key in ("alpha", "deadline_seconds", "round_budget_seconds"):
+                kwargs[key] = float(value)
+            else:
+                kwargs[key] = value
+        try:
+            return cls(**kwargs)
+        except ConfigurationError as exc:
+            raise ConfigurationError(f"{field_prefix}: {exc}") from exc
 
     def solver_kwargs(self) -> Dict[str, Any]:
         """The explicitly-set per-solver knobs (everything but alpha)."""
@@ -203,17 +327,6 @@ def _assemble_budget(
     )
 
 
-_SIGNATURES: Dict[Any, frozenset] = {}
-
-
-def _accepted_parameters(impl) -> frozenset:
-    accepted = _SIGNATURES.get(impl)
-    if accepted is None:
-        accepted = frozenset(inspect.signature(impl).parameters)
-        _SIGNATURES[impl] = accepted
-    return accepted
-
-
 def partition(
     instance: "RMGPInstance",
     solver: str = "gt",
@@ -232,8 +345,10 @@ def partition(
         long (``"baseline"``, ``"strategy_elimination"``, ...); see
         :data:`repro.core.registry.SOLVERS`.
     options:
-        Shared knobs (:class:`SolveOptions`).  Unset fields fall back to
-        the variant's own defaults.
+        Shared knobs (:class:`SolveOptions`), or a plain dict in the
+        :meth:`SolveOptions.to_dict` wire schema (validated by
+        :meth:`SolveOptions.from_dict`).  Unset fields fall back to the
+        variant's own defaults.
     solver_kwargs:
         Variant-specific arguments forwarded verbatim (``capacities=``,
         ``min_participants=``, ``threads=``, ``coloring=``, ``plan=``,
@@ -255,13 +370,18 @@ def partition(
             f"unknown solver {solver!r}; expected one of {sorted(SOLVERS)}"
         )
     impl = SOLVERS[solver]
-    options = options or SolveOptions()
+    if options is None:
+        options = SolveOptions()
+    elif isinstance(options, dict):
+        # The wire/config form: one schema for library callers, the CLI
+        # and the HTTP server (see SolveOptions.from_dict).
+        options = SolveOptions.from_dict(options)
     if options.alpha is not None and options.alpha != instance.alpha:
         instance = instance.with_alpha(options.alpha)
 
     budget = _assemble_budget(options, solver_kwargs)
 
-    accepted = _accepted_parameters(impl)
+    accepted = accepted_parameters(impl)
     mutations = solver_kwargs.pop("mutations", None)
     if mutations is not None and "mutations" not in accepted:
         # Non-incremental variants solve the pure-mutated instance from

@@ -32,6 +32,11 @@ Commands
     movement, and equilibrium quality against re-solving from
     scratch; ``--differential`` additionally cross-checks every
     batch with the differential harness.
+``serve``
+    Run the partitioning service: an asyncio HTTP/JSON server with a
+    bounded solve pool, an LRU instance store, per-request deadlines
+    and cancellation, chunked progress streaming, and ``/metrics``
+    (see ``docs/API.md`` § Serving).
 """
 
 from __future__ import annotations
@@ -243,6 +248,32 @@ def build_parser() -> argparse.ArgumentParser:
         help="also run the differential harness on the stream and "
              "report per-batch equivalence",
     )
+
+    serve = commands.add_parser(
+        "serve", help="run the HTTP/JSON partitioning service"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=8350,
+        help="listen port (0 binds an ephemeral port; default: 8350)",
+    )
+    serve.add_argument(
+        "--pool-size", type=int, default=4, metavar="N",
+        help="worker threads running solves (default: 4)",
+    )
+    serve.add_argument(
+        "--max-instances", type=int, default=8, metavar="N",
+        help="resident instances in the LRU store (default: 8)",
+    )
+    serve.add_argument(
+        "--max-jobs", type=int, default=256, metavar="N",
+        help="finished jobs retained for polling (default: 256)",
+    )
+    serve.add_argument(
+        "--default-deadline", type=float, metavar="SECONDS",
+        help="deadline applied to requests that do not send one "
+             "(default: unbounded)",
+    )
     return parser
 
 
@@ -292,6 +323,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "distributed": _run_distributed,
         "stream": _run_stream,
         "churn": _run_churn,
+        "serve": _run_serve,
     }[arguments.command]
     return handler(arguments)
 
@@ -623,6 +655,23 @@ def _run_churn(arguments) -> int:
         print(f"differential: {report}")
         if not report.ok:
             return 1
+    return 0
+
+
+def _run_serve(arguments) -> int:
+    from repro.serve import ServeConfig
+    from repro.serve.server import run
+
+    run(
+        ServeConfig(
+            host=arguments.host,
+            port=arguments.port,
+            pool_size=arguments.pool_size,
+            max_instances=arguments.max_instances,
+            max_jobs=arguments.max_jobs,
+            default_deadline_seconds=arguments.default_deadline,
+        )
+    )
     return 0
 
 

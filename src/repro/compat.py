@@ -1,0 +1,84 @@
+"""Deprecated ``solve_*`` entry points, consolidated in one module.
+
+Before the unified :func:`repro.partition` API (PR 3), every algorithm
+variant had its own module-level entry point (``solve_baseline``,
+``solve_global_table``, ...).  Those names keep working — imported from
+their historical module, from :mod:`repro.core`, or from here — but all
+ten are now thin shims built by one helper: they emit a single
+:class:`DeprecationWarning` and forward verbatim to the registry
+implementation, so a shimmed call is byte-identical to
+``repro.partition(instance, solver=...)`` under the same seed.
+
+Scheduled for removal in 2.0 — see the migration table in
+``docs/API.md``.  This module imports nothing from :mod:`repro.core` at
+module level (the registry is resolved lazily at call time), so the
+solver modules can re-export their legacy name from here without an
+import cycle.
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import Any, Callable
+
+__all__ = [
+    "solve_all",
+    "solve_baseline",
+    "solve_capacitated",
+    "solve_global_table",
+    "solve_independent_sets",
+    "solve_max_gain",
+    "solve_simultaneous",
+    "solve_strategy_elimination",
+    "solve_vectorized",
+    "solve_with_minimums",
+]
+
+
+def deprecated_shim(
+    name: str, solver: str, hint: str = ""
+) -> Callable[..., Any]:
+    """Build one legacy entry-point shim.
+
+    The shim warns (``stacklevel=2`` — the caller's line, not this
+    module) and forwards every argument untouched to the registry
+    implementation, so defaults, keyword handling and results are
+    exactly the implementation's own.
+    """
+
+    def shim(instance: Any, *args: Any, **kwargs: Any) -> Any:
+        warnings.warn(
+            f"{name}() is deprecated; use "
+            f"repro.partition(instance, solver={solver!r}, {hint}...)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        from repro.core.registry import SOLVERS
+
+        return SOLVERS[solver](instance, *args, **kwargs)
+
+    shim.__name__ = name
+    shim.__qualname__ = name
+    shim.__doc__ = (
+        f"Deprecated alias — use ``repro.partition(instance, "
+        f"solver={solver!r}, {hint}...)``."
+    )
+    return shim
+
+
+solve_baseline = deprecated_shim("solve_baseline", "b")
+solve_strategy_elimination = deprecated_shim(
+    "solve_strategy_elimination", "se"
+)
+solve_independent_sets = deprecated_shim("solve_independent_sets", "is")
+solve_global_table = deprecated_shim("solve_global_table", "gt")
+solve_all = deprecated_shim("solve_all", "all")
+solve_vectorized = deprecated_shim("solve_vectorized", "vec")
+solve_max_gain = deprecated_shim("solve_max_gain", "mg")
+solve_simultaneous = deprecated_shim("solve_simultaneous", "sync")
+solve_capacitated = deprecated_shim(
+    "solve_capacitated", "cap", hint="capacities=..., "
+)
+solve_with_minimums = deprecated_shim(
+    "solve_with_minimums", "minpart", hint="min_participants=..., "
+)

@@ -17,7 +17,6 @@ The two heuristics evaluated in Section 6.3 are exposed as parameters:
 from __future__ import annotations
 
 import random
-import warnings
 from typing import List, Optional, Union
 
 import numpy as np
@@ -199,37 +198,6 @@ def _solve_baseline(
     )
 
 
-def solve_baseline(
-    instance: RMGPInstance,
-    init: str = "random",
-    order: str = "random",
-    seed: Optional[int] = None,
-    warm_start: Optional[np.ndarray] = None,
-    max_rounds: int = dynamics.DEFAULT_MAX_ROUNDS,
-    reshuffle_each_round: bool = False,
-    track_potential: bool = False,
-    solver_name: Optional[str] = None,
-) -> PartitionResult:
-    """Deprecated alias — use ``repro.partition(instance, solver="b")``."""
-    warnings.warn(
-        "solve_baseline() is deprecated; use "
-        "repro.partition(instance, solver='b', ...)",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    return _solve_baseline(
-        instance,
-        init=init,
-        order=order,
-        seed=seed,
-        warm_start=warm_start,
-        max_rounds=max_rounds,
-        reshuffle_each_round=reshuffle_each_round,
-        track_potential=track_potential,
-        solver_name=solver_name,
-    )
-
-
 def _best_response_round(
     instance: RMGPInstance,
     assignment: np.ndarray,
@@ -272,3 +240,7 @@ def _variant_name(init: str, order: str) -> str:
     if order == "degree":
         name += "+o"
     return name
+
+
+# Legacy entry point(s), consolidated in repro.compat (removal: 2.0).
+from repro.compat import solve_baseline  # noqa: E402

@@ -26,7 +26,6 @@ and the equilibrium check below make the guarantee testable.
 from __future__ import annotations
 
 import random
-import warnings
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np
@@ -239,32 +238,6 @@ def _solve_capacitated(
     )
 
 
-def solve_capacitated(
-    instance: RMGPInstance,
-    capacities: Sequence[int],
-    init: str = "closest",
-    order: str = "degree",
-    seed: Optional[int] = None,
-    max_rounds: int = dynamics.DEFAULT_MAX_ROUNDS,
-) -> PartitionResult:
-    """Deprecated alias — use ``repro.partition(instance, solver="cap",
-    capacities=...)``."""
-    warnings.warn(
-        "solve_capacitated() is deprecated; use "
-        "repro.partition(instance, solver='cap', capacities=..., ...)",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    return _solve_capacitated(
-        instance,
-        capacities,
-        init=init,
-        order=order,
-        seed=seed,
-        max_rounds=max_rounds,
-    )
-
-
 def _solve_with_minimums(
     instance: RMGPInstance,
     min_participants: int,
@@ -385,33 +358,6 @@ def _solve_with_minimums(
             rec.count("class.cancellations", 1, solver="RMGP_minpart")
 
 
-def solve_with_minimums(
-    instance: RMGPInstance,
-    min_participants: int,
-    capacities: Optional[Sequence[int]] = None,
-    init: str = "closest",
-    order: str = "degree",
-    seed: Optional[int] = None,
-) -> PartitionResult:
-    """Deprecated alias — use ``repro.partition(instance, solver="minpart",
-    min_participants=...)``."""
-    warnings.warn(
-        "solve_with_minimums() is deprecated; use "
-        "repro.partition(instance, solver='minpart', min_participants=..., "
-        "...)",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    return _solve_with_minimums(
-        instance,
-        min_participants,
-        capacities=capacities,
-        init=init,
-        order=order,
-        seed=seed,
-    )
-
-
 def capacity_violations(
     assignment: np.ndarray, capacities: Sequence[int]
 ) -> Dict[int, int]:
@@ -445,3 +391,7 @@ def is_capacitated_equilibrium(
         if costs.min() < costs[current] - tolerance:
             return False
     return True
+
+
+# Legacy entry point(s), consolidated in repro.compat (removal: 2.0).
+from repro.compat import solve_capacitated, solve_with_minimums  # noqa: E402

@@ -16,7 +16,6 @@ combination" (Section 4); RMGP_all applies all of them:
 from __future__ import annotations
 
 import random
-import warnings
 from typing import Dict, List, Optional
 
 import numpy as np
@@ -247,30 +246,5 @@ def _solve_all(
     )
 
 
-def solve_all(
-    instance: RMGPInstance,
-    init: str = "closest",
-    order: str = "degree",
-    seed: Optional[int] = None,
-    warm_start: Optional[np.ndarray] = None,
-    max_rounds: int = dynamics.DEFAULT_MAX_ROUNDS,
-    coloring: Optional[Dict] = None,
-    plan: Optional[EliminationPlan] = None,
-) -> PartitionResult:
-    """Deprecated alias — use ``repro.partition(instance, solver="all")``."""
-    warnings.warn(
-        "solve_all() is deprecated; use "
-        "repro.partition(instance, solver='all', ...)",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    return _solve_all(
-        instance,
-        init=init,
-        order=order,
-        seed=seed,
-        warm_start=warm_start,
-        max_rounds=max_rounds,
-        coloring=coloring,
-        plan=plan,
-    )
+# Legacy entry point(s), consolidated in repro.compat (removal: 2.0).
+from repro.compat import solve_all  # noqa: E402

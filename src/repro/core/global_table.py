@@ -19,7 +19,6 @@ what :mod:`repro.core.combined` does.
 from __future__ import annotations
 
 import random
-import warnings
 from typing import Iterable, List, Optional, Tuple
 
 import numpy as np
@@ -297,26 +296,5 @@ def _run_global_table(
     )
 
 
-def solve_global_table(
-    instance: RMGPInstance,
-    init: str = "closest",
-    order: str = "degree",
-    seed: Optional[int] = None,
-    warm_start: Optional[np.ndarray] = None,
-    max_rounds: int = dynamics.DEFAULT_MAX_ROUNDS,
-) -> PartitionResult:
-    """Deprecated alias — use ``repro.partition(instance, solver="gt")``."""
-    warnings.warn(
-        "solve_global_table() is deprecated; use "
-        "repro.partition(instance, solver='gt', ...)",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    return _solve_global_table(
-        instance,
-        init=init,
-        order=order,
-        seed=seed,
-        warm_start=warm_start,
-        max_rounds=max_rounds,
-    )
+# Legacy entry point(s), consolidated in repro.compat (removal: 2.0).
+from repro.compat import solve_global_table  # noqa: E402

@@ -18,7 +18,6 @@ from __future__ import annotations
 
 import math
 import random
-import warnings
 from concurrent.futures import ThreadPoolExecutor
 from typing import Dict, List, Optional, Sequence
 
@@ -262,35 +261,6 @@ def _solve_independent_sets(
     )
 
 
-def solve_independent_sets(
-    instance: RMGPInstance,
-    init: str = "closest",
-    order: str = "degree",
-    seed: Optional[int] = None,
-    warm_start: Optional[np.ndarray] = None,
-    max_rounds: int = dynamics.DEFAULT_MAX_ROUNDS,
-    coloring: Optional[Dict] = None,
-    threads: int = 1,
-) -> PartitionResult:
-    """Deprecated alias — use ``repro.partition(instance, solver="is")``."""
-    warnings.warn(
-        "solve_independent_sets() is deprecated; use "
-        "repro.partition(instance, solver='is', ...)",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    return _solve_independent_sets(
-        instance,
-        init=init,
-        order=order,
-        seed=seed,
-        warm_start=warm_start,
-        max_rounds=max_rounds,
-        coloring=coloring,
-        threads=threads,
-    )
-
-
 def _process_group(
     instance: RMGPInstance,
     assignment: np.ndarray,
@@ -363,3 +333,7 @@ def _best_class(instance: RMGPInstance, assignment: np.ndarray, player: int) -> 
     if costs[best] < costs[current] - dynamics.DEVIATION_TOLERANCE:
         return best
     return current
+
+
+# Legacy entry point(s), consolidated in repro.compat (removal: 2.0).
+from repro.compat import solve_independent_sets  # noqa: E402

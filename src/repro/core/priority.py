@@ -18,7 +18,6 @@ from __future__ import annotations
 
 import heapq
 import random
-import warnings
 from typing import List, Optional
 
 import numpy as np
@@ -231,24 +230,5 @@ def _solve_max_gain(
     )
 
 
-def solve_max_gain(
-    instance: RMGPInstance,
-    init: str = "closest",
-    seed: Optional[int] = None,
-    warm_start: Optional[np.ndarray] = None,
-    max_moves: Optional[int] = None,
-) -> PartitionResult:
-    """Deprecated alias — use ``repro.partition(instance, solver="mg")``."""
-    warnings.warn(
-        "solve_max_gain() is deprecated; use "
-        "repro.partition(instance, solver='mg', ...)",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    return _solve_max_gain(
-        instance,
-        init=init,
-        seed=seed,
-        warm_start=warm_start,
-        max_moves=max_moves,
-    )
+# Legacy entry point(s), consolidated in repro.compat (removal: 2.0).
+from repro.compat import solve_max_gain  # noqa: E402

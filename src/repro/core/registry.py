@@ -74,6 +74,48 @@ def canonical_solver_name(name: str) -> str:
     return _CANONICAL.get(name, name)
 
 
+_ACCEPTED: Dict[Callable[..., PartitionResult], frozenset] = {}
+
+
+def accepted_parameters(impl: Callable[..., PartitionResult]) -> frozenset:
+    """Keyword parameters an implementation accepts (cached signature).
+
+    The schema source for dispatch: :func:`repro.api.partition` rejects
+    options a variant lacks against this set, and the serving layer
+    validates wire ``solver_kwargs`` with it before a job is queued.
+    """
+    accepted = _ACCEPTED.get(impl)
+    if accepted is None:
+        import inspect
+
+        accepted = frozenset(inspect.signature(impl).parameters)
+        _ACCEPTED[impl] = accepted
+    return accepted
+
+
+def solver_catalog() -> Dict[str, Dict[str, object]]:
+    """Machine-readable registry description (``GET /v1/solvers``).
+
+    One entry per canonical solver name: its aliases and the keyword
+    parameters the implementation accepts (minus the instance itself).
+    """
+    catalog: Dict[str, Dict[str, object]] = {}
+    for name, impl in SOLVERS.items():
+        canonical = canonical_solver_name(name)
+        entry = catalog.setdefault(
+            canonical,
+            {
+                "aliases": [],
+                "accepts": sorted(accepted_parameters(impl) - {"instance"}),
+            },
+        )
+        if name != canonical:
+            entry["aliases"].append(name)
+    for entry in catalog.values():
+        entry["aliases"] = sorted(entry["aliases"])
+    return catalog
+
+
 #: Execution backends for the hot kernels (``backend=`` on the parallel
 #: solvers: ``is``/``vec``/``gt``/``sync``).  Every backend produces
 #: assignments byte-identical to ``pure``; see ``docs/DESIGN.md`` §4.5.

@@ -124,7 +124,15 @@ class PartitionResult:
         )
 
     def to_dict(self, include_assignment: bool = False) -> Dict[str, Any]:
-        """JSON-ready summary (``repro solve --json``).
+        """The frozen ``repro-result/v1`` payload.
+
+        One contract for every consumer — library callers, CLI
+        ``--json``, checkpoint metadata and the HTTP wire
+        (``POST /v1/solve``) all read this exact shape, validated by
+        :mod:`repro.core.result_schema` (runnable:
+        ``python -m repro.core.result_schema result.json``).  Consumers
+        may *add* top-level keys (the CLI adds ``dataset``); the keys
+        emitted here are versioned and only change with the schema tag.
 
         The full assignment is included only on request (it is O(n));
         ``assignment_sha256`` is always present so runs can be compared
@@ -133,6 +141,7 @@ class PartitionResult:
         import hashlib
 
         payload: Dict[str, Any] = {
+            "schema": "repro-result/v1",
             "solver": self.solver,
             "n": int(self.assignment.size),
             "converged": bool(self.converged),
@@ -164,9 +173,30 @@ class PartitionResult:
                 for r in self.rounds
             ],
         }
+        if self.extra:
+            payload["extra"] = _jsonable(self.extra)
         if include_assignment:
-            payload["assignment"] = self.assignment.tolist()
+            payload["assignment"] = [int(x) for x in self.assignment.tolist()]
         return payload
+
+
+def _jsonable(value: Any) -> Any:
+    """JSON-safe copy of a solver's ``extra`` diagnostics.
+
+    Scalars pass through, numpy scalars unbox, arrays/sequences become
+    lists, mappings recurse, and anything else degrades to ``str`` —
+    ``extra`` is the one result field whose keys vary by solver, so the
+    wire schema only promises it is a JSON object.
+    """
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if hasattr(value, "item") and not hasattr(value, "__len__"):
+        return value.item()  # numpy scalar
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)) or isinstance(value, np.ndarray):
+        return [_jsonable(v) for v in value]
+    return str(value)
 
 
 def make_result(

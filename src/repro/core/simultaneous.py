@@ -20,7 +20,6 @@ measured (see ``benchmarks/bench_ablations.py``):
 from __future__ import annotations
 
 import random
-import warnings
 from typing import List, Optional
 
 import numpy as np
@@ -265,26 +264,5 @@ def _solve_simultaneous(
     )
 
 
-def solve_simultaneous(
-    instance: RMGPInstance,
-    init: str = "closest",
-    seed: Optional[int] = None,
-    warm_start: Optional[np.ndarray] = None,
-    max_rounds: int = 200,
-    damping: float = 1.0,
-) -> PartitionResult:
-    """Deprecated alias — use ``repro.partition(instance, solver="sync")``."""
-    warnings.warn(
-        "solve_simultaneous() is deprecated; use "
-        "repro.partition(instance, solver='sync', ...)",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    return _solve_simultaneous(
-        instance,
-        init=init,
-        seed=seed,
-        warm_start=warm_start,
-        max_rounds=max_rounds,
-        damping=damping,
-    )
+# Legacy entry point(s), consolidated in repro.compat (removal: 2.0).
+from repro.compat import solve_simultaneous  # noqa: E402

@@ -6,6 +6,8 @@ any strategy he could ever follow:
     VR_v = c(v, s_min) + ((1 − α)/α) · W_v
 
 where ``s_min`` is his cheapest class and ``W_v = Σ_f ½·w(v, f)``.  Any
+
+
 class whose assignment cost exceeds ``VR_v`` can never beat ``s_min``
 even if *all* friends joined it, so it is pruned from ``S_v``.  A player
 left with a single valid strategy is assigned directly and removed from
@@ -16,7 +18,6 @@ guarantees carry over unchanged.
 from __future__ import annotations
 
 import random
-import warnings
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
@@ -33,6 +34,8 @@ from repro.runtime.executor import SolveRuntime, load_resume
 
 
 @dataclass
+
+
 class EliminationPlan:
     """Pre-computed reduced strategy spaces for one instance.
 
@@ -222,33 +225,6 @@ def _solve_strategy_elimination(
     )
 
 
-def solve_strategy_elimination(
-    instance: RMGPInstance,
-    init: str = "closest",
-    order: str = "degree",
-    seed: Optional[int] = None,
-    warm_start: Optional[np.ndarray] = None,
-    max_rounds: int = dynamics.DEFAULT_MAX_ROUNDS,
-    plan: Optional[EliminationPlan] = None,
-) -> PartitionResult:
-    """Deprecated alias — use ``repro.partition(instance, solver="se")``."""
-    warnings.warn(
-        "solve_strategy_elimination() is deprecated; use "
-        "repro.partition(instance, solver='se', ...)",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    return _solve_strategy_elimination(
-        instance,
-        init=init,
-        order=order,
-        seed=seed,
-        warm_start=warm_start,
-        max_rounds=max_rounds,
-        plan=plan,
-    )
-
-
 def _reduced_round(
     instance: RMGPInstance,
     assignment: np.ndarray,
@@ -294,3 +270,7 @@ def _reduced_round(
                 # Mark free neighbors dirty; fixed ones stay clean.
                 flags[idx] = ~fixed_mask[idx]
     return deviations, examined
+
+
+# Legacy entry point(s), consolidated in repro.compat (removal: 2.0).
+from repro.compat import solve_strategy_elimination  # noqa: E402

@@ -26,7 +26,6 @@ benchmark suite compares it against the scalar solvers.
 from __future__ import annotations
 
 import random
-import warnings
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
@@ -45,6 +44,8 @@ from repro.runtime.executor import SolveRuntime, load_resume
 
 
 @dataclass
+
+
 class _GroupBatch:
     """Pre-flattened per-group arrays for the scatter step.
 
@@ -370,26 +371,5 @@ def _run_vectorized(
     )
 
 
-def solve_vectorized(
-    instance: RMGPInstance,
-    init: str = "closest",
-    seed: Optional[int] = None,
-    warm_start: Optional[np.ndarray] = None,
-    max_rounds: int = dynamics.DEFAULT_MAX_ROUNDS,
-    coloring: Optional[Dict] = None,
-) -> PartitionResult:
-    """Deprecated alias — use ``repro.partition(instance, solver="vec")``."""
-    warnings.warn(
-        "solve_vectorized() is deprecated; use "
-        "repro.partition(instance, solver='vec', ...)",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    return _solve_vectorized(
-        instance,
-        init=init,
-        seed=seed,
-        warm_start=warm_start,
-        max_rounds=max_rounds,
-        coloring=coloring,
-    )
+# Legacy entry point(s), consolidated in repro.compat (removal: 2.0).
+from repro.compat import solve_vectorized  # noqa: E402

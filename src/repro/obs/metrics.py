@@ -7,11 +7,21 @@ Prometheus ``le`` semantics: bucket ``i`` counts observations
 ``<= boundaries[i]``, with one implicit ``+inf`` overflow bucket, and
 boundaries are *fixed at creation* so merged/exported histograms always
 line up.
+
+The registry and its instruments are thread-safe: create-or-fetch and
+every update (``inc``/``set``/``observe``) run under one registry-wide
+lock, so concurrent ``partition()`` calls sharing a recorder (the
+serving path runs many at once) never interleave a read-modify-write.
+Standalone instruments (constructed without a registry) get a private
+lock.  :meth:`MetricsRegistry.merge` folds another registry in — the
+serving layer uses it to accumulate per-request recorders into one
+process-wide registry scraped at ``/metrics``.
 """
 
 from __future__ import annotations
 
 import bisect
+import threading
 from typing import Any, Dict, Iterable, Iterator, Mapping, Optional, Sequence, Tuple
 
 #: Default histogram boundaries — a 1-2-5 ladder wide enough for both
@@ -35,15 +45,22 @@ class Counter:
 
     kind = "counter"
 
-    def __init__(self, name: str, labels: LabelKey = ()) -> None:
+    def __init__(
+        self,
+        name: str,
+        labels: LabelKey = (),
+        lock: Optional[threading.Lock] = None,
+    ) -> None:
         self.name = name
         self.labels = labels
         self.value: float = 0.0
+        self._lock = lock if lock is not None else threading.Lock()
 
     def inc(self, amount: float = 1.0) -> None:
         if amount < 0:
             raise ValueError(f"counter {self.name!r} cannot decrease")
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
 
 class Gauge:
@@ -51,13 +68,20 @@ class Gauge:
 
     kind = "gauge"
 
-    def __init__(self, name: str, labels: LabelKey = ()) -> None:
+    def __init__(
+        self,
+        name: str,
+        labels: LabelKey = (),
+        lock: Optional[threading.Lock] = None,
+    ) -> None:
         self.name = name
         self.labels = labels
         self.value: float = 0.0
+        self._lock = lock if lock is not None else threading.Lock()
 
     def set(self, value: float) -> None:
-        self.value = float(value)
+        with self._lock:
+            self.value = float(value)
 
 
 class Histogram:
@@ -70,6 +94,7 @@ class Histogram:
         name: str,
         labels: LabelKey = (),
         boundaries: Sequence[float] = DEFAULT_BOUNDARIES,
+        lock: Optional[threading.Lock] = None,
     ) -> None:
         bounds = tuple(float(b) for b in boundaries)
         if not bounds:
@@ -84,32 +109,65 @@ class Histogram:
         self.bucket_counts = [0] * (len(bounds) + 1)
         self.sum: float = 0.0
         self.count: int = 0
+        self._lock = lock if lock is not None else threading.Lock()
 
     def observe(self, value: float) -> None:
         value = float(value)
-        # Prometheus `le` buckets: first boundary >= value.
-        self.bucket_counts[bisect.bisect_left(self.boundaries, value)] += 1
-        self.sum += value
-        self.count += 1
+        bucket = bisect.bisect_left(self.boundaries, value)
+        with self._lock:
+            # Prometheus `le` buckets: first boundary >= value.
+            self.bucket_counts[bucket] += 1
+            self.sum += value
+            self.count += 1
+
+    def quantile(self, q: float) -> float:
+        """Approximate quantile from the bucket counts (upper boundary).
+
+        Returns the smallest boundary whose cumulative count covers the
+        ``q``-th observation; observations past the last boundary report
+        that last boundary (there is no upper bound for the +inf
+        bucket).  Good enough for p50/p99 dashboards off fixed buckets.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1]; got {q}")
+        with self._lock:
+            total = self.count
+            counts = list(self.bucket_counts)
+        if total == 0:
+            return 0.0
+        rank = q * total
+        cumulative = 0
+        for boundary, bucket in zip(self.boundaries, counts):
+            cumulative += bucket
+            if cumulative >= rank:
+                return boundary
+        return self.boundaries[-1]
 
 
 class MetricsRegistry:
-    """Create-or-fetch store for all instruments of one recorder."""
+    """Create-or-fetch store for all instruments of one recorder.
+
+    Thread-safe: one lock guards the instrument map *and* is shared with
+    every instrument it creates, so concurrent updates from multiple
+    solve threads serialize instead of interleaving.
+    """
 
     def __init__(self) -> None:
         self._instruments: Dict[Tuple[str, LabelKey], Any] = {}
+        self._lock = threading.Lock()
 
     def _get(self, cls, name: str, labels, **kwargs):
         key = (name, _label_key(labels))
-        instrument = self._instruments.get(key)
-        if instrument is None:
-            instrument = cls(name, key[1], **kwargs)
-            self._instruments[key] = instrument
-        elif not isinstance(instrument, cls):
-            raise ValueError(
-                f"metric {name!r} already registered as {instrument.kind}"
-            )
-        return instrument
+        with self._lock:
+            instrument = self._instruments.get(key)
+            if instrument is None:
+                instrument = cls(name, key[1], lock=self._lock, **kwargs)
+                self._instruments[key] = instrument
+            elif not isinstance(instrument, cls):
+                raise ValueError(
+                    f"metric {name!r} already registered as {instrument.kind}"
+                )
+            return instrument
 
     def counter(
         self, name: str, labels: Optional[Mapping[str, Any]] = None
@@ -134,14 +192,41 @@ class MetricsRegistry:
             )
         return histogram
 
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold ``other``'s instruments into this registry.
+
+        Counters add, gauges take the other's (newer) value, histograms
+        add bucket-by-bucket — boundaries must match, as enforced by
+        :meth:`histogram`.  ``other`` is left untouched; the serving
+        layer merges each finished request's recorder into the
+        process-wide registry behind ``/metrics``.
+        """
+        for instrument in other.instruments():
+            labels = dict(instrument.labels)
+            if instrument.kind == "counter":
+                if instrument.value:
+                    self.counter(instrument.name, labels).inc(instrument.value)
+            elif instrument.kind == "gauge":
+                self.gauge(instrument.name, labels).set(instrument.value)
+            else:
+                mine = self.histogram(
+                    instrument.name, labels, boundaries=instrument.boundaries
+                )
+                with mine._lock:
+                    for i, count in enumerate(instrument.bucket_counts):
+                        mine.bucket_counts[i] += count
+                    mine.sum += instrument.sum
+                    mine.count += instrument.count
+
     def __iter__(self) -> Iterator[Any]:
         """Instruments in name order (stable export order)."""
-        return iter(
-            sorted(self._instruments.values(), key=lambda m: (m.name, m.labels))
-        )
+        with self._lock:
+            instruments = list(self._instruments.values())
+        return iter(sorted(instruments, key=lambda m: (m.name, m.labels)))
 
     def __len__(self) -> int:
-        return len(self._instruments)
+        with self._lock:
+            return len(self._instruments)
 
     def instruments(self) -> Iterable[Any]:
         return list(self)

@@ -1,0 +1,48 @@
+"""Partitioning-as-a-service: the async HTTP/JSON solve server.
+
+The paper's headline scenario is *real-time, query-time* partitioning —
+queries arrive with a class set ``P`` and preference ``α`` at runtime
+and must be answered within an interactive deadline.  This package is
+that serving path, zero-dependency on top of stdlib ``asyncio``:
+
+* :class:`~repro.serve.server.SolveServer` — ``asyncio.start_server``
+  HTTP/1.1 front end exposing the versioned ``/v1`` wire API
+  (``POST /v1/solve``, job polling/cancellation, chunked JSONL progress
+  streaming) and the Prometheus text exporter at ``/metrics``;
+* :class:`~repro.serve.store.InstanceStore` — LRU store keeping hot
+  :class:`~repro.core.instance.RMGPInstance`\\ s resident across
+  requests (mixed α/k queries share one resident graph);
+* :class:`~repro.serve.jobs.JobTable` — bounded worker pool running
+  ``partition()`` jobs, composing per-request
+  :class:`~repro.runtime.CancelToken` + deadline budgets, publishing
+  per-round progress from the PR 3 telemetry hook;
+* :class:`~repro.serve.client.ServeClient` — stdlib ``http.client``
+  consumer used by the tests, the load-generator bench and scripts;
+  :class:`~repro.serve.client.EmbeddedServer` runs a server on a
+  background thread for in-process use.
+
+The wire schemas are the library's own: request options are
+:meth:`repro.api.SolveOptions.from_dict` and responses embed the frozen
+``repro-result/v1`` payload of
+:meth:`repro.core.result.PartitionResult.to_dict` — one contract for
+library callers, the CLI and the wire.  See ``docs/API.md`` (Serving).
+"""
+
+from repro.serve.client import EmbeddedServer, ServeClient
+from repro.serve.config import ServeConfig
+from repro.serve.jobs import Job, JobTable
+from repro.serve.server import SolveServer
+from repro.serve.store import InstanceStore
+from repro.serve.wire import API_VERSION, SolveRequest
+
+__all__ = [
+    "API_VERSION",
+    "EmbeddedServer",
+    "InstanceStore",
+    "Job",
+    "JobTable",
+    "ServeClient",
+    "ServeConfig",
+    "SolveRequest",
+    "SolveServer",
+]

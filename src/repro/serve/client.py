@@ -1,0 +1,273 @@
+"""Stdlib client for the solve service, plus an in-process harness.
+
+:class:`ServeClient` wraps ``http.client`` (no third-party HTTP stack)
+and mirrors the wire API one method per endpoint.  Server-side 4xx
+validation errors are re-raised as
+:class:`~repro.errors.ConfigurationError` carrying the server's
+field-path message, so a misconfigured request fails the same way over
+the wire as it does in-process.
+
+:class:`EmbeddedServer` runs a :class:`~repro.serve.server.SolveServer`
+on a background thread with its own event loop — the harness used by
+tests and the load-generator benchmark::
+
+    with EmbeddedServer(ServeConfig(port=0)) as client:
+        payload = client.solve({"solver": "gt"})
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import threading
+from typing import Any, Dict, Iterator, List, Optional
+
+from repro.errors import ConfigurationError
+from repro.serve.config import ServeConfig
+from repro.serve.wire import API_VERSION
+
+
+class ServerError(RuntimeError):
+    """A non-validation HTTP error (5xx, unexpected status)."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+
+
+class ServeClient:
+    """One server endpoint; a fresh connection per call (thread-safe)."""
+
+    def __init__(
+        self, host: str = "127.0.0.1", port: int = 8350, timeout: float = 60.0
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # -- plumbing -------------------------------------------------------
+    def _connect(self) -> http.client.HTTPConnection:
+        return http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        body: Optional[Dict[str, Any]] = None,
+        ok: tuple = (200,),
+    ) -> Dict[str, Any]:
+        conn = self._connect()
+        try:
+            data = json.dumps(body).encode() if body is not None else None
+            headers = {"Content-Type": "application/json"} if data else {}
+            conn.request(method, path, body=data, headers=headers)
+            response = conn.getresponse()
+            raw = response.read()
+            payload = json.loads(raw.decode()) if raw else {}
+            if response.status not in ok:
+                message = self._error_message(payload, raw)
+                if response.status == 400:
+                    raise ConfigurationError(message)
+                raise ServerError(response.status, message)
+            return payload
+        finally:
+            conn.close()
+
+    @staticmethod
+    def _error_message(payload: Any, raw: bytes) -> str:
+        if isinstance(payload, dict):
+            error = payload.get("error")
+            if isinstance(error, dict) and "message" in error:
+                return str(error["message"])
+            if isinstance(error, str):
+                return error
+        return raw.decode(errors="replace")
+
+    # -- endpoints ------------------------------------------------------
+    def health(self) -> Dict[str, Any]:
+        return self._request("GET", f"/{API_VERSION}/health")
+
+    def solvers(self) -> Dict[str, Any]:
+        return self._request("GET", f"/{API_VERSION}/solvers")
+
+    def instances(self) -> Dict[str, Any]:
+        return self._request("GET", f"/{API_VERSION}/instances")
+
+    def metrics(self) -> str:
+        conn = self._connect()
+        try:
+            conn.request("GET", "/metrics")
+            response = conn.getresponse()
+            raw = response.read()
+            if response.status != 200:
+                raise ServerError(response.status, raw.decode(errors="replace"))
+            return raw.decode()
+        finally:
+            conn.close()
+
+    def solve(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        """``POST /v1/solve``.
+
+        With the default ``wait=true`` this returns the finished job
+        envelope (``payload["result"]`` is the ``repro-result/v1``
+        document).  With ``"wait": false`` it returns the 202 ticket
+        (``{"job": ..., "state": "queued"}``) for later polling.
+        """
+        return self._request(
+            "POST", f"/{API_VERSION}/solve", body=request, ok=(200, 202)
+        )
+
+    def solve_stream(
+        self, request: Dict[str, Any]
+    ) -> Iterator[Dict[str, Any]]:
+        """``POST /v1/solve`` with ``stream=true``: yield JSONL records.
+
+        Yields the ``{"type": "job"}`` acknowledgement, one
+        ``{"type": "round"}`` record per solver round, then the final
+        ``{"type": "result"}`` (or ``{"type": "error"}``) record.
+        """
+        body = dict(request)
+        body["stream"] = True
+        conn = self._connect()
+        try:
+            data = json.dumps(body).encode()
+            conn.request(
+                "POST",
+                f"/{API_VERSION}/solve",
+                body=data,
+                headers={"Content-Type": "application/json"},
+            )
+            response = conn.getresponse()
+            if response.status != 200:
+                raw = response.read()
+                payload = json.loads(raw.decode()) if raw else {}
+                message = self._error_message(payload, raw)
+                if response.status == 400:
+                    raise ConfigurationError(message)
+                raise ServerError(response.status, message)
+            # http.client decodes the chunked framing; what remains is
+            # newline-delimited JSON.
+            buffer = b""
+            while True:
+                chunk = response.read(4096)
+                if not chunk:
+                    break
+                buffer += chunk
+                while b"\n" in buffer:
+                    line, buffer = buffer.split(b"\n", 1)
+                    if line.strip():
+                        yield json.loads(line.decode())
+            if buffer.strip():
+                yield json.loads(buffer.decode())
+        finally:
+            conn.close()
+
+    def jobs(self) -> List[Dict[str, Any]]:
+        return self._request("GET", f"/{API_VERSION}/jobs")["jobs"]
+
+    def job(
+        self, job_id: str, include_assignment: bool = False
+    ) -> Dict[str, Any]:
+        path = f"/{API_VERSION}/jobs/{job_id}"
+        if include_assignment:
+            path += "?assignment=1"
+        return self._request("GET", path)
+
+    def cancel(self, job_id: str) -> Dict[str, Any]:
+        """``DELETE /v1/jobs/<id>``; 202 on request, 409 if finished."""
+        return self._request(
+            "DELETE", f"/{API_VERSION}/jobs/{job_id}", ok=(202, 409)
+        )
+
+    def wait_for(
+        self, job_id: str, timeout: float = 60.0, poll: float = 0.02
+    ) -> Dict[str, Any]:
+        """Poll ``GET /v1/jobs/<id>`` until the job leaves the pool."""
+        import time
+
+        deadline = time.monotonic() + timeout
+        while True:
+            payload = self.job(job_id)
+            if payload["state"] in ("done", "cancelled", "failed"):
+                return payload
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {payload['state']!r} "
+                    f"after {timeout}s"
+                )
+            time.sleep(poll)
+
+
+class EmbeddedServer:
+    """A :class:`SolveServer` on a background thread, for tests/benches.
+
+    Runs its own event loop; entering the context starts the server and
+    returns a :class:`ServeClient` bound to the resolved (possibly
+    ephemeral) port.  Exiting stops the loop and joins the thread.
+    """
+
+    def __init__(self, config: Optional[ServeConfig] = None) -> None:
+        import asyncio
+
+        from repro.serve.server import SolveServer
+
+        self.server = SolveServer(config or ServeConfig(port=0))
+        self._asyncio = asyncio
+        self._loop: Optional[Any] = None
+        self._thread: Optional[threading.Thread] = None
+        self._ready = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+
+    # -- lifecycle ------------------------------------------------------
+    def start(self) -> ServeClient:
+        asyncio = self._asyncio
+        self._loop = asyncio.new_event_loop()
+
+        def _run() -> None:
+            asyncio.set_event_loop(self._loop)
+            try:
+                self._loop.run_until_complete(self.server.start())
+            except BaseException as exc:  # noqa: BLE001 - surfaced below
+                self._startup_error = exc
+                self._ready.set()
+                return
+            self._ready.set()
+            self._loop.run_forever()
+            # Cancel lingering keep-alive connection handlers, then
+            # close the listener and drain the worker pool.
+            pending = [
+                t for t in asyncio.all_tasks(self._loop) if not t.done()
+            ]
+            for task in pending:
+                task.cancel()
+            if pending:
+                self._loop.run_until_complete(
+                    asyncio.gather(*pending, return_exceptions=True)
+                )
+            self._loop.run_until_complete(self.server.stop())
+            self._loop.close()
+
+        self._thread = threading.Thread(
+            target=_run, name="repro-serve-loop", daemon=True
+        )
+        self._thread.start()
+        self._ready.wait(timeout=30)
+        if self._startup_error is not None:
+            raise self._startup_error
+        return ServeClient(self.server.config.host, self.server.port)
+
+    def stop(self) -> None:
+        if self._loop is not None and self._loop.is_running():
+            self._loop.call_soon_threadsafe(self._loop.stop)
+        if self._thread is not None:
+            self._thread.join(timeout=30)
+        self._loop = None
+        self._thread = None
+
+    def __enter__(self) -> ServeClient:
+        return self.start()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.stop()

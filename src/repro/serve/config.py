@@ -1,0 +1,63 @@
+"""Server configuration knobs (one frozen dataclass, CLI-mirrored)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Knobs of one :class:`~repro.serve.server.SolveServer`.
+
+    Attributes
+    ----------
+    host / port:
+        Bind address.  ``port=0`` binds an ephemeral port (tests read
+        the resolved one from ``SolveServer.port``).
+    pool_size:
+        Worker threads running ``partition()`` jobs.  Queued jobs wait;
+        the HTTP front end stays responsive regardless (it is a single
+        asyncio loop that never solves inline).
+    max_instances:
+        Resident :class:`~repro.core.instance.RMGPInstance` budget of
+        the LRU store.
+    max_jobs:
+        Finished jobs retained for ``GET /v1/jobs/<id>`` polling before
+        the oldest are evicted (running jobs are never evicted).
+    max_body_bytes:
+        Request-body cap; larger ``POST`` bodies are rejected with 413.
+    default_deadline_seconds:
+        Deadline applied to requests that do not send one; ``None``
+        leaves them unbounded.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 8350
+    pool_size: int = 4
+    max_instances: int = 8
+    max_jobs: int = 256
+    max_body_bytes: int = 8 * 1024 * 1024
+    default_deadline_seconds: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        for name, minimum in (
+            ("pool_size", 1),
+            ("max_instances", 1),
+            ("max_jobs", 1),
+            ("max_body_bytes", 1024),
+        ):
+            value = getattr(self, name)
+            if not isinstance(value, int) or value < minimum:
+                raise ConfigurationError(
+                    f"serve.{name}: expected an integer >= {minimum}, "
+                    f"got {value!r}"
+                )
+        if self.default_deadline_seconds is not None and (
+            self.default_deadline_seconds <= 0
+        ):
+            raise ConfigurationError(
+                "serve.default_deadline_seconds must be positive"
+            )

@@ -1,0 +1,333 @@
+"""The job table: bounded worker pool over ``partition()`` solves.
+
+Every ``POST /v1/solve`` becomes a :class:`Job`: a per-request
+:class:`~repro.runtime.CancelToken` (``DELETE /v1/jobs/<id>`` cancels
+cooperatively at the next round boundary), the request's deadline
+composed into a :class:`~repro.runtime.RuntimeBudget` by ``partition()``
+itself, and a :class:`RequestRecorder` whose per-round telemetry hook
+feeds both the chunked progress stream and the server-wide metrics
+registry scraped at ``/metrics``.
+
+Jobs run on a bounded :class:`~concurrent.futures.ThreadPoolExecutor` —
+the asyncio front end never solves inline, so the server stays
+responsive while every worker is busy.  Interrupted solves are *normal*
+results here (``stop_reason`` of ``"deadline"``/``"cancelled"`` with a
+valid best-so-far assignment): the runtime layer's anytime guarantee is
+what makes a solve server with per-request deadlines possible at all.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import traceback
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.recorder import TraceRecorder
+from repro.runtime.token import CancelToken
+from repro.serve.store import InstanceStore
+from repro.serve.wire import SolveRequest
+
+#: Job lifecycle states.  ``cancelled`` and ``done`` both carry a valid
+#: result; ``failed`` carries an error message instead.
+JOB_STATES = ("queued", "running", "done", "cancelled", "failed")
+
+#: Request-latency histogram boundaries (milliseconds).
+LATENCY_BOUNDARIES_MS = (
+    0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 500,
+    1_000, 2_500, 5_000, 10_000, 30_000, 60_000,
+)
+
+
+class RequestRecorder(TraceRecorder):
+    """Per-request trace recorder that also publishes round progress.
+
+    The solver's own per-round telemetry call (PR 3's
+    :meth:`Recorder.round_end`) is the progress feed: each round becomes
+    one JSON record pushed to every subscriber of the job, so a
+    streaming client watches the frontier drain live without any extra
+    instrumentation in the kernels.
+    """
+
+    def __init__(self, job: "Job") -> None:
+        super().__init__()
+        self._job = job
+
+    def round_end(
+        self,
+        span,
+        solver: str,
+        round_index: int,
+        *,
+        deviations: int,
+        examined: int,
+        cost_evaluations: Optional[int] = None,
+        frontier_fn: Optional[Callable[[], int]] = None,
+        potential_fn: Optional[Callable[[], float]] = None,
+    ) -> None:
+        # Evaluate the lazy callables once and memoize, so the super
+        # call does not pay for (or double-count) a second evaluation.
+        frontier = int(frontier_fn()) if frontier_fn is not None else examined
+        potential = float(potential_fn()) if potential_fn is not None else None
+        super().round_end(
+            span,
+            solver,
+            round_index,
+            deviations=deviations,
+            examined=examined,
+            cost_evaluations=cost_evaluations,
+            frontier_fn=(lambda: frontier) if frontier_fn is not None else None,
+            potential_fn=(
+                (lambda: potential) if potential_fn is not None else None
+            ),
+        )
+        record: Dict[str, Any] = {
+            "type": "round",
+            "job": self._job.id,
+            "solver": solver,
+            "round": round_index,
+            "deviations": deviations,
+            "players_examined": examined,
+            "frontier": frontier,
+        }
+        if potential is not None:
+            record["potential"] = potential
+        self._job.publish(record)
+
+
+class Job:
+    """One solve request moving through the worker pool."""
+
+    def __init__(self, job_id: str, request: SolveRequest) -> None:
+        self.id = job_id
+        self.request = request
+        self.token = CancelToken()
+        self.state = "queued"
+        self.created = time.time()
+        self.started: Optional[float] = None
+        self.finished: Optional[float] = None
+        self.result = None  # PartitionResult
+        self.error: Optional[str] = None
+        self.cache_hit: Optional[bool] = None
+        self.cancel_requested = False
+        self._lock = threading.Lock()
+        self._done = threading.Event()
+        self._done_callbacks: List[Callable[[], None]] = []
+        self._subscribers: List[Any] = []
+
+    # -- progress -------------------------------------------------------
+    def subscribe(self, sink: Any) -> None:
+        """Attach a progress sink (``sink.publish(record)``, thread-safe)."""
+        with self._lock:
+            self._subscribers.append(sink)
+
+    def publish(self, record: Dict[str, Any]) -> None:
+        with self._lock:
+            sinks = list(self._subscribers)
+        for sink in sinks:
+            sink.publish(record)
+
+    # -- completion -----------------------------------------------------
+    def add_done_callback(self, callback: Callable[[], None]) -> None:
+        """Run ``callback`` once the job finishes (immediately if it has).
+
+        Called from the worker thread that finishes the job — callbacks
+        must be cheap and thread-safe (the server passes
+        ``loop.call_soon_threadsafe`` trampolines).
+        """
+        with self._lock:
+            if not self._done.is_set():
+                self._done_callbacks.append(callback)
+                return
+        callback()
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        return self._done.wait(timeout)
+
+    def _finish(self, state: str, result=None, error: Optional[str] = None) -> None:
+        with self._lock:
+            self.state = state
+            self.result = result
+            self.error = error
+            self.finished = time.time()
+            self._done.set()
+            callbacks = list(self._done_callbacks)
+            self._done_callbacks.clear()
+        for callback in callbacks:
+            callback()
+
+    # -- wire form ------------------------------------------------------
+    def to_dict(self, include_assignment: bool = False) -> Dict[str, Any]:
+        """The job envelope of ``GET /v1/jobs/<id>``."""
+        with self._lock:
+            payload: Dict[str, Any] = {
+                "job": self.id,
+                "state": self.state,
+                "request": self.request.summary(),
+                "created": self.created,
+            }
+            if self.started is not None:
+                payload["started"] = self.started
+            if self.finished is not None:
+                payload["finished"] = self.finished
+                payload["wall_seconds"] = self.finished - self.created
+            if self.cache_hit is not None:
+                payload["instance_cache_hit"] = self.cache_hit
+            if self.cancel_requested:
+                payload["cancel_requested"] = True
+            if self.result is not None:
+                payload["result"] = self.result.to_dict(
+                    include_assignment=include_assignment
+                    or self.request.include_assignment
+                )
+            if self.error is not None:
+                payload["error"] = self.error
+            return payload
+
+
+class JobTable:
+    """Submission, execution, retention and cancellation of jobs."""
+
+    def __init__(
+        self,
+        store: InstanceStore,
+        registry: MetricsRegistry,
+        pool_size: int = 4,
+        max_jobs: int = 256,
+        default_deadline_seconds: Optional[float] = None,
+    ) -> None:
+        self.store = store
+        self.registry = registry
+        self.max_jobs = max_jobs
+        self.default_deadline_seconds = default_deadline_seconds
+        self._executor = ThreadPoolExecutor(
+            max_workers=pool_size, thread_name_prefix="repro-serve"
+        )
+        self._lock = threading.Lock()
+        self._jobs: Dict[str, Job] = {}
+        self._order: List[str] = []
+        self._next_id = 0
+
+    # -- lifecycle ------------------------------------------------------
+    def submit(self, request: SolveRequest, sink: Any = None) -> Job:
+        """Queue a job; ``sink`` (if given) is subscribed to progress
+        records before the worker can start, so no round is missed."""
+        with self._lock:
+            job = Job(f"job-{self._next_id}", request)
+            self._next_id += 1
+            if sink is not None:
+                job.subscribe(sink)
+            self._jobs[job.id] = job
+            self._order.append(job.id)
+            self._evict_finished_locked()
+        self.registry.counter(
+            "serve.requests", {"solver": request.solver}
+        ).inc()
+        self._executor.submit(self._run, job)
+        return job
+
+    def _evict_finished_locked(self) -> None:
+        # Retain at most max_jobs entries; only finished jobs may go.
+        if len(self._order) <= self.max_jobs:
+            return
+        kept: List[str] = []
+        excess = len(self._order) - self.max_jobs
+        for job_id in self._order:
+            job = self._jobs[job_id]
+            if excess > 0 and job.state in ("done", "cancelled", "failed"):
+                del self._jobs[job_id]
+                excess -= 1
+            else:
+                kept.append(job_id)
+        self._order = kept
+
+    def _run(self, job: Job) -> None:
+        from repro.api import partition
+
+        job.started = time.time()
+        job.state = "running"
+        recorder = RequestRecorder(job)
+        try:
+            instance, hit = self.store.get(job.request.instance)
+            job.cache_hit = hit
+            self.registry.counter(
+                "serve.instance_lookups", {"outcome": "hit" if hit else "miss"}
+            ).inc()
+            options = job.request.build_options(
+                self.default_deadline_seconds, job.token, recorder
+            )
+            with recorder.span(
+                "serve.request", job=job.id, solver=job.request.solver
+            ):
+                result = partition(
+                    instance,
+                    solver=job.request.solver,
+                    options=options,
+                    **job.request.solver_kwargs,
+                )
+        except Exception as exc:  # noqa: BLE001 - job boundary
+            self.registry.counter("serve.jobs", {"state": "failed"}).inc()
+            # Keep the traceback out of the wire but in the server log.
+            traceback.print_exc()
+            message = f"{type(exc).__name__}: {exc}"
+            job.publish({"type": "error", "job": job.id, "error": message})
+            job._finish("failed", error=message)
+            return
+        finally:
+            self.registry.merge(recorder.metrics)
+
+        state = "cancelled" if result.stop_reason == "cancelled" else "done"
+        self.registry.counter("serve.jobs", {"state": state}).inc()
+        if result.stop_reason == "deadline":
+            self.registry.counter("serve.deadline_hits").inc()
+        latency_ms = (time.time() - job.created) * 1e3
+        self.registry.histogram(
+            "serve.request_ms",
+            {"solver": job.request.solver},
+            boundaries=LATENCY_BOUNDARIES_MS,
+        ).observe(latency_ms)
+        job.publish(
+            {
+                "type": "result",
+                "job": job.id,
+                **result.to_dict(
+                    include_assignment=job.request.include_assignment
+                ),
+            }
+        )
+        job._finish(state, result=result)
+
+    # -- queries --------------------------------------------------------
+    def get(self, job_id: str) -> Optional[Job]:
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def jobs(self) -> List[Job]:
+        with self._lock:
+            return [self._jobs[job_id] for job_id in self._order]
+
+    def cancel(self, job_id: str) -> Optional[Job]:
+        """Request cooperative cancellation; returns the job (or None).
+
+        Queued jobs start with an already-cancelled token and stop at
+        their first round boundary; running jobs stop at the next one.
+        Finished jobs are left untouched (the caller inspects state).
+        """
+        job = self.get(job_id)
+        if job is None:
+            return None
+        if not job.wait(0):
+            job.cancel_requested = True
+            job.token.cancel()
+            self.registry.counter("serve.cancel_requests").inc()
+        return job
+
+    def shutdown(self, wait: bool = True) -> None:
+        with self._lock:
+            jobs = list(self._jobs.values())
+        for job in jobs:
+            if not job.wait(0):
+                job.token.cancel()
+        self._executor.shutdown(wait=wait)

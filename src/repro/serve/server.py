@@ -1,0 +1,447 @@
+"""The asyncio HTTP/1.1 front end of the solve service.
+
+Zero-dependency by design: a hand-rolled request parser over
+``asyncio.start_server`` (request line + headers + ``Content-Length``
+body), a small route table, JSON responses with explicit lengths, and
+chunked transfer encoding for the progress stream.  The event loop
+never runs a solve — jobs go to the :class:`~repro.serve.jobs.JobTable`
+worker pool and completion is signalled back with
+``loop.call_soon_threadsafe`` — so health checks, polling and
+cancellation stay interactive while every worker is busy.
+
+Endpoints (see ``docs/API.md`` for schemas and curl examples)::
+
+    GET    /v1/health       liveness + config + uptime
+    GET    /v1/solvers      registry catalog, backends, datasets
+    POST   /v1/solve        run a solve (sync, async or streaming)
+    GET    /v1/jobs         job summaries (newest last)
+    GET    /v1/jobs/<id>    one job envelope (result when finished)
+    DELETE /v1/jobs/<id>    cooperative cancellation
+    GET    /v1/instances    LRU instance-store statistics
+    GET    /metrics         Prometheus text exposition
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from typing import Any, Dict, Optional, Tuple
+
+from repro import __version__
+from repro.core.registry import BACKENDS, solver_catalog
+from repro.errors import ConfigurationError
+from repro.obs.exporters import prometheus_text
+from repro.obs.metrics import MetricsRegistry
+from repro.serve.config import ServeConfig
+from repro.serve.jobs import Job, JobTable
+from repro.serve.store import InstanceStore
+from repro.serve.wire import API_VERSION, INSTANCE_DATASETS, SolveRequest
+
+_REASONS = {
+    200: "OK",
+    202: "Accepted",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+}
+
+_MAX_HEADER_BYTES = 64 * 1024
+
+
+class _ProgressSink:
+    """Thread-safe bridge from worker-thread progress to the loop."""
+
+    def __init__(self, loop: asyncio.AbstractEventLoop) -> None:
+        self._loop = loop
+        self.queue: "asyncio.Queue[Optional[Dict[str, Any]]]" = asyncio.Queue()
+
+    def publish(self, record: Optional[Dict[str, Any]]) -> None:
+        self._loop.call_soon_threadsafe(self.queue.put_nowait, record)
+
+
+class HttpError(Exception):
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+class SolveServer:
+    """One serving process: HTTP front end + job table + stores."""
+
+    def __init__(self, config: Optional[ServeConfig] = None) -> None:
+        self.config = config or ServeConfig()
+        self.registry = MetricsRegistry()
+        self.store = InstanceStore(max_instances=self.config.max_instances)
+        self.jobs = JobTable(
+            store=self.store,
+            registry=self.registry,
+            pool_size=self.config.pool_size,
+            max_jobs=self.config.max_jobs,
+            default_deadline_seconds=self.config.default_deadline_seconds,
+        )
+        self.started_at: Optional[float] = None
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    # -- lifecycle ------------------------------------------------------
+    @property
+    def port(self) -> int:
+        """The bound port (resolves ``port=0`` to the ephemeral one)."""
+        if self._server is None or not self._server.sockets:
+            return self.config.port
+        return self._server.sockets[0].getsockname()[1]
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port
+        )
+        self.started_at = time.time()
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        self.jobs.shutdown(wait=True)
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        host, port = self.config.host, self.port
+        print(f"repro serve: listening on http://{host}:{port}/{API_VERSION}")
+        async with self._server:
+            await self._server.serve_forever()
+
+    # -- HTTP plumbing --------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                try:
+                    request = await self._read_request(reader)
+                except asyncio.IncompleteReadError:
+                    break
+                except HttpError as exc:
+                    await self._write_error(writer, exc.status, exc.message)
+                    break
+                if request is None:
+                    break
+                method, path, body = request
+                keep_alive = await self._dispatch(writer, method, path, body)
+                if not keep_alive:
+                    break
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        except asyncio.CancelledError:
+            # Shutdown cancels idle keep-alive handlers; ending the
+            # task normally keeps asyncio's stream callback (which
+            # calls task.exception()) from spraying tracebacks.
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (
+                asyncio.CancelledError,
+                ConnectionResetError,
+                BrokenPipeError,
+                OSError,
+            ):
+                pass
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> Optional[Tuple[str, str, bytes]]:
+        try:
+            head = await reader.readuntil(b"\r\n\r\n")
+        except asyncio.LimitOverrunError:
+            raise HttpError(413, "request head too large")
+        if len(head) > _MAX_HEADER_BYTES:
+            raise HttpError(413, "request head too large")
+        lines = head.decode("latin-1").split("\r\n")
+        parts = lines[0].split(" ")
+        if len(parts) != 3:
+            raise HttpError(400, f"malformed request line: {lines[0]!r}")
+        method, target, _version = parts
+        headers: Dict[str, str] = {}
+        for line in lines[1:]:
+            if not line:
+                continue
+            name, _, value = line.partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = 0
+        if "content-length" in headers:
+            try:
+                length = int(headers["content-length"])
+            except ValueError:
+                raise HttpError(400, "malformed Content-Length")
+        if length > self.config.max_body_bytes:
+            raise HttpError(
+                413,
+                f"request body exceeds {self.config.max_body_bytes} bytes",
+            )
+        body = await reader.readexactly(length) if length else b""
+        return method.upper(), target, body
+
+    async def _write_error(
+        self, writer: asyncio.StreamWriter, status: int, message: str
+    ) -> None:
+        await self._write_json(
+            writer,
+            status,
+            {"error": {"status": status, "message": message}},
+            keep_alive=False,
+        )
+
+    async def _write_json(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        payload: Dict[str, Any],
+        keep_alive: bool = True,
+    ) -> None:
+        body = (json.dumps(payload, sort_keys=True) + "\n").encode()
+        await self._write_raw(
+            writer, status, body, "application/json", keep_alive
+        )
+
+    async def _write_raw(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        body: bytes,
+        content_type: str,
+        keep_alive: bool = True,
+    ) -> None:
+        reason = _REASONS.get(status, "Unknown")
+        connection = "keep-alive" if keep_alive else "close"
+        head = (
+            f"HTTP/1.1 {status} {reason}\r\n"
+            f"Content-Type: {content_type}\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: {connection}\r\n"
+            "\r\n"
+        ).encode("latin-1")
+        writer.write(head + body)
+        await writer.drain()
+
+    # -- routing --------------------------------------------------------
+    async def _dispatch(
+        self,
+        writer: asyncio.StreamWriter,
+        method: str,
+        target: str,
+        body: bytes,
+    ) -> bool:
+        path, _, query = target.partition("?")
+        self.registry.counter(
+            "serve.http_requests", {"method": method}
+        ).inc()
+        try:
+            if path == "/metrics" and method == "GET":
+                text = prometheus_text(self.registry)
+                await self._write_raw(
+                    writer, 200, text.encode(), "text/plain; version=0.0.4"
+                )
+                return True
+            if path == f"/{API_VERSION}/health" and method == "GET":
+                await self._write_json(writer, 200, self._health())
+                return True
+            if path == f"/{API_VERSION}/solvers" and method == "GET":
+                await self._write_json(
+                    writer,
+                    200,
+                    {
+                        "solvers": solver_catalog(),
+                        "backends": dict(BACKENDS),
+                        "datasets": list(INSTANCE_DATASETS),
+                    },
+                )
+                return True
+            if path == f"/{API_VERSION}/instances" and method == "GET":
+                await self._write_json(writer, 200, self.store.stats())
+                return True
+            if path == f"/{API_VERSION}/solve":
+                if method != "POST":
+                    raise HttpError(405, "POST only")
+                return await self._handle_solve(writer, body)
+            if path == f"/{API_VERSION}/jobs" and method == "GET":
+                await self._write_json(
+                    writer,
+                    200,
+                    {
+                        "jobs": [
+                            self._job_summary(job) for job in self.jobs.jobs()
+                        ]
+                    },
+                )
+                return True
+            if path.startswith(f"/{API_VERSION}/jobs/"):
+                job_id = path[len(f"/{API_VERSION}/jobs/"):]
+                return await self._handle_job(writer, method, job_id, query)
+            raise HttpError(404, f"no route for {method} {path}")
+        except HttpError as exc:
+            await self._write_error(writer, exc.status, exc.message)
+            return False
+        except ConfigurationError as exc:
+            await self._write_error(writer, 400, str(exc))
+            return False
+        except Exception as exc:  # noqa: BLE001 - connection boundary
+            import traceback
+
+            traceback.print_exc()
+            await self._write_error(
+                writer, 500, f"{type(exc).__name__}: {exc}"
+            )
+            return False
+
+    def _health(self) -> Dict[str, Any]:
+        return {
+            "status": "ok",
+            "version": __version__,
+            "api": API_VERSION,
+            "uptime_seconds": (
+                time.time() - self.started_at if self.started_at else 0.0
+            ),
+            "pool_size": self.config.pool_size,
+            "jobs": len(self.jobs.jobs()),
+        }
+
+    @staticmethod
+    def _job_summary(job: Job) -> Dict[str, Any]:
+        return {
+            "job": job.id,
+            "state": job.state,
+            "solver": job.request.solver,
+            "created": job.created,
+        }
+
+    # -- solve ----------------------------------------------------------
+    async def _handle_solve(
+        self, writer: asyncio.StreamWriter, body: bytes
+    ) -> bool:
+        try:
+            payload = json.loads(body.decode() or "{}")
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise HttpError(400, f"request body is not valid JSON: {exc}")
+        request = SolveRequest.from_dict(payload)
+
+        if request.stream:
+            return await self._handle_solve_stream(writer, request)
+
+        job = self.jobs.submit(request)
+        if not request.wait:
+            await self._write_json(
+                writer, 202, {"job": job.id, "state": job.state}
+            )
+            return True
+        await self._wait_for(job)
+        status = 200 if job.error is None else 500
+        await self._write_json(writer, status, job.to_dict())
+        return True
+
+    async def _handle_solve_stream(
+        self, writer: asyncio.StreamWriter, request: SolveRequest
+    ) -> bool:
+        """Chunked JSONL: a job record, round records, the final result."""
+        sink = _ProgressSink(asyncio.get_running_loop())
+        head = (
+            "HTTP/1.1 200 OK\r\n"
+            "Content-Type: application/x-ndjson\r\n"
+            "Transfer-Encoding: chunked\r\n"
+            "Connection: close\r\n"
+            "\r\n"
+        ).encode("latin-1")
+        writer.write(head)
+        await writer.drain()
+
+        job = None
+        try:
+            job = self.jobs.submit(request, sink=sink)
+            await self._write_chunk(
+                writer, {"type": "job", "job": job.id, "state": "queued"}
+            )
+            while True:
+                record = await sink.queue.get()
+                await self._write_chunk(writer, record)
+                if record.get("type") in ("result", "error"):
+                    break
+        except (ConnectionResetError, BrokenPipeError):
+            # Client went away mid-stream: cancel the solve so the
+            # worker slot frees at the next round boundary.
+            if job is not None:
+                self.jobs.cancel(job.id)
+            return False
+        writer.write(b"0\r\n\r\n")
+        await writer.drain()
+        return False  # Connection: close
+
+    async def _write_chunk(
+        self, writer: asyncio.StreamWriter, record: Dict[str, Any]
+    ) -> None:
+        data = (json.dumps(record, sort_keys=True) + "\n").encode()
+        writer.write(f"{len(data):x}\r\n".encode("latin-1") + data + b"\r\n")
+        await writer.drain()
+
+    async def _wait_for(self, job: Job) -> None:
+        loop = asyncio.get_running_loop()
+        event = asyncio.Event()
+        job.add_done_callback(
+            lambda: loop.call_soon_threadsafe(event.set)
+        )
+        await event.wait()
+
+    # -- jobs -----------------------------------------------------------
+    async def _handle_job(
+        self,
+        writer: asyncio.StreamWriter,
+        method: str,
+        job_id: str,
+        query: str,
+    ) -> bool:
+        job = self.jobs.get(job_id)
+        if job is None:
+            raise HttpError(404, f"unknown job {job_id!r}")
+        if method == "GET":
+            include = "assignment=1" in query or "assignment=true" in query
+            await self._write_json(
+                writer, 200, job.to_dict(include_assignment=include)
+            )
+            return True
+        if method == "DELETE":
+            already_done = job.wait(0)
+            self.jobs.cancel(job_id)
+            status = 409 if already_done else 202
+            payload = job.to_dict()
+            if already_done:
+                payload["error"] = (
+                    payload.get("error")
+                    or f"job already finished ({job.state})"
+                )
+            await self._write_json(writer, status, payload)
+            return True
+        raise HttpError(405, "GET or DELETE only")
+
+
+def run(config: Optional[ServeConfig] = None) -> None:
+    """Blocking entry point (``repro serve``)."""
+    server = SolveServer(config)
+
+    async def _main() -> None:
+        await server.start()
+        try:
+            await server.serve_forever()
+        except asyncio.CancelledError:  # pragma: no cover - signal path
+            pass
+
+    try:
+        asyncio.run(_main())
+    except KeyboardInterrupt:  # pragma: no cover - interactive stop
+        print("repro serve: interrupted, shutting down")
+    finally:
+        server.jobs.shutdown(wait=False)

@@ -1,0 +1,134 @@
+"""Registry behavior under concurrent solves: locking, merge, quantiles."""
+
+import threading
+
+from repro.obs.metrics import MetricsRegistry
+
+
+class TestConcurrentUpdates:
+    def test_counter_increments_are_not_lost(self):
+        registry = MetricsRegistry()
+        threads_n, per_thread = 8, 5_000
+
+        def _work():
+            counter = registry.counter("hits", {"worker": "all"})
+            for _ in range(per_thread):
+                counter.inc()
+
+        threads = [threading.Thread(target=_work) for _ in range(threads_n)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        value = registry.counter("hits", {"worker": "all"}).value
+        assert value == threads_n * per_thread
+
+    def test_histogram_observations_are_not_lost(self):
+        registry = MetricsRegistry()
+        threads_n, per_thread = 6, 2_000
+
+        def _work(worker):
+            histogram = registry.histogram("latency")
+            for i in range(per_thread):
+                histogram.observe(float(i % 50))
+
+        threads = [
+            threading.Thread(target=_work, args=(i,))
+            for i in range(threads_n)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        histogram = registry.histogram("latency")
+        assert histogram.count == threads_n * per_thread
+        assert sum(histogram.bucket_counts) == histogram.count
+
+    def test_concurrent_instrument_creation_is_safe(self):
+        registry = MetricsRegistry()
+        barrier = threading.Barrier(8)
+
+        def _work(worker):
+            barrier.wait()
+            for i in range(200):
+                registry.counter("shared", {"k": str(i % 10)}).inc()
+
+        threads = [
+            threading.Thread(target=_work, args=(i,)) for i in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        total = sum(
+            instrument.value
+            for instrument in registry.instruments()
+            if instrument.name == "shared"
+        )
+        assert total == 8 * 200
+
+
+class TestMerge:
+    def test_merge_accumulates_counters(self):
+        target, source = MetricsRegistry(), MetricsRegistry()
+        target.counter("jobs", {"state": "done"}).inc(2)
+        source.counter("jobs", {"state": "done"}).inc(3)
+        source.counter("jobs", {"state": "failed"}).inc()
+        target.merge(source)
+        assert target.counter("jobs", {"state": "done"}).value == 5
+        assert target.counter("jobs", {"state": "failed"}).value == 1
+
+    def test_merge_combines_histograms(self):
+        target, source = MetricsRegistry(), MetricsRegistry()
+        boundaries = (1.0, 10.0, 100.0)
+        target.histogram("ms", boundaries=boundaries).observe(5.0)
+        source.histogram("ms", boundaries=boundaries).observe(50.0)
+        source.histogram("ms", boundaries=boundaries).observe(0.5)
+        target.merge(source)
+        merged = target.histogram("ms", boundaries=boundaries)
+        assert merged.count == 3
+        assert merged.sum == 55.5
+
+    def test_merge_takes_latest_gauge(self):
+        target, source = MetricsRegistry(), MetricsRegistry()
+        target.gauge("resident").set(2.0)
+        source.gauge("resident").set(7.0)
+        target.merge(source)
+        assert target.gauge("resident").value == 7.0
+
+    def test_merge_is_safe_under_concurrent_merges(self):
+        target = MetricsRegistry()
+
+        def _work():
+            source = MetricsRegistry()
+            source.counter("merged").inc(10)
+            source.histogram("h", boundaries=(1.0, 2.0)).observe(1.5)
+            for _ in range(100):
+                target.merge(source)
+
+        threads = [threading.Thread(target=_work) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert target.counter("merged").value == 4 * 100 * 10
+        assert target.histogram("h", boundaries=(1.0, 2.0)).count == 400
+
+
+class TestQuantile:
+    def test_quantile_returns_bucket_boundary(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram(
+            "ms", boundaries=(1.0, 10.0, 100.0, 1000.0)
+        )
+        for _ in range(99):
+            histogram.observe(5.0)
+        histogram.observe(500.0)
+        assert histogram.quantile(0.5) == 10.0
+        assert histogram.quantile(0.99) == 10.0
+        assert histogram.quantile(1.0) == 1000.0
+
+    def test_quantile_of_empty_histogram_is_zero(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("ms", boundaries=(1.0, 2.0))
+        assert histogram.quantile(0.5) == 0.0
