@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install test test-output bench bench-full bench-output bench-perf bench-perf-update bench-parallel bench-serve serve examples figures clean
+.PHONY: install test test-output bench bench-full bench-output bench-perf bench-perf-update bench-parallel bench-serve bench-serve-overload serve examples figures clean
 
 install:
 	pip install -e '.[dev]'
@@ -44,6 +44,11 @@ bench-parallel:
 # benchmarks/history/serve.jsonl.
 bench-serve:
 	$(PYTHON) -B benchmarks/bench_serve.py --check
+
+# Admission storm at ~10x service capacity: shed rate, goodput and
+# p99-of-admitted recorded under the serve/overload history key.
+bench-serve-overload:
+	$(PYTHON) -B benchmarks/bench_serve.py --overload --check
 
 # Run the HTTP/JSON partitioning service on the default port.
 serve:

@@ -12,6 +12,7 @@ gate::
     python benchmarks/bench_serve.py                  # measure + record
     python benchmarks/bench_serve.py --check          # also gate on history
     python benchmarks/bench_serve.py --p99-budget 2000
+    python benchmarks/bench_serve.py --overload       # admission storm
 
 Unconditional gates (exit 1, with or without ``--check``):
 
@@ -21,6 +22,14 @@ Unconditional gates (exit 1, with or without ``--check``):
   the race) without killing the server;
 * the server still answers ``/v1/health`` after the storm;
 * with ``--p99-budget MS``: client-observed p99 stays under it.
+
+``--overload`` instead floods a deliberately small admission queue with
+cold-build solves (every request a cache miss) at roughly 10x service
+capacity and records shed rate, goodput (admitted requests per second)
+and p99-of-admitted latency under the ``serve/overload`` key.  Its
+unconditional gates: goodput stays above zero, every response body is
+schema-valid (result or ``repro-error/v1`` envelope), the queue depth
+never exceeds the bound, and the server answers health afterwards.
 """
 
 from __future__ import annotations
@@ -38,7 +47,10 @@ if str(REPO_ROOT / "src") not in sys.path:
 from bench_perf_regression import calibration_ms  # noqa: E402
 from repro.bench import history as bench_history  # noqa: E402
 from repro.core.result_schema import validate_result  # noqa: E402
+from repro.errors import ConfigurationError  # noqa: E402
 from repro.serve import EmbeddedServer, ServeConfig  # noqa: E402
+from repro.serve.client import ServerError  # noqa: E402
+from repro.serve.errors import validate_error  # noqa: E402
 
 PROFILE = "serve"
 
@@ -63,6 +75,156 @@ def _fire(client, body, latencies, failures, lock):
     with lock:
         latencies.append(elapsed_ms)
     return payload
+
+
+def _record_and_report(args, cal, results, failures) -> int:
+    """Shared tail: history record, regression gate, verdict."""
+    if not args.no_history:
+        record = bench_history.make_record(
+            PROFILE, cal, results, repo_root=REPO_ROOT
+        )
+        past = bench_history.load_history(args.history_dir, PROFILE)
+        messages = bench_history.regression_messages(past, record)
+        if messages and args.check:
+            failures.extend(f"history regression: {m}" for m in messages)
+        elif messages:
+            for message in messages:
+                print(f"warning: history regression: {message}")
+        if not messages and not failures:
+            path = bench_history.append_run(args.history_dir, PROFILE, record)
+            print(f"history: appended run to {path}")
+        else:
+            print("history: run NOT appended")
+
+    if failures:
+        print("\nSERVE BENCH FAILED:")
+        for message in failures:
+            print(f"  - {message}")
+        return 1
+    print("\nserve bench passed")
+    return 0
+
+
+def _overload(args) -> int:
+    """Admission storm: ~10x capacity against a small bounded queue."""
+    cal = calibration_ms(args.repeats)
+    print(f"calibration: {cal:.3f} ms")
+
+    failures: list = []
+    admitted_ms: list = []
+    shed_or_rejected = [0]
+    invalid_bodies = [0]
+    completed = [0]
+    lock = threading.Lock()
+    seed_counter = iter(range(500_000, 600_000))
+
+    config = ServeConfig(
+        port=0,
+        pool_size=args.pool_size,
+        max_instances=4,
+        max_jobs=max(64, args.requests),
+        max_queue=args.max_queue,
+        admission_policy="shed-expired",
+    )
+    harness = EmbeddedServer(config)
+    with harness as client:
+
+        def _worker(count):
+            for _ in range(count):
+                with lock:
+                    seed = next(seed_counter)
+                body = {
+                    "instance": {
+                        # A fresh seed per request defeats the instance
+                        # LRU: every admitted job costs a cold build,
+                        # which is what outruns the worker pool.
+                        "dataset": "gowalla",
+                        "users": args.users,
+                        "events": args.events,
+                        "seed": seed,
+                    },
+                    "solver": "gt",
+                    "options": {"deadline_seconds": 10.0},
+                    "wait": True,
+                }
+                start = time.perf_counter()
+                try:
+                    payload = client.solve(body)
+                except ServerError as exc:
+                    with lock:
+                        shed_or_rejected[0] += 1
+                        if (
+                            exc.payload is None
+                            or validate_error(exc.payload)
+                        ):
+                            invalid_bodies[0] += 1
+                except ConfigurationError as exc:
+                    with lock:
+                        failures.append(f"unexpected 400: {exc}")
+                except Exception as exc:  # noqa: BLE001
+                    with lock:
+                        failures.append(
+                            f"request died: {type(exc).__name__}: {exc}"
+                        )
+                else:
+                    elapsed_ms = (time.perf_counter() - start) * 1e3
+                    with lock:
+                        completed[0] += 1
+                        admitted_ms.append(elapsed_ms)
+                        if validate_result(payload.get("result", {})):
+                            invalid_bodies[0] += 1
+
+        per_thread = max(1, args.requests // args.concurrency)
+        started = time.perf_counter()
+        threads = [
+            threading.Thread(target=_worker, args=(per_thread,))
+            for _ in range(args.concurrency)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        total_seconds = time.perf_counter() - started
+
+        table = harness.server.jobs
+        max_depth = table.queue.max_depth_seen
+        if max_depth > args.max_queue:
+            failures.append(
+                f"queue depth {max_depth} exceeded bound {args.max_queue}"
+            )
+        health = client.health()
+        if health.get("status") not in ("ok", "degraded", "overloaded"):
+            failures.append(f"server unhealthy after storm: {health}")
+
+    total = completed[0] + shed_or_rejected[0]
+    shed_rate = shed_or_rejected[0] / total if total else 0.0
+    goodput = completed[0] / total_seconds if total_seconds > 0 else 0.0
+    p99_admitted = _percentile(admitted_ms, 0.99)
+    print(
+        f"overload: requests={total} admitted={completed[0]} "
+        f"shed_or_rejected={shed_or_rejected[0]} "
+        f"max_queue_depth={max_depth}/{args.max_queue}"
+    )
+    print(
+        f"overload: shed_rate={shed_rate:.2f} goodput={goodput:.1f} req/s "
+        f"p99_admitted={p99_admitted:.1f} ms"
+    )
+
+    if completed[0] == 0:
+        failures.append("zero goodput: no request survived the storm")
+    if invalid_bodies[0]:
+        failures.append(
+            f"{invalid_bodies[0]} schema-invalid response bodies"
+        )
+
+    results = {
+        "serve/overload": {
+            "wall_ms": p99_admitted,
+            "req_s": goodput,
+            "shed_rate": shed_rate,
+        },
+    }
+    return _record_and_report(args, cal, results, failures)
 
 
 def main(argv=None) -> int:
@@ -102,7 +264,25 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--repeats", type=int, default=3, help="calibration repeats"
     )
+    parser.add_argument(
+        "--overload", action="store_true",
+        help="run the admission storm scenario instead of the latency "
+             "profile (cold-build flood at ~10x service capacity)",
+    )
+    parser.add_argument(
+        "--max-queue", type=int, default=4,
+        help="admission queue bound for --overload (default: 4)",
+    )
     args = parser.parse_args(argv)
+
+    if args.overload:
+        if args.pool_size == parser.get_default("pool_size"):
+            args.pool_size = 2
+        if args.users == parser.get_default("users"):
+            args.users = 600
+        if args.events == parser.get_default("events"):
+            args.events = 16
+        return _overload(args)
 
     cal = calibration_ms(args.repeats)
     print(f"calibration: {cal:.3f} ms")
@@ -223,30 +403,7 @@ def main(argv=None) -> int:
         "serve/p50": {"wall_ms": p50, "req_s": req_s},
         "serve/p99": {"wall_ms": p99, "req_s": req_s},
     }
-    if not args.no_history:
-        record = bench_history.make_record(
-            PROFILE, cal, results, repo_root=REPO_ROOT
-        )
-        past = bench_history.load_history(args.history_dir, PROFILE)
-        messages = bench_history.regression_messages(past, record)
-        if messages and args.check:
-            failures.extend(f"history regression: {m}" for m in messages)
-        elif messages:
-            for message in messages:
-                print(f"warning: history regression: {message}")
-        if not messages and not failures:
-            path = bench_history.append_run(args.history_dir, PROFILE, record)
-            print(f"history: appended run to {path}")
-        else:
-            print("history: run NOT appended")
-
-    if failures:
-        print("\nSERVE BENCH FAILED:")
-        for message in failures:
-            print(f"  - {message}")
-        return 1
-    print("\nserve bench passed")
-    return 0
+    return _record_and_report(args, cal, results, failures)
 
 
 if __name__ == "__main__":

@@ -274,6 +274,48 @@ def build_parser() -> argparse.ArgumentParser:
         help="deadline applied to requests that do not send one "
              "(default: unbounded)",
     )
+    serve.add_argument(
+        "--max-queue", type=int, default=64, metavar="N",
+        help="admission bound on queued (admitted, not yet running) "
+             "jobs; past it requests get 429 + Retry-After (default: 64)",
+    )
+    serve.add_argument(
+        "--admission-policy", default="reject",
+        choices=["reject", "shed-expired"],
+        help="full-queue policy: reject outright, or first shed queued "
+             "requests whose deadline already elapsed (default: reject)",
+    )
+    serve.add_argument(
+        "--interactive-weight", type=int, default=4, metavar="W",
+        help="dequeue W interactive jobs per batch job when both "
+             "classes are queued (default: 4)",
+    )
+    serve.add_argument(
+        "--read-timeout", type=float, default=30.0, metavar="SECONDS",
+        help="per-connection cap on reading the request head/body; "
+             "stalled reads get 408 (default: 30)",
+    )
+    serve.add_argument(
+        "--write-timeout", type=float, default=30.0, metavar="SECONDS",
+        help="cap on one response/stream write; a stalled client "
+             "connection is aborted (default: 30)",
+    )
+    serve.add_argument(
+        "--drain-grace", type=float, default=5.0, metavar="SECONDS",
+        help="graceful-shutdown budget: on SIGTERM in-flight solves get "
+             "this long to finish as best-so-far results (default: 5)",
+    )
+    serve.add_argument(
+        "--drain-checkpoint-dir", metavar="DIR",
+        help="persist round-boundary checkpoints of jobs interrupted "
+             "by a drain under DIR for post-restart resume "
+             "(default: off)",
+    )
+    serve.add_argument(
+        "--health-p99-ms", type=float, metavar="MS",
+        help="report /v1/health status 'degraded' once the recent p99 "
+             "request latency exceeds MS (default: off)",
+    )
     return parser
 
 
@@ -669,7 +711,15 @@ def _run_serve(arguments) -> int:
             pool_size=arguments.pool_size,
             max_instances=arguments.max_instances,
             max_jobs=arguments.max_jobs,
+            max_queue=arguments.max_queue,
+            admission_policy=arguments.admission_policy,
+            interactive_weight=arguments.interactive_weight,
+            read_timeout_seconds=arguments.read_timeout,
+            write_timeout_seconds=arguments.write_timeout,
+            drain_grace_seconds=arguments.drain_grace,
+            drain_checkpoint_dir=arguments.drain_checkpoint_dir,
             default_deadline_seconds=arguments.default_deadline,
+            health_p99_ms=arguments.health_p99_ms,
         )
     )
     return 0

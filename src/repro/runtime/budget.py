@@ -114,6 +114,37 @@ class RuntimeBudget:
             self._start = self.clock()
             self._last_check = self._start
 
+    def tighten(self, grace_seconds: float) -> None:
+        """Cap the *remaining* runtime at ``grace_seconds`` from now.
+
+        The graceful-drain hook: a serving layer that must shut down
+        calls ``tighten`` on the budgets of in-flight solves, and the
+        next round-boundary :meth:`check` observes the tightened
+        deadline — the solve degrades to a valid best-so-far result
+        through the normal ``stop_reason="deadline"`` path instead of
+        being killed.  An already-sooner deadline is kept (tighten never
+        extends); a budget that has not started yet gets
+        ``deadline_seconds=grace_seconds`` outright, measured from its
+        first check as usual.
+
+        Thread-safe in the only way that matters here: ``check`` reads
+        ``deadline_seconds`` once per round boundary, and a float
+        attribute store is atomic under the GIL.  Note that tightening a
+        started budget reads the clock once, so stateful test clocks
+        (:class:`SteppingClock`) advance by one step.
+        """
+        if grace_seconds <= 0:
+            raise ConfigurationError(
+                f"grace_seconds must be positive, got {grace_seconds}"
+            )
+        if self._start is None:
+            tightened = float(grace_seconds)
+        else:
+            elapsed = self.clock() - self._start
+            tightened = elapsed + float(grace_seconds)
+        if self.deadline_seconds is None or tightened < self.deadline_seconds:
+            self.deadline_seconds = tightened
+
     def check(self, next_round_index: int) -> Optional[SolveInterrupted]:
         """One round-boundary check; returns the interrupt or ``None``.
 

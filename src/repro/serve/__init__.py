@@ -25,24 +25,44 @@ The wire schemas are the library's own: request options are
 :meth:`repro.api.SolveOptions.from_dict` and responses embed the frozen
 ``repro-result/v1`` payload of
 :meth:`repro.core.result.PartitionResult.to_dict` — one contract for
-library callers, the CLI and the wire.  See ``docs/API.md`` (Serving).
+library callers, the CLI and the wire.  Every non-2xx response is one
+``repro-error/v1`` envelope (:mod:`repro.serve.errors`); overload and
+shutdown semantics (admission control, load shedding, graceful drain)
+are documented in ``docs/API.md`` (Serving → Overload & shutdown).
 """
 
-from repro.serve.client import EmbeddedServer, ServeClient
+from repro.serve.chaos import ChaosPlan, ChaosProxy
+from repro.serve.client import EmbeddedServer, RetryPolicy, ServeClient
 from repro.serve.config import ServeConfig
-from repro.serve.jobs import Job, JobTable
+from repro.serve.errors import ERROR_SCHEMA_VERSION, error_body, validate_error
+from repro.serve.jobs import (
+    AdmissionQueue,
+    AdmissionRejected,
+    Job,
+    JobTable,
+    ServiceDraining,
+)
 from repro.serve.server import SolveServer
 from repro.serve.store import InstanceStore
 from repro.serve.wire import API_VERSION, SolveRequest
 
 __all__ = [
     "API_VERSION",
+    "AdmissionQueue",
+    "AdmissionRejected",
+    "ChaosPlan",
+    "ChaosProxy",
+    "ERROR_SCHEMA_VERSION",
     "EmbeddedServer",
     "InstanceStore",
     "Job",
     "JobTable",
+    "RetryPolicy",
     "ServeClient",
     "ServeConfig",
+    "ServiceDraining",
     "SolveRequest",
     "SolveServer",
+    "error_body",
+    "validate_error",
 ]

@@ -1,0 +1,317 @@
+"""A fault-injecting TCP proxy for serving-layer chaos tests.
+
+:class:`ChaosProxy` sits between a client and a
+:class:`~repro.serve.server.SolveServer` and misbehaves on purpose, one
+fault class per accepted connection, chosen deterministically from a
+seeded :class:`ChaosPlan` in accept order:
+
+* ``pass`` — faithful bidirectional forwarding (the control group);
+* ``drop`` — accept, then close immediately (connection reset);
+* ``delay`` — hold the first client bytes for a beat before
+  forwarding (tests the server's read patience, not its parser);
+* ``blackhole`` — swallow the request and answer nothing until the
+  hold expires (drives client timeouts / the server's write stall);
+* ``trickle`` — forward the response a few bytes at a time (slow
+  consumer; exercises the streaming write path under backpressure);
+* ``garble`` — flip bits in the first request segment (the server
+  must answer with a 4xx envelope or close, never crash or emit an
+  invalid body).
+
+Everything is plain ``socket`` + ``threading`` (the proxy must not
+share an event loop with the server under test), and every fault is a
+pure function of ``(seed, connection index)`` — a failing chaos run
+replays exactly.
+"""
+
+from __future__ import annotations
+
+import random
+import socket
+import threading
+import time
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.errors import ConfigurationError
+
+#: Fault classes in cumulative-draw order (``pass`` takes the rest).
+FAULT_KINDS = ("drop", "delay", "blackhole", "trickle", "garble", "pass")
+
+_CHUNK = 65536
+
+
+@dataclass(frozen=True)
+class ChaosPlan:
+    """Seeded fault mix: per-connection probabilities of each fault.
+
+    The probabilities must sum to at most 1; the remainder is the
+    ``pass`` (no-fault) rate.  ``fault_for(index)`` is deterministic —
+    the same seed and index always yield the same fault, so a chaos
+    failure reproduces from its seed alone.
+    """
+
+    seed: int = 0
+    drop_rate: float = 0.0
+    delay_rate: float = 0.0
+    blackhole_rate: float = 0.0
+    trickle_rate: float = 0.0
+    garble_rate: float = 0.0
+    delay_seconds: float = 0.05
+    blackhole_seconds: float = 0.25
+    trickle_chunk_bytes: int = 64
+    trickle_interval_seconds: float = 0.005
+
+    def __post_init__(self) -> None:
+        rates = (
+            self.drop_rate,
+            self.delay_rate,
+            self.blackhole_rate,
+            self.trickle_rate,
+            self.garble_rate,
+        )
+        for rate in rates:
+            if not 0.0 <= rate <= 1.0:
+                raise ConfigurationError(
+                    f"chaos rates must be in [0, 1], got {rate!r}"
+                )
+        if sum(rates) > 1.0 + 1e-9:
+            raise ConfigurationError(
+                f"chaos rates must sum to <= 1, got {sum(rates):g}"
+            )
+        if self.delay_seconds < 0 or self.blackhole_seconds < 0:
+            raise ConfigurationError("chaos hold times must be >= 0")
+        if self.trickle_chunk_bytes < 1:
+            raise ConfigurationError(
+                "trickle_chunk_bytes must be >= 1, got "
+                f"{self.trickle_chunk_bytes}"
+            )
+        if self.trickle_interval_seconds < 0:
+            raise ConfigurationError(
+                "trickle_interval_seconds must be >= 0"
+            )
+
+    def fault_for(self, index: int) -> str:
+        """The fault of the ``index``-th accepted connection."""
+        draw = random.Random(f"{self.seed}:{index}").random()
+        bound = 0.0
+        for kind, rate in (
+            ("drop", self.drop_rate),
+            ("delay", self.delay_rate),
+            ("blackhole", self.blackhole_rate),
+            ("trickle", self.trickle_rate),
+            ("garble", self.garble_rate),
+        ):
+            bound += rate
+            if draw < bound:
+                return kind
+        return "pass"
+
+    def describe(self) -> Dict[str, float]:
+        return {
+            "seed": self.seed,
+            "drop": self.drop_rate,
+            "delay": self.delay_rate,
+            "blackhole": self.blackhole_rate,
+            "trickle": self.trickle_rate,
+            "garble": self.garble_rate,
+        }
+
+
+def _garble(data: bytes, seed: Tuple[int, int]) -> bytes:
+    """Flip a deterministic sprinkle of bits in ``data``."""
+    if not data:
+        return data
+    rng = random.Random(seed)
+    out = bytearray(data)
+    flips = max(1, len(out) // 16)
+    for _ in range(flips):
+        out[rng.randrange(len(out))] ^= 1 << rng.randrange(8)
+    return bytes(out)
+
+
+class ChaosProxy:
+    """Thread-based fault-injecting TCP proxy in front of one server."""
+
+    def __init__(
+        self,
+        target: Tuple[str, int],
+        plan: Optional[ChaosPlan] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.target = target
+        self.plan = plan or ChaosPlan()
+        self.host = host
+        self._listener = socket.create_server(
+            (host, port), reuse_port=False
+        )
+        self._listener.settimeout(0.2)
+        self.port = self._listener.getsockname()[1]
+        self._stop = threading.Event()
+        self._accept_thread: Optional[threading.Thread] = None
+        self._threads: list = []
+        self._lock = threading.Lock()
+        self._accepted = 0
+        self.fault_counts: Dict[str, int] = {kind: 0 for kind in FAULT_KINDS}
+
+    # -- lifecycle ------------------------------------------------------
+    def start(self) -> "ChaosProxy":
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="repro-chaos-accept", daemon=True
+        )
+        self._accept_thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=10)
+            self._accept_thread = None
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        with self._lock:
+            threads = list(self._threads)
+        for thread in threads:
+            thread.join(timeout=10)
+
+    def __enter__(self) -> "ChaosProxy":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # -- plumbing -------------------------------------------------------
+    def _accept_loop(self) -> None:
+        while not self._stop.is_set():
+            try:
+                client, _addr = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return
+            with self._lock:
+                index = self._accepted
+                self._accepted += 1
+            fault = self.plan.fault_for(index)
+            self.fault_counts[fault] += 1
+            thread = threading.Thread(
+                target=self._handle,
+                args=(client, index, fault),
+                name=f"repro-chaos-{index}-{fault}",
+                daemon=True,
+            )
+            with self._lock:
+                self._threads.append(thread)
+            thread.start()
+
+    def _handle(self, client: socket.socket, index: int, fault: str) -> None:
+        try:
+            if fault == "drop":
+                # RST rather than FIN where the platform allows it: the
+                # abrupt variant is the harsher client-visible failure.
+                try:
+                    client.setsockopt(
+                        socket.SOL_SOCKET,
+                        socket.SO_LINGER,
+                        b"\x01\x00\x00\x00\x00\x00\x00\x00",
+                    )
+                except OSError:
+                    pass
+                client.close()
+                return
+            if fault == "blackhole":
+                client.settimeout(0.2)
+                deadline = time.monotonic() + self.plan.blackhole_seconds
+                while (
+                    time.monotonic() < deadline
+                    and not self._stop.is_set()
+                ):
+                    try:
+                        if client.recv(_CHUNK) == b"":
+                            break
+                    except socket.timeout:
+                        continue
+                    except OSError:
+                        break
+                client.close()
+                return
+            upstream = socket.create_connection(self.target, timeout=10)
+        except OSError:
+            try:
+                client.close()
+            except OSError:
+                pass
+            return
+        try:
+            self._pump_pair(client, upstream, index, fault)
+        finally:
+            for sock in (client, upstream):
+                try:
+                    sock.close()
+                except OSError:
+                    pass
+
+    def _pump_pair(
+        self,
+        client: socket.socket,
+        upstream: socket.socket,
+        index: int,
+        fault: str,
+    ) -> None:
+        first_request_chunk = fault in ("delay", "garble")
+
+        def _to_upstream() -> None:
+            nonlocal first_request_chunk
+            while not self._stop.is_set():
+                try:
+                    data = client.recv(_CHUNK)
+                except OSError:
+                    break
+                if not data:
+                    break
+                if first_request_chunk:
+                    if fault == "delay":
+                        time.sleep(self.plan.delay_seconds)
+                    elif fault == "garble":
+                        data = _garble(data, f"{self.plan.seed}:{index}")
+                    first_request_chunk = False
+                try:
+                    upstream.sendall(data)
+                except OSError:
+                    break
+            try:
+                upstream.shutdown(socket.SHUT_WR)
+            except OSError:
+                pass
+
+        def _to_client() -> None:
+            while not self._stop.is_set():
+                try:
+                    data = upstream.recv(_CHUNK)
+                except OSError:
+                    break
+                if not data:
+                    break
+                try:
+                    if fault == "trickle":
+                        step = self.plan.trickle_chunk_bytes
+                        for offset in range(0, len(data), step):
+                            client.sendall(data[offset:offset + step])
+                            time.sleep(self.plan.trickle_interval_seconds)
+                    else:
+                        client.sendall(data)
+                except OSError:
+                    break
+            try:
+                client.shutdown(socket.SHUT_WR)
+            except OSError:
+                pass
+
+        up = threading.Thread(target=_to_upstream, daemon=True)
+        down = threading.Thread(target=_to_client, daemon=True)
+        up.start()
+        down.start()
+        up.join()
+        down.join()

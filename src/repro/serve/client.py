@@ -7,6 +7,15 @@ validation errors are re-raised as
 field-path message, so a misconfigured request fails the same way over
 the wire as it does in-process.
 
+Resilience is opt-in via :class:`RetryPolicy`: the client then retries
+exactly the failures the ``repro-error/v1`` envelope marks retryable
+(429 admission rejections, 503 shed/draining, read timeouts) plus
+connection-refused — never 400s (retrying verbatim cannot succeed) and
+never 500s (the solve may have side effects worth inspecting).  Backoff
+is exponential with decorrelated jitter, clamped per attempt, floored
+by the server's ``Retry-After`` hint, and bounded by a total wall-clock
+budget.
+
 :class:`EmbeddedServer` runs a :class:`~repro.serve.server.SolveServer`
 on a background thread with its own event loop — the harness used by
 tests and the load-generator benchmark::
@@ -19,7 +28,10 @@ from __future__ import annotations
 
 import http.client
 import json
+import random
 import threading
+import time
+from dataclasses import dataclass
 from typing import Any, Dict, Iterator, List, Optional
 
 from repro.errors import ConfigurationError
@@ -28,22 +40,107 @@ from repro.serve.wire import API_VERSION
 
 
 class ServerError(RuntimeError):
-    """A non-validation HTTP error (5xx, unexpected status)."""
+    """A non-validation HTTP error (429/5xx, unexpected status).
 
-    def __init__(self, status: int, message: str) -> None:
+    Carries the machine-readable pieces of the ``repro-error/v1``
+    envelope when the server sent one: ``code``, ``retryable`` and the
+    ``Retry-After`` hint (seconds) the retry loop honors.
+    """
+
+    def __init__(
+        self,
+        status: int,
+        message: str,
+        code: Optional[str] = None,
+        retryable: bool = False,
+        retry_after_seconds: Optional[float] = None,
+        payload: Optional[Dict[str, Any]] = None,
+    ) -> None:
         super().__init__(f"HTTP {status}: {message}")
         self.status = status
+        self.code = code
+        self.retryable = retryable
+        self.retry_after_seconds = retry_after_seconds
+        self.payload = payload
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Retry knobs: exponential backoff with decorrelated jitter.
+
+    Each delay is drawn uniformly from ``[base_delay_seconds,
+    3 * previous_delay]`` and clamped to ``max_delay_seconds`` — the
+    "decorrelated jitter" scheme, which spreads retry storms without the
+    lockstep of plain exponential backoff.  A server ``Retry-After``
+    floors the drawn delay.  ``budget_seconds`` bounds the total time
+    spent across all attempts (sleeps included): the loop gives up with
+    the last error rather than start a sleep it cannot afford.
+
+    ``seed`` pins the jitter stream for deterministic tests; ``None``
+    (production) seeds from the OS.
+    """
+
+    max_attempts: int = 4
+    base_delay_seconds: float = 0.05
+    max_delay_seconds: float = 2.0
+    budget_seconds: float = 30.0
+    seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigurationError(
+                f"retry.max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.base_delay_seconds <= 0:
+            raise ConfigurationError(
+                "retry.base_delay_seconds must be positive, got "
+                f"{self.base_delay_seconds}"
+            )
+        if self.max_delay_seconds < self.base_delay_seconds:
+            raise ConfigurationError(
+                "retry.max_delay_seconds must be >= base_delay_seconds"
+            )
+        if self.budget_seconds <= 0:
+            raise ConfigurationError(
+                f"retry.budget_seconds must be positive, got "
+                f"{self.budget_seconds}"
+            )
+
+    def next_delay(
+        self,
+        rng: random.Random,
+        previous_delay: Optional[float],
+        retry_after_seconds: Optional[float] = None,
+    ) -> float:
+        """One decorrelated-jitter delay, floored by ``Retry-After``."""
+        previous = (
+            previous_delay if previous_delay is not None
+            else self.base_delay_seconds
+        )
+        delay = min(
+            self.max_delay_seconds,
+            rng.uniform(self.base_delay_seconds, previous * 3),
+        )
+        if retry_after_seconds is not None:
+            delay = max(delay, retry_after_seconds)
+        return delay
 
 
 class ServeClient:
     """One server endpoint; a fresh connection per call (thread-safe)."""
 
     def __init__(
-        self, host: str = "127.0.0.1", port: int = 8350, timeout: float = 60.0
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8350,
+        timeout: float = 60.0,
+        retry: Optional[RetryPolicy] = None,
     ) -> None:
         self.host = host
         self.port = port
         self.timeout = timeout
+        self.retry = retry
+        self._rng = random.Random(retry.seed if retry is not None else None)
 
     # -- plumbing -------------------------------------------------------
     def _connect(self) -> http.client.HTTPConnection:
@@ -52,6 +149,44 @@ class ServeClient:
         )
 
     def _request(
+        self,
+        method: str,
+        path: str,
+        body: Optional[Dict[str, Any]] = None,
+        ok: tuple = (200,),
+    ) -> Dict[str, Any]:
+        if self.retry is None:
+            return self._request_once(method, path, body, ok)
+        policy = self.retry
+        start = time.monotonic()
+        previous_delay: Optional[float] = None
+        attempt = 0
+        while True:
+            attempt += 1
+            retry_after: Optional[float] = None
+            try:
+                return self._request_once(method, path, body, ok)
+            except ServerError as exc:
+                # The envelope's own retryable flag is authoritative:
+                # the server knows whether the work started.
+                if not exc.retryable or attempt >= policy.max_attempts:
+                    raise
+                retry_after = exc.retry_after_seconds
+                last_error: Exception = exc
+            except (ConnectionRefusedError, ConnectionResetError) as exc:
+                # The request never reached a handler (refused) or died
+                # before a response (reset on these fresh, one-request
+                # connections happens before any solve is admitted).
+                if attempt >= policy.max_attempts:
+                    raise
+                last_error = exc
+            delay = policy.next_delay(self._rng, previous_delay, retry_after)
+            previous_delay = delay
+            if time.monotonic() - start + delay > policy.budget_seconds:
+                raise last_error
+            time.sleep(delay)
+
+    def _request_once(
         self,
         method: str,
         path: str,
@@ -67,13 +202,49 @@ class ServeClient:
             raw = response.read()
             payload = json.loads(raw.decode()) if raw else {}
             if response.status not in ok:
-                message = self._error_message(payload, raw)
-                if response.status == 400:
-                    raise ConfigurationError(message)
-                raise ServerError(response.status, message)
+                raise self._as_error(response, payload, raw)
             return payload
         finally:
             conn.close()
+
+    @classmethod
+    def _as_error(
+        cls, response: Any, payload: Any, raw: bytes
+    ) -> Exception:
+        """Map a non-2xx response to the typed client exception."""
+        message = cls._error_message(payload, raw)
+        if response.status == 400:
+            return ConfigurationError(message)
+        code = None
+        retryable = response.status in (429, 503)
+        retry_after: Optional[float] = None
+        if isinstance(payload, dict) and isinstance(
+            payload.get("error"), dict
+        ):
+            error = payload["error"]
+            code = error.get("code")
+            if isinstance(error.get("retryable"), bool):
+                retryable = error["retryable"]
+            value = error.get("retry_after_seconds")
+            if isinstance(value, (int, float)) and not isinstance(
+                value, bool
+            ):
+                retry_after = float(value)
+        if retry_after is None:
+            header = response.getheader("Retry-After")
+            if header is not None:
+                try:
+                    retry_after = float(header)
+                except ValueError:
+                    pass
+        return ServerError(
+            response.status,
+            message,
+            code=code,
+            retryable=retryable,
+            retry_after_seconds=retry_after,
+            payload=payload if isinstance(payload, dict) else None,
+        )
 
     @staticmethod
     def _error_message(payload: Any, raw: bytes) -> str:
@@ -113,7 +284,10 @@ class ServeClient:
         With the default ``wait=true`` this returns the finished job
         envelope (``payload["result"]`` is the ``repro-result/v1``
         document).  With ``"wait": false`` it returns the 202 ticket
-        (``{"job": ..., "state": "queued"}``) for later polling.
+        (``{"job": ..., "state": "queued"}``) for later polling.  With a
+        :class:`RetryPolicy`, admission rejections (429) and shed or
+        draining responses (503) are retried — those are exactly the
+        statuses where the server guarantees the solve never started.
         """
         return self._request(
             "POST", f"/{API_VERSION}/solve", body=request, ok=(200, 202)
@@ -143,10 +317,7 @@ class ServeClient:
             if response.status != 200:
                 raw = response.read()
                 payload = json.loads(raw.decode()) if raw else {}
-                message = self._error_message(payload, raw)
-                if response.status == 400:
-                    raise ConfigurationError(message)
-                raise ServerError(response.status, message)
+                raise self._as_error(response, payload, raw)
             # http.client decodes the chunked framing; what remains is
             # newline-delimited JSON.
             buffer = b""
@@ -185,12 +356,10 @@ class ServeClient:
         self, job_id: str, timeout: float = 60.0, poll: float = 0.02
     ) -> Dict[str, Any]:
         """Poll ``GET /v1/jobs/<id>`` until the job leaves the pool."""
-        import time
-
         deadline = time.monotonic() + timeout
         while True:
             payload = self.job(job_id)
-            if payload["state"] in ("done", "cancelled", "failed"):
+            if payload["state"] in ("done", "cancelled", "failed", "shed"):
                 return payload
             if time.monotonic() >= deadline:
                 raise TimeoutError(
@@ -257,6 +426,14 @@ class EmbeddedServer:
         if self._startup_error is not None:
             raise self._startup_error
         return ServeClient(self.server.config.host, self.server.port)
+
+    def drain(
+        self, grace_seconds: Optional[float] = None, wait: bool = True
+    ) -> None:
+        """Trigger a graceful drain (the in-process stand-in for
+        SIGTERM); the HTTP loop keeps serving polls/streams while the
+        job table degrades and finishes its in-flight work."""
+        self.server.jobs.drain(grace_seconds, wait=wait)
 
     def stop(self) -> None:
         if self._loop is not None and self._loop.is_running():

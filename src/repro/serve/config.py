@@ -7,6 +7,9 @@ from typing import Optional
 
 from repro.errors import ConfigurationError
 
+#: Admission policies of the bounded job queue.
+ADMISSION_POLICIES = ("reject", "shed-expired")
+
 
 @dataclass(frozen=True)
 class ServeConfig:
@@ -27,11 +30,50 @@ class ServeConfig:
     max_jobs:
         Finished jobs retained for ``GET /v1/jobs/<id>`` polling before
         the oldest are evicted (running jobs are never evicted).
+    max_queue:
+        Admission bound: jobs *queued* (admitted but not yet running).
+        Submissions past the bound are rejected with 429 +
+        ``Retry-After`` — the queue never grows without limit.
+    admission_policy:
+        ``"reject"`` — a full queue rejects new work outright;
+        ``"shed-expired"`` — a full queue first drops queued requests
+        whose ``deadline_seconds`` already elapsed while waiting (they
+        finish as ``stop_reason="shed"`` / 503), then rejects only if
+        still full.  Expired entries are also shed at dequeue instead of
+        burning a worker.
+    interactive_weight:
+        Weighted dequeue ratio: when both priority classes have queued
+        work, ``interactive_weight`` interactive jobs are dequeued for
+        every one ``batch`` job.
     max_body_bytes:
         Request-body cap; larger ``POST`` bodies are rejected with 413.
+    read_timeout_seconds:
+        Per-connection cap on reading the request head and the body
+        (slow-loris defense; also the keep-alive idle timeout).  Stalled
+        reads get 408 and the connection closes.
+    write_timeout_seconds:
+        Cap on one ``drain()`` of response/stream bytes (dead-subscriber
+        defense).  A stalled write aborts the connection and, for
+        streams, cancels the underlying job.
+    drain_grace_seconds:
+        Graceful-shutdown budget: on SIGTERM/``stop()`` in-flight solves
+        get this many more seconds (injected as a deadline, so they
+        degrade to valid best-so-far results); jobs still running after
+        it are cancelled at their next round boundary.
+    drain_checkpoint_dir:
+        When set, every job runs with a per-job checkpoint path under
+        this directory.  Interrupted solves persist a
+        :class:`~repro.runtime.SolveCheckpoint` there; outside a drain
+        the file is removed once the job finishes, during a drain it is
+        kept (and reported in the job envelope) so a restarted server
+        can resume byte-identically.  ``None`` disables checkpointing.
     default_deadline_seconds:
         Deadline applied to requests that do not send one; ``None``
         leaves them unbounded.
+    health_p99_ms:
+        When set, ``/v1/health`` reports ``"degraded"`` once the recent
+        p99 request latency exceeds this many milliseconds (queue-depth
+        thresholds apply regardless).
     """
 
     host: str = "127.0.0.1"
@@ -39,25 +81,60 @@ class ServeConfig:
     pool_size: int = 4
     max_instances: int = 8
     max_jobs: int = 256
+    max_queue: int = 64
+    admission_policy: str = "reject"
+    interactive_weight: int = 4
     max_body_bytes: int = 8 * 1024 * 1024
+    read_timeout_seconds: float = 30.0
+    write_timeout_seconds: float = 30.0
+    drain_grace_seconds: float = 5.0
+    drain_checkpoint_dir: Optional[str] = None
     default_deadline_seconds: Optional[float] = None
+    health_p99_ms: Optional[float] = None
 
     def __post_init__(self) -> None:
         for name, minimum in (
             ("pool_size", 1),
             ("max_instances", 1),
             ("max_jobs", 1),
+            ("max_queue", 1),
+            ("interactive_weight", 1),
             ("max_body_bytes", 1024),
         ):
             value = getattr(self, name)
-            if not isinstance(value, int) or value < minimum:
+            if not isinstance(value, int) or isinstance(value, bool) or (
+                value < minimum
+            ):
                 raise ConfigurationError(
                     f"serve.{name}: expected an integer >= {minimum}, "
                     f"got {value!r}"
                 )
-        if self.default_deadline_seconds is not None and (
-            self.default_deadline_seconds <= 0
+        if self.admission_policy not in ADMISSION_POLICIES:
+            raise ConfigurationError(
+                f"serve.admission_policy: expected one of "
+                f"{'/'.join(ADMISSION_POLICIES)}, "
+                f"got {self.admission_policy!r}"
+            )
+        for name in (
+            "read_timeout_seconds",
+            "write_timeout_seconds",
+            "drain_grace_seconds",
+        ):
+            value = getattr(self, name)
+            if not isinstance(value, (int, float)) or isinstance(
+                value, bool
+            ) or value <= 0:
+                raise ConfigurationError(
+                    f"serve.{name}: expected a positive number, got {value!r}"
+                )
+        for name in ("default_deadline_seconds", "health_p99_ms"):
+            value = getattr(self, name)
+            if value is not None and value <= 0:
+                raise ConfigurationError(f"serve.{name} must be positive")
+        if self.drain_checkpoint_dir is not None and not isinstance(
+            self.drain_checkpoint_dir, str
         ):
             raise ConfigurationError(
-                "serve.default_deadline_seconds must be positive"
+                "serve.drain_checkpoint_dir: expected a path string, got "
+                f"{self.drain_checkpoint_dir!r}"
             )

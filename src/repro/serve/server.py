@@ -9,9 +9,26 @@ worker pool and completion is signalled back with
 ``loop.call_soon_threadsafe`` — so health checks, polling and
 cancellation stay interactive while every worker is busy.
 
+Overload and failure semantics (see ``docs/API.md``):
+
+* every non-2xx body is one ``repro-error/v1`` envelope
+  (:func:`repro.serve.errors.error_body`); 429/503 also carry a
+  ``Retry-After`` header;
+* reads of the request head/body are bounded by
+  ``read_timeout_seconds`` (slow-loris defense → 408 + close) and every
+  response/stream write by ``write_timeout_seconds`` (a stalled client
+  gets its connection aborted rather than pinning buffers);
+* responses that prove the connection framing is still intact
+  (400/404/405/409) keep the connection alive so a pipelined follow-up
+  request still works; timeouts, overload and server errors close it;
+* SIGTERM (or :meth:`SolveServer.drain_and_stop`) drains: new solves
+  get 503 + ``Retry-After``, in-flight jobs finish within the grace
+  budget as valid best-so-far results, stragglers are cancelled at the
+  next round boundary (persisting drain checkpoints when configured).
+
 Endpoints (see ``docs/API.md`` for schemas and curl examples)::
 
-    GET    /v1/health       liveness + config + uptime
+    GET    /v1/health       liveness + load state + queue stats
     GET    /v1/solvers      registry catalog, backends, datasets
     POST   /v1/solve        run a solve (sync, async or streaming)
     GET    /v1/jobs         job summaries (newest last)
@@ -25,6 +42,8 @@ from __future__ import annotations
 
 import asyncio
 import json
+import math
+import signal
 import time
 from typing import Any, Dict, Optional, Tuple
 
@@ -34,7 +53,13 @@ from repro.errors import ConfigurationError
 from repro.obs.exporters import prometheus_text
 from repro.obs.metrics import MetricsRegistry
 from repro.serve.config import ServeConfig
-from repro.serve.jobs import Job, JobTable
+from repro.serve.errors import error_body
+from repro.serve.jobs import (
+    AdmissionRejected,
+    Job,
+    JobTable,
+    ServiceDraining,
+)
 from repro.serve.store import InstanceStore
 from repro.serve.wire import API_VERSION, INSTANCE_DATASETS, SolveRequest
 
@@ -44,10 +69,32 @@ _REASONS = {
     400: "Bad Request",
     404: "Not Found",
     405: "Method Not Allowed",
+    408: "Request Timeout",
     409: "Conflict",
     413: "Payload Too Large",
+    429: "Too Many Requests",
     500: "Internal Server Error",
+    503: "Service Unavailable",
 }
+
+#: Default ``repro-error/v1`` code per status (overridable per raise).
+_DEFAULT_CODES = {
+    400: "invalid_request",
+    404: "not_found",
+    405: "method_not_allowed",
+    408: "timeout",
+    409: "already_finished",
+    413: "payload_too_large",
+    429: "queue_full",
+    500: "internal",
+    503: "draining",
+}
+
+#: Statuses that leave the HTTP/1.1 framing intact: the request was
+#: fully read and the response fully framed, so the connection can keep
+#: serving pipelined/keep-alive requests.  Timeouts (the stream position
+#: is unknown), overload pushback and server errors close instead.
+_KEEP_ALIVE_STATUSES = frozenset({400, 404, 405, 409})
 
 _MAX_HEADER_BYTES = 64 * 1024
 
@@ -64,10 +111,36 @@ class _ProgressSink:
 
 
 class HttpError(Exception):
-    def __init__(self, status: int, message: str) -> None:
+    """One non-2xx response: status + ``repro-error/v1`` body pieces."""
+
+    def __init__(
+        self,
+        status: int,
+        message: str,
+        code: Optional[str] = None,
+        retry_after_seconds: Optional[float] = None,
+        field: Optional[str] = None,
+        job: Optional[str] = None,
+    ) -> None:
         super().__init__(message)
         self.status = status
         self.message = message
+        self.code = code or _DEFAULT_CODES.get(status, "internal")
+        self.retry_after_seconds = retry_after_seconds
+        self.field = field
+        self.job = job
+
+
+def _field_of(message: str) -> Optional[str]:
+    """The validation field path of a ConfigurationError, if any.
+
+    Wire validation errors are uniformly ``request[...]: detail`` —
+    the prefix becomes the envelope's machine-readable ``field``.
+    """
+    head, sep, _ = message.partition(": ")
+    if sep and head.startswith("request") and " " not in head:
+        return head
+    return None
 
 
 class SolveServer:
@@ -82,7 +155,12 @@ class SolveServer:
             registry=self.registry,
             pool_size=self.config.pool_size,
             max_jobs=self.config.max_jobs,
+            max_queue=self.config.max_queue,
+            admission_policy=self.config.admission_policy,
+            interactive_weight=self.config.interactive_weight,
             default_deadline_seconds=self.config.default_deadline_seconds,
+            drain_grace_seconds=self.config.drain_grace_seconds,
+            drain_checkpoint_dir=self.config.drain_checkpoint_dir,
         )
         self.started_at: Optional[float] = None
         self._server: Optional[asyncio.AbstractServer] = None
@@ -108,6 +186,23 @@ class SolveServer:
             self._server = None
         self.jobs.shutdown(wait=True)
 
+    async def drain_and_stop(
+        self, grace_seconds: Optional[float] = None
+    ) -> None:
+        """Graceful shutdown: 503 new work, degrade in-flight, stop.
+
+        The draining flag flips immediately (so the very next
+        ``POST /v1/solve`` is refused) while the event loop keeps
+        serving polls, streams and the blocking wait of in-flight
+        requests; the grace wait itself runs in an executor thread.
+        """
+        self.jobs.drain(grace_seconds, wait=False)
+        loop = asyncio.get_running_loop()
+        await loop.run_in_executor(
+            None, lambda: self.jobs.drain(grace_seconds, wait=True)
+        )
+        await self.stop()
+
     async def serve_forever(self) -> None:
         if self._server is None:
             await self.start()
@@ -127,7 +222,7 @@ class SolveServer:
                 except asyncio.IncompleteReadError:
                     break
                 except HttpError as exc:
-                    await self._write_error(writer, exc.status, exc.message)
+                    await self._write_error(writer, exc)
                     break
                 if request is None:
                     break
@@ -157,10 +252,21 @@ class SolveServer:
     async def _read_request(
         self, reader: asyncio.StreamReader
     ) -> Optional[Tuple[str, str, bytes]]:
+        timeout = self.config.read_timeout_seconds
         try:
-            head = await reader.readuntil(b"\r\n\r\n")
+            head = await asyncio.wait_for(
+                reader.readuntil(b"\r\n\r\n"), timeout
+            )
         except asyncio.LimitOverrunError:
             raise HttpError(413, "request head too large")
+        except asyncio.TimeoutError:
+            # Slow-loris (or an idle keep-alive connection): either way
+            # the client gets a parting 408 and the connection closes.
+            self.registry.counter("serve.timeouts", {"kind": "read"}).inc()
+            raise HttpError(
+                408,
+                f"timed out reading request head after {timeout:g}s",
+            )
         if len(head) > _MAX_HEADER_BYTES:
             raise HttpError(413, "request head too large")
         lines = head.decode("latin-1").split("\r\n")
@@ -185,18 +291,72 @@ class SolveServer:
                 413,
                 f"request body exceeds {self.config.max_body_bytes} bytes",
             )
-        body = await reader.readexactly(length) if length else b""
+        if length:
+            try:
+                body = await asyncio.wait_for(
+                    reader.readexactly(length), timeout
+                )
+            except asyncio.TimeoutError:
+                self.registry.counter(
+                    "serve.timeouts", {"kind": "read"}
+                ).inc()
+                raise HttpError(
+                    408,
+                    f"timed out reading request body after {timeout:g}s",
+                )
+        else:
+            body = b""
         return method.upper(), target, body
 
+    async def _drain_guarded(self, writer: asyncio.StreamWriter) -> None:
+        """``writer.drain()`` with the stalled-client guard.
+
+        A subscriber that stops reading (dead TCP peer, black-holed
+        route) would otherwise park the handler in ``drain()`` forever
+        with the job's buffers pinned.  Past the write timeout the
+        connection is aborted — for streams the caller's
+        ``ConnectionResetError`` path then cancels the job.
+        """
+        try:
+            await asyncio.wait_for(
+                writer.drain(), self.config.write_timeout_seconds
+            )
+        except asyncio.TimeoutError:
+            self.registry.counter("serve.timeouts", {"kind": "write"}).inc()
+            transport = writer.transport
+            if transport is not None:
+                transport.abort()
+            raise ConnectionResetError(
+                "write stalled past "
+                f"{self.config.write_timeout_seconds:g}s; connection aborted"
+            )
+
     async def _write_error(
-        self, writer: asyncio.StreamWriter, status: int, message: str
-    ) -> None:
+        self, writer: asyncio.StreamWriter, error: HttpError
+    ) -> bool:
+        """One ``repro-error/v1`` response; returns keep-alive."""
+        keep_alive = error.status in _KEEP_ALIVE_STATUSES
+        payload = error_body(
+            error.status,
+            error.code,
+            error.message,
+            retry_after_seconds=error.retry_after_seconds,
+            field=error.field,
+            job=error.job,
+        )
+        headers = {}
+        if error.retry_after_seconds is not None:
+            headers["Retry-After"] = str(
+                max(1, math.ceil(error.retry_after_seconds))
+            )
         await self._write_json(
             writer,
-            status,
-            {"error": {"status": status, "message": message}},
-            keep_alive=False,
+            error.status,
+            payload,
+            keep_alive=keep_alive,
+            extra_headers=headers,
         )
+        return keep_alive
 
     async def _write_json(
         self,
@@ -204,10 +364,12 @@ class SolveServer:
         status: int,
         payload: Dict[str, Any],
         keep_alive: bool = True,
+        extra_headers: Optional[Dict[str, str]] = None,
     ) -> None:
         body = (json.dumps(payload, sort_keys=True) + "\n").encode()
         await self._write_raw(
-            writer, status, body, "application/json", keep_alive
+            writer, status, body, "application/json", keep_alive,
+            extra_headers,
         )
 
     async def _write_raw(
@@ -217,18 +379,24 @@ class SolveServer:
         body: bytes,
         content_type: str,
         keep_alive: bool = True,
+        extra_headers: Optional[Dict[str, str]] = None,
     ) -> None:
         reason = _REASONS.get(status, "Unknown")
         connection = "keep-alive" if keep_alive else "close"
+        extras = "".join(
+            f"{name}: {value}\r\n"
+            for name, value in (extra_headers or {}).items()
+        )
         head = (
             f"HTTP/1.1 {status} {reason}\r\n"
             f"Content-Type: {content_type}\r\n"
             f"Content-Length: {len(body)}\r\n"
+            f"{extras}"
             f"Connection: {connection}\r\n"
             "\r\n"
         ).encode("latin-1")
         writer.write(head + body)
-        await writer.drain()
+        await self._drain_guarded(writer)
 
     # -- routing --------------------------------------------------------
     async def _dispatch(
@@ -286,23 +454,65 @@ class SolveServer:
                 return await self._handle_job(writer, method, job_id, query)
             raise HttpError(404, f"no route for {method} {path}")
         except HttpError as exc:
-            await self._write_error(writer, exc.status, exc.message)
-            return False
+            return await self._write_error(writer, exc)
+        except AdmissionRejected as exc:
+            return await self._write_error(
+                writer,
+                HttpError(
+                    429,
+                    exc.message,
+                    code="queue_full",
+                    retry_after_seconds=exc.retry_after_seconds,
+                ),
+            )
+        except ServiceDraining as exc:
+            return await self._write_error(
+                writer,
+                HttpError(
+                    503,
+                    exc.message,
+                    code="draining",
+                    retry_after_seconds=exc.retry_after_seconds,
+                ),
+            )
         except ConfigurationError as exc:
-            await self._write_error(writer, 400, str(exc))
-            return False
+            return await self._write_error(
+                writer,
+                HttpError(400, str(exc), field=_field_of(str(exc))),
+            )
+        except (ConnectionResetError, BrokenPipeError):
+            raise
         except Exception as exc:  # noqa: BLE001 - connection boundary
             import traceback
 
             traceback.print_exc()
-            await self._write_error(
-                writer, 500, f"{type(exc).__name__}: {exc}"
+            return await self._write_error(
+                writer, HttpError(500, f"{type(exc).__name__}: {exc}")
             )
-            return False
 
     def _health(self) -> Dict[str, Any]:
-        return {
-            "status": "ok",
+        """Liveness plus the load state a balancer routes on.
+
+        ``ok`` → ``degraded`` (queue half full, or recent p99 past the
+        configured bound) → ``overloaded`` (queue at its bound; new work
+        is being rejected or shed) → ``draining`` (shutting down).
+        """
+        depth = self.jobs.queue.depth()
+        p99 = self.jobs.recent_p99_ms()
+        if self.jobs.draining:
+            status = "draining"
+        elif depth >= self.config.max_queue:
+            status = "overloaded"
+        elif depth >= max(1, self.config.max_queue // 2) or (
+            self.config.health_p99_ms is not None
+            and p99 is not None
+            and p99 > self.config.health_p99_ms
+        ):
+            status = "degraded"
+        else:
+            status = "ok"
+        payload: Dict[str, Any] = {
+            "status": status,
             "version": __version__,
             "api": API_VERSION,
             "uptime_seconds": (
@@ -310,7 +520,13 @@ class SolveServer:
             ),
             "pool_size": self.config.pool_size,
             "jobs": len(self.jobs.jobs()),
+            "running": self.jobs.running_count(),
+            "draining": self.jobs.draining,
+            "queue": self.jobs.queue.stats(),
         }
+        if p99 is not None:
+            payload["recent_p99_ms"] = p99
+        return payload
 
     @staticmethod
     def _job_summary(job: Job) -> Dict[str, Any]:
@@ -318,6 +534,7 @@ class SolveServer:
             "job": job.id,
             "state": job.state,
             "solver": job.request.solver,
+            "priority": job.request.priority,
             "created": job.created,
         }
 
@@ -341,15 +558,36 @@ class SolveServer:
             )
             return True
         await self._wait_for(job)
-        status = 200 if job.error is None else 500
-        await self._write_json(writer, status, job.to_dict())
+        if job.state == "shed":
+            raise HttpError(
+                503,
+                job.error or "request shed under overload",
+                code="shed",
+                retry_after_seconds=self.jobs.retry_after_seconds(),
+                job=job.id,
+            )
+        if job.error is not None:
+            raise HttpError(
+                500,
+                job.error,
+                code="solve_failed",
+                job=job.id,
+            )
+        await self._write_json(writer, 200, job.to_dict())
         return True
 
     async def _handle_solve_stream(
         self, writer: asyncio.StreamWriter, request: SolveRequest
     ) -> bool:
-        """Chunked JSONL: a job record, round records, the final result."""
+        """Chunked JSONL: a job record, round records, the final result.
+
+        The job is admitted *before* the 200 head goes out — an
+        admission rejection must surface as a real 429/503, not a
+        truncated stream.  Early progress published while the head is
+        in flight just queues in the sink.
+        """
         sink = _ProgressSink(asyncio.get_running_loop())
+        job = self.jobs.submit(request, sink=sink)
         head = (
             "HTTP/1.1 200 OK\r\n"
             "Content-Type: application/x-ndjson\r\n"
@@ -357,28 +595,27 @@ class SolveServer:
             "Connection: close\r\n"
             "\r\n"
         ).encode("latin-1")
-        writer.write(head)
-        await writer.drain()
-
-        job = None
         try:
-            job = self.jobs.submit(request, sink=sink)
+            writer.write(head)
+            await self._drain_guarded(writer)
             await self._write_chunk(
-                writer, {"type": "job", "job": job.id, "state": "queued"}
+                writer, {"type": "job", "job": job.id, "state": job.state}
             )
             while True:
                 record = await sink.queue.get()
                 await self._write_chunk(writer, record)
                 if record.get("type") in ("result", "error"):
                     break
+            writer.write(b"0\r\n\r\n")
+            await self._drain_guarded(writer)
         except (ConnectionResetError, BrokenPipeError):
             # Client went away mid-stream: cancel the solve so the
             # worker slot frees at the next round boundary.
-            if job is not None:
-                self.jobs.cancel(job.id)
-            return False
-        writer.write(b"0\r\n\r\n")
-        await writer.drain()
+            self.jobs.cancel(job.id)
+        finally:
+            # The stream is over either way — reap the subscriber so a
+            # dead client never pins the sink (or its queue) on the job.
+            job.unsubscribe(sink)
         return False  # Connection: close
 
     async def _write_chunk(
@@ -386,7 +623,7 @@ class SolveServer:
     ) -> None:
         data = (json.dumps(record, sort_keys=True) + "\n").encode()
         writer.write(f"{len(data):x}\r\n".encode("latin-1") + data + b"\r\n")
-        await writer.drain()
+        await self._drain_guarded(writer)
 
     async def _wait_for(self, job: Job) -> None:
         loop = asyncio.get_running_loop()
@@ -416,28 +653,51 @@ class SolveServer:
         if method == "DELETE":
             already_done = job.wait(0)
             self.jobs.cancel(job_id)
-            status = 409 if already_done else 202
-            payload = job.to_dict()
             if already_done:
-                payload["error"] = (
-                    payload.get("error")
-                    or f"job already finished ({job.state})"
+                raise HttpError(
+                    409,
+                    f"job {job_id} already finished (state {job.state!r})",
+                    code="already_finished",
+                    job=job.id,
                 )
-            await self._write_json(writer, status, payload)
+            await self._write_json(writer, 202, job.to_dict())
             return True
         raise HttpError(405, "GET or DELETE only")
 
 
 def run(config: Optional[ServeConfig] = None) -> None:
-    """Blocking entry point (``repro serve``)."""
+    """Blocking entry point (``repro serve``).
+
+    SIGTERM triggers a graceful drain (503 new work, grace budget for
+    in-flight solves, drain checkpoints when configured); SIGINT/Ctrl-C
+    stops abruptly as before.
+    """
     server = SolveServer(config)
 
     async def _main() -> None:
         await server.start()
+        loop = asyncio.get_running_loop()
+        sigterm = asyncio.Event()
         try:
-            await server.serve_forever()
-        except asyncio.CancelledError:  # pragma: no cover - signal path
-            pass
+            loop.add_signal_handler(signal.SIGTERM, sigterm.set)
+        except (NotImplementedError, RuntimeError):  # pragma: no cover
+            pass  # platforms without signal-handler support
+        serve_task = asyncio.create_task(server.serve_forever())
+        drain_task = asyncio.create_task(sigterm.wait())
+        done, _ = await asyncio.wait(
+            {serve_task, drain_task}, return_when=asyncio.FIRST_COMPLETED
+        )
+        if drain_task in done:
+            grace = server.config.drain_grace_seconds
+            print(f"repro serve: SIGTERM, draining (grace {grace:g}s)")
+            await server.drain_and_stop()
+            serve_task.cancel()
+        for task in (serve_task, drain_task):
+            task.cancel()
+            try:
+                await task
+            except (asyncio.CancelledError, Exception):  # noqa: BLE001
+                pass
 
     try:
         asyncio.run(_main())

@@ -32,6 +32,10 @@ from repro.errors import ConfigurationError
 #: The wire version; the URL prefix of every versioned endpoint.
 API_VERSION = "v1"
 
+#: Request priority classes: ``interactive`` jobs are dequeued ahead of
+#: ``batch`` jobs at the configured weight (see ``ServeConfig``).
+PRIORITIES = ("interactive", "batch")
+
 #: Dataset families the instance spec accepts.  ``"paper"`` is the
 #: running example of Figure 2 (fixed size; users/events ignored).
 INSTANCE_DATASETS = ("gowalla", "foursquare", "paper")
@@ -159,6 +163,7 @@ class SolveRequest:
     wait: bool = True
     stream: bool = False
     include_assignment: bool = False
+    priority: str = "interactive"
 
     _KEYS = (
         "instance",
@@ -168,6 +173,7 @@ class SolveRequest:
         "wait",
         "stream",
         "include_assignment",
+        "priority",
     )
 
     @classmethod
@@ -226,6 +232,12 @@ class SolveRequest:
         wait = _expect(payload, "wait", (bool,), path, True)
         stream = _expect(payload, "stream", (bool,), path, False)
         include = _expect(payload, "include_assignment", (bool,), path, False)
+        priority = _expect(payload, "priority", (str,), path, "interactive")
+        if priority not in PRIORITIES:
+            raise ConfigurationError(
+                f"{path}.priority: unknown priority {priority!r} "
+                f"(expected one of: {', '.join(PRIORITIES)})"
+            )
         if stream and not wait:
             raise ConfigurationError(
                 f"{path}.stream: streaming implies waiting; "
@@ -239,6 +251,7 @@ class SolveRequest:
             wait=wait,
             stream=stream,
             include_assignment=include,
+            priority=priority,
         )
 
     def build_options(
@@ -279,4 +292,5 @@ class SolveRequest:
             "solver": self.solver,
             "options": dict(self.options),
             "solver_kwargs": dict(self.solver_kwargs),
+            "priority": self.priority,
         }

@@ -1,0 +1,273 @@
+"""Connection hardening: keep-alive edges, timeouts, write stalls.
+
+Raw-socket tests of the HTTP/1.1 plumbing the stdlib client can't
+exercise: request heads split across TCP segments, pipelined requests
+after a 4xx, slow-loris read timeouts, and mid-stream client deaths
+(the dead subscriber must be reaped and the job cancelled).  The write
+stall guard is unit-tested against a stub writer — loopback buffers are
+too forgiving to stall a real connection deterministically.
+"""
+
+import asyncio
+import json
+import socket
+import time
+
+import pytest
+
+from repro.serve import EmbeddedServer, ServeConfig
+from repro.serve.errors import validate_error
+
+
+@pytest.fixture()
+def harness():
+    server = EmbeddedServer(
+        ServeConfig(
+            port=0,
+            pool_size=1,
+            max_instances=2,
+            max_jobs=8,
+            read_timeout_seconds=0.5,
+        )
+    )
+    with server as client:
+        yield server, client
+
+
+class _ResponseReader:
+    """Reads framed responses one at a time, keeping over-read bytes
+    (pipelined responses can share one TCP segment)."""
+
+    def __init__(self, sock):
+        self._sock = sock
+        self._buffer = b""
+
+    def next_response(self) -> tuple:
+        """One framed response as ``(head_text, body_dict)``."""
+        while b"\r\n\r\n" not in self._buffer:
+            chunk = self._sock.recv(65536)
+            if not chunk:
+                raise AssertionError(
+                    f"connection closed mid-head: {self._buffer!r}"
+                )
+            self._buffer += chunk
+        head, _, rest = self._buffer.partition(b"\r\n\r\n")
+        head_text = head.decode("latin-1")
+        length = 0
+        for line in head_text.split("\r\n")[1:]:
+            name, _, value = line.partition(":")
+            if name.strip().lower() == "content-length":
+                length = int(value.strip())
+        while len(rest) < length:
+            chunk = self._sock.recv(65536)
+            if not chunk:
+                raise AssertionError("connection closed mid-body")
+            rest += chunk
+        self._buffer = rest[length:]
+        body = json.loads(rest[:length].decode()) if length else {}
+        return head_text, body
+
+
+def _recv_one_response(sock) -> tuple:
+    """Read exactly one framed response; returns (head_text, body_dict)."""
+    return _ResponseReader(sock).next_response()
+
+
+class TestKeepAliveEdges:
+    def test_request_head_split_across_segments(self, harness):
+        _, client = harness
+        raw = b"GET /v1/health HTTP/1.1\r\nHost: x\r\n\r\n"
+        with socket.create_connection(
+            (client.host, client.port), timeout=10
+        ) as sock:
+            # Dribble the head a few bytes at a time across many TCP
+            # segments; the parser must reassemble it unchanged.
+            for start in range(0, len(raw), 7):
+                sock.sendall(raw[start:start + 7])
+                time.sleep(0.005)
+            head, body = _recv_one_response(sock)
+            assert " 200 " in head.split("\r\n")[0]
+            assert body["status"] == "ok"
+
+    def test_pipelined_second_request_after_4xx(self, harness):
+        _, client = harness
+        # A 404 keeps the connection usable: the pipelined follow-up on
+        # the same socket must still be answered.
+        first = b"GET /v1/nope HTTP/1.1\r\nHost: x\r\n\r\n"
+        second = b"GET /v1/health HTTP/1.1\r\nHost: x\r\n\r\n"
+        with socket.create_connection(
+            (client.host, client.port), timeout=10
+        ) as sock:
+            sock.sendall(first + second)
+            reader = _ResponseReader(sock)
+            head1, body1 = reader.next_response()
+            assert " 404 " in head1.split("\r\n")[0]
+            assert "Connection: keep-alive" in head1
+            assert validate_error(body1) == []
+            head2, body2 = reader.next_response()
+            assert " 200 " in head2.split("\r\n")[0]
+            assert body2["status"] == "ok"
+
+    def test_validation_400_keeps_connection_alive(self, harness):
+        _, client = harness
+        body = json.dumps({"solver": "nope"}).encode()
+        request = (
+            b"POST /v1/solve HTTP/1.1\r\nHost: x\r\n"
+            b"Content-Type: application/json\r\n"
+            + f"Content-Length: {len(body)}\r\n\r\n".encode()
+            + body
+        )
+        follow_up = b"GET /v1/health HTTP/1.1\r\nHost: x\r\n\r\n"
+        with socket.create_connection(
+            (client.host, client.port), timeout=10
+        ) as sock:
+            reader = _ResponseReader(sock)
+            sock.sendall(request)
+            head1, body1 = reader.next_response()
+            assert " 400 " in head1.split("\r\n")[0]
+            assert validate_error(body1) == []
+            sock.sendall(follow_up)
+            head2, body2 = reader.next_response()
+            assert body2["status"] == "ok"
+
+    def test_slow_loris_head_gets_408(self, harness):
+        _, client = harness
+        with socket.create_connection(
+            (client.host, client.port), timeout=10
+        ) as sock:
+            sock.sendall(b"GET /v1/health HT")  # ...and then nothing
+            head, body = _recv_one_response(sock)
+            assert " 408 " in head.split("\r\n")[0]
+            assert "Connection: close" in head
+            assert validate_error(body) == []
+            assert body["error"]["code"] == "timeout"
+
+    def test_stalled_body_gets_408(self, harness):
+        _, client = harness
+        with socket.create_connection(
+            (client.host, client.port), timeout=10
+        ) as sock:
+            sock.sendall(
+                b"POST /v1/solve HTTP/1.1\r\nHost: x\r\n"
+                b"Content-Type: application/json\r\n"
+                b"Content-Length: 500\r\n\r\n"
+                b'{"solver":'  # 490 bytes never arrive
+            )
+            head, body = _recv_one_response(sock)
+            assert " 408 " in head.split("\r\n")[0]
+            assert body["error"]["code"] == "timeout"
+
+    def test_timeouts_counted_in_metrics(self, harness):
+        server, client = harness
+        with socket.create_connection(
+            (client.host, client.port), timeout=10
+        ) as sock:
+            sock.sendall(b"GET /v1")
+            _recv_one_response(sock)
+        text = client.metrics()
+        assert 'repro_serve_timeouts_total{kind="read"}' in text
+
+
+class TestStreamDisconnect:
+    def test_disconnect_mid_stream_reaps_subscriber_and_cancels(self):
+        server = EmbeddedServer(
+            ServeConfig(port=0, pool_size=1, max_instances=2, max_jobs=8)
+        )
+        with server as client:
+            body = json.dumps(
+                {
+                    "instance": {
+                        # Cold build keeps the job alive long enough to
+                        # kill the client mid-stream.
+                        "dataset": "gowalla",
+                        "users": 2000,
+                        "events": 32,
+                        "seed": 777,
+                    },
+                    "solver": "gt",
+                    "stream": True,
+                }
+            ).encode()
+            request = (
+                b"POST /v1/solve HTTP/1.1\r\nHost: x\r\n"
+                b"Content-Type: application/json\r\n"
+                + f"Content-Length: {len(body)}\r\n\r\n".encode()
+                + body
+            )
+            sock = socket.create_connection(
+                (client.host, client.port), timeout=10
+            )
+            sock.sendall(request)
+            # Wait for the stream head + first chunk, then vanish.
+            first = sock.recv(65536)
+            assert b"200 OK" in first
+            sock.close()
+            # The server notices on its next stream write: the job is
+            # cancelled and the dead sink unsubscribed.
+            deadline = time.monotonic() + 30
+            job = None
+            while time.monotonic() < deadline:
+                jobs = server.server.jobs.jobs()
+                if jobs:
+                    job = jobs[0]
+                    if job.wait(0) and job.subscriber_count() == 0:
+                        break
+                time.sleep(0.02)
+            assert job is not None
+            assert job.wait(0), "job never finished after disconnect"
+            assert job.subscriber_count() == 0
+            assert job.state in ("cancelled", "done")
+
+
+class _StubTransport:
+    def __init__(self):
+        self.aborted = False
+
+    def abort(self):
+        self.aborted = True
+
+
+class _StallingWriter:
+    """A writer whose drain() never completes (dead TCP peer)."""
+
+    def __init__(self):
+        self.transport = _StubTransport()
+        self.buffer = b""
+
+    def write(self, data: bytes) -> None:
+        self.buffer += data
+
+    async def drain(self) -> None:
+        await asyncio.sleep(3600)
+
+
+class TestWriteStallGuard:
+    def test_drain_guarded_aborts_stalled_connection(self):
+        from repro.serve.server import SolveServer
+
+        server = SolveServer(
+            ServeConfig(
+                port=0,
+                pool_size=1,
+                max_instances=1,
+                max_jobs=2,
+                write_timeout_seconds=0.05,
+            )
+        )
+        writer = _StallingWriter()
+
+        async def scenario():
+            with pytest.raises(ConnectionResetError):
+                await server._drain_guarded(writer)
+
+        try:
+            asyncio.run(scenario())
+            assert writer.transport.aborted is True
+            stalls = [
+                inst for inst in server.registry
+                if inst.name == "serve.timeouts"
+                and dict(inst.labels).get("kind") == "write"
+            ]
+            assert stalls and stalls[0].value == 1
+        finally:
+            server.jobs.shutdown(wait=True)

@@ -1,0 +1,214 @@
+"""Client retry policy: jitter bounds, floors, budgets, classification.
+
+Pure unit tests: the jitter math is driven with seeded RNGs, and the
+retry loop with a scripted ``_request_once`` plus a fake clock — no
+sockets, no sleeps, fully deterministic.
+"""
+
+import random
+
+import pytest
+
+import repro.serve.client as client_module
+from repro.errors import ConfigurationError
+from repro.serve.client import RetryPolicy, ServeClient, ServerError
+
+
+class TestNextDelay:
+    def test_delay_within_decorrelated_bounds(self):
+        policy = RetryPolicy(
+            base_delay_seconds=0.1, max_delay_seconds=5.0, seed=1
+        )
+        rng = random.Random(1)
+        previous = None
+        for _ in range(200):
+            delay = policy.next_delay(rng, previous)
+            lower = policy.base_delay_seconds
+            upper = min(
+                policy.max_delay_seconds,
+                (previous if previous is not None else lower) * 3,
+            )
+            assert lower <= delay <= max(upper, lower)
+            previous = delay
+
+    def test_delay_clamped_to_max(self):
+        policy = RetryPolicy(
+            base_delay_seconds=0.1, max_delay_seconds=0.3, seed=2
+        )
+        rng = random.Random(2)
+        previous = 100.0  # pathological previous: clamp must hold
+        for _ in range(50):
+            assert policy.next_delay(rng, previous) <= 0.3
+
+    def test_retry_after_floors_the_draw(self):
+        policy = RetryPolicy(
+            base_delay_seconds=0.01, max_delay_seconds=1.0, seed=3
+        )
+        rng = random.Random(3)
+        for _ in range(50):
+            delay = policy.next_delay(
+                rng, 0.01, retry_after_seconds=0.75
+            )
+            assert delay >= 0.75
+
+    def test_same_seed_same_jitter_stream(self):
+        policy = RetryPolicy(seed=42)
+        a = random.Random(42)
+        b = random.Random(42)
+        stream_a = [policy.next_delay(a, None) for _ in range(20)]
+        stream_b = [policy.next_delay(b, None) for _ in range(20)]
+        assert stream_a == stream_b
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_attempts": 0},
+            {"base_delay_seconds": 0.0},
+            {"base_delay_seconds": -1.0},
+            {"max_delay_seconds": 0.01, "base_delay_seconds": 0.5},
+            {"budget_seconds": 0.0},
+        ],
+    )
+    def test_invalid_policy_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(**kwargs)
+
+
+class _FakeTime:
+    """Stand-in for the ``time`` module: sleeps advance the clock."""
+
+    def __init__(self):
+        self.now = 0.0
+        self.sleeps = []
+
+    def monotonic(self):
+        return self.now
+
+    def sleep(self, seconds):
+        self.sleeps.append(seconds)
+        self.now += seconds
+
+
+@pytest.fixture()
+def fake_time(monkeypatch):
+    fake = _FakeTime()
+    monkeypatch.setattr(client_module, "time", fake)
+    return fake
+
+
+def _scripted_client(outcomes, retry):
+    """A ServeClient whose ``_request_once`` replays ``outcomes``.
+
+    Each outcome is an Exception to raise or a payload to return; the
+    attempt count lands in ``client.attempts``.
+    """
+    client = ServeClient(retry=retry)
+    script = iter(outcomes)
+    client.attempts = 0
+
+    def fake_request_once(method, path, body=None, ok=(200,)):
+        client.attempts += 1
+        outcome = next(script)
+        if isinstance(outcome, Exception):
+            raise outcome
+        return outcome
+
+    client._request_once = fake_request_once
+    return client
+
+
+def _retryable_429():
+    return ServerError(
+        429, "queue full", code="queue_full", retryable=True,
+        retry_after_seconds=None,
+    )
+
+
+class TestRetryLoop:
+    def test_retries_retryable_until_success(self, fake_time):
+        client = _scripted_client(
+            [_retryable_429(), _retryable_429(), {"ok": True}],
+            RetryPolicy(max_attempts=5, seed=7),
+        )
+        assert client._request("POST", "/v1/solve") == {"ok": True}
+        assert client.attempts == 3
+        assert len(fake_time.sleeps) == 2
+
+    def test_no_retry_when_envelope_says_not_retryable(self, fake_time):
+        error = ServerError(
+            500, "solve failed", code="solve_failed", retryable=False
+        )
+        client = _scripted_client(
+            [error, {"ok": True}], RetryPolicy(max_attempts=5, seed=7)
+        )
+        with pytest.raises(ServerError) as info:
+            client._request("POST", "/v1/solve")
+        assert info.value.status == 500
+        assert client.attempts == 1
+        assert fake_time.sleeps == []
+
+    def test_no_retry_on_validation_errors(self, fake_time):
+        client = _scripted_client(
+            [ConfigurationError("request.solver: unknown")],
+            RetryPolicy(max_attempts=5, seed=7),
+        )
+        with pytest.raises(ConfigurationError):
+            client._request("POST", "/v1/solve")
+        assert client.attempts == 1
+
+    def test_retries_connection_refused(self, fake_time):
+        client = _scripted_client(
+            [ConnectionRefusedError(), ConnectionResetError(), {"up": 1}],
+            RetryPolicy(max_attempts=5, seed=7),
+        )
+        assert client._request("GET", "/v1/health") == {"up": 1}
+        assert client.attempts == 3
+
+    def test_max_attempts_exhausted_raises_last_error(self, fake_time):
+        client = _scripted_client(
+            [_retryable_429() for _ in range(3)],
+            RetryPolicy(max_attempts=3, seed=7),
+        )
+        with pytest.raises(ServerError) as info:
+            client._request("POST", "/v1/solve")
+        assert info.value.status == 429
+        assert client.attempts == 3
+        assert len(fake_time.sleeps) == 2  # no sleep after the last try
+
+    def test_budget_stops_before_unaffordable_sleep(self, fake_time):
+        # Retry-After floors the delay at 100s, far past the 1s budget:
+        # the loop must give up instead of starting that sleep.
+        error = ServerError(
+            429, "queue full", code="queue_full", retryable=True,
+            retry_after_seconds=100.0,
+        )
+        client = _scripted_client(
+            [error, {"never": "reached"}],
+            RetryPolicy(max_attempts=5, budget_seconds=1.0, seed=7),
+        )
+        with pytest.raises(ServerError):
+            client._request("POST", "/v1/solve")
+        assert client.attempts == 1
+        assert fake_time.sleeps == []
+
+    def test_honors_retry_after_between_attempts(self, fake_time):
+        error = ServerError(
+            503, "draining", code="draining", retryable=True,
+            retry_after_seconds=0.5,
+        )
+        client = _scripted_client(
+            [error, {"ok": True}],
+            RetryPolicy(
+                max_attempts=3, base_delay_seconds=0.01,
+                max_delay_seconds=0.05, budget_seconds=30.0, seed=7,
+            ),
+        )
+        assert client._request("POST", "/v1/solve") == {"ok": True}
+        # The floor wins over the (much smaller) jitter draw.
+        assert fake_time.sleeps == [0.5]
+
+    def test_no_policy_means_single_attempt(self, fake_time):
+        client = _scripted_client([_retryable_429()], retry=None)
+        with pytest.raises(ServerError):
+            client._request("POST", "/v1/solve")
+        assert client.attempts == 1

@@ -220,14 +220,18 @@ class TestJobs:
             assert validate_result(final["result"]) == []
 
     def test_cancel_finished_job_is_409(self, client):
+        from repro.serve.errors import validate_error
+
         payload = client.solve(
             {"instance": {"dataset": "paper"}, "solver": "gt"}
         )
         job_id = payload["job"]
         response = client.cancel(job_id)
-        assert "already finished" in response.get("error", "") or (
-            response["state"] in ("done", "cancelled")
-        )
+        # A finished job cancels to a 409 repro-error/v1 envelope.
+        assert validate_error(response) == []
+        assert response["error"]["code"] == "already_finished"
+        assert response["error"]["job"] == job_id
+        assert "already finished" in response["error"]["message"]
 
     def test_unknown_job_404(self, client):
         with pytest.raises(ServerError) as info:
