@@ -13,6 +13,7 @@ gate::
     python benchmarks/bench_serve.py --check          # also gate on history
     python benchmarks/bench_serve.py --p99-budget 2000
     python benchmarks/bench_serve.py --overload       # admission storm
+    python benchmarks/bench_serve.py --trace-overhead # tracing cost gate
 
 Unconditional gates (exit 1, with or without ``--check``):
 
@@ -30,6 +31,14 @@ and p99-of-admitted latency under the ``serve/overload`` key.  Its
 unconditional gates: goodput stays above zero, every response body is
 schema-valid (result or ``repro-error/v1`` envelope), the queue depth
 never exceeds the bound, and the server answers health afterwards.
+
+``--trace-overhead`` runs the same warm-store workload against two
+servers — per-request tracing + flight recorder on (the default
+config) and tracing off — and records the traced-vs-untraced p50/p99
+delta under ``serve/trace-overhead``.  Its unconditional gate: the
+traced p99 stays within ``--overhead-budget`` (default 10%) of the
+untraced p99, with a small absolute slack (``--overhead-slack-ms``) so
+scheduler noise on millisecond-scale baselines cannot flake the gate.
 """
 
 from __future__ import annotations
@@ -227,6 +236,96 @@ def _overload(args) -> int:
     return _record_and_report(args, cal, results, failures)
 
 
+def _run_workload(config, args):
+    """Fire the warm-store request mix at one server; return latencies."""
+    failures: list = []
+    latencies: list = []
+    lock = threading.Lock()
+    body = {
+        "instance": {
+            "dataset": "gowalla",
+            "users": args.users,
+            "events": args.events,
+        },
+        "solver": "gt",
+        "options": {"seed": 0},
+    }
+    with EmbeddedServer(config) as client:
+        client.solve(dict(body))  # warm the instance store
+
+        def _worker(count):
+            for _ in range(count):
+                _fire(client, dict(body), latencies, failures, lock)
+
+        threads = [
+            threading.Thread(
+                target=_worker, args=(max(1, args.requests // args.concurrency),)
+            )
+            for _ in range(args.concurrency)
+        ]
+        started = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        total_seconds = time.perf_counter() - started
+    return latencies, total_seconds, failures
+
+
+def _trace_overhead(args) -> int:
+    """Traced-vs-untraced latency delta of the identical workload."""
+    cal = calibration_ms(args.repeats)
+    print(f"calibration: {cal:.3f} ms")
+    failures: list = []
+
+    traced_cfg = ServeConfig(port=0, pool_size=args.pool_size)
+    plain_cfg = ServeConfig(
+        port=0, pool_size=args.pool_size, trace_requests=False
+    )
+    # Untraced first, traced second: a shared-machine slowdown mid-bench
+    # then biases *against* tracing, so the gate stays conservative.
+    plain, plain_seconds, plain_failures = _run_workload(plain_cfg, args)
+    traced, traced_seconds, traced_failures = _run_workload(traced_cfg, args)
+    failures.extend(plain_failures)
+    failures.extend(traced_failures)
+
+    p99_plain = _percentile(plain, 0.99)
+    p99_traced = _percentile(traced, 0.99)
+    p50_plain = _percentile(plain, 0.50)
+    p50_traced = _percentile(traced, 0.50)
+    delta_ms = p99_traced - p99_plain
+    overhead = delta_ms / p99_plain if p99_plain > 0 else 0.0
+    print(
+        f"untraced: p50={p50_plain:.2f} ms  p99={p99_plain:.2f} ms "
+        f"({len(plain)} requests in {plain_seconds:.2f}s)"
+    )
+    print(
+        f"traced:   p50={p50_traced:.2f} ms  p99={p99_traced:.2f} ms "
+        f"({len(traced)} requests in {traced_seconds:.2f}s)"
+    )
+    print(
+        f"trace overhead: {delta_ms:+.2f} ms on p99 "
+        f"({overhead * 100:+.1f}%, budget {args.overhead_budget * 100:.0f}%)"
+    )
+    if not plain or not traced:
+        failures.append("a workload produced zero successful requests")
+    elif overhead > args.overhead_budget and delta_ms > args.overhead_slack_ms:
+        failures.append(
+            f"tracing overhead {overhead * 100:.1f}% on p99 "
+            f"({delta_ms:.2f} ms) exceeds the "
+            f"{args.overhead_budget * 100:.0f}% budget"
+        )
+
+    results = {
+        "serve/trace-overhead": {
+            "wall_ms": p99_traced,
+            "untraced_p99_ms": p99_plain,
+            "overhead_frac": overhead,
+        },
+    }
+    return _record_and_report(args, cal, results, failures)
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -273,7 +372,26 @@ def main(argv=None) -> int:
         "--max-queue", type=int, default=4,
         help="admission queue bound for --overload (default: 4)",
     )
+    parser.add_argument(
+        "--trace-overhead", action="store_true",
+        help="measure traced-vs-untraced p99 and gate the delta "
+             "against --overhead-budget",
+    )
+    parser.add_argument(
+        "--overhead-budget", type=float, default=0.10, metavar="FRAC",
+        help="max tolerated fractional p99 overhead of tracing "
+             "(default: 0.10 = 10%%)",
+    )
+    parser.add_argument(
+        "--overhead-slack-ms", type=float, default=2.0, metavar="MS",
+        help="absolute p99 delta always tolerated regardless of the "
+             "fraction — keeps millisecond-scale baselines from "
+             "flaking the gate on scheduler noise (default: 2)",
+    )
     args = parser.parse_args(argv)
+
+    if args.trace_overhead:
+        return _trace_overhead(args)
 
     if args.overload:
         if args.pool_size == parser.get_default("pool_size"):

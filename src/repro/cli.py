@@ -35,8 +35,18 @@ Commands
 ``serve``
     Run the partitioning service: an asyncio HTTP/JSON server with a
     bounded solve pool, an LRU instance store, per-request deadlines
-    and cancellation, chunked progress streaming, and ``/metrics``
+    and cancellation, chunked progress streaming, ``/metrics``,
+    per-request tracing and an always-on flight recorder
     (see ``docs/API.md`` § Serving).
+``top``
+    Live terminal console of one running server: polls ``/metrics``
+    and ``/v1/health`` and renders queue depth, latency p50/p99,
+    per-solver traffic and flight-recorder activity.
+``flight``
+    Inspect one flight-recorder dump: validate it against
+    ``repro-trace/v2``, list the captured traces, and print the
+    critical-path report of what the server was doing when the
+    trigger fired.
 """
 
 from __future__ import annotations
@@ -316,6 +326,57 @@ def build_parser() -> argparse.ArgumentParser:
         help="report /v1/health status 'degraded' once the recent p99 "
              "request latency exceeds MS (default: off)",
     )
+    serve.add_argument(
+        "--no-trace", action="store_true",
+        help="disable per-request tracing and the flight recorder "
+             "(drops GET /v1/jobs/<id>/trace; default: tracing on)",
+    )
+    serve.add_argument(
+        "--flight-dir", metavar="DIR",
+        help="write flight-recorder dumps (repro-trace/v2 JSONL + "
+             "metrics snapshot) under DIR on 5xx/shed/drain/overload "
+             "triggers and POST /v1/debug/flight (default: off)",
+    )
+    serve.add_argument(
+        "--flight-window", type=float, default=30.0, metavar="SECONDS",
+        help="trailing seconds of completed spans one flight dump "
+             "covers (default: 30)",
+    )
+    serve.add_argument(
+        "--flight-debounce", type=float, default=30.0, metavar="SECONDS",
+        help="minimum spacing between automatic flight dumps — an "
+             "error storm produces one dump, not one per failure "
+             "(default: 30)",
+    )
+
+    top = commands.add_parser(
+        "top", help="live terminal console of a running server"
+    )
+    top.add_argument("--host", default="127.0.0.1")
+    top.add_argument("--port", type=int, default=8350)
+    top.add_argument(
+        "--interval", type=float, default=2.0, metavar="SECONDS",
+        help="refresh period (default: 2)",
+    )
+    top.add_argument(
+        "--once", action="store_true",
+        help="render one snapshot and exit (scripting mode)",
+    )
+    top.add_argument(
+        "--iterations", type=int, metavar="N",
+        help="render N snapshots then exit (default: until Ctrl-C)",
+    )
+    top.add_argument(
+        "--no-clear", action="store_true",
+        help="append screens instead of clearing the terminal",
+    )
+
+    flight = commands.add_parser(
+        "flight", help="inspect a flight-recorder dump"
+    )
+    flight.add_argument(
+        "dump", help="flight-*.trace.jsonl file written by the server"
+    )
     return parser
 
 
@@ -366,6 +427,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "stream": _run_stream,
         "churn": _run_churn,
         "serve": _run_serve,
+        "top": _run_top,
+        "flight": _run_flight,
     }[arguments.command]
     return handler(arguments)
 
@@ -720,8 +783,38 @@ def _run_serve(arguments) -> int:
             drain_checkpoint_dir=arguments.drain_checkpoint_dir,
             default_deadline_seconds=arguments.default_deadline,
             health_p99_ms=arguments.health_p99_ms,
+            trace_requests=not arguments.no_trace,
+            flight_dir=arguments.flight_dir,
+            flight_window_seconds=arguments.flight_window,
+            flight_debounce_seconds=arguments.flight_debounce,
         )
     )
+    return 0
+
+
+def _run_top(arguments) -> int:
+    from repro.serve.console import run_top
+
+    iterations = arguments.iterations
+    if arguments.once:
+        iterations = 1
+    return run_top(
+        host=arguments.host,
+        port=arguments.port,
+        interval=arguments.interval,
+        iterations=iterations,
+        clear=not arguments.no_clear,
+    )
+
+
+def _run_flight(arguments) -> int:
+    from repro.obs.flight import inspect_dump
+
+    try:
+        print(inspect_dump(arguments.dump))
+    except (OSError, ValueError) as exc:
+        print(f"{arguments.dump}: {exc}", file=sys.stderr)
+        return 1
     return 0
 
 

@@ -37,6 +37,7 @@ are byte-identical with tracing on or off.
 """
 
 from repro.obs.analysis import (
+    RequestReport,
     TraceReport,
     analyze_recorder,
     analyze_records,
@@ -49,16 +50,26 @@ from repro.obs.chrome import (
     write_chrome_trace,
 )
 from repro.obs.clock import ManualClock, MonotonicClock
-from repro.obs.context import RemoteSpan, SpanCollector, TraceContext
+from repro.obs.context import (
+    TRACEPARENT_HEADER,
+    RemoteSpan,
+    SpanCollector,
+    TraceContext,
+    format_traceparent,
+    new_trace_id,
+    parse_traceparent,
+)
 from repro.obs.exporters import (
     SCHEMA_VERSION,
     SCHEMA_VERSIONS,
     jsonl_lines,
+    metric_records,
     prometheus_text,
     summary_tree,
     trace_records,
     write_jsonl,
 )
+from repro.obs.flight import FlightDump, FlightRecorder, inspect_dump
 from repro.obs.metrics import (
     DEFAULT_BOUNDARIES,
     Counter,
@@ -87,6 +98,8 @@ from repro.obs.spans import Span
 __all__ = [
     "Counter",
     "DEFAULT_BOUNDARIES",
+    "FlightDump",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "ManualClock",
@@ -97,10 +110,12 @@ __all__ = [
     "NullRecorder",
     "Recorder",
     "RemoteSpan",
+    "RequestReport",
     "SCHEMA_VERSION",
     "SCHEMA_VERSIONS",
     "Span",
     "SpanCollector",
+    "TRACEPARENT_HEADER",
     "TraceContext",
     "TraceRecorder",
     "TraceReport",
@@ -111,9 +126,14 @@ __all__ = [
     "chrome_trace",
     "current_recorder",
     "format_report",
+    "format_traceparent",
+    "inspect_dump",
     "jsonl_lines",
     "memory_recording",
     "memory_summary",
+    "metric_records",
+    "new_trace_id",
+    "parse_traceparent",
     "prometheus_text",
     "recording",
     "summary_tree",

@@ -20,6 +20,13 @@ per-worker busy time, idle-behind-the-slowest-chunk, and an overall
 straggler named ``worker-N`` — so ``repro analyze`` answers "which
 worker is slow" for a parallel solve with no extra flags.
 
+The serving layer (:mod:`repro.serve`) produces a third trace shape:
+``serve.request`` > ``serve.queue_wait`` + ``job.solve`` > solver
+spans.  Those are digested into per-request reports — total latency
+split into queue wait vs compute, naming the bottleneck — so ``repro
+analyze`` answers "was this slow request queued or computing" straight
+from ``GET /v1/jobs/<id>/trace`` output or a flight-recorder dump.
+
 Works on exported JSONL records as well as live recorders, so the CLI
 (``repro analyze trace.jsonl``) and tests share one implementation.
 """
@@ -76,11 +83,32 @@ class RoundReport:
 
 
 @dataclass
+class RequestReport:
+    """Latency split of one served request (``serve.request`` span)."""
+
+    job: Optional[str] = None
+    trace_id: Optional[str] = None
+    solver: Optional[str] = None
+    state: Optional[str] = None
+    total_seconds: float = 0.0
+    queue_wait_seconds: float = 0.0
+    solve_seconds: float = 0.0
+
+    @property
+    def bottleneck(self) -> str:
+        """Where the request spent most of its life."""
+        if self.queue_wait_seconds > self.solve_seconds:
+            return "queue-wait"
+        return "compute"
+
+
+@dataclass
 class TraceReport:
     """Whole-trace analysis: per-round digests plus totals."""
 
     rounds: List[RoundReport] = field(default_factory=list)
     critical_path: List[PathSegment] = field(default_factory=list)
+    requests: List[RequestReport] = field(default_factory=list)
 
     @property
     def straggler(self) -> Optional[str]:
@@ -119,6 +147,11 @@ def analyze_records(records: Iterable[Dict[str, Any]]) -> TraceReport:
     report = TraceReport()
     for span in spans:
         name = span.get("name")
+        if name == "serve.request":
+            report.requests.append(
+                _digest_request(span, children, report.critical_path)
+            )
+            continue
         if name not in ("dg.round", "round"):
             continue
         attrs = span.get("attrs") or {}
@@ -203,6 +236,45 @@ def _walk_round(
             )
 
 
+def _digest_request(
+    span: Dict[str, Any],
+    children: Dict[Any, List[Dict[str, Any]]],
+    path: List[PathSegment],
+) -> RequestReport:
+    """Split one ``serve.request`` span into queue wait vs compute.
+
+    The two phases are serial (a job waits in the admission queue, then
+    solves), so each direct-child phase span becomes one critical-path
+    segment with no round index.
+    """
+    attrs = span.get("attrs") or {}
+    request = RequestReport(
+        job=attrs.get("job"),
+        trace_id=attrs.get("trace_id"),
+        solver=attrs.get("solver"),
+        state=attrs.get("state"),
+        total_seconds=_duration(span),
+    )
+    node = span.get("node")
+    for child in children.get(span.get("id"), []):
+        name = child.get("name")
+        if name == "serve.queue_wait":
+            request.queue_wait_seconds += _duration(child)
+        elif name == "job.solve":
+            request.solve_seconds += _duration(child)
+        else:
+            continue
+        path.append(
+            PathSegment(
+                name=name,
+                node=child.get("node", node),
+                seconds=_duration(child),
+                round_index=None,
+            )
+        )
+    return request
+
+
 def _duration(span: Dict[str, Any]) -> float:
     return float(span.get("end", 0.0)) - float(span.get("start", 0.0))
 
@@ -229,8 +301,37 @@ def analyze_trace_file(path: str) -> TraceReport:
 def format_report(report: TraceReport, max_path: int = 12) -> str:
     """Human-readable critical-path / straggler report."""
     lines: List[str] = []
-    if not report.rounds:
+    if not report.rounds and not report.requests:
         return "no distributed or parallel rounds in trace (nothing to analyze)"
+    for request in report.requests:
+        label = request.job or "request"
+        desc = (
+            f"{label}: {request.total_seconds * 1e3:.3f} ms total = "
+            f"queue-wait {request.queue_wait_seconds * 1e3:.3f} ms + "
+            f"compute {request.solve_seconds * 1e3:.3f} ms"
+            f" -> bottleneck: {request.bottleneck}"
+        )
+        if request.solver:
+            desc += f" (solver {request.solver}"
+            if request.state:
+                desc += f", state {request.state}"
+            desc += ")"
+        lines.append(desc)
+        if request.trace_id:
+            lines.append(f"  trace id: {request.trace_id}")
+    if not report.rounds:
+        segments = sorted(
+            report.critical_path, key=lambda s: s.seconds, reverse=True
+        )[:max_path]
+        if segments:
+            lines.append("critical path (slowest steps first):")
+            for segment in segments:
+                node = segment.node or "server"
+                lines.append(
+                    f"  {segment.seconds:.6f}s  {segment.name} on {node}"
+                    f" (slack {segment.slack:.6f}s)"
+                )
+        return "\n".join(lines)
     lines.append(
         f"rounds: {len(report.rounds)}  "
         f"compute {report.total_compute_seconds:.6f}s  "
@@ -265,9 +366,13 @@ def format_report(report: TraceReport, max_path: int = 12) -> str:
         lines.append("critical path (slowest steps first):")
         for segment in segments:
             node = segment.node or "master"
+            where = (
+                f"round {segment.round_index}, "
+                if segment.round_index is not None
+                else ""
+            )
             lines.append(
                 f"  {segment.seconds:.6f}s  {segment.name} on {node}"
-                f" (round {segment.round_index},"
-                f" slack {segment.slack:.6f}s)"
+                f" ({where}slack {segment.slack:.6f}s)"
             )
     return "\n".join(lines)

@@ -25,14 +25,76 @@ Timebase: remote spans live on the deterministic simulated clock
 shifts them by a constant offset so they share the master recorder's
 origin.  Durations are therefore exact simulated seconds, which is what
 the critical-path analysis (:mod:`repro.obs.analysis`) consumes.
+
+The module also owns the W3C ``traceparent`` helpers the serving layer
+uses to carry a trace id across the HTTP boundary
+(:func:`parse_traceparent` / :func:`format_traceparent` /
+:func:`new_trace_id`).  We follow the Trace Context spec's restart
+semantics: a malformed header is *ignored* (the server starts a fresh
+trace) rather than rejected, so broken upstream tracers never fail a
+solve request.
 """
 
 from __future__ import annotations
 
+import os
+import re
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
 from repro.obs.spans import SpanEvent
+
+#: HTTP header carrying the W3C Trace Context (lowercase per the spec).
+TRACEPARENT_HEADER = "traceparent"
+
+_TRACEPARENT_RE = re.compile(
+    r"^(?P<version>[0-9a-f]{2})-"
+    r"(?P<trace_id>[0-9a-f]{32})-"
+    r"(?P<parent_id>[0-9a-f]{16})-"
+    r"(?P<flags>[0-9a-f]{2})$"
+)
+
+
+def new_trace_id() -> str:
+    """Fresh random W3C trace id (32 lowercase hex chars).
+
+    Uses :func:`os.urandom`, never the solver RNG — trace identity must
+    not perturb solver randomness (assignments stay byte-identical with
+    tracing on or off).
+    """
+    return os.urandom(16).hex()
+
+
+def parse_traceparent(value: Optional[str]) -> Optional[str]:
+    """Trace id of a W3C ``traceparent`` header, or ``None``.
+
+    Accepts ``version-traceid-parentid-flags`` with lowercase hex
+    fields; per the spec, version ``ff`` and all-zero trace/parent ids
+    are invalid.  Malformed values return ``None`` — the caller restarts
+    the trace, it never errors the request.
+    """
+    if not value:
+        return None
+    match = _TRACEPARENT_RE.match(value.strip())
+    if match is None:
+        return None
+    if match.group("version") == "ff":
+        return None
+    trace_id = match.group("trace_id")
+    if trace_id == "0" * 32 or match.group("parent_id") == "0" * 16:
+        return None
+    return trace_id
+
+
+def format_traceparent(trace_id: str, span_id: Optional[str] = None) -> str:
+    """``traceparent`` header value for an outbound request.
+
+    ``span_id`` defaults to a fresh random 16-hex parent id (the client
+    has no server-side span to name; the id only needs to be non-zero).
+    """
+    if span_id is None:
+        span_id = os.urandom(8).hex()
+    return f"00-{trace_id}-{span_id}-01"
 
 
 @dataclass(frozen=True)

@@ -58,7 +58,17 @@ def trace_records(recorder: "TraceRecorder") -> Iterator[Dict[str, Any]]:
                     "time": event.time,
                     "attrs": _plain(event.attrs),
                 }
-    for instrument in recorder.metrics:
+    for record in metric_records(recorder.metrics):
+        yield record
+
+
+def metric_records(registry: MetricsRegistry) -> Iterator[Dict[str, Any]]:
+    """Schema metric records (counter/gauge/histogram) of a registry.
+
+    Shared by :func:`trace_records` and the flight recorder, whose dumps
+    append a metrics snapshot after the span window.
+    """
+    for instrument in registry:
         record: Dict[str, Any] = {
             "type": instrument.kind,
             "name": instrument.name,

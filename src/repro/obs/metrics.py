@@ -21,6 +21,7 @@ process-wide registry scraped at ``/metrics``.
 from __future__ import annotations
 
 import bisect
+import math
 import threading
 from typing import Any, Dict, Iterable, Iterator, Mapping, Optional, Sequence, Tuple
 
@@ -120,13 +121,18 @@ class Histogram:
             self.sum += value
             self.count += 1
 
-    def quantile(self, q: float) -> float:
+    def quantile(self, q: float) -> Optional[float]:
         """Approximate quantile from the bucket counts (upper boundary).
 
         Returns the smallest boundary whose cumulative count covers the
         ``q``-th observation; observations past the last boundary report
         that last boundary (there is no upper bound for the +inf
         bucket).  Good enough for p50/p99 dashboards off fixed buckets.
+
+        An empty histogram has no quantiles: returns ``None`` (callers
+        rendering dashboards print a placeholder rather than a bogus
+        0.0).  ``q=0`` maps to the first non-empty bucket's boundary and
+        ``q=1`` to the bucket covering the largest observation.
         """
         if not 0.0 <= q <= 1.0:
             raise ValueError(f"quantile must be in [0, 1]; got {q}")
@@ -134,8 +140,10 @@ class Histogram:
             total = self.count
             counts = list(self.bucket_counts)
         if total == 0:
-            return 0.0
-        rank = q * total
+            return None
+        # Rank of the target observation, 1-based: q=0 still needs the
+        # first observation, q=1 the last, so clamp into [1, total].
+        rank = min(max(1, math.ceil(q * total)), total)
         cumulative = 0
         for boundary, bucket in zip(self.boundaries, counts):
             cumulative += bucket

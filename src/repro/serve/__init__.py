@@ -34,6 +34,7 @@ are documented in ``docs/API.md`` (Serving → Overload & shutdown).
 from repro.serve.chaos import ChaosPlan, ChaosProxy
 from repro.serve.client import EmbeddedServer, RetryPolicy, ServeClient
 from repro.serve.config import ServeConfig
+from repro.serve.console import ConsoleSnapshot, render, run_top, snapshot
 from repro.serve.errors import ERROR_SCHEMA_VERSION, error_body, validate_error
 from repro.serve.jobs import (
     AdmissionQueue,
@@ -52,6 +53,7 @@ __all__ = [
     "AdmissionRejected",
     "ChaosPlan",
     "ChaosProxy",
+    "ConsoleSnapshot",
     "ERROR_SCHEMA_VERSION",
     "EmbeddedServer",
     "InstanceStore",
@@ -64,5 +66,8 @@ __all__ = [
     "SolveRequest",
     "SolveServer",
     "error_body",
+    "render",
+    "run_top",
+    "snapshot",
     "validate_error",
 ]

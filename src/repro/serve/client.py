@@ -35,6 +35,7 @@ from dataclasses import dataclass
 from typing import Any, Dict, Iterator, List, Optional
 
 from repro.errors import ConfigurationError
+from repro.obs.context import TRACEPARENT_HEADER, format_traceparent
 from repro.serve.config import ServeConfig
 from repro.serve.wire import API_VERSION
 
@@ -127,7 +128,16 @@ class RetryPolicy:
 
 
 class ServeClient:
-    """One server endpoint; a fresh connection per call (thread-safe)."""
+    """One server endpoint; a fresh connection per call (thread-safe).
+
+    ``trace_id`` (constructor default, or per-call on :meth:`solve` /
+    :meth:`solve_stream`) propagates a W3C ``traceparent`` header so the
+    server joins this client's distributed trace instead of minting a
+    fresh id.  The header is built once per logical request, *before*
+    the retry loop — every retry of a 429/503 carries the same trace id,
+    so the stitched trace shows one request with several admission
+    attempts rather than several unrelated requests.
+    """
 
     def __init__(
         self,
@@ -135,11 +145,13 @@ class ServeClient:
         port: int = 8350,
         timeout: float = 60.0,
         retry: Optional[RetryPolicy] = None,
+        trace_id: Optional[str] = None,
     ) -> None:
         self.host = host
         self.port = port
         self.timeout = timeout
         self.retry = retry
+        self.trace_id = trace_id
         self._rng = random.Random(retry.seed if retry is not None else None)
 
     # -- plumbing -------------------------------------------------------
@@ -154,9 +166,18 @@ class ServeClient:
         path: str,
         body: Optional[Dict[str, Any]] = None,
         ok: tuple = (200,),
+        trace_id: Optional[str] = None,
     ) -> Dict[str, Any]:
+        # Trace headers are built once, outside the retry loop: retries
+        # of the same logical request reuse the same traceparent.  The
+        # kwargs dance keeps `_request_once(method, path, body, ok)`
+        # callable without headers (tests monkeypatch that signature).
+        kwargs: Dict[str, Any] = {}
+        headers = self._trace_headers(trace_id)
+        if headers:
+            kwargs["headers"] = headers
         if self.retry is None:
-            return self._request_once(method, path, body, ok)
+            return self._request_once(method, path, body, ok, **kwargs)
         policy = self.retry
         start = time.monotonic()
         previous_delay: Optional[float] = None
@@ -165,7 +186,7 @@ class ServeClient:
             attempt += 1
             retry_after: Optional[float] = None
             try:
-                return self._request_once(method, path, body, ok)
+                return self._request_once(method, path, body, ok, **kwargs)
             except ServerError as exc:
                 # The envelope's own retryable flag is authoritative:
                 # the server knows whether the work started.
@@ -186,18 +207,30 @@ class ServeClient:
                 raise last_error
             time.sleep(delay)
 
+    def _trace_headers(
+        self, trace_id: Optional[str] = None
+    ) -> Dict[str, str]:
+        """The outbound ``traceparent`` header (empty when untraced)."""
+        trace_id = trace_id or self.trace_id
+        if trace_id is None:
+            return {}
+        return {TRACEPARENT_HEADER: format_traceparent(trace_id)}
+
     def _request_once(
         self,
         method: str,
         path: str,
         body: Optional[Dict[str, Any]] = None,
         ok: tuple = (200,),
+        headers: Optional[Dict[str, str]] = None,
     ) -> Dict[str, Any]:
         conn = self._connect()
         try:
             data = json.dumps(body).encode() if body is not None else None
-            headers = {"Content-Type": "application/json"} if data else {}
-            conn.request(method, path, body=data, headers=headers)
+            send_headers = dict(headers or {})
+            if data:
+                send_headers["Content-Type"] = "application/json"
+            conn.request(method, path, body=data, headers=send_headers)
             response = conn.getresponse()
             raw = response.read()
             payload = json.loads(raw.decode()) if raw else {}
@@ -278,23 +311,33 @@ class ServeClient:
         finally:
             conn.close()
 
-    def solve(self, request: Dict[str, Any]) -> Dict[str, Any]:
+    def solve(
+        self, request: Dict[str, Any], trace_id: Optional[str] = None
+    ) -> Dict[str, Any]:
         """``POST /v1/solve``.
 
         With the default ``wait=true`` this returns the finished job
         envelope (``payload["result"]`` is the ``repro-result/v1``
         document).  With ``"wait": false`` it returns the 202 ticket
-        (``{"job": ..., "state": "queued"}``) for later polling.  With a
-        :class:`RetryPolicy`, admission rejections (429) and shed or
-        draining responses (503) are retried — those are exactly the
-        statuses where the server guarantees the solve never started.
+        (``{"job": ..., "state": "queued", "trace_id": ...}``) for later
+        polling.  With a :class:`RetryPolicy`, admission rejections
+        (429) and shed or draining responses (503) are retried — those
+        are exactly the statuses where the server guarantees the solve
+        never started.  ``trace_id`` (or the constructor default) rides
+        along as a ``traceparent`` header, identical across retries.
         """
         return self._request(
-            "POST", f"/{API_VERSION}/solve", body=request, ok=(200, 202)
+            "POST",
+            f"/{API_VERSION}/solve",
+            body=request,
+            ok=(200, 202),
+            trace_id=trace_id,
         )
 
     def solve_stream(
-        self, request: Dict[str, Any]
+        self,
+        request: Dict[str, Any],
+        trace_id: Optional[str] = None,
     ) -> Iterator[Dict[str, Any]]:
         """``POST /v1/solve`` with ``stream=true``: yield JSONL records.
 
@@ -307,11 +350,13 @@ class ServeClient:
         conn = self._connect()
         try:
             data = json.dumps(body).encode()
+            headers = {"Content-Type": "application/json"}
+            headers.update(self._trace_headers(trace_id))
             conn.request(
                 "POST",
                 f"/{API_VERSION}/solve",
                 body=data,
-                headers={"Content-Type": "application/json"},
+                headers=headers,
             )
             response = conn.getresponse()
             if response.status != 200:
@@ -351,6 +396,31 @@ class ServeClient:
         return self._request(
             "DELETE", f"/{API_VERSION}/jobs/{job_id}", ok=(202, 409)
         )
+
+    def job_trace(self, job_id: str) -> List[Dict[str, Any]]:
+        """``GET /v1/jobs/<id>/trace``: parsed ``repro-trace/v2`` records.
+
+        The first record is the meta record; the rest are span/event
+        records, server spans first and adopted worker spans grafted
+        under them.  409 (``trace_pending``) means poll the job state
+        and come back; 404 (``trace_unavailable``) means the server runs
+        with tracing disabled.
+        """
+        conn = self._connect()
+        try:
+            conn.request("GET", f"/{API_VERSION}/jobs/{job_id}/trace")
+            response = conn.getresponse()
+            raw = response.read()
+            if response.status != 200:
+                payload = json.loads(raw.decode()) if raw else {}
+                raise self._as_error(response, payload, raw)
+            return [
+                json.loads(line)
+                for line in raw.decode().splitlines()
+                if line.strip()
+            ]
+        finally:
+            conn.close()
 
     def wait_for(
         self, job_id: str, timeout: float = 60.0, poll: float = 0.02

@@ -74,6 +74,24 @@ class ServeConfig:
         When set, ``/v1/health`` reports ``"degraded"`` once the recent
         p99 request latency exceeds this many milliseconds (queue-depth
         thresholds apply regardless).
+    trace_requests:
+        Per-request distributed tracing: ingest/generate a W3C
+        ``traceparent``, keep each finished job's trace for ``GET
+        /v1/jobs/<id>/trace``, and feed the flight recorder.  On by
+        default (tracing never perturbs assignments); ``False`` drops
+        both the trace endpoint and the flight recorder.
+    flight_dir:
+        Directory flight-recorder dumps are written to on a trigger
+        (5xx, first shed, drain start, health overload, p99 breach, or
+        ``POST /v1/debug/flight``).  ``None`` keeps the in-memory ring
+        (triggers are still counted) but writes nothing.
+    flight_window_seconds:
+        How many trailing seconds of completed spans one dump covers.
+    flight_debounce_seconds:
+        Minimum spacing between automatic dumps — a 500-storm produces
+        one dump, not one per failure.
+    flight_max_records:
+        Ring capacity (span + event records) of the flight recorder.
     """
 
     host: str = "127.0.0.1"
@@ -91,6 +109,11 @@ class ServeConfig:
     drain_checkpoint_dir: Optional[str] = None
     default_deadline_seconds: Optional[float] = None
     health_p99_ms: Optional[float] = None
+    trace_requests: bool = True
+    flight_dir: Optional[str] = None
+    flight_window_seconds: float = 30.0
+    flight_debounce_seconds: float = 30.0
+    flight_max_records: int = 4096
 
     def __post_init__(self) -> None:
         for name, minimum in (
@@ -100,6 +123,7 @@ class ServeConfig:
             ("max_queue", 1),
             ("interactive_weight", 1),
             ("max_body_bytes", 1024),
+            ("flight_max_records", 1),
         ):
             value = getattr(self, name)
             if not isinstance(value, int) or isinstance(value, bool) or (
@@ -119,6 +143,7 @@ class ServeConfig:
             "read_timeout_seconds",
             "write_timeout_seconds",
             "drain_grace_seconds",
+            "flight_window_seconds",
         ):
             value = getattr(self, name)
             if not isinstance(value, (int, float)) or isinstance(
@@ -137,4 +162,22 @@ class ServeConfig:
             raise ConfigurationError(
                 "serve.drain_checkpoint_dir: expected a path string, got "
                 f"{self.drain_checkpoint_dir!r}"
+            )
+        if not isinstance(self.trace_requests, bool):
+            raise ConfigurationError(
+                "serve.trace_requests: expected a bool, got "
+                f"{self.trace_requests!r}"
+            )
+        if self.flight_dir is not None and not isinstance(self.flight_dir, str):
+            raise ConfigurationError(
+                "serve.flight_dir: expected a path string, got "
+                f"{self.flight_dir!r}"
+            )
+        value = self.flight_debounce_seconds
+        if not isinstance(value, (int, float)) or isinstance(
+            value, bool
+        ) or value < 0:
+            raise ConfigurationError(
+                "serve.flight_debounce_seconds: expected a number >= 0, "
+                f"got {value!r}"
             )

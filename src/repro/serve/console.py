@@ -1,0 +1,242 @@
+"""Live terminal ops console for the solve service (``repro top``).
+
+A zero-dependency ``top``-style view of one running server: it polls
+``GET /v1/health`` and ``GET /metrics`` (the same endpoints a balancer
+or Prometheus would scrape — the console adds no server-side state) and
+renders queue depth, running/shed/rejected counts, request latency
+p50/p99, per-solver traffic, health state, and flight-recorder
+activity.  Everything is computed from the Prometheus text exposition,
+so the console shows exactly what monitoring sees.
+
+The pieces are separable for tests and scripting:
+
+* :func:`parse_prometheus` — text exposition → ``{(name, labels): value}``;
+* :func:`snapshot` — one poll of a :class:`~repro.serve.client.ServeClient`;
+* :func:`render` — a :class:`ConsoleSnapshot` → the screen as a string;
+* :func:`run_top` — the polling loop behind ``repro top``.
+"""
+
+from __future__ import annotations
+
+import math
+import sys
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, TextIO, Tuple
+
+from repro.serve.client import ServeClient
+
+#: Sorted ``((key, value), ...)`` label tuple — the sample dict key.
+LabelSet = Tuple[Tuple[str, str], ...]
+
+
+def parse_prometheus(text: str) -> Dict[Tuple[str, LabelSet], float]:
+    """Parse Prometheus text exposition into ``{(name, labels): value}``.
+
+    Handles the subset :func:`repro.obs.exporters.prometheus_text`
+    emits: ``name value`` and ``name{k="v",...} value`` lines, comments
+    skipped.  Label values in this codebase never contain quotes or
+    commas, so the parser splits naively (documented limitation, not a
+    general exposition parser).
+    """
+    samples: Dict[Tuple[str, LabelSet], float] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        name_part, _, value_text = line.rpartition(" ")
+        if not name_part:
+            continue
+        try:
+            value = float(value_text)
+        except ValueError:
+            continue
+        labels: List[Tuple[str, str]] = []
+        if "{" in name_part:
+            name, _, label_text = name_part.partition("{")
+            label_text = label_text.rstrip("}")
+            for piece in label_text.split(","):
+                key, eq, raw = piece.partition("=")
+                if not eq:
+                    continue
+                labels.append((key.strip(), raw.strip().strip('"')))
+        else:
+            name = name_part
+        samples[(name, tuple(sorted(labels)))] = value
+    return samples
+
+
+def bucket_quantile(
+    buckets: List[Tuple[float, float]], q: float
+) -> Optional[float]:
+    """Quantile from cumulative ``(le, count)`` Prometheus buckets.
+
+    Mirrors :meth:`repro.obs.metrics.Histogram.quantile`: ``None`` when
+    empty, and observations in the ``+Inf`` overflow bucket report the
+    last finite boundary.
+    """
+    if not buckets:
+        return None
+    ordered = sorted(buckets)
+    total = ordered[-1][1]
+    if total <= 0:
+        return None
+    rank = min(max(1, math.ceil(q * total)), total)
+    finite = [le for le, _ in ordered if not math.isinf(le)]
+    for le, cumulative in ordered:
+        if cumulative >= rank:
+            if math.isinf(le):
+                return finite[-1] if finite else None
+            return le
+    return finite[-1] if finite else None
+
+
+@dataclass
+class ConsoleSnapshot:
+    """One poll of a server: health payload + parsed metric samples."""
+
+    health: Dict[str, Any]
+    samples: Dict[Tuple[str, LabelSet], float]
+
+    # -- lookups --------------------------------------------------------
+    def value(self, name: str, labels: Optional[Dict[str, str]] = None) -> float:
+        key = (name, tuple(sorted((labels or {}).items())))
+        return self.samples.get(key, 0.0)
+
+    def by_label(self, name: str, label: str) -> Dict[str, float]:
+        """``{label value: sample value}`` of every sample of ``name``."""
+        out: Dict[str, float] = {}
+        for (sample_name, labelset), value in self.samples.items():
+            if sample_name != name:
+                continue
+            for key, label_value in labelset:
+                if key == label:
+                    out[label_value] = out.get(label_value, 0.0) + value
+        return out
+
+    def latency_quantile_ms(self, q: float) -> Optional[float]:
+        buckets: List[Tuple[float, float]] = []
+        for (name, labelset), value in self.samples.items():
+            if name != "repro_serve_request_ms_bucket":
+                continue
+            le = dict(labelset).get("le")
+            if le is None:
+                continue
+            buckets.append((float(le), value))
+        return bucket_quantile(buckets, q)
+
+
+def snapshot(client: ServeClient) -> ConsoleSnapshot:
+    """Poll ``/v1/health`` and ``/metrics`` once."""
+    return ConsoleSnapshot(
+        health=client.health(),
+        samples=parse_prometheus(client.metrics()),
+    )
+
+
+_STATUS_DECOR = {
+    "ok": "OK",
+    "degraded": "DEGRADED",
+    "overloaded": "OVERLOADED",
+    "draining": "DRAINING",
+}
+
+
+def _fmt_ms(value: Optional[float]) -> str:
+    if value is None:
+        return "-"
+    if value >= 1000:
+        return f"{value / 1000:.1f}s"
+    return f"{value:g}ms"
+
+
+def _fmt_counts(counts: Dict[str, float]) -> str:
+    if not counts:
+        return "-"
+    return "  ".join(
+        f"{key}={int(value) if value == int(value) else value}"
+        for key, value in sorted(counts.items(), key=lambda kv: -kv[1])
+    )
+
+
+def render(snap: ConsoleSnapshot, endpoint: str = "") -> str:
+    """The console screen of one snapshot, as a plain string."""
+    health = snap.health
+    status = str(health.get("status", "unknown"))
+    queue = health.get("queue") or {}
+    lines = [
+        f"repro serve {endpoint}  status {_STATUS_DECOR.get(status, status)}"
+        f"  api {health.get('api', '?')}"
+        f"  up {health.get('uptime_seconds', 0.0):.0f}s",
+        (
+            f"queue    depth {int(snap.value('repro_serve_queue_depth'))}"
+            f" (bound {queue.get('max_queue', '?')})"
+            f"   running {int(snap.value('repro_serve_running'))}"
+            f"/{health.get('pool_size', '?')}"
+            f"   jobs held {health.get('jobs', '?')}"
+        ),
+        (
+            f"latency  p50 {_fmt_ms(snap.latency_quantile_ms(0.5))}"
+            f"   p99 {_fmt_ms(snap.latency_quantile_ms(0.99))}"
+            + (
+                f"   recent p99 {health['recent_p99_ms']:.1f}ms"
+                if "recent_p99_ms" in health
+                else ""
+            )
+        ),
+        f"jobs     {_fmt_counts(snap.by_label('repro_serve_jobs_total', 'state'))}",
+        f"solvers  {_fmt_counts(snap.by_label('repro_serve_requests_total', 'solver'))}",
+        (
+            f"flow     shed {int(snap.value('repro_serve_shed_total'))}"
+            f"   rejected "
+            f"{int(sum(snap.by_label('repro_serve_rejected_total', 'policy').values()))}"
+            f"   deadline-hits "
+            f"{int(snap.value('repro_serve_deadline_hits_total'))}"
+            f"   cancels "
+            f"{int(snap.value('repro_serve_cancel_requests_total'))}"
+        ),
+    ]
+    triggers = snap.by_label("repro_serve_flight_triggers_total", "reason")
+    dumps = int(snap.value("repro_serve_flight_dumps_total"))
+    if triggers or dumps:
+        lines.append(
+            f"flight   dumps {dumps}   triggers {_fmt_counts(triggers)}"
+        )
+    return "\n".join(lines)
+
+
+def run_top(
+    host: str = "127.0.0.1",
+    port: int = 8350,
+    interval: float = 2.0,
+    iterations: Optional[int] = None,
+    clear: bool = True,
+    stream: Optional[TextIO] = None,
+) -> int:
+    """The ``repro top`` loop; returns a process exit code.
+
+    ``iterations=None`` polls until Ctrl-C; ``iterations=1`` is the
+    scripting-friendly ``--once`` mode.  An unreachable server renders a
+    note instead of crashing, so the console can outlive restarts.
+    """
+    stream = stream if stream is not None else sys.stdout
+    client = ServeClient(host, port, timeout=max(1.0, interval))
+    endpoint = f"{host}:{port}"
+    count = 0
+    try:
+        while iterations is None or count < iterations:
+            count += 1
+            try:
+                screen = render(snapshot(client), endpoint)
+            except (ConnectionRefusedError, OSError) as exc:
+                screen = f"repro serve {endpoint}  UNREACHABLE ({exc})"
+            if clear and stream.isatty():
+                stream.write("\x1b[2J\x1b[H")
+            stream.write(screen + "\n")
+            stream.flush()
+            if iterations is not None and count >= iterations:
+                break
+            time.sleep(interval)
+    except KeyboardInterrupt:  # pragma: no cover - interactive stop
+        pass
+    return 0

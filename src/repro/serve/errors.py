@@ -15,7 +15,8 @@ machine-readable shape for *all* 4xx/5xx responses::
         "retryable": true,
         "retry_after_seconds": 1.0,     // optional: when to come back
         "field": "request.options.seed",// optional: validation path
-        "job": "job-17"                 // optional: poll this job id
+        "job": "job-17",                // optional: poll this job id
+        "trace_id": "4bf9..."           // optional: W3C trace id
       }
     }
 
@@ -55,13 +56,18 @@ ERROR_CODES = (
     "draining",            # 503: server is shutting down gracefully
     "solve_failed",        # 500: the solver raised inside the worker
     "internal",            # 500: anything else
+    "trace_unavailable",   # 404: tracing disabled / trace evicted
+    "trace_pending",       # 409: job not finished, trace still mutating
+    "flight_disabled",     # 409: no flight recorder / no --flight-dir
 )
 
 #: Codes whose requests never started executing — safe to retry.
 RETRYABLE_CODES = frozenset({"timeout", "queue_full", "shed", "draining"})
 
 _REQUIRED_KEYS = frozenset({"status", "code", "message", "retryable"})
-_OPTIONAL_KEYS = frozenset({"retry_after_seconds", "field", "job"})
+# trace_id joined the optional set with the tracing layer: a purely
+# additive, version-compatible extension (v1 consumers ignore it).
+_OPTIONAL_KEYS = frozenset({"retry_after_seconds", "field", "job", "trace_id"})
 
 
 def error_body(
@@ -73,6 +79,7 @@ def error_body(
     retry_after_seconds: Optional[float] = None,
     field: Optional[str] = None,
     job: Optional[str] = None,
+    trace_id: Optional[str] = None,
 ) -> Dict[str, Any]:
     """Build one ``repro-error/v1`` body (the only error-body factory)."""
     if retryable is None:
@@ -89,6 +96,8 @@ def error_body(
         error["field"] = field
     if job is not None:
         error["job"] = job
+    if trace_id is not None:
+        error["trace_id"] = trace_id
     return {"schema": ERROR_SCHEMA_VERSION, "error": error}
 
 
@@ -153,7 +162,7 @@ def validate_error(payload: Any) -> List[str]:
             "error.retry_after_seconds: expected a positive number, "
             f"got {retry_after!r}"
         )
-    for key in ("field", "job"):
+    for key in ("field", "job", "trace_id"):
         value = error.get(key)
         if value is not None and (not isinstance(value, str) or not value):
             errors.append(f"error.{key}: expected a non-empty string")

@@ -34,6 +34,9 @@ import traceback
 from collections import deque
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
+from repro.obs.context import new_trace_id
+from repro.obs.exporters import trace_records
+from repro.obs.flight import FlightRecorder
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.recorder import TraceRecorder
 from repro.runtime.budget import RuntimeBudget
@@ -137,11 +140,32 @@ class RequestRecorder(TraceRecorder):
 
 
 class Job:
-    """One solve request moving through the admission queue and pool."""
+    """One solve request moving through the admission queue and pool.
 
-    def __init__(self, job_id: str, request: SolveRequest) -> None:
+    Every job carries a W3C trace id — the request's own (body
+    ``traceparent`` beats the HTTP header) or a fresh random one — even
+    with tracing disabled, so envelopes and streams are always
+    correlatable.  With tracing enabled the table also attaches a
+    :class:`RequestRecorder` at admission whose span tree
+    (``serve.request`` > ``serve.queue_wait`` + ``job.solve`` > solver
+    spans) backs ``GET /v1/jobs/<id>/trace`` and the flight recorder.
+    """
+
+    def __init__(
+        self,
+        job_id: str,
+        request: SolveRequest,
+        trace_id: Optional[str] = None,
+    ) -> None:
         self.id = job_id
         self.request = request
+        self.trace_id = request.trace_id or trace_id or new_trace_id()
+        #: Set at admission when the table traces requests; retained
+        #: after the job finishes for the trace endpoint.
+        self.recorder: Optional["RequestRecorder"] = None
+        self.queue_wait_seconds: Optional[float] = None
+        self._request_span = None
+        self._queue_span = None
         self.token = CancelToken()
         self.state = "queued"
         self.created = time.time()
@@ -183,6 +207,7 @@ class Job:
             return len(self._subscribers)
 
     def publish(self, record: Dict[str, Any]) -> None:
+        record.setdefault("trace_id", self.trace_id)
         with self._lock:
             sinks = list(self._subscribers)
         for sink in sinks:
@@ -224,6 +249,7 @@ class Job:
             payload: Dict[str, Any] = {
                 "job": self.id,
                 "state": self.state,
+                "trace_id": self.trace_id,
                 "request": self.request.summary(),
                 "created": self.created,
             }
@@ -445,6 +471,8 @@ class JobTable:
         default_deadline_seconds: Optional[float] = None,
         drain_grace_seconds: float = 5.0,
         drain_checkpoint_dir: Optional[str] = None,
+        trace_requests: bool = True,
+        flight: Optional[FlightRecorder] = None,
     ) -> None:
         self.store = store
         self.registry = registry
@@ -453,6 +481,8 @@ class JobTable:
         self.default_deadline_seconds = default_deadline_seconds
         self.drain_grace_seconds = drain_grace_seconds
         self.drain_checkpoint_dir = drain_checkpoint_dir
+        self.trace_requests = trace_requests
+        self.flight = flight
         self.queue = AdmissionQueue(
             max_queue=max_queue,
             policy=admission_policy,
@@ -490,18 +520,49 @@ class JobTable:
             return 0.0
         return max(0.0, deadline - time.monotonic())
 
-    def submit(self, request: SolveRequest, sink: Any = None) -> Job:
+    def submit(
+        self,
+        request: SolveRequest,
+        sink: Any = None,
+        trace_id: Optional[str] = None,
+    ) -> Job:
         """Admit a job or raise; ``sink`` (if given) is subscribed to
         progress records before the worker can start, so no round is
-        missed."""
+        missed.  ``trace_id`` (from the HTTP ``traceparent`` header) is
+        adopted unless the request body pinned its own."""
         if self._draining or self._closed:
             raise ServiceDraining(
                 "server is draining; retry against another replica",
                 max(1.0, self.drain_remaining_seconds()),
             )
         with self._lock:
-            job = Job(f"job-{self._next_id}", request)
+            job = Job(f"job-{self._next_id}", request, trace_id=trace_id)
             self._next_id += 1
+        if self.trace_requests:
+            # Open serve.request + serve.queue_wait *before* the queue
+            # offer: queue wait is measured from admission, and the
+            # worker thread inherits the open stack through the queue's
+            # happens-before (each recorder is touched by exactly one
+            # thread at a time).
+            recorder = RequestRecorder(job)
+            recorder.meta.update(
+                {
+                    "job": job.id,
+                    "trace_id": job.trace_id,
+                    "solver": request.solver,
+                }
+            )
+            job.recorder = recorder
+            job._request_span = recorder.open_span(
+                "serve.request",
+                job=job.id,
+                solver=request.solver,
+                priority=request.priority,
+                trace_id=job.trace_id,
+            )
+            job._queue_span = recorder.open_span(
+                "serve.queue_wait", job=job.id
+            )
         if sink is not None:
             job.subscribe(sink)
         deadline = request.options.get("deadline_seconds")
@@ -555,11 +616,45 @@ class JobTable:
         message = f"shed before execution: {detail}"
         self.registry.counter("serve.shed").inc()
         self.registry.counter("serve.jobs", {"state": "shed"}).inc()
+        if job.recorder is not None:
+            job.recorder.event("serve.shed", job=job.id, detail=detail)
+        self._close_request_span(job, state="shed")
+        self._flight_add(job)
         job.publish(
             {"type": "error", "job": job.id, "code": "shed", "error": message}
         )
         job._finish("shed", error=message)
+        if self.flight is not None:
+            self.flight.trigger("shed", detail=detail, trace_id=job.trace_id)
         self._set_depth_gauge()
+
+    def _close_request_span(
+        self, job: Job, state: str, stop_reason: Optional[str] = None
+    ) -> None:
+        """Close the job's serve.request span (and anything deeper)."""
+        recorder, span = job.recorder, job._request_span
+        if recorder is None or span is None:
+            return
+        span.attrs["state"] = state
+        if stop_reason is not None:
+            span.attrs["stop_reason"] = stop_reason
+        if span.end is None:
+            recorder.close_span(span)
+        job._request_span = None
+
+    def _flight_add(self, job: Job) -> None:
+        """Feed the finished job's trace into the flight ring.
+
+        Runs *before* ``job._finish`` so a subsequent 5xx trigger always
+        finds the failing request's spans in the window.  Telemetry
+        must never fail a request, hence the blanket except.
+        """
+        if self.flight is None or job.recorder is None:
+            return
+        try:
+            self.flight.add_trace(trace_records(job.recorder))
+        except Exception:  # noqa: BLE001 - telemetry boundary
+            traceback.print_exc()
 
     # -- worker pool ----------------------------------------------------
     def _worker_loop(self) -> None:
@@ -616,7 +711,21 @@ class JobTable:
         job.state = "running"
         with self._lock:
             self._running[job.id] = job
-        recorder = RequestRecorder(job)
+            self.registry.gauge("serve.running").set(len(self._running))
+        recorder = job.recorder
+        if recorder is not None and job._queue_span is not None:
+            # The worker owns the recorder from here: close the queue
+            # wait, leaving serve.request open for the solve subtree.
+            queue_span = job._queue_span
+            recorder.close_span(queue_span)
+            job.queue_wait_seconds = queue_span.duration
+            job._queue_span = None
+            solve_span = "job.solve"
+        else:
+            # Tracing disabled: a throwaway recorder still feeds the
+            # per-request metrics merged into /metrics below.
+            recorder = RequestRecorder(job)
+            solve_span = "serve.request"
         try:
             try:
                 instance, hit = self.store.get(job.request.instance)
@@ -634,7 +743,7 @@ class JobTable:
                         max(self.drain_remaining_seconds(), 1e-9)
                     )
                 with recorder.span(
-                    "serve.request", job=job.id, solver=job.request.solver
+                    solve_span, job=job.id, solver=job.request.solver
                 ):
                     result = partition(
                         instance,
@@ -651,6 +760,8 @@ class JobTable:
                     {"type": "error", "job": job.id, "error": message}
                 )
                 self._reap_checkpoint(job)
+                self._close_request_span(job, state="failed")
+                self._flight_add(job)
                 job._finish("failed", error=message)
                 return
             finally:
@@ -673,6 +784,10 @@ class JobTable:
                 boundaries=LATENCY_BOUNDARIES_MS,
             ).observe(latency_ms)
             self._reap_checkpoint(job)
+            self._close_request_span(
+                job, state=state, stop_reason=result.stop_reason
+            )
+            self._flight_add(job)
             job.publish(
                 {
                     "type": "result",
@@ -686,6 +801,7 @@ class JobTable:
         finally:
             with self._lock:
                 self._running.pop(job.id, None)
+                self.registry.gauge("serve.running").set(len(self._running))
 
     def _reap_checkpoint(self, job: Job) -> None:
         """Keep drain checkpoints, remove ordinary interrupt residue.
@@ -782,11 +898,16 @@ class JobTable:
             grace_seconds if grace_seconds is not None
             else self.drain_grace_seconds
         )
+        first_flip = False
         with self._lock:
             if not self._draining:
                 self._draining = True
                 self._drain_deadline = time.monotonic() + grace
+                first_flip = True
             running = list(self._running.values())
+        if first_flip and self.flight is not None:
+            self.flight.note("serve.drain", grace_seconds=grace)
+            self.flight.trigger("drain_start")
         for job in running:
             if job.budget is not None:
                 job.budget.tighten(max(self.drain_remaining_seconds(), 1e-9))

@@ -26,6 +26,18 @@ Overload and failure semantics (see ``docs/API.md``):
   budget as valid best-so-far results, stragglers are cancelled at the
   next round boundary (persisting drain checkpoints when configured).
 
+Tracing: every request carries a W3C trace id (the ``traceparent``
+header or body field when the client sends one — malformed headers are
+ignored per the spec's restart semantics — else freshly generated).
+The id is stamped into job envelopes, streaming records and error
+envelopes; the stitched per-request trace (``serve.request`` >
+``serve.queue_wait`` + ``job.solve`` > solver spans, including adopted
+``worker.compute`` RemoteSpans from the shm backend) is served as
+``repro-trace/v2`` JSONL at ``GET /v1/jobs/<id>/trace``.  Finished
+traces also feed the always-on flight recorder; 5xx responses, sheds,
+drain start, health transitions to ``overloaded`` and p99 breaches
+dump the last window to ``--flight-dir`` (debounced).
+
 Endpoints (see ``docs/API.md`` for schemas and curl examples)::
 
     GET    /v1/health       liveness + load state + queue stats
@@ -33,8 +45,10 @@ Endpoints (see ``docs/API.md`` for schemas and curl examples)::
     POST   /v1/solve        run a solve (sync, async or streaming)
     GET    /v1/jobs         job summaries (newest last)
     GET    /v1/jobs/<id>    one job envelope (result when finished)
+    GET    /v1/jobs/<id>/trace  the job's repro-trace/v2 JSONL
     DELETE /v1/jobs/<id>    cooperative cancellation
     GET    /v1/instances    LRU instance-store statistics
+    POST   /v1/debug/flight force a flight-recorder dump
     GET    /metrics         Prometheus text exposition
 """
 
@@ -50,7 +64,9 @@ from typing import Any, Dict, Optional, Tuple
 from repro import __version__
 from repro.core.registry import BACKENDS, solver_catalog
 from repro.errors import ConfigurationError
-from repro.obs.exporters import prometheus_text
+from repro.obs.context import TRACEPARENT_HEADER, parse_traceparent
+from repro.obs.exporters import jsonl_lines, prometheus_text
+from repro.obs.flight import FlightRecorder
 from repro.obs.metrics import MetricsRegistry
 from repro.serve.config import ServeConfig
 from repro.serve.errors import error_body
@@ -121,6 +137,7 @@ class HttpError(Exception):
         retry_after_seconds: Optional[float] = None,
         field: Optional[str] = None,
         job: Optional[str] = None,
+        trace_id: Optional[str] = None,
     ) -> None:
         super().__init__(message)
         self.status = status
@@ -129,6 +146,7 @@ class HttpError(Exception):
         self.retry_after_seconds = retry_after_seconds
         self.field = field
         self.job = job
+        self.trace_id = trace_id
 
 
 def _field_of(message: str) -> Optional[str]:
@@ -150,6 +168,20 @@ class SolveServer:
         self.config = config or ServeConfig()
         self.registry = MetricsRegistry()
         self.store = InstanceStore(max_instances=self.config.max_instances)
+        #: Always-on flight recorder (None with tracing disabled).  The
+        #: ring records regardless of ``flight_dir``; dumps only land on
+        #: disk once a directory is configured.
+        self.flight: Optional[FlightRecorder] = (
+            FlightRecorder(
+                window_seconds=self.config.flight_window_seconds,
+                max_records=self.config.flight_max_records,
+                debounce_seconds=self.config.flight_debounce_seconds,
+                directory=self.config.flight_dir,
+                registry=self.registry,
+            )
+            if self.config.trace_requests
+            else None
+        )
         self.jobs = JobTable(
             store=self.store,
             registry=self.registry,
@@ -161,9 +193,13 @@ class SolveServer:
             default_deadline_seconds=self.config.default_deadline_seconds,
             drain_grace_seconds=self.config.drain_grace_seconds,
             drain_checkpoint_dir=self.config.drain_checkpoint_dir,
+            trace_requests=self.config.trace_requests,
+            flight=self.flight,
         )
         self.started_at: Optional[float] = None
         self._server: Optional[asyncio.AbstractServer] = None
+        self._last_health_status: Optional[str] = None
+        self._p99_breached = False
 
     # -- lifecycle ------------------------------------------------------
     @property
@@ -226,8 +262,10 @@ class SolveServer:
                     break
                 if request is None:
                     break
-                method, path, body = request
-                keep_alive = await self._dispatch(writer, method, path, body)
+                method, path, headers, body = request
+                keep_alive = await self._dispatch(
+                    writer, method, path, headers, body
+                )
                 if not keep_alive:
                     break
         except (ConnectionResetError, BrokenPipeError):
@@ -251,7 +289,7 @@ class SolveServer:
 
     async def _read_request(
         self, reader: asyncio.StreamReader
-    ) -> Optional[Tuple[str, str, bytes]]:
+    ) -> Optional[Tuple[str, str, Dict[str, str], bytes]]:
         timeout = self.config.read_timeout_seconds
         try:
             head = await asyncio.wait_for(
@@ -306,7 +344,7 @@ class SolveServer:
                 )
         else:
             body = b""
-        return method.upper(), target, body
+        return method.upper(), target, headers, body
 
     async def _drain_guarded(self, writer: asyncio.StreamWriter) -> None:
         """``writer.drain()`` with the stalled-client guard.
@@ -336,6 +374,15 @@ class SolveServer:
     ) -> bool:
         """One ``repro-error/v1`` response; returns keep-alive."""
         keep_alive = error.status in _KEEP_ALIVE_STATUSES
+        if error.status >= 500 and self.flight is not None:
+            # Any 5xx is a flight trigger: the failing request's trace
+            # was ringed before the job finished, so the (debounced)
+            # dump contains its spans.
+            self.flight.trigger(
+                f"http_{error.status}",
+                detail=f"{error.code}: {error.message}",
+                trace_id=error.trace_id,
+            )
         payload = error_body(
             error.status,
             error.code,
@@ -343,6 +390,7 @@ class SolveServer:
             retry_after_seconds=error.retry_after_seconds,
             field=error.field,
             job=error.job,
+            trace_id=error.trace_id,
         )
         headers = {}
         if error.retry_after_seconds is not None:
@@ -404,6 +452,7 @@ class SolveServer:
         writer: asyncio.StreamWriter,
         method: str,
         target: str,
+        headers: Dict[str, str],
         body: bytes,
     ) -> bool:
         path, _, query = target.partition("?")
@@ -437,7 +486,11 @@ class SolveServer:
             if path == f"/{API_VERSION}/solve":
                 if method != "POST":
                     raise HttpError(405, "POST only")
-                return await self._handle_solve(writer, body)
+                return await self._handle_solve(writer, headers, body)
+            if path == f"/{API_VERSION}/debug/flight":
+                if method != "POST":
+                    raise HttpError(405, "POST only")
+                return await self._handle_flight_dump(writer)
             if path == f"/{API_VERSION}/jobs" and method == "GET":
                 await self._write_json(
                     writer,
@@ -451,6 +504,12 @@ class SolveServer:
                 return True
             if path.startswith(f"/{API_VERSION}/jobs/"):
                 job_id = path[len(f"/{API_VERSION}/jobs/"):]
+                if job_id.endswith("/trace"):
+                    if method != "GET":
+                        raise HttpError(405, "GET only")
+                    return await self._handle_job_trace(
+                        writer, job_id[: -len("/trace")]
+                    )
                 return await self._handle_job(writer, method, job_id, query)
             raise HttpError(404, f"no route for {method} {path}")
         except HttpError as exc:
@@ -526,6 +585,29 @@ class SolveServer:
         }
         if p99 is not None:
             payload["recent_p99_ms"] = p99
+        if self.flight is not None:
+            if (
+                status == "overloaded"
+                and self._last_health_status != "overloaded"
+            ):
+                self.flight.trigger(
+                    "overloaded", detail=f"queue depth {depth}"
+                )
+            breach = (
+                self.config.health_p99_ms is not None
+                and p99 is not None
+                and p99 > self.config.health_p99_ms
+            )
+            if breach and not self._p99_breached:
+                self.flight.trigger(
+                    "p99_breach",
+                    detail=(
+                        f"recent p99 {p99:.1f}ms > "
+                        f"{self.config.health_p99_ms:g}ms"
+                    ),
+                )
+            self._p99_breached = breach
+            self._last_health_status = status
         return payload
 
     @staticmethod
@@ -533,6 +615,7 @@ class SolveServer:
         return {
             "job": job.id,
             "state": job.state,
+            "trace_id": job.trace_id,
             "solver": job.request.solver,
             "priority": job.request.priority,
             "created": job.created,
@@ -540,21 +623,30 @@ class SolveServer:
 
     # -- solve ----------------------------------------------------------
     async def _handle_solve(
-        self, writer: asyncio.StreamWriter, body: bytes
+        self,
+        writer: asyncio.StreamWriter,
+        headers: Dict[str, str],
+        body: bytes,
     ) -> bool:
         try:
             payload = json.loads(body.decode() or "{}")
         except (json.JSONDecodeError, UnicodeDecodeError) as exc:
             raise HttpError(400, f"request body is not valid JSON: {exc}")
         request = SolveRequest.from_dict(payload)
+        # The body-level traceparent (already parsed into the request)
+        # beats the header; a malformed *header* restarts the trace per
+        # the W3C spec instead of failing the request.
+        trace_id = parse_traceparent(headers.get(TRACEPARENT_HEADER))
 
         if request.stream:
-            return await self._handle_solve_stream(writer, request)
+            return await self._handle_solve_stream(writer, request, trace_id)
 
-        job = self.jobs.submit(request)
+        job = self.jobs.submit(request, trace_id=trace_id)
         if not request.wait:
             await self._write_json(
-                writer, 202, {"job": job.id, "state": job.state}
+                writer,
+                202,
+                {"job": job.id, "state": job.state, "trace_id": job.trace_id},
             )
             return True
         await self._wait_for(job)
@@ -565,6 +657,7 @@ class SolveServer:
                 code="shed",
                 retry_after_seconds=self.jobs.retry_after_seconds(),
                 job=job.id,
+                trace_id=job.trace_id,
             )
         if job.error is not None:
             raise HttpError(
@@ -572,12 +665,16 @@ class SolveServer:
                 job.error,
                 code="solve_failed",
                 job=job.id,
+                trace_id=job.trace_id,
             )
         await self._write_json(writer, 200, job.to_dict())
         return True
 
     async def _handle_solve_stream(
-        self, writer: asyncio.StreamWriter, request: SolveRequest
+        self,
+        writer: asyncio.StreamWriter,
+        request: SolveRequest,
+        trace_id: Optional[str] = None,
     ) -> bool:
         """Chunked JSONL: a job record, round records, the final result.
 
@@ -587,7 +684,7 @@ class SolveServer:
         in flight just queues in the sink.
         """
         sink = _ProgressSink(asyncio.get_running_loop())
-        job = self.jobs.submit(request, sink=sink)
+        job = self.jobs.submit(request, sink=sink, trace_id=trace_id)
         head = (
             "HTTP/1.1 200 OK\r\n"
             "Content-Type: application/x-ndjson\r\n"
@@ -599,7 +696,13 @@ class SolveServer:
             writer.write(head)
             await self._drain_guarded(writer)
             await self._write_chunk(
-                writer, {"type": "job", "job": job.id, "state": job.state}
+                writer,
+                {
+                    "type": "job",
+                    "job": job.id,
+                    "state": job.state,
+                    "trace_id": job.trace_id,
+                },
             )
             while True:
                 record = await sink.queue.get()
@@ -663,6 +766,59 @@ class SolveServer:
             await self._write_json(writer, 202, job.to_dict())
             return True
         raise HttpError(405, "GET or DELETE only")
+
+    async def _handle_job_trace(
+        self, writer: asyncio.StreamWriter, job_id: str
+    ) -> bool:
+        """``GET /v1/jobs/<id>/trace``: the job's ``repro-trace/v2`` JSONL.
+
+        The trace is only served once the job finished — a live recorder
+        is still being mutated by the worker thread, so an early read
+        would race it.  Poll the job state first, then fetch the trace.
+        """
+        job = self.jobs.get(job_id)
+        if job is None:
+            raise HttpError(404, f"unknown job {job_id!r}")
+        if job.recorder is None:
+            raise HttpError(
+                404,
+                f"job {job_id} has no trace (server started with "
+                "tracing disabled)",
+                code="trace_unavailable",
+                job=job.id,
+                trace_id=job.trace_id,
+            )
+        if not job.wait(0):
+            raise HttpError(
+                409,
+                f"job {job_id} not finished (state {job.state!r}); "
+                "trace still recording",
+                code="trace_pending",
+                job=job.id,
+                trace_id=job.trace_id,
+            )
+        body = ("\n".join(jsonl_lines(job.recorder)) + "\n").encode()
+        await self._write_raw(writer, 200, body, "application/x-ndjson")
+        return True
+
+    async def _handle_flight_dump(self, writer: asyncio.StreamWriter) -> bool:
+        """``POST /v1/debug/flight``: force a flight-recorder dump now."""
+        if self.flight is None:
+            raise HttpError(
+                409,
+                "flight recorder disabled (server started with --no-trace)",
+                code="flight_disabled",
+            )
+        if self.flight.directory is None:
+            raise HttpError(
+                409,
+                "flight recorder has nowhere to write "
+                "(start the server with --flight-dir)",
+                code="flight_disabled",
+            )
+        dump = self.flight.trigger("manual", force=True)
+        await self._write_json(writer, 200, dump.to_dict())
+        return True
 
 
 def run(config: Optional[ServeConfig] = None) -> None:

@@ -28,6 +28,7 @@ from repro.core.registry import (
     canonical_solver_name,
 )
 from repro.errors import ConfigurationError
+from repro.obs.context import parse_traceparent
 
 #: The wire version; the URL prefix of every versioned endpoint.
 API_VERSION = "v1"
@@ -154,7 +155,15 @@ class InstanceSpec:
 
 @dataclass(frozen=True)
 class SolveRequest:
-    """One validated ``POST /v1/solve`` body."""
+    """One validated ``POST /v1/solve`` body.
+
+    ``trace_id`` is the request's W3C trace id: parsed from an optional
+    body-level ``traceparent`` field (which beats the HTTP header of the
+    same name — a body survives proxies that strip headers), or stamped
+    in by the server from the header / freshly generated.  It is never
+    part of the solve semantics: assignments are byte-identical whatever
+    its value.
+    """
 
     instance: InstanceSpec
     solver: str = "gt"
@@ -164,6 +173,7 @@ class SolveRequest:
     stream: bool = False
     include_assignment: bool = False
     priority: str = "interactive"
+    trace_id: Optional[str] = None
 
     _KEYS = (
         "instance",
@@ -174,6 +184,7 @@ class SolveRequest:
         "stream",
         "include_assignment",
         "priority",
+        "traceparent",
     )
 
     @classmethod
@@ -243,6 +254,16 @@ class SolveRequest:
                 f"{path}.stream: streaming implies waiting; "
                 "drop \"wait\": false"
             )
+        traceparent = _expect(payload, "traceparent", (str,), path)
+        trace_id = None
+        if traceparent is not None:
+            trace_id = parse_traceparent(traceparent)
+            if trace_id is None:
+                raise ConfigurationError(
+                    f"{path}.traceparent: malformed W3C traceparent "
+                    f"(expected 00-<32 hex>-<16 hex>-<2 hex>, got "
+                    f"{traceparent!r})"
+                )
         return cls(
             instance=spec,
             solver=solver,
@@ -252,6 +273,7 @@ class SolveRequest:
             stream=stream,
             include_assignment=include,
             priority=priority,
+            trace_id=trace_id,
         )
 
     def build_options(

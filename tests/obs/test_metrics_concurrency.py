@@ -128,7 +128,39 @@ class TestQuantile:
         assert histogram.quantile(0.99) == 10.0
         assert histogram.quantile(1.0) == 1000.0
 
-    def test_quantile_of_empty_histogram_is_zero(self):
+    def test_quantile_of_empty_histogram_is_none(self):
+        # An empty histogram has no quantiles; 0.0 (the old answer)
+        # reads as "p99 is great" on a server that saw zero traffic.
         registry = MetricsRegistry()
         histogram = registry.histogram("ms", boundaries=(1.0, 2.0))
-        assert histogram.quantile(0.5) == 0.0
+        assert histogram.quantile(0.5) is None
+        assert histogram.quantile(0.0) is None
+        assert histogram.quantile(1.0) is None
+
+    def test_quantile_single_observation_single_bucket(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("ms", boundaries=(10.0,))
+        histogram.observe(5.0)
+        # One observation answers every quantile, including the edges.
+        assert histogram.quantile(0.0) == 10.0
+        assert histogram.quantile(0.5) == 10.0
+        assert histogram.quantile(1.0) == 10.0
+
+    def test_quantile_edge_ranks(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("ms", boundaries=(1.0, 10.0, 100.0))
+        histogram.observe(0.5)
+        histogram.observe(50.0)
+        # q=0 is the first non-empty bucket, q=1 the bucket covering the
+        # largest observation — neither degenerates to 0.0 or +inf.
+        assert histogram.quantile(0.0) == 1.0
+        assert histogram.quantile(1.0) == 100.0
+
+    def test_quantile_overflow_bucket_reports_last_boundary(self):
+        # The +inf bucket has no upper bound; the documented answer is
+        # the last finite boundary, never inf/NaN.
+        registry = MetricsRegistry()
+        histogram = registry.histogram("ms", boundaries=(1.0,))
+        histogram.observe(99.0)
+        assert histogram.quantile(0.99) == 1.0
+        assert histogram.quantile(0.0) == 1.0

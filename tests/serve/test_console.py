@@ -1,0 +1,133 @@
+"""The ``repro top`` console: parser, quantiles, rendering, poll loop."""
+
+import io
+import math
+
+from repro.serve import EmbeddedServer, ServeConfig
+from repro.serve.console import (
+    ConsoleSnapshot,
+    bucket_quantile,
+    parse_prometheus,
+    render,
+    run_top,
+    snapshot,
+)
+
+
+class TestParsePrometheus:
+    def test_plain_and_labeled_samples(self):
+        text = "\n".join(
+            [
+                "# TYPE repro_serve_queue_depth gauge",
+                "repro_serve_queue_depth 3",
+                'repro_serve_requests_total{solver="gt"} 12',
+                'repro_serve_request_ms_bucket{le="10"} 5',
+                'repro_serve_request_ms_bucket{le="+Inf"} 7',
+                "",
+                "garbage line without a value",
+            ]
+        )
+        samples = parse_prometheus(text)
+        assert samples[("repro_serve_queue_depth", ())] == 3.0
+        assert (
+            samples[("repro_serve_requests_total", (("solver", "gt"),))] == 12.0
+        )
+        assert (
+            samples[("repro_serve_request_ms_bucket", (("le", "+Inf"),))] == 7.0
+        )
+
+    def test_round_trips_real_exporter_output(self):
+        from repro.obs.exporters import prometheus_text
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        registry.counter("serve.requests", {"solver": "gt"}).inc(4)
+        registry.gauge("serve.queue_depth").set(2)
+        registry.histogram("serve.request_ms", boundaries=(10.0,)).observe(3.0)
+        samples = parse_prometheus(prometheus_text(registry))
+        assert (
+            samples[("repro_serve_requests_total", (("solver", "gt"),))] == 4.0
+        )
+        assert samples[("repro_serve_queue_depth", ())] == 2.0
+
+
+class TestBucketQuantile:
+    def test_mirrors_histogram_semantics(self):
+        buckets = [(10.0, 99.0), (100.0, 99.0), (math.inf, 100.0)]
+        assert bucket_quantile(buckets, 0.5) == 10.0
+        assert bucket_quantile(buckets, 0.99) == 10.0
+        # The +Inf overflow observation reports the last finite bound.
+        assert bucket_quantile(buckets, 1.0) == 100.0
+
+    def test_empty_is_none(self):
+        assert bucket_quantile([], 0.5) is None
+        assert bucket_quantile([(10.0, 0.0), (math.inf, 0.0)], 0.5) is None
+
+
+class TestRender:
+    def test_render_handles_empty_metrics(self):
+        snap = ConsoleSnapshot(health={"status": "ok"}, samples={})
+        text = render(snap, "host:1")
+        assert "status OK" in text
+        assert "latency  p50 -   p99 -" in text
+
+    def test_render_live_server(self):
+        with EmbeddedServer(ServeConfig(port=0, pool_size=2)) as client:
+            client.solve({"instance": {"dataset": "paper"}, "solver": "gt"})
+            snap = snapshot(client)
+        text = render(snap, "x")
+        assert "status OK" in text
+        assert "gt=1" in text
+        assert "jobs     done=1" in text
+        assert "p99" in text
+
+
+class TestRunTop:
+    def test_once_against_live_server(self):
+        with EmbeddedServer(ServeConfig(port=0, pool_size=1)) as client:
+            client.solve({"instance": {"dataset": "paper"}, "solver": "gt"})
+            out = io.StringIO()
+            rc = run_top(
+                client.host,
+                client.port,
+                interval=0.01,
+                iterations=2,
+                stream=out,
+            )
+        assert rc == 0
+        screens = out.getvalue()
+        assert screens.count("repro serve") == 2
+        assert "status OK" in screens
+
+    def test_unreachable_server_renders_note(self):
+        out = io.StringIO()
+        rc = run_top(
+            "127.0.0.1", 1, interval=0.01, iterations=1, stream=out
+        )
+        assert rc == 0
+        assert "UNREACHABLE" in out.getvalue()
+
+    def test_cli_wiring(self):
+        from repro.cli import build_parser
+
+        arguments = build_parser().parse_args(
+            ["top", "--port", "9999", "--once", "--no-clear"]
+        )
+        assert arguments.command == "top"
+        assert arguments.once is True
+        arguments = build_parser().parse_args(["flight", "dump.jsonl"])
+        assert arguments.command == "flight"
+        arguments = build_parser().parse_args(
+            [
+                "serve",
+                "--no-trace",
+                "--flight-dir",
+                "/tmp/f",
+                "--flight-window",
+                "10",
+                "--flight-debounce",
+                "5",
+            ]
+        )
+        assert arguments.no_trace is True
+        assert arguments.flight_dir == "/tmp/f"

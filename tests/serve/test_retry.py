@@ -212,3 +212,67 @@ class TestRetryLoop:
         with pytest.raises(ServerError):
             client._request("POST", "/v1/solve")
         assert client.attempts == 1
+
+
+def _traced_client(outcomes, retry, trace_id):
+    """Like ``_scripted_client`` but records the headers of each attempt."""
+    client = ServeClient(retry=retry, trace_id=trace_id)
+    script = iter(outcomes)
+    client.attempts = 0
+    client.seen_headers = []
+
+    def fake_request_once(method, path, body=None, ok=(200,), headers=None):
+        client.attempts += 1
+        client.seen_headers.append(dict(headers or {}))
+        outcome = next(script)
+        if isinstance(outcome, Exception):
+            raise outcome
+        return outcome
+
+    client._request_once = fake_request_once
+    return client
+
+
+class TestRetryTracePropagation:
+    TRACE_ID = "0af7651916cd43dd8448eb211c80319c"
+
+    def test_same_trace_id_survives_429_retry_success(self, fake_time):
+        # The envelope a real server would return for the traced job.
+        final = {"job": "job-3", "state": "done", "trace_id": self.TRACE_ID}
+        client = _traced_client(
+            [_retryable_429(), _retryable_429(), final],
+            RetryPolicy(max_attempts=5, seed=7),
+            trace_id=self.TRACE_ID,
+        )
+        assert client.solve({"solver": "gt"}) == final
+        assert client.attempts == 3
+        # Every attempt carried a traceparent, and the SAME one: the
+        # header is built once, before the retry loop.
+        traceparents = [h.get("traceparent") for h in client.seen_headers]
+        assert all(tp is not None for tp in traceparents)
+        assert len(set(traceparents)) == 1
+        version, trace_id, span_id, flags = traceparents[0].split("-")
+        assert (version, flags) == ("00", "01")
+        assert trace_id == self.TRACE_ID
+        assert len(span_id) == 16
+        # ... and the final envelope carries that trace id.
+        assert final["trace_id"] == self.TRACE_ID
+
+    def test_per_call_trace_id_beats_constructor_default(self, fake_time):
+        other = "b" * 32
+        client = _traced_client(
+            [{"ok": True}],
+            RetryPolicy(max_attempts=2, seed=7),
+            trace_id=self.TRACE_ID,
+        )
+        client.solve({"solver": "gt"}, trace_id=other)
+        assert client.seen_headers[0]["traceparent"].split("-")[1] == other
+
+    def test_untraced_client_sends_no_traceparent(self, fake_time):
+        client = _traced_client(
+            [_retryable_429(), {"ok": True}],
+            RetryPolicy(max_attempts=3, seed=7),
+            trace_id=None,
+        )
+        assert client._request("POST", "/v1/solve") == {"ok": True}
+        assert all("traceparent" not in h for h in client.seen_headers)

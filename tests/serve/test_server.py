@@ -91,18 +91,22 @@ class TestSolve:
         assert result["schema"] == "repro-result/v1"
         assert validate_result(result) == []
 
-    def test_http_solve_matches_direct_partition(self, client):
-        """Acceptance: served solve byte-identical to a direct call."""
+    def test_http_solve_matches_direct_partition(self, client, tmp_path):
+        """Acceptance: served solve byte-identical to a direct call.
+
+        Checked with tracing + flight recorder on (the ``client``
+        fixture default, plus an explicit flight dir) *and* with tracing
+        off — observability must never perturb assignments.
+        """
         spec = {"dataset": "gowalla", "users": 150, "events": 6, "seed": 3}
         options = {"seed": 7, "alpha": 0.3}
-        payload = client.solve(
-            {
-                "instance": spec,
-                "solver": "gt",
-                "options": options,
-                "include_assignment": True,
-            }
-        )
+        body = {
+            "instance": spec,
+            "solver": "gt",
+            "options": options,
+            "include_assignment": True,
+        }
+        payload = client.solve(body)
         served = payload["result"]
 
         data = load_dataset(
@@ -119,6 +123,20 @@ class TestSolve:
         assert served["assignment"] == direct_payload["assignment"]
         assert served["objective"] == pytest.approx(direct_payload["objective"])
         assert served["rounds"] == direct_payload["rounds"]
+
+        for cfg in (
+            ServeConfig(port=0, pool_size=1, trace_requests=False),
+            ServeConfig(
+                port=0, pool_size=1, flight_dir=str(tmp_path / "flight")
+            ),
+        ):
+            with EmbeddedServer(cfg) as other:
+                replay = other.solve(dict(body))["result"]
+            assert (
+                replay["assignment_sha256"]
+                == direct_payload["assignment_sha256"]
+            )
+            assert replay["rounds"] == direct_payload["rounds"]
 
     def test_solver_kwargs_reach_the_solver(self, client):
         n = paper_example_instance().n
@@ -198,7 +216,7 @@ class TestJobs:
                 "wait": False,
             }
         )
-        assert set(ticket) == {"job", "state"}
+        assert set(ticket) == {"job", "state", "trace_id"}
         final = client.wait_for(ticket["job"], timeout=60)
         assert final["state"] == "done"
         assert final["result"]["stop_reason"] in ("converged", "max_rounds")
